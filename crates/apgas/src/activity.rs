@@ -1,0 +1,309 @@
+//! Activities: per-place worker pools and the `finish` construct.
+//!
+//! X10's `async S` spawns an activity; `finish { ... }` blocks until every
+//! activity spawned (transitively) inside it has terminated (paper §II).
+//! [`ActivityPool`] reproduces the worker threads of one place
+//! (`X10_NTHREADS` of them) and [`FinishScope`] the termination counter.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::fault::{DeadPlaceError, LivenessBoard};
+use crate::place::PlaceId;
+use crate::stats::StatsBoard;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// An X10 `finish` block: counts outstanding activities and lets one
+/// thread block until they have all completed.
+///
+/// Cloning shares the counter, so activities can themselves spawn
+/// sub-activities under the same scope.
+#[derive(Clone)]
+pub struct FinishScope {
+    inner: Arc<FinishInner>,
+}
+
+struct FinishInner {
+    outstanding: Mutex<usize>,
+    done: Condvar,
+}
+
+impl FinishScope {
+    /// Creates an empty scope.
+    pub fn new() -> Self {
+        FinishScope {
+            inner: Arc::new(FinishInner {
+                outstanding: Mutex::new(0),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Registers one activity. Called by the spawner *before* the
+    /// activity is enqueued, so the count can never transiently hit zero
+    /// while work remains.
+    pub fn begin(&self) {
+        *self.inner.outstanding.lock() += 1;
+    }
+
+    /// Marks one activity complete.
+    pub fn end(&self) {
+        let mut n = self.inner.outstanding.lock();
+        debug_assert!(*n > 0, "FinishScope::end without matching begin");
+        *n -= 1;
+        if *n == 0 {
+            self.inner.done.notify_all();
+        }
+    }
+
+    /// Blocks until every registered activity has ended.
+    pub fn wait(&self) {
+        let mut n = self.inner.outstanding.lock();
+        while *n > 0 {
+            self.inner.done.wait(&mut n);
+        }
+    }
+
+    /// Current outstanding count (racy; for diagnostics and tests).
+    pub fn outstanding(&self) -> usize {
+        *self.inner.outstanding.lock()
+    }
+}
+
+impl Default for FinishScope {
+    fn default() -> Self {
+        FinishScope::new()
+    }
+}
+
+/// The worker threads of one place.
+///
+/// Jobs execute FIFO across the pool's threads. If the place is killed on
+/// the [`LivenessBoard`], queued and future jobs are silently discarded —
+/// the data of a dead place is gone, so running its activities would be
+/// meaningless (and unsound with respect to the failure model).
+pub struct ActivityPool {
+    place: PlaceId,
+    tx: Option<Sender<Job>>,
+    liveness: LivenessBoard,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ActivityPool {
+    /// Spawns `threads` worker threads for `place`.
+    pub fn new(
+        place: PlaceId,
+        threads: u16,
+        liveness: LivenessBoard,
+        stats: StatsBoard,
+    ) -> Self {
+        assert!(threads > 0, "a place needs at least one worker thread");
+        let (tx, rx) = channel::unbounded::<Job>();
+        let handles = (0..threads)
+            .map(|t| {
+                let rx: Receiver<Job> = rx.clone();
+                let liveness = liveness.clone();
+                let stats = stats.clone();
+                std::thread::Builder::new()
+                    .name(format!("place{}-w{}", place.0, t))
+                    .spawn(move || {
+                        for job in rx.iter() {
+                            if !liveness.is_alive(place) {
+                                // Dead place: drop the job. Keep draining so
+                                // sender-side spawns never block, but do no
+                                // work. (FinishScope ends are embedded in the
+                                // job wrapper, so we must still run the
+                                // wrapper's bookkeeping — see `spawn`.)
+                                drop(job);
+                                continue;
+                            }
+                            stats.place(place).on_task();
+                            job();
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        ActivityPool {
+            place,
+            tx: Some(tx),
+            liveness,
+            handles,
+        }
+    }
+
+    /// The place this pool serves.
+    pub fn place(&self) -> PlaceId {
+        self.place
+    }
+
+    /// Spawns an activity under `scope` (the X10 `async` inside `finish`).
+    ///
+    /// Fails with [`DeadPlaceError`] if the place is already dead. If the
+    /// place dies after enqueueing, the closure is dropped unrun but the
+    /// scope is still ended, so `finish` cannot hang on a fault — the
+    /// caller learns about the failure through the liveness board, exactly
+    /// like Resilient X10 surfaces `DeadPlaceException` at the `finish`.
+    pub fn spawn<F>(&self, scope: &FinishScope, f: F) -> Result<(), DeadPlaceError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.liveness.check(self.place)?;
+        scope.begin();
+        let guard = FinishGuard {
+            scope: scope.clone(),
+        };
+        let wrapped: Job = Box::new(move || {
+            let _guard = guard; // ends the scope whether `f` runs or the job is dropped
+            f();
+        });
+        let tx = self.tx.as_ref().expect("pool not shut down");
+        if tx.send(wrapped).is_err() {
+            // Pool torn down between check and send; dropping the unsent
+            // job (inside the SendError) ends the scope via its guard.
+            return Err(DeadPlaceError { place: self.place });
+        }
+        Ok(())
+    }
+
+    /// Shuts the pool down and joins its threads. Queued jobs finish
+    /// first (or are discarded if the place is dead).
+    pub fn shutdown(&mut self) {
+        self.tx = None; // disconnect -> workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ActivityPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// A job discarded by a dead place never runs, so a naive `scope.end()`
+// inside the closure body would be lost and `finish` would hang on any
+// fault. `spawn` therefore moves a FinishGuard into the job: both paths —
+// executed or dropped unrun — end the scope exactly once.
+struct FinishGuard {
+    scope: FinishScope,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.scope.end();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(place: u16, threads: u16) -> (ActivityPool, LivenessBoard) {
+        let liveness = LivenessBoard::new(place + 1);
+        let stats = StatsBoard::new(place + 1);
+        (
+            ActivityPool::new(PlaceId(place), threads, liveness.clone(), stats),
+            liveness,
+        )
+    }
+
+    #[test]
+    fn finish_waits_for_all_activities() {
+        let (pool, _) = pool(0, 2);
+        let scope = FinishScope::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let c = counter.clone();
+            pool.spawn(&scope, move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        scope.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(scope.outstanding(), 0);
+    }
+
+    #[test]
+    fn nested_spawns_share_scope() {
+        let (pool, _) = pool(0, 2);
+        let pool = Arc::new(pool);
+        let scope = FinishScope::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let (p2, c2, s2) = (pool.clone(), counter.clone(), scope.clone());
+            pool.spawn(&scope, move || {
+                c2.fetch_add(1, Ordering::Relaxed);
+                let c3 = c2.clone();
+                p2.spawn(&s2, move || {
+                    c3.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+            })
+            .unwrap();
+        }
+        scope.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn spawn_on_dead_place_fails_fast() {
+        let (pool, liveness) = pool(1, 1);
+        liveness.kill(PlaceId(1));
+        let scope = FinishScope::new();
+        let err = pool.spawn(&scope, || {}).unwrap_err();
+        assert_eq!(err.place, PlaceId(1));
+        assert_eq!(scope.outstanding(), 0);
+    }
+
+    #[test]
+    fn kill_mid_run_does_not_hang_finish() {
+        let (pool, liveness) = pool(1, 1);
+        let scope = FinishScope::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        // First job blocks until we kill the place, then many more queue up.
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock();
+        {
+            let gate = gate.clone();
+            pool.spawn(&scope, move || {
+                let _g = gate.lock(); // waits for the kill below
+            })
+            .unwrap();
+        }
+        for _ in 0..16 {
+            let r = ran.clone();
+            pool.spawn(&scope, move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        liveness.kill(PlaceId(1));
+        drop(held); // release the first job
+        scope.wait(); // must not hang: dropped jobs still end the scope
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "queued jobs were discarded");
+    }
+
+    #[test]
+    fn shutdown_runs_queued_jobs() {
+        let (mut pool, _) = pool(0, 1);
+        let scope = FinishScope::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let c = counter.clone();
+            pool.spawn(&scope, move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,284 @@
+//! A minimal wire codec.
+//!
+//! DPX10's claim that it "does not depend on any third libraries" (§VI) is
+//! kept here: instead of pulling a serialization framework, values that
+//! cross places implement [`Codec`], a little-endian binary format. The
+//! engines mostly need [`Codec::wire_size`] — the byte count a transfer
+//! would occupy — to drive the [`crate::NetworkModel`]; `encode`/`decode`
+//! exist so the format is real (round-trip tested) rather than a guess.
+
+/// A value that can cross a place boundary.
+///
+/// Implementations must guarantee `decode(encode(x)) == x` and that
+/// `encode` appends exactly [`wire_size`](Codec::wire_size) bytes.
+pub trait Codec: Sized {
+    /// Appends the wire representation to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `src`, advancing it.
+    /// Returns `None` on malformed or truncated input.
+    fn decode(src: &mut &[u8]) -> Option<Self>;
+
+    /// Number of bytes `encode` appends.
+    fn wire_size(&self) -> usize;
+}
+
+macro_rules! impl_codec_for_int {
+    ($($ty:ty),*) => {$(
+        impl Codec for $ty {
+            #[inline]
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn decode(src: &mut &[u8]) -> Option<Self> {
+                const N: usize = std::mem::size_of::<$ty>();
+                let (head, rest) = src.split_first_chunk::<N>()?;
+                *src = rest;
+                Some(<$ty>::from_le_bytes(*head))
+            }
+
+            #[inline]
+            fn wire_size(&self) -> usize {
+                std::mem::size_of::<$ty>()
+            }
+        }
+    )*};
+}
+
+impl_codec_for_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+impl Codec for f32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.to_bits().encode(buf);
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        u32::decode(src).map(f32::from_bits)
+    }
+
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.to_bits().encode(buf);
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        u64::decode(src).map(f64::from_bits)
+    }
+
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        match u8::decode(src)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl Codec for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+
+    fn decode(_src: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(src)?, B::decode(src)?))
+    }
+
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        match u8::decode(src)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(src)?)),
+            _ => None,
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, Codec::wire_size)
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        let len = u64::decode(src)? as usize;
+        // Guard against hostile lengths: each element needs >= 1 byte
+        // except zero-sized payloads, bounded by remaining input.
+        if len > src.len() && std::mem::size_of::<T>() > 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len.min(src.len().max(1)));
+        for _ in 0..len {
+            out.push(T::decode(src)?);
+        }
+        Some(out)
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self.iter().map(Codec::wire_size).sum::<usize>()
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        let len = u64::decode(src)? as usize;
+        if len > src.len() {
+            return None;
+        }
+        let (head, rest) = src.split_at(len);
+        *src = rest;
+        String::from_utf8(head.to_vec()).ok()
+    }
+
+    fn wire_size(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+/// Encodes a value into a fresh buffer (test / one-shot helper).
+pub fn encode_to_vec<T: Codec>(value: &T) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(value.wire_size());
+    value.encode(&mut buf);
+    buf
+}
+
+/// Decodes a value that must consume the entire buffer.
+pub fn decode_exact<T: Codec>(mut src: &[u8]) -> Option<T> {
+    let v = T::decode(&mut src)?;
+    src.is_empty().then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let buf = encode_to_vec(&v);
+        assert_eq!(buf.len(), v.wire_size(), "wire_size contract for {v:?}");
+        assert_eq!(decode_exact::<T>(&buf), Some(v));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u16::MAX);
+        round_trip(-5i32);
+        round_trip(u64::MAX);
+        round_trip(1234usize);
+        round_trip(3.5f32);
+        round_trip(-0.0f64);
+        round_trip(true);
+        round_trip(());
+    }
+
+    #[test]
+    fn nan_round_trips_bitwise() {
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        let buf = encode_to_vec(&nan);
+        let back: f64 = decode_exact(&buf).unwrap();
+        assert_eq!(back.to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        round_trip((42u32, -1i64));
+        round_trip(Some(7u16));
+        round_trip(None::<u16>);
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u8>::new());
+        round_trip("héllo".to_string());
+        round_trip(vec![(1u8, 2u8), (3, 4)]);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let buf = encode_to_vec(&12345u64);
+        assert_eq!(decode_exact::<u64>(&buf[..4]), None);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_by_decode_exact() {
+        let mut buf = encode_to_vec(&7u32);
+        buf.push(0);
+        assert_eq!(decode_exact::<u32>(&buf), None);
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        assert_eq!(decode_exact::<bool>(&[2]), None);
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected() {
+        // Claims 2^60 elements with a 1-byte body.
+        let mut buf = encode_to_vec(&(1u64 << 60));
+        buf.push(0);
+        let mut src = buf.as_slice();
+        assert_eq!(Vec::<u32>::decode(&mut src), None);
+    }
+
+    #[test]
+    fn option_wire_size_counts_tag() {
+        assert_eq!(Some(1u32).wire_size(), 5);
+        assert_eq!(None::<u32>.wire_size(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Collective operations over the places of a runtime.
+//!
+//! X10 programs express global phases with `finish`+`at`; DPX10's
+//! recovery protocol, for instance, is "executed in parallel on all
+//! alive places" and then resumes globally (§VI-D). These helpers give
+//! that shape a first-class API on the [`Runtime`]: a barrier across the
+//! live places, a gather of per-place values, and an all-reduce.
+//!
+//! Dead places are skipped, so collectives keep working mid-recovery.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::place::PlaceId;
+use crate::runtime::Runtime;
+
+impl Runtime {
+    /// Runs `f` once on every live place and blocks until all complete —
+    /// a barrier with a payload.
+    pub fn barrier_with<F>(&self, f: F)
+    where
+        F: Fn(PlaceId) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        self.broadcast(move |p| {
+            let f = f.clone();
+            move || f(p)
+        });
+    }
+
+    /// Evaluates `f` on every live place and returns the `(place, value)`
+    /// pairs in place order.
+    pub fn gather<R, F>(&self, f: F) -> Vec<(PlaceId, R)>
+    where
+        R: Send + 'static,
+        F: Fn(PlaceId) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let results: Arc<Mutex<Vec<(PlaceId, R)>>> = Arc::new(Mutex::new(Vec::new()));
+        self.broadcast(|p| {
+            let f = f.clone();
+            let results = results.clone();
+            move || {
+                let v = f(p);
+                results.lock().push((p, v));
+            }
+        });
+        let mut out = Arc::try_unwrap(results)
+            .unwrap_or_else(|arc| Mutex::new(std::mem::take(&mut *arc.lock())))
+            .into_inner();
+        out.sort_by_key(|(p, _)| *p);
+        out
+    }
+
+    /// Evaluates `f` on every live place and folds the values with
+    /// `combine` — an all-reduce returning the result to the caller.
+    /// Returns `None` when no place is alive (impossible while place 0
+    /// lives, but total anyway).
+    pub fn all_reduce<R, F, C>(&self, f: F, combine: C) -> Option<R>
+    where
+        R: Send + 'static,
+        F: Fn(PlaceId) -> R + Send + Sync + 'static,
+        C: FnMut(R, R) -> R,
+    {
+        let mut combine = combine;
+        self.gather(f)
+            .into_iter()
+            .map(|(_, v)| v)
+            .reduce(&mut combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn gather_returns_place_ordered_values() {
+        let rt = Runtime::new(RuntimeConfig::flat(4));
+        let got = rt.gather(|p| p.0 as u64 * 10);
+        assert_eq!(
+            got,
+            vec![
+                (PlaceId(0), 0),
+                (PlaceId(1), 10),
+                (PlaceId(2), 20),
+                (PlaceId(3), 30)
+            ]
+        );
+    }
+
+    #[test]
+    fn all_reduce_sums() {
+        let rt = Runtime::new(RuntimeConfig::flat(5));
+        let sum = rt.all_reduce(|p| p.0 as u64, |a, b| a + b).unwrap();
+        assert_eq!(sum, 10); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn collectives_skip_dead_places() {
+        let rt = Runtime::new(RuntimeConfig::flat(4));
+        rt.kill_place(PlaceId(2));
+        let got = rt.gather(|p| p.0);
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|(p, _)| *p != PlaceId(2)));
+        let max = rt.all_reduce(|p| p.0, |a, b| a.max(b)).unwrap();
+        assert_eq!(max, 3);
+    }
+
+    #[test]
+    fn barrier_runs_everywhere_once() {
+        let rt = Runtime::new(RuntimeConfig::flat(3));
+        let hits = Arc::new([AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)]);
+        let hits2 = hits.clone();
+        rt.barrier_with(move |p| {
+            hits2[p.index()].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in hits.iter() {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Place liveness and failure reporting.
+//!
+//! Resilient X10 reports a node failure as a `DeadPlaceException` (paper
+//! §VI-D). Here a failure is *injected* — a test or experiment kills a
+//! place on the [`LivenessBoard`] — and every subsequent interaction with
+//! that place surfaces a [`DeadPlaceError`], which the DPX10 engine
+//! catches to enter recovery mode.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::place::PlaceId;
+
+/// Error raised when code touches a dead place, mirroring X10's
+/// `DeadPlaceException`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadPlaceError {
+    /// The dead place.
+    pub place: PlaceId,
+}
+
+impl fmt::Display for DeadPlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} is dead", self.place)
+    }
+}
+
+impl std::error::Error for DeadPlaceError {}
+
+/// Shared per-place liveness flags.
+///
+/// Cloning shares the underlying flags (the board is an `Arc` internally),
+/// so every component of a runtime observes the same failures.
+#[derive(Clone)]
+pub struct LivenessBoard {
+    alive: Arc<[AtomicBool]>,
+}
+
+impl LivenessBoard {
+    /// Creates a board with `places` live places.
+    pub fn new(places: u16) -> Self {
+        let alive: Vec<AtomicBool> = (0..places).map(|_| AtomicBool::new(true)).collect();
+        LivenessBoard {
+            alive: alive.into(),
+        }
+    }
+
+    /// Number of places tracked (alive or dead).
+    pub fn num_places(&self) -> u16 {
+        self.alive.len() as u16
+    }
+
+    /// Whether `place` is alive.
+    #[inline]
+    pub fn is_alive(&self, place: PlaceId) -> bool {
+        self.alive[place.index()].load(Ordering::Acquire)
+    }
+
+    /// Returns `Ok(())` if alive, `Err(DeadPlaceError)` otherwise.
+    #[inline]
+    pub fn check(&self, place: PlaceId) -> Result<(), DeadPlaceError> {
+        if self.is_alive(place) {
+            Ok(())
+        } else {
+            Err(DeadPlaceError { place })
+        }
+    }
+
+    /// Kills `place`. Idempotent. Returns whether the place was alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when asked to kill place 0 — Resilient X10 aborts the whole
+    /// computation if Place 0 dies (paper §VI-D quotes this as a
+    /// limitation of the X10 runtime), so the reproduction forbids it the
+    /// same way.
+    pub fn kill(&self, place: PlaceId) -> bool {
+        assert!(
+            place != PlaceId::ZERO,
+            "Resilient X10 limitation: place 0 must not die"
+        );
+        self.alive[place.index()].swap(false, Ordering::AcqRel)
+    }
+
+    /// Ids of the places still alive, in order.
+    pub fn alive_places(&self) -> Vec<PlaceId> {
+        (0..self.alive.len() as u16)
+            .map(PlaceId)
+            .filter(|&p| self.is_alive(p))
+            .collect()
+    }
+
+    /// Number of live places.
+    pub fn alive_count(&self) -> u16 {
+        self.alive_places().len() as u16
+    }
+}
+
+impl fmt::Debug for LivenessBoard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LivenessBoard")
+            .field("alive", &self.alive_places())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_alive_initially() {
+        let board = LivenessBoard::new(4);
+        assert_eq!(board.alive_count(), 4);
+        assert!(board.check(PlaceId(3)).is_ok());
+    }
+
+    #[test]
+    fn kill_is_observed_and_idempotent() {
+        let board = LivenessBoard::new(4);
+        assert!(board.kill(PlaceId(2)));
+        assert!(!board.kill(PlaceId(2)), "second kill reports already-dead");
+        assert!(!board.is_alive(PlaceId(2)));
+        assert_eq!(
+            board.check(PlaceId(2)),
+            Err(DeadPlaceError { place: PlaceId(2) })
+        );
+        assert_eq!(board.alive_places(), vec![PlaceId(0), PlaceId(1), PlaceId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "place 0")]
+    fn place_zero_immortal() {
+        LivenessBoard::new(2).kill(PlaceId::ZERO);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = LivenessBoard::new(3);
+        let b = a.clone();
+        a.kill(PlaceId(1));
+        assert!(!b.is_alive(PlaceId(1)));
+    }
+
+    #[test]
+    fn error_displays_place() {
+        let e = DeadPlaceError { place: PlaceId(7) };
+        assert_eq!(e.to_string(), "place 7 is dead");
+    }
+}

@@ -1,0 +1,51 @@
+//! A miniature APGAS (Asynchronous Partitioned Global Address Space)
+//! runtime — the substrate the DPX10 framework runs on.
+//!
+//! The paper's framework is written in X10, whose runtime provides
+//! *places* (OS processes owning a partition of the data, paper §II),
+//! *activities* (`async S`), the `finish` termination construct, remote
+//! execution (`at (p) S`) and failure reporting (`DeadPlaceException` from
+//! Resilient X10). None of that exists in Rust, so this crate rebuilds the
+//! subset DPX10 needs:
+//!
+//! * [`PlaceId`]/[`Topology`] — places realised as in-process worker
+//!   pools, grouped into *nodes* exactly like the paper's deployment
+//!   (2 places per node, 6 worker threads per place on Tianhe-1A).
+//! * [`ActivityPool`] — per-place worker threads executing spawned
+//!   activities, with a [`FinishScope`] reproducing X10's `finish`.
+//! * [`Mailbox`] — typed inter-place channels with byte accounting; every
+//!   transfer is priced by a [`NetworkModel`] so experiments can report
+//!   communication volume and (simulated) communication time honestly.
+//! * [`Codec`] — a small hand-rolled wire format used to measure the bytes
+//!   a value would occupy on a real interconnect (the crate never touches a
+//!   socket: places are threads; "the network" is a cost model).
+//! * [`fault`] — per-place liveness flags and [`DeadPlaceError`],
+//!   mirroring Resilient X10's failure reporting, including its documented
+//!   limitation that place 0 must survive.
+//!
+//! The single-machine substitution is deliberate and documented in
+//! DESIGN.md §3: this container has one CPU core, so cluster-scale
+//! behaviour is reproduced by the deterministic simulator in `dpx10-sim`,
+//! while this crate provides real concurrent execution for functional and
+//! fault-tolerance correctness.
+
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod codec;
+pub mod collective;
+pub mod fault;
+pub mod mailbox;
+pub mod network;
+pub mod place;
+pub mod runtime;
+pub mod stats;
+
+pub use activity::{ActivityPool, FinishScope};
+pub use codec::Codec;
+pub use fault::{DeadPlaceError, LivenessBoard};
+pub use mailbox::{Mailbox, MailboxSender};
+pub use network::NetworkModel;
+pub use place::{PlaceId, Topology};
+pub use runtime::{Runtime, RuntimeConfig};
+pub use stats::{PlaceStats, StatsBoard, StatsSnapshot};

@@ -1,0 +1,163 @@
+//! The interconnect cost model.
+//!
+//! Places live in one address space here, so "the network" is a pricing
+//! function, not a wire. Both engines use it: the simulator to advance
+//! virtual time per message, the threaded runtime to account a simulated
+//! communication-time total alongside real wall time. Defaults model the
+//! paper's testbed — Tianhe-1A nodes connected by InfiniBand QDR, two
+//! places (processes) per node sharing memory.
+
+use std::time::Duration;
+
+use crate::place::{PlaceId, Topology};
+
+/// Latency/bandwidth model of one link class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkModel {
+    /// One-way message latency.
+    pub latency: Duration,
+    /// Sustained bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl LinkModel {
+    /// Cost of moving `bytes` over this link, including latency.
+    #[inline]
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        self.latency + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+}
+
+/// A two-tier interconnect: intra-node (shared memory between the two
+/// places of one node) and inter-node (InfiniBand).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Link between places on the same node.
+    pub intra_node: LinkModel,
+    /// Link between places on different nodes.
+    pub inter_node: LinkModel,
+}
+
+impl NetworkModel {
+    /// Defaults modelled on the paper's testbed: Tianhe-1A nodes on
+    /// InfiniBand QDR, but driven by the **X10 Socket runtime** (§VIII:
+    /// "The X10 distribution was built to use Socket runtime"), i.e. a
+    /// TCP stack rather than native verbs — ≈20 µs one-way latency and
+    /// ≈1 GB/s effective across nodes; loopback sockets between the two
+    /// places of one node at ≈6 µs and ≈4 GB/s.
+    pub fn tianhe_like() -> Self {
+        NetworkModel {
+            intra_node: LinkModel {
+                latency: Duration::from_micros(6),
+                bytes_per_sec: 4.0e9,
+            },
+            inter_node: LinkModel {
+                latency: Duration::from_micros(20),
+                bytes_per_sec: 1.0e9,
+            },
+        }
+    }
+
+    /// A zero-cost network, for tests that want pure-compute behaviour.
+    pub fn free() -> Self {
+        let free = LinkModel {
+            latency: Duration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+        };
+        NetworkModel {
+            intra_node: free,
+            inter_node: free,
+        }
+    }
+
+    /// A uniform network (same cost regardless of node locality).
+    pub fn uniform(latency: Duration, bytes_per_sec: f64) -> Self {
+        let link = LinkModel {
+            latency,
+            bytes_per_sec,
+        };
+        NetworkModel {
+            intra_node: link,
+            inter_node: link,
+        }
+    }
+
+    /// The link used between `src` and `dst` under `topo`.
+    #[inline]
+    pub fn link(&self, topo: &Topology, src: PlaceId, dst: PlaceId) -> LinkModel {
+        if topo.same_node(src, dst) {
+            self.intra_node
+        } else {
+            self.inter_node
+        }
+    }
+
+    /// Cost of one `bytes`-sized message from `src` to `dst`.
+    #[inline]
+    pub fn transfer_time(
+        &self,
+        topo: &Topology,
+        src: PlaceId,
+        dst: PlaceId,
+        bytes: usize,
+    ) -> Duration {
+        self.link(topo, src, dst).transfer_time(bytes)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::tianhe_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let net = NetworkModel::tianhe_like();
+        let topo = Topology::paper(2);
+        let t = net.transfer_time(&topo, PlaceId(0), PlaceId(2), 16);
+        assert!(t >= Duration::from_micros(20));
+        assert!(t < Duration::from_micros(21));
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let net = NetworkModel::tianhe_like();
+        let topo = Topology::paper(2);
+        let t = net.transfer_time(&topo, PlaceId(0), PlaceId(2), 1_000_000_000);
+        assert!(t >= Duration::from_millis(999));
+    }
+
+    #[test]
+    fn intra_node_cheaper_than_inter_node() {
+        let net = NetworkModel::tianhe_like();
+        let topo = Topology::paper(2);
+        let near = net.transfer_time(&topo, PlaceId(0), PlaceId(1), 1024);
+        let far = net.transfer_time(&topo, PlaceId(0), PlaceId(2), 1024);
+        assert!(near < far);
+    }
+
+    #[test]
+    fn free_network_costs_nothing() {
+        let net = NetworkModel::free();
+        let topo = Topology::flat(3);
+        assert_eq!(
+            net.transfer_time(&topo, PlaceId(0), PlaceId(2), usize::MAX >> 8),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn uniform_ignores_locality() {
+        let net = NetworkModel::uniform(Duration::from_micros(1), 1e9);
+        let topo = Topology::paper(2);
+        assert_eq!(
+            net.transfer_time(&topo, PlaceId(0), PlaceId(1), 500),
+            net.transfer_time(&topo, PlaceId(0), PlaceId(3), 500)
+        );
+    }
+}

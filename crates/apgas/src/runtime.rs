@@ -1,0 +1,311 @@
+//! The assembled APGAS runtime: topology + pools + liveness + stats.
+
+use std::sync::Arc;
+
+use crate::activity::{ActivityPool, FinishScope};
+use crate::fault::{DeadPlaceError, LivenessBoard};
+use crate::network::NetworkModel;
+use crate::place::{PlaceId, Topology};
+use crate::stats::{StatsBoard, StatsSnapshot};
+
+/// Construction parameters for a [`Runtime`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Cluster shape.
+    pub topology: Topology,
+    /// Interconnect cost model.
+    pub network: NetworkModel,
+}
+
+impl RuntimeConfig {
+    /// The paper's deployment on `nodes` nodes with a Tianhe-like network.
+    pub fn paper(nodes: u16) -> Self {
+        RuntimeConfig {
+            topology: Topology::paper(nodes),
+            network: NetworkModel::tianhe_like(),
+        }
+    }
+
+    /// Small flat runtime for tests.
+    pub fn flat(places: u16) -> Self {
+        RuntimeConfig {
+            topology: Topology::flat(places),
+            network: NetworkModel::tianhe_like(),
+        }
+    }
+}
+
+/// A live APGAS runtime: one [`ActivityPool`] per place, shared liveness
+/// and stats boards, and the network model used by its mailboxes.
+///
+/// The X10 program shape
+///
+/// ```text
+/// finish { for (p in places) at (p) async work(p); }
+/// ```
+///
+/// becomes
+///
+/// ```
+/// use dpx10_apgas::{Runtime, RuntimeConfig, FinishScope, PlaceId};
+///
+/// let rt = Runtime::new(RuntimeConfig::flat(4));
+/// let scope = FinishScope::new();
+/// for p in rt.places() {
+///     rt.spawn_at(p, &scope, move || { /* work(p) */ }).unwrap();
+/// }
+/// scope.wait();
+/// ```
+pub struct Runtime {
+    config: RuntimeConfig,
+    liveness: LivenessBoard,
+    stats: StatsBoard,
+    pools: Vec<Arc<ActivityPool>>,
+}
+
+impl Runtime {
+    /// Boots the runtime: spawns every place's worker threads.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let n = config.topology.num_places();
+        assert!(n > 0, "a runtime needs at least one place");
+        let liveness = LivenessBoard::new(n);
+        let stats = StatsBoard::new(n);
+        let pools = (0..n)
+            .map(|p| {
+                Arc::new(ActivityPool::new(
+                    PlaceId(p),
+                    config.topology.threads_per_place,
+                    liveness.clone(),
+                    stats.clone(),
+                ))
+            })
+            .collect();
+        Runtime {
+            config,
+            liveness,
+            stats,
+            pools,
+        }
+    }
+
+    /// The runtime's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.config.topology
+    }
+
+    /// The runtime's network model.
+    pub fn network(&self) -> NetworkModel {
+        self.config.network
+    }
+
+    /// Shared liveness board (clone to inject faults).
+    pub fn liveness(&self) -> &LivenessBoard {
+        &self.liveness
+    }
+
+    /// Shared stats board.
+    pub fn stats(&self) -> &StatsBoard {
+        &self.stats
+    }
+
+    /// Aggregated counters so far.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// All place ids.
+    pub fn places(&self) -> impl Iterator<Item = PlaceId> {
+        self.config.topology.places()
+    }
+
+    /// The pool of one place (X10's `at (p)` target).
+    pub fn pool(&self, place: PlaceId) -> &Arc<ActivityPool> {
+        &self.pools[place.index()]
+    }
+
+    /// `at (place) async f()` under `scope`.
+    pub fn spawn_at<F>(
+        &self,
+        place: PlaceId,
+        scope: &FinishScope,
+        f: F,
+    ) -> Result<(), DeadPlaceError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.pools[place.index()].spawn(scope, f)
+    }
+
+    /// Runs `make_task(p)` on every live place and waits for all of them —
+    /// the `finish { for places at async }` idiom.
+    pub fn broadcast<F, G>(&self, make_task: G)
+    where
+        G: Fn(PlaceId) -> F,
+        F: FnOnce() + Send + 'static,
+    {
+        let scope = FinishScope::new();
+        for p in self.places() {
+            if self.liveness.is_alive(p) {
+                // A place dying between the check and the spawn is fine:
+                // spawn fails, we skip it, exactly like a failed `at`.
+                let _ = self.spawn_at(p, &scope, make_task(p));
+            }
+        }
+        scope.wait();
+    }
+
+    /// Injects a failure of `place` (panics on place 0, like Resilient
+    /// X10 aborting when Place 0 dies).
+    pub fn kill_place(&self, place: PlaceId) {
+        self.liveness.kill(place);
+    }
+
+    /// X10's `at (place) { expr }`: evaluates `f` on `place`'s worker
+    /// pool and returns its value, blocking the caller.
+    ///
+    /// Fails with [`DeadPlaceError`] if the place is dead when invoked
+    /// *or dies before replying* — the caller must not hang on a lost
+    /// activity, mirroring how Resilient X10 surfaces the failure at the
+    /// blocked `at`.
+    pub fn invoke_at<R, F>(&self, place: PlaceId, f: F) -> Result<R, DeadPlaceError>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (tx, rx) = crossbeam::channel::bounded::<R>(1);
+        let scope = FinishScope::new();
+        self.spawn_at(place, &scope, move || {
+            let _ = tx.send(f());
+        })?;
+        // The job's FinishGuard drops the sender even if the place dies
+        // before running it, so this receive always terminates.
+        rx.recv().map_err(|_| DeadPlaceError { place })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn broadcast_reaches_every_place() {
+        let rt = Runtime::new(RuntimeConfig::flat(4));
+        let hits = Arc::new([
+            AtomicU32::new(0),
+            AtomicU32::new(0),
+            AtomicU32::new(0),
+            AtomicU32::new(0),
+        ]);
+        rt.broadcast(|p| {
+            let hits = hits.clone();
+            move || {
+                hits[p.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for h in hits.iter() {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_skips_dead_places() {
+        let rt = Runtime::new(RuntimeConfig::flat(3));
+        rt.kill_place(PlaceId(1));
+        let hits = Arc::new([AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)]);
+        rt.broadcast(|p| {
+            let hits = hits.clone();
+            move || {
+                hits[p.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(hits[0].load(Ordering::Relaxed), 1);
+        assert_eq!(hits[1].load(Ordering::Relaxed), 0);
+        assert_eq!(hits[2].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn paper_config_has_expected_shape() {
+        let rt = Runtime::new(RuntimeConfig::paper(2));
+        assert_eq!(rt.places().count(), 4);
+        assert_eq!(rt.topology().threads_per_place, 6);
+    }
+
+    #[test]
+    fn stats_count_tasks() {
+        let rt = Runtime::new(RuntimeConfig::flat(2));
+        rt.broadcast(|_| || {});
+        assert_eq!(rt.stats_snapshot().tasks_run, 2);
+    }
+}
+
+#[cfg(test)]
+mod invoke_tests {
+    use super::*;
+
+    #[test]
+    fn invoke_at_returns_value() {
+        let rt = Runtime::new(RuntimeConfig::flat(3));
+        let got = rt.invoke_at(PlaceId(2), || 6 * 7).unwrap();
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn invoke_at_runs_on_target_pool() {
+        let rt = Runtime::new(RuntimeConfig::flat(2));
+        let name = rt
+            .invoke_at(PlaceId(1), || {
+                std::thread::current().name().unwrap_or("").to_string()
+            })
+            .unwrap();
+        assert!(name.starts_with("place1-"), "ran on {name}");
+    }
+
+    #[test]
+    fn invoke_at_dead_place_errors() {
+        let rt = Runtime::new(RuntimeConfig::flat(2));
+        rt.kill_place(PlaceId(1));
+        let err = rt.invoke_at(PlaceId(1), || 1).unwrap_err();
+        assert_eq!(err.place, PlaceId(1));
+    }
+
+    #[test]
+    fn invoke_at_place_dying_after_enqueue_does_not_hang() {
+        use parking_lot::Mutex;
+        let rt = Runtime::new(RuntimeConfig::flat(2));
+        // Block place 1's single worker, enqueue the invoke, then kill
+        // the place and release the worker: the queued job is dropped
+        // and invoke_at must return Err rather than hang.
+        let gate = std::sync::Arc::new(Mutex::new(()));
+        let held = gate.lock();
+        let scope = FinishScope::new();
+        {
+            let gate = gate.clone();
+            rt.spawn_at(PlaceId(1), &scope, move || {
+                let _g = gate.lock();
+            })
+            .unwrap();
+        }
+        let handle = {
+            let rt_liveness = rt.liveness().clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                rt_liveness.kill(PlaceId(1));
+            });
+            // Queued behind the blocked worker.
+            let result = {
+                let r = std::thread::scope(|s| {
+                    let rt_ref = &rt;
+                    let h = s.spawn(move || rt_ref.invoke_at(PlaceId(1), || 7));
+                    std::thread::sleep(std::time::Duration::from_millis(80));
+                    drop(held); // release the worker after the kill fired
+                    h.join().unwrap()
+                });
+                r
+            };
+            result
+        };
+        assert_eq!(handle.unwrap_err().place, PlaceId(1));
+        scope.wait();
+    }
+}

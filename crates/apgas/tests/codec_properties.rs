@@ -1,0 +1,80 @@
+//! Property tests of the wire codec: round-trips, size contracts, and
+//! robustness against arbitrary (possibly hostile) input bytes.
+
+use dpx10_apgas::codec::{decode_exact, encode_to_vec};
+use dpx10_apgas::Codec;
+use proptest::prelude::*;
+
+fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
+    let buf = encode_to_vec(v);
+    prop_assert_eq!(buf.len(), v.wire_size(), "wire_size contract");
+    let back: T = decode_exact(&buf).expect("well-formed bytes decode");
+    prop_assert_eq!(&back, v);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn ints_round_trip(a in any::<u64>(), b in any::<i32>(), c in any::<u16>()) {
+        round_trip(&a)?;
+        round_trip(&b)?;
+        round_trip(&c)?;
+    }
+
+    #[test]
+    fn floats_round_trip_bitwise(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let buf = encode_to_vec(&v);
+        let back: f64 = decode_exact(&buf).expect("decodes");
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn vecs_round_trip(v in proptest::collection::vec(any::<u32>(), 0..64)) {
+        round_trip(&v)?;
+    }
+
+    #[test]
+    fn nested_round_trip(
+        v in proptest::collection::vec((any::<u32>(), any::<i64>()), 0..16),
+        opt in proptest::option::of(any::<u64>()),
+        s in "\\PC{0,24}",
+    ) {
+        round_trip(&v)?;
+        round_trip(&opt)?;
+        round_trip(&s)?;
+    }
+
+    /// Arbitrary bytes never panic the decoder, and when they do decode
+    /// the value re-encodes to a prefix-consistent form.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut src = bytes.as_slice();
+        if let Some(v) = Vec::<u16>::decode(&mut src) {
+            let consumed = bytes.len() - src.len();
+            let again = encode_to_vec(&v);
+            prop_assert_eq!(again.as_slice(), &bytes[..consumed]);
+        }
+        let mut src = bytes.as_slice();
+        let _ = String::decode(&mut src);
+        let mut src = bytes.as_slice();
+        let _ = Option::<f32>::decode(&mut src);
+        let mut src = bytes.as_slice();
+        let _ = bool::decode(&mut src);
+    }
+
+    /// Concatenated encodings decode back in sequence — the framing the
+    /// mailbox layer relies on.
+    #[test]
+    fn encodings_self_frame(a in any::<u64>(), v in proptest::collection::vec(any::<u8>(), 0..16), b in any::<i16>()) {
+        let mut buf = Vec::new();
+        a.encode(&mut buf);
+        v.encode(&mut buf);
+        b.encode(&mut buf);
+        let mut src = buf.as_slice();
+        prop_assert_eq!(u64::decode(&mut src), Some(a));
+        prop_assert_eq!(Vec::<u8>::decode(&mut src), Some(v));
+        prop_assert_eq!(i16::decode(&mut src), Some(b));
+        prop_assert!(src.is_empty());
+    }
+}

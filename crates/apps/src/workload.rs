@@ -1,0 +1,82 @@
+//! Deterministic workload generators for the examples and the figure
+//! harness ("the time for ... generating test graphs ... was not included
+//! in the measurements", §VIII — generation is separated out here too).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::knapsack::Item;
+
+/// A random DNA sequence of length `len`.
+pub fn dna(len: usize, seed: u64) -> Vec<u8> {
+    const ALPHABET: [u8; 4] = *b"ACGT";
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| ALPHABET[rng.gen_range(0..4)]).collect()
+}
+
+/// A random uppercase-letter string (for LPS/LCS demos).
+pub fn letters(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(b'A'..=b'Z')).collect()
+}
+
+/// A random knapsack instance: `n` items with weights in
+/// `1..=max_weight` and values in `1..=100`.
+pub fn knapsack_items(n: usize, max_weight: u32, seed: u64) -> Vec<Item> {
+    assert!(max_weight >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Item {
+            weight: rng.gen_range(1..=max_weight),
+            value: rng.gen_range(1..=100),
+        })
+        .collect()
+}
+
+/// Side length `n` such that an `(n+1)²` alignment matrix has
+/// approximately `vertices` cells — how the harness converts the paper's
+/// "300 million vertices" into sequence lengths.
+pub fn side_for_vertices(vertices: u64) -> u32 {
+    ((vertices as f64).sqrt() as u32).max(2) - 1
+}
+
+/// Knapsack shape for a target vertex count: `items ≈ vertices / (cap+1)`
+/// with a fixed capacity, mirroring the tall-thin matrices 0/1KP produces.
+pub fn knapsack_shape_for_vertices(vertices: u64, capacity: u32) -> usize {
+    ((vertices / (capacity as u64 + 1)).max(1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_is_deterministic_and_valid() {
+        let a = dna(100, 7);
+        let b = dna(100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|c| b"ACGT".contains(c)));
+        assert_ne!(dna(100, 8), a);
+    }
+
+    #[test]
+    fn knapsack_items_bounded() {
+        let items = knapsack_items(50, 10, 3);
+        assert_eq!(items.len(), 50);
+        assert!(items.iter().all(|it| (1..=10).contains(&it.weight)));
+        assert!(items.iter().all(|it| (1..=100).contains(&it.value)));
+    }
+
+    #[test]
+    fn side_for_vertices_round_trips_order_of_magnitude() {
+        let n = side_for_vertices(1_000_000);
+        let cells = (n as u64 + 1).pow(2);
+        assert!((900_000..=1_100_000).contains(&cells), "{cells}");
+    }
+
+    #[test]
+    fn knapsack_shape_positive() {
+        assert!(knapsack_shape_for_vertices(1_000_000, 999) >= 1);
+        assert_eq!(knapsack_shape_for_vertices(10, 999), 1);
+    }
+}

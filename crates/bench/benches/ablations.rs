@@ -1,0 +1,95 @@
+//! Ablation benches over the §VI-E refinements: cache capacity,
+//! scheduling strategy, and distribution choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpx10_bench::{run_sim_with, AppKind};
+use dpx10_core::{DistKind, ScheduleStrategy};
+
+const VERTICES: u64 = 50_000;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-cache");
+    group.sample_size(10);
+    for cap in [0usize, 16, 4096] {
+        group.bench_with_input(BenchmarkId::new("swlag-cycliccol", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                run_sim_with(AppKind::Swlag, VERTICES, 4, |c| {
+                    c.with_dist(DistKind::CyclicCol).with_cache(cap)
+                })
+                .sim_time
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-schedule");
+    group.sample_size(10);
+    for strat in ScheduleStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("mtp", strat.name()),
+            &strat,
+            |b, &strat| {
+                b.iter(|| run_sim_with(AppKind::Mtp, VERTICES, 4, |c| c.with_schedule(strat)).sim_time)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-distribution");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("block-row", DistKind::BlockRow),
+        ("block-col", DistKind::BlockCol),
+        ("cyclic-col", DistKind::CyclicCol),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("knapsack", name),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    run_sim_with(AppKind::Knapsack, VERTICES, 4, |c| c.with_dist(kind.clone()))
+                        .sim_time
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_schedule,
+    bench_distribution,
+    extension_benches::bench_ready_policy
+);
+criterion_main!(benches);
+
+mod extension_benches {
+    use super::*;
+    use dpx10_sim::ReadyPolicy;
+
+    pub fn bench_ready_policy(c: &mut Criterion) {
+        let mut group = c.benchmark_group("ablation-ready-policy");
+        group.sample_size(10);
+        for policy in ReadyPolicy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new("swlag", policy.name()),
+                &policy,
+                |b, &policy| {
+                    b.iter(|| {
+                        run_sim_with(AppKind::Swlag, VERTICES, 4, |c| {
+                            c.with_ready_policy(policy)
+                        })
+                        .sim_time
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}

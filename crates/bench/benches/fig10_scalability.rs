@@ -1,0 +1,33 @@
+//! Criterion bench behind Fig. 10: simulated-cluster runs of all four
+//! applications at 2 and 12 nodes. The measured quantity is harness
+//! wall time; the figure itself (virtual makespans) is produced by
+//! `cargo run -p dpx10-bench --bin figures -- fig10`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpx10_bench::{run_sim, AppKind};
+
+const VERTICES: u64 = 100_000;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for app in AppKind::ALL {
+        for nodes in [2u16, 12] {
+            group.bench_with_input(
+                BenchmarkId::new(app.name(), format!("{nodes}nodes")),
+                &(app, nodes),
+                |b, &(app, nodes)| {
+                    b.iter(|| {
+                        let report = run_sim(app, VERTICES, nodes);
+                        assert_eq!(report.vertices_computed, report.vertices_total);
+                        report.sim_time
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

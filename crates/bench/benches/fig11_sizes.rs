@@ -1,0 +1,28 @@
+//! Criterion bench behind Fig. 11: graph-size scaling on a fixed
+//! 10-node simulated cluster. Near-linear growth of harness time with
+//! vertex count mirrors the figure's linear virtual-time growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpx10_bench::{run_sim, AppKind};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    for vertices in [50_000u64, 100_000, 200_000] {
+        group.throughput(Throughput::Elements(vertices));
+        group.bench_with_input(
+            BenchmarkId::new("swlag-10nodes", vertices),
+            &vertices,
+            |b, &v| b.iter(|| run_sim(AppKind::Swlag, v, 10).sim_time),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("knapsack-10nodes", vertices),
+            &vertices,
+            |b, &v| b.iter(|| run_sim(AppKind::Knapsack, v, 10).sim_time),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

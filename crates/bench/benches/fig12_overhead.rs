@@ -1,0 +1,51 @@
+//! Criterion bench behind Fig. 12: framework overhead.
+//!
+//! This is the one figure that is *directly* measurable as wall time on
+//! this host: the threaded DPX10 engine vs the hand-written pipeline on
+//! identical SWLAG inputs. The simulated pairing (identical comm, cost
+//! models differing only in per-vertex bookkeeping) is also benched.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpx10_apps::{workload, SwlagApp};
+use dpx10_baseline::NativeSwlag;
+use dpx10_bench::sim_overhead_pair;
+use dpx10_core::{EngineConfig, ThreadedEngine};
+
+fn bench_threaded_vs_native(c: &mut Criterion) {
+    let side = 200usize;
+    let a = workload::dna(side, 1);
+    let b = workload::dna(side, 2);
+
+    let mut group = c.benchmark_group("fig12-wall");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("dpx10-threaded", side), |bench| {
+        bench.iter(|| {
+            let app = SwlagApp::new(a.clone(), b.clone());
+            let pattern = app.pattern();
+            ThreadedEngine::new(app, pattern, EngineConfig::flat(2).with_cache(0))
+                .run()
+                .unwrap()
+                .get(side as u32, side as u32)
+        })
+    });
+    group.bench_function(BenchmarkId::new("native-pipeline", side), |bench| {
+        bench.iter(|| NativeSwlag::new(a.clone(), b.clone(), 2).best_score())
+    });
+    group.finish();
+}
+
+fn bench_sim_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12-sim");
+    group.sample_size(10);
+    group.bench_function("overhead-pair-100k-4nodes", |b| {
+        b.iter(|| {
+            let (fw, native) = sim_overhead_pair(100_000, 4);
+            assert!(fw >= native);
+            (fw, native)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threaded_vs_native, bench_sim_pair);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion bench behind Fig. 13: the cost of surviving one mid-run
+//! failure — the full faulted run on the simulator, the recovery pass
+//! itself on both engines, and the snapshot baseline for contrast.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpx10_apgas::{NetworkModel, PlaceId, Topology};
+use dpx10_bench::{run_recovery, threaded_recovery};
+use dpx10_core::RestoreManner;
+use dpx10_distarray::{
+    recover, Dist, DistArray, DistKind, RecoveryCostModel, Region2D, ResilientDistArray,
+};
+
+fn bench_faulted_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13-faulted-run");
+    group.sample_size(10);
+    for nodes in [4u16, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sim-swlag-fault", format!("{nodes}nodes")),
+            &nodes,
+            |b, &n| {
+                b.iter(|| run_recovery(100_000, n, RestoreManner::RecomputeRemote))
+            },
+        );
+    }
+    group.bench_function("threaded-mtp-fault-3places", |b| {
+        b.iter(|| {
+            let report = threaded_recovery(40, 3);
+            assert_eq!(report.recoveries.len(), 1);
+            report.epochs
+        })
+    });
+    group.finish();
+}
+
+/// The bare recovery pass over a half-finished 256×256 array: the paper's
+/// method vs X10's snapshot restore.
+fn bench_recovery_pass(c: &mut Criterion) {
+    let places: Vec<PlaceId> = (0..8).map(PlaceId).collect();
+    let dist = Arc::new(Dist::new(
+        Region2D::new(256, 256),
+        DistKind::BlockRow,
+        places,
+    ));
+    let topo = Topology::flat(8);
+    let net = NetworkModel::tianhe_like();
+
+    let mut half_done: DistArray<i64> = DistArray::new(dist.clone());
+    for i in 0..128u32 {
+        for j in 0..256u32 {
+            half_done.set(i, j, (i * j) as i64);
+        }
+    }
+
+    let mut group = c.benchmark_group("fig13-recovery-pass");
+    group.sample_size(20);
+    for manner in [RestoreManner::RecomputeRemote, RestoreManner::CopyRemote] {
+        group.bench_with_input(
+            BenchmarkId::new("paper-method", format!("{manner:?}")),
+            &manner,
+            |b, &m| {
+                b.iter(|| {
+                    let (fresh, report) = recover(
+                        &half_done,
+                        &[PlaceId(7)],
+                        m,
+                        &topo,
+                        &net,
+                        &RecoveryCostModel::default(),
+                    );
+                    (fresh.finished_count(), report.sim_time)
+                })
+            },
+        );
+    }
+    group.bench_function("x10-snapshot-restore", |b| {
+        b.iter(|| {
+            let mut ra: ResilientDistArray<i64> = ResilientDistArray::new(dist.clone());
+            for i in 0..128u32 {
+                for j in 0..256u32 {
+                    ra.array_mut().set(i, j, (i * j) as i64);
+                }
+            }
+            ra.snapshot(&topo, &net);
+            ra.restore(&[PlaceId(7)], &topo, &net).values
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_faulted_runs, bench_recovery_pass);
+criterion_main!(benches);

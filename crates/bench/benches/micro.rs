@@ -1,0 +1,151 @@
+//! Micro-benchmarks of the hot substrate pieces: per-vertex engine
+//! throughput, the FIFO cache, the wire codec, distribution arithmetic
+//! and pattern queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpx10_core::{DepView, DpApp, EngineConfig, FifoCache, ThreadedEngine};
+use dpx10_dag::{builtin::Grid3, DagPattern, VertexId};
+use dpx10_sim::{SimConfig, SimEngine};
+
+#[derive(Clone)]
+struct SumApp;
+
+impl DpApp for SumApp {
+    type Value = u64;
+    fn compute(&self, id: VertexId, deps: &DepView<'_, u64>) -> u64 {
+        deps.values().iter().sum::<u64>() ^ id.pack()
+    }
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine-throughput");
+    group.sample_size(10);
+    let n = 150u32;
+    group.throughput(Throughput::Elements(n as u64 * n as u64));
+    group.bench_function(BenchmarkId::new("threaded", "1place"), |b| {
+        b.iter(|| {
+            ThreadedEngine::new(SumApp, Grid3::new(n, n), EngineConfig::flat(1))
+                .run()
+                .unwrap()
+                .get(n - 1, n - 1)
+        })
+    });
+    group.bench_function(BenchmarkId::new("simulated", "4places"), |b| {
+        b.iter(|| {
+            SimEngine::new(SumApp, Grid3::new(n, n), SimConfig::flat(4))
+                .run()
+                .unwrap()
+                .get(n - 1, n - 1)
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo-cache");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert-evict", |b| {
+        let mut cache: FifoCache<u64> = FifoCache::new(1024);
+        let mut k = 0u64;
+        b.iter(|| {
+            cache.insert(k, k);
+            k += 1;
+        })
+    });
+    group.bench_function("hit", |b| {
+        let mut cache: FifoCache<u64> = FifoCache::new(1024);
+        for k in 0..1024u64 {
+            cache.insert(k, k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            let v = cache.get(k % 1024);
+            k += 1;
+            v.copied()
+        })
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    use dpx10_apgas::Codec;
+    let mut group = c.benchmark_group("codec");
+    let value: Vec<u64> = (0..64).collect();
+    group.throughput(Throughput::Bytes(value.wire_size() as u64));
+    group.bench_function("encode-vec64", |b| {
+        let mut buf = Vec::with_capacity(value.wire_size());
+        b.iter(|| {
+            buf.clear();
+            value.encode(&mut buf);
+            buf.len()
+        })
+    });
+    let encoded = {
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        buf
+    };
+    group.bench_function("decode-vec64", |b| {
+        b.iter(|| {
+            let mut src = encoded.as_slice();
+            Vec::<u64>::decode(&mut src).unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dist(c: &mut Criterion) {
+    use dpx10_apgas::PlaceId;
+    use dpx10_distarray::{Dist, DistKind, Region2D};
+    let dist = Dist::new(
+        Region2D::new(4096, 4096),
+        DistKind::BlockCol,
+        (0..24).map(PlaceId).collect(),
+    );
+    let mut group = c.benchmark_group("dist");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("slot-of", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            let s = dist.slot_of(k % 4096, (k * 7) % 4096);
+            k += 1;
+            s
+        })
+    });
+    group.bench_function("local-index", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            let li = dist.local_index(k % 4096, (k * 7) % 4096);
+            k += 1;
+            li
+        })
+    });
+    group.finish();
+}
+
+fn bench_pattern_queries(c: &mut Criterion) {
+    let pattern = Grid3::new(4096, 4096);
+    let mut group = c.benchmark_group("pattern");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("grid3-dependencies", |b| {
+        let mut out = Vec::with_capacity(4);
+        let mut k = 1u32;
+        b.iter(|| {
+            out.clear();
+            pattern.dependencies(k % 4095 + 1, (k * 13) % 4095 + 1, &mut out);
+            k += 1;
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_throughput,
+    bench_cache,
+    bench_codec,
+    bench_dist,
+    bench_pattern_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,361 @@
+//! A dependency-free SVG line-chart writer for the figure harness.
+//!
+//! The paper's figures are line/bar charts; `figures --svg DIR` renders
+//! our regenerated data in the same visual form so the shapes can be
+//! compared at a glance. Everything is hand-rolled (axes, tick labels,
+//! legend), keeping the workspace inside the approved dependency set.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One line series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` samples in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A simple line chart.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+/// Categorical palette (colour-blind friendly).
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        self.series.push(Series {
+            name: name.into(),
+            points,
+        });
+        self
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the chart has no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders the SVG document.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let (x0, x1) = bounds(all.iter().map(|p| p.0));
+        let (y0, y1) = bounds(all.iter().map(|p| p.1));
+        // Anchor the y axis at zero for magnitude charts.
+        let y0 = y0.min(0.0);
+
+        let plot_w = W - MARGIN_L - MARGIN_R;
+        let plot_h = H - MARGIN_T - MARGIN_B;
+        let sx = move |x: f64| MARGIN_L + (x - x0) / (x1 - x0).max(f64::MIN_POSITIVE) * plot_w;
+        let sy = move |y: f64| {
+            MARGIN_T + plot_h - (y - y0) / (y1 - y0).max(f64::MIN_POSITIVE) * plot_h
+        };
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+            W / 2.0,
+            xml(&self.title)
+        );
+
+        // Axes.
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h,
+            W - MARGIN_R,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h
+        );
+
+        // Ticks + gridlines.
+        for t in ticks(x0, x1, 6) {
+            let x = sx(t);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{MARGIN_T}" x2="{x:.1}" y2="{}" stroke="#ddd"/>"##,
+                MARGIN_T + plot_h
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{x:.1}" y="{}" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h + 18.0,
+                fmt_tick(t)
+            );
+        }
+        for t in ticks(y0, y1, 6) {
+            let y = sy(t);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#ddd"/>"##,
+                W - MARGIN_R
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{:.1}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 6.0,
+                y + 4.0,
+                fmt_tick(t)
+            );
+        }
+
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            H - 12.0,
+            xml(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml(&self.y_label)
+        );
+
+        // Series + legend.
+        for (k, s) in self.series.iter().enumerate() {
+            let colour = PALETTE[k % PALETTE.len()];
+            let pts: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{colour}" stroke-width="2"/>"#,
+                pts.join(" ")
+            );
+            for &(x, y) in &s.points {
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{colour}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            let ly = MARGIN_T + 8.0 + k as f64 * 16.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{}" y1="{ly:.1}" x2="{}" y2="{ly:.1}" stroke="{colour}" stroke-width="2"/>"#,
+                W - MARGIN_R - 120.0,
+                W - MARGIN_R - 96.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{:.1}">{}</text>"#,
+                W - MARGIN_R - 90.0,
+                ly + 4.0,
+                xml(&s.name)
+            );
+        }
+
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Writes `<slug>.svg` under `dir`.
+    pub fn write_svg(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect::<String>()
+            .split('-')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("-");
+        let path = dir.join(format!("{slug}.svg"));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+/// Finite min/max with a degenerate-range guard.
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if lo == hi {
+        return (lo - 0.5, hi + 0.5);
+    }
+    (lo, hi)
+}
+
+/// Round tick positions covering `[lo, hi]` with about `n` steps.
+fn ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let raw = span / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| span / s <= n as f64)
+        .unwrap_or(mag * 10.0);
+    let mut t = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    while t <= hi + step * 1e-9 {
+        out.push(t);
+        t += step;
+    }
+    out
+}
+
+/// Compact tick formatting (k/M suffixes).
+fn fmt_tick(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{}M", trim(v / 1e6))
+    } else if a >= 1e3 {
+        format!("{}k", trim(v / 1e3))
+    } else {
+        trim(v)
+    }
+}
+
+fn trim(v: f64) -> String {
+    let s = format!("{v:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Escapes XML text content.
+fn xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Chart {
+        Chart::new("Fig X: demo", "nodes", "seconds")
+            .series("SWLAG", vec![(2.0, 5.0), (4.0, 2.6), (12.0, 1.1)])
+            .series("0/1KP", vec![(2.0, 10.0), (4.0, 8.0), (12.0, 3.3)])
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = sample().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("SWLAG"));
+        assert!(svg.contains("0/1KP"));
+        assert!(svg.contains("nodes"));
+        // Every opened text tag is closed.
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = Chart::new("a < b & c", "x", "y")
+            .series("s", vec![(0.0, 0.0), (1.0, 1.0)])
+            .render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn ticks_are_round_and_cover_range() {
+        let t = ticks(0.0, 10.0, 6);
+        assert_eq!(t, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let t = ticks(0.0, 0.0123, 6);
+        assert!(t.len() >= 3 && t.len() <= 8, "{t:?}");
+        let t = ticks(37.0, 41.0, 6);
+        assert!(t.iter().all(|v| (37.0..=41.0).contains(v)));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(1500.0), "1.5k");
+        assert_eq!(fmt_tick(2_000_000.0), "2M");
+        assert_eq!(fmt_tick(0.25), "0.25");
+        assert_eq!(fmt_tick(0.0), "0");
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let svg = Chart::new("empty", "x", "y").render();
+        assert!(svg.contains("</svg>"));
+        let svg = Chart::new("flat", "x", "y")
+            .series("s", vec![(1.0, 3.0), (2.0, 3.0)])
+            .render();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn write_svg_slugifies() {
+        let dir = std::env::temp_dir().join(format!("dpx10-chart-{}", std::process::id()));
+        let path = sample().write_svg(&dir).unwrap();
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("fig-x"));
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared machinery for the evaluation harness: one runner per
+//! application on the simulated cluster, plus small table/CSV helpers.
+//!
+//! Every figure of the paper's §VIII is regenerated from these runners
+//! by the `figures` binary; the Criterion benches reuse them at smaller
+//! scales. Workload generation is excluded from all timings, as in the
+//! paper ("the time for initializing the cluster, generating test
+//! graphs, and verifying results was not included").
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod runners;
+pub mod table;
+
+pub use chart::{Chart, Series};
+pub use runners::*;
+pub use table::Table;

@@ -1,0 +1,122 @@
+//! Minimal aligned-table / CSV output for the figure harness.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A small column-aligned table that can also be dumped as CSV.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/<slug>.csv` (title slugified).
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect::<String>()
+            .split('-')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("-");
+        let path = dir.join(format!("{slug}.csv"));
+        let mut body = self.header.join(",");
+        body.push('\n');
+        for row in &self.rows {
+            body.push_str(&row.join(","));
+            body.push('\n');
+        }
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Fig X", &["nodes", "time"]);
+        t.row(&["2".into(), "10.5".into()]);
+        t.row(&["12".into(), "3.25".into()]);
+        let s = t.render();
+        assert!(s.contains("== Fig X =="));
+        assert!(s.contains("nodes"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let mut t = Table::new("Fig 10 (a) SWLAG", &["nodes", "seconds"]);
+        t.row(&["2".into(), "1.5".into()]);
+        let dir = std::env::temp_dir().join(format!("dpx10-table-{}", std::process::id()));
+        let path = t.write_csv(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "nodes,seconds\n2,1.5\n");
+        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("fig-10"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+}

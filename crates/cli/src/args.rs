@@ -1,0 +1,425 @@
+//! Hand-rolled argument parsing for the `dpx10` CLI (the workspace's
+//! dependency policy keeps third-party crates to the approved offline
+//! set, so no clap).
+
+use std::fmt;
+
+use dpx10_apgas::PlaceId;
+use dpx10_core::{DistKind, RestoreManner, ScheduleStrategy};
+
+/// Which application to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppChoice {
+    /// Smith-Waterman, linear + affine gap.
+    Swlag,
+    /// Smith-Waterman, linear gap (the paper's Fig. 7 demo).
+    SwLinear,
+    /// Manhattan Tourists Problem.
+    Mtp,
+    /// Longest Palindromic Subsequence.
+    Lps,
+    /// 0/1 Knapsack.
+    Knapsack,
+    /// Longest Common Subsequence.
+    Lcs,
+    /// Levenshtein edit distance.
+    EditDistance,
+    /// Needleman-Wunsch global alignment.
+    NeedlemanWunsch,
+    /// Nussinov RNA folding (2D/1D).
+    Nussinov,
+}
+
+impl AppChoice {
+    /// All runnable apps with their CLI names.
+    pub const ALL: [(&'static str, AppChoice); 9] = [
+        ("swlag", AppChoice::Swlag),
+        ("sw-linear", AppChoice::SwLinear),
+        ("mtp", AppChoice::Mtp),
+        ("lps", AppChoice::Lps),
+        ("knapsack", AppChoice::Knapsack),
+        ("lcs", AppChoice::Lcs),
+        ("edit-distance", AppChoice::EditDistance),
+        ("needleman-wunsch", AppChoice::NeedlemanWunsch),
+        ("nussinov", AppChoice::Nussinov),
+    ];
+
+    fn parse(s: &str) -> Option<AppChoice> {
+        Self::ALL
+            .iter()
+            .find(|(name, _)| *name == s)
+            .map(|&(_, app)| app)
+    }
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        Self::ALL
+            .iter()
+            .find(|&&(_, app)| app == self)
+            .map(|&(name, _)| name)
+            .expect("every app is in ALL")
+    }
+}
+
+/// Which engine executes the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The deterministic cluster simulator (default).
+    Sim,
+    /// The real threaded engine.
+    Threaded,
+}
+
+/// A parsed `dpx10 run` invocation.
+#[derive(Clone, Debug)]
+pub struct RunArgs {
+    /// The application.
+    pub app: AppChoice,
+    /// The engine.
+    pub engine: EngineChoice,
+    /// Problem scale as a vertex count.
+    pub vertices: u64,
+    /// Simulated nodes (sim engine).
+    pub nodes: u16,
+    /// Places (threaded engine).
+    pub places: u16,
+    /// Distribution override.
+    pub dist: Option<DistKind>,
+    /// Scheduling strategy.
+    pub schedule: ScheduleStrategy,
+    /// Cache capacity.
+    pub cache: usize,
+    /// Optional fault: place and progress fraction.
+    pub fault: Option<(PlaceId, f64)>,
+    /// Restore manner.
+    pub restore: RestoreManner,
+    /// Workload seed.
+    pub seed: u64,
+    /// Print an activity timeline (sim engine).
+    pub timeline: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            app: AppChoice::Swlag,
+            engine: EngineChoice::Sim,
+            vertices: 250_000,
+            nodes: 4,
+            places: 4,
+            dist: None,
+            schedule: ScheduleStrategy::Local,
+            cache: 4096,
+            fault: None,
+            restore: RestoreManner::RecomputeRemote,
+            seed: 1,
+            timeline: false,
+        }
+    }
+}
+
+/// The parsed command.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// `dpx10 run <app> [...]`.
+    Run(Box<RunArgs>),
+    /// `dpx10 apps`.
+    Apps,
+    /// `dpx10 patterns [--size HxW]`.
+    Patterns {
+        /// Analysis size.
+        height: u32,
+        /// Analysis size.
+        width: u32,
+    },
+    /// `dpx10 help` (or no args).
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Parses a full argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("apps") => Ok(Command::Apps),
+        Some("patterns") => {
+            let mut height = 16;
+            let mut width = 16;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--size" => {
+                        let v = it.next().ok_or(ParseError("--size needs HxW".into()))?;
+                        let (h, w) = v
+                            .split_once('x')
+                            .ok_or(ParseError(format!("bad --size {v}, expected HxW")))?;
+                        height = h
+                            .parse()
+                            .map_err(|_| ParseError(format!("bad height {h}")))?;
+                        width = w
+                            .parse()
+                            .map_err(|_| ParseError(format!("bad width {w}")))?;
+                    }
+                    other => return err(format!("unknown patterns flag {other}")),
+                }
+            }
+            Ok(Command::Patterns { height, width })
+        }
+        Some("run") => {
+            let app_name = it.next().ok_or(ParseError("run needs an app name".into()))?;
+            let app = AppChoice::parse(app_name)
+                .ok_or(ParseError(format!("unknown app {app_name}; try `dpx10 apps`")))?;
+            let mut run = RunArgs {
+                app,
+                ..RunArgs::default()
+            };
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .map(str::to_string)
+                        .ok_or(ParseError(format!("{name} needs a value")))
+                };
+                match flag {
+                    "--engine" => {
+                        run.engine = match value("--engine")?.as_str() {
+                            "sim" => EngineChoice::Sim,
+                            "threaded" => EngineChoice::Threaded,
+                            other => return err(format!("unknown engine {other}")),
+                        }
+                    }
+                    "--vertices" => {
+                        run.vertices = value("--vertices")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --vertices".into()))?
+                    }
+                    "--nodes" => {
+                        run.nodes = value("--nodes")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --nodes".into()))?
+                    }
+                    "--places" => {
+                        run.places = value("--places")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --places".into()))?
+                    }
+                    "--dist" => {
+                        run.dist = Some(match value("--dist")?.as_str() {
+                            "block-row" => DistKind::BlockRow,
+                            "block-col" => DistKind::BlockCol,
+                            "cyclic-row" => DistKind::CyclicRow,
+                            "cyclic-col" => DistKind::CyclicCol,
+                            other => return err(format!("unknown distribution {other}")),
+                        })
+                    }
+                    "--schedule" => {
+                        run.schedule = match value("--schedule")?.as_str() {
+                            "local" => ScheduleStrategy::Local,
+                            "random" => ScheduleStrategy::Random,
+                            "min-comm" => ScheduleStrategy::MinComm,
+                            "work-stealing" => ScheduleStrategy::WorkStealing,
+                            other => return err(format!("unknown schedule {other}")),
+                        }
+                    }
+                    "--cache" => {
+                        run.cache = value("--cache")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --cache".into()))?
+                    }
+                    "--fault" => {
+                        let v = value("--fault")?;
+                        let (place, fraction) = match v.split_once(':') {
+                            Some((p, f)) => (
+                                p.parse()
+                                    .map_err(|_| ParseError(format!("bad fault place {p}")))?,
+                                f.parse()
+                                    .map_err(|_| ParseError(format!("bad fault fraction {f}")))?,
+                            ),
+                            None => (
+                                v.parse()
+                                    .map_err(|_| ParseError(format!("bad fault place {v}")))?,
+                                0.5,
+                            ),
+                        };
+                        if !(0.0..=1.0).contains(&fraction) {
+                            return err("fault fraction must be in [0, 1]");
+                        }
+                        run.fault = Some((PlaceId(place), fraction));
+                    }
+                    "--restore" => {
+                        run.restore = match value("--restore")?.as_str() {
+                            "recompute" => RestoreManner::RecomputeRemote,
+                            "copy" => RestoreManner::CopyRemote,
+                            other => return err(format!("unknown restore manner {other}")),
+                        }
+                    }
+                    "--seed" => {
+                        run.seed = value("--seed")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --seed".into()))?
+                    }
+                    "--timeline" => run.timeline = true,
+                    other => return err(format!("unknown run flag {other}")),
+                }
+            }
+            Ok(Command::Run(Box::new(run)))
+        }
+        Some(other) => err(format!("unknown command {other}; try `dpx10 help`")),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    let apps: Vec<&str> = AppChoice::ALL.iter().map(|&(n, _)| n).collect();
+    format!(
+        "dpx10 — distributed dynamic programming (DPX10 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \x20 dpx10 run <app> [flags]      run an application\n\
+         \x20 dpx10 apps                   list applications\n\
+         \x20 dpx10 patterns [--size HxW]  analyse the built-in DAG patterns\n\
+         \x20 dpx10 help                   this text\n\
+         \n\
+         APPS: {}\n\
+         \n\
+         RUN FLAGS:\n\
+         \x20 --engine sim|threaded   executor (default sim)\n\
+         \x20 --vertices N            problem scale (default 250000)\n\
+         \x20 --nodes N               simulated nodes, 2 places x 6 workers each (default 4)\n\
+         \x20 --places N              threaded places, 1 worker each (default 4)\n\
+         \x20 --dist KIND             block-row|block-col|cyclic-row|cyclic-col\n\
+         \x20 --schedule S            local|random|min-comm|work-stealing (default local)\n\
+         \x20 --cache N               remote-value cache entries (default 4096)\n\
+         \x20 --fault P[:F]           kill place P at progress fraction F (default 0.5)\n\
+         \x20 --restore M             recompute|copy (default recompute)\n\
+         \x20 --seed N                workload seed (default 1)\n\
+         \x20 --timeline              print an activity timeline (sim engine)\n",
+        apps.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Command {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn parse_err(args: &[&str]) -> ParseError {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert!(matches!(parse_ok(&[]), Command::Help));
+        assert!(matches!(parse_ok(&["--help"]), Command::Help));
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(run) = parse_ok(&["run", "swlag"]) else {
+            panic!()
+        };
+        assert_eq!(run.app, AppChoice::Swlag);
+        assert_eq!(run.engine, EngineChoice::Sim);
+        assert_eq!(run.vertices, 250_000);
+        assert!(run.fault.is_none());
+    }
+
+    #[test]
+    fn run_full_flags() {
+        let Command::Run(run) = parse_ok(&[
+            "run",
+            "knapsack",
+            "--engine",
+            "threaded",
+            "--vertices",
+            "5000",
+            "--places",
+            "3",
+            "--dist",
+            "block-row",
+            "--schedule",
+            "min-comm",
+            "--cache",
+            "16",
+            "--fault",
+            "2:0.3",
+            "--restore",
+            "copy",
+            "--seed",
+            "9",
+            "--timeline",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(run.app, AppChoice::Knapsack);
+        assert_eq!(run.engine, EngineChoice::Threaded);
+        assert_eq!(run.vertices, 5000);
+        assert_eq!(run.places, 3);
+        assert!(matches!(run.dist, Some(DistKind::BlockRow)));
+        assert_eq!(run.schedule, ScheduleStrategy::MinComm);
+        assert_eq!(run.cache, 16);
+        assert_eq!(run.fault, Some((PlaceId(2), 0.3)));
+        assert_eq!(run.restore, RestoreManner::CopyRemote);
+        assert_eq!(run.seed, 9);
+        assert!(run.timeline);
+    }
+
+    #[test]
+    fn fault_without_fraction_defaults_to_half() {
+        let Command::Run(run) = parse_ok(&["run", "mtp", "--fault", "1"]) else {
+            panic!()
+        };
+        assert_eq!(run.fault, Some((PlaceId(1), 0.5)));
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(parse_err(&["run"]).0.contains("app name"));
+        assert!(parse_err(&["run", "nope"]).0.contains("unknown app"));
+        assert!(parse_err(&["run", "lps", "--engine", "gpu"]).0.contains("unknown engine"));
+        assert!(parse_err(&["run", "lps", "--fault", "1:2.0"]).0.contains("[0, 1]"));
+        assert!(parse_err(&["frobnicate"]).0.contains("unknown command"));
+        assert!(parse_err(&["patterns", "--size", "8"]).0.contains("HxW"));
+    }
+
+    #[test]
+    fn patterns_size_parses() {
+        let Command::Patterns { height, width } = parse_ok(&["patterns", "--size", "12x7"]) else {
+            panic!()
+        };
+        assert_eq!((height, width), (12, 7));
+    }
+
+    #[test]
+    fn every_app_name_round_trips() {
+        for (name, app) in AppChoice::ALL {
+            assert_eq!(AppChoice::parse(name), Some(app));
+            assert_eq!(app.name(), name);
+        }
+    }
+
+    #[test]
+    fn usage_mentions_every_app() {
+        let text = usage();
+        for (name, _) in AppChoice::ALL {
+            assert!(text.contains(name), "usage misses {name}");
+        }
+    }
+}

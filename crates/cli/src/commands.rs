@@ -1,0 +1,364 @@
+//! Command implementations.
+
+use std::time::Duration;
+
+use dpx10_apgas::Topology;
+use dpx10_apps::{
+    workload, EditDistanceApp, KnapsackApp, LcsApp, LpsApp, MtpApp, NeedlemanWunschApp,
+    NussinovApp, SwLinearApp, SwlagApp,
+};
+use dpx10_core::{
+    DagResult, DpApp, EngineConfig, FaultPlan, RunReport, ThreadedEngine, VertexValue,
+};
+use dpx10_dag::{critical_path_len, wavefront_profile, BuiltinKind, DagPattern};
+use dpx10_sim::{CostModel, SimConfig, SimEngine, SimFaultPlan, TraceBuffer};
+
+use crate::args::{AppChoice, EngineChoice, RunArgs};
+
+/// A run's outcome in CLI form.
+pub struct RunSummary {
+    /// The app's headline answer (best score, optimum, …).
+    pub answer: String,
+    /// The run report.
+    pub report: RunReport,
+    /// Timeline, when requested and available.
+    pub timeline: Option<String>,
+    /// Workers per place, for utilisation.
+    pub workers_per_place: u16,
+}
+
+impl RunSummary {
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let r = &self.report;
+        let mut out = String::new();
+        out.push_str(&format!("answer: {}\n", self.answer));
+        out.push_str(&format!(
+            "vertices: {} total, {} computed ({} epochs)\n",
+            r.vertices_total, r.vertices_computed, r.epochs
+        ));
+        if r.sim_time > Duration::ZERO {
+            out.push_str(&format!("simulated makespan: {:?}\n", r.sim_time));
+            if let Some(u) = r.utilization(self.workers_per_place) {
+                out.push_str(&format!("worker utilisation: {:.1}%\n", u * 100.0));
+            }
+        }
+        out.push_str(&format!("wall time: {:?}\n", r.wall_time));
+        out.push_str(&format!(
+            "communication: {} messages, {} bytes",
+            r.comm.messages_sent, r.comm.bytes_sent
+        ));
+        if let Some(rate) = r.comm.cache_hit_rate() {
+            out.push_str(&format!(", cache hit rate {:.1}%", rate * 100.0));
+        }
+        out.push('\n');
+        for (k, rec) in r.recoveries.iter().enumerate() {
+            out.push_str(&format!(
+                "recovery #{k}: kept {}, dropped {}, lost {}, migrated {} ({:?})\n",
+                rec.kept, rec.dropped, rec.lost, rec.migrated, rec.sim_time
+            ));
+        }
+        if let Some(t) = &self.timeline {
+            out.push('\n');
+            out.push_str(t);
+        }
+        out
+    }
+}
+
+/// Dispatches a `run` command.
+pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
+    match args.app {
+        AppChoice::Swlag => {
+            let n = workload::side_for_vertices(args.vertices) as usize;
+            let app = SwlagApp::new(workload::dna(n, args.seed), workload::dna(n, args.seed + 1));
+            let pattern = app.pattern();
+            let last = n as u32;
+            execute(args, app, pattern, 90, move |r| {
+                format!("H({last}, {last}) = {:?}", r.get(last, last).h)
+            })
+        }
+        AppChoice::SwLinear => {
+            let n = workload::side_for_vertices(args.vertices) as usize;
+            let app =
+                SwLinearApp::new(workload::dna(n, args.seed), workload::dna(n, args.seed + 1));
+            let pattern = app.pattern();
+            let last = n as u32;
+            execute(args, app, pattern, 60, move |r| {
+                format!("H({last}, {last}) = {}", r.get(last, last))
+            })
+        }
+        AppChoice::Mtp => {
+            let n = workload::side_for_vertices(args.vertices) + 1;
+            let app = MtpApp::new(n, n, args.seed);
+            let pattern = app.pattern();
+            execute(args, app, pattern, 60, move |r| {
+                format!("longest path = {}", r.get(n - 1, n - 1))
+            })
+        }
+        AppChoice::Lps => {
+            let n = ((args.vertices as f64 * 2.0).sqrt() as usize).max(2);
+            let app = LpsApp::new(workload::letters(n, args.seed));
+            let pattern = app.pattern();
+            let last = n as u32 - 1;
+            execute(args, app, pattern, 60, move |r| {
+                format!("longest palindromic subsequence = {}", r.get(0, last))
+            })
+        }
+        AppChoice::Knapsack => {
+            let capacity = 999;
+            let items = workload::knapsack_items(
+                workload::knapsack_shape_for_vertices(args.vertices, capacity),
+                64,
+                args.seed,
+            );
+            let rows = items.len() as u32;
+            let app = KnapsackApp::new(items, capacity);
+            let pattern = app.pattern();
+            execute(args, app, pattern, 60, move |r| {
+                format!("optimum value = {}", r.get(rows, capacity))
+            })
+        }
+        AppChoice::Lcs => {
+            let n = workload::side_for_vertices(args.vertices) as usize;
+            let app = LcsApp::new(
+                workload::letters(n, args.seed),
+                workload::letters(n, args.seed + 1),
+            );
+            let pattern = app.pattern();
+            let last = n as u32;
+            execute(args, app, pattern, 60, move |r| {
+                format!("LCS length = {}", r.get(last, last))
+            })
+        }
+        AppChoice::EditDistance => {
+            let n = workload::side_for_vertices(args.vertices) as usize;
+            let app = EditDistanceApp::new(
+                workload::letters(n, args.seed),
+                workload::letters(n, args.seed + 1),
+            );
+            let pattern = app.pattern();
+            let last = n as u32;
+            execute(args, app, pattern, 60, move |r| {
+                format!("edit distance = {}", r.get(last, last))
+            })
+        }
+        AppChoice::NeedlemanWunsch => {
+            let n = workload::side_for_vertices(args.vertices) as usize;
+            let app = NeedlemanWunschApp::new(
+                workload::dna(n, args.seed),
+                workload::dna(n, args.seed + 1),
+            );
+            let pattern = app.pattern();
+            let last = n as u32;
+            execute(args, app, pattern, 60, move |r| {
+                format!("global alignment score = {}", r.get(last, last))
+            })
+        }
+        AppChoice::Nussinov => {
+            // 2D/1D: keep the default scale modest.
+            let n = ((args.vertices as f64 * 2.0).sqrt() as usize).clamp(2, 512);
+            let rna: Vec<u8> = workload::dna(n, args.seed)
+                .into_iter()
+                .map(|c| if c == b'T' { b'U' } else { c })
+                .collect();
+            let app = NussinovApp::new(rna);
+            let pattern = app.pattern();
+            let last = n as u32 - 1;
+            execute(args, app, pattern, 60, move |r| {
+                format!("max base pairs = {}", r.get(0, last))
+            })
+        }
+    }
+}
+
+/// Runs one app on the selected engine.
+fn execute<A, P, F>(
+    args: &RunArgs,
+    app: A,
+    pattern: P,
+    compute_ns: u64,
+    answer: F,
+) -> Result<RunSummary, String>
+where
+    A: DpApp + 'static,
+    P: DagPattern + 'static,
+    F: FnOnce(&DagResult<A::Value>) -> String,
+    A::Value: VertexValue,
+{
+    match args.engine {
+        EngineChoice::Sim => {
+            let mut config = SimConfig::paper(args.nodes)
+                .with_schedule(args.schedule)
+                .with_cache(args.cache)
+                .with_restore(args.restore)
+                .with_cost(CostModel::with_compute(compute_ns));
+            if let Some(kind) = &args.dist {
+                config = config.with_dist(kind.clone());
+            }
+            if let Some((place, fraction)) = args.fault {
+                config = config.with_fault(SimFaultPlan {
+                    place,
+                    after_fraction: fraction,
+                });
+            }
+            let workers = config.topology.threads_per_place;
+            let engine = SimEngine::new(app, pattern, config);
+            let (result, trace): (DagResult<A::Value>, Option<TraceBuffer>) = if args.timeline {
+                let (r, t) = engine.run_traced(2_000_000).map_err(|e| e.to_string())?;
+                (r, Some(t))
+            } else {
+                (engine.run().map_err(|e| e.to_string())?, None)
+            };
+            Ok(RunSummary {
+                answer: answer(&result),
+                report: result.report().clone(),
+                timeline: trace.map(|t| t.render_timeline(64)),
+                workers_per_place: workers,
+            })
+        }
+        EngineChoice::Threaded => {
+            let mut config = EngineConfig {
+                topology: Topology::flat(args.places),
+                ..EngineConfig::paper(1)
+            };
+            config.schedule = args.schedule;
+            config.cache_capacity = args.cache;
+            config.restore_manner = args.restore;
+            if let Some(kind) = &args.dist {
+                config.dist_kind = kind.clone();
+            }
+            if let Some((place, fraction)) = args.fault {
+                config.fault = Some(FaultPlan {
+                    place,
+                    after_fraction: fraction,
+                });
+            }
+            let result = ThreadedEngine::new(app, pattern, config)
+                .run()
+                .map_err(|e| e.to_string())?;
+            Ok(RunSummary {
+                answer: answer(&result),
+                report: result.report().clone(),
+                timeline: None,
+                workers_per_place: 1,
+            })
+        }
+    }
+}
+
+/// `dpx10 apps`: one line per application.
+pub fn list_apps() -> String {
+    let mut out = String::from("applications (paper SVIII + extensions):\n");
+    let note = |app: AppChoice| match app {
+        AppChoice::Swlag => "Smith-Waterman, linear+affine gap (paper headline app)",
+        AppChoice::SwLinear => "Smith-Waterman, linear gap (paper Fig. 7 demo)",
+        AppChoice::Mtp => "Manhattan Tourists Problem",
+        AppChoice::Lps => "Longest Palindromic Subsequence",
+        AppChoice::Knapsack => "0/1 Knapsack (custom data-dependent pattern)",
+        AppChoice::Lcs => "Longest Common Subsequence (paper Fig. 1 walk-through)",
+        AppChoice::EditDistance => "Levenshtein distance (extension)",
+        AppChoice::NeedlemanWunsch => "global alignment (extension)",
+        AppChoice::Nussinov => "RNA folding, 2D/1D interval-splits (extension)",
+    };
+    for (_, app) in AppChoice::ALL {
+        out.push_str(&format!("  {:<18} {}\n", app.name(), note(app)));
+    }
+    out
+}
+
+/// `dpx10 patterns`: analysis of the built-in library at a given size.
+pub fn list_patterns(height: u32, width: u32) -> String {
+    let mut out = format!(
+        "built-in DAG patterns at {height}x{width} (paper Fig. 5 a-h):\n{:<20} {:>9} {:>14} {:>17}\n",
+        "pattern", "vertices", "critical path", "peak parallelism"
+    );
+    for kind in BuiltinKind::ALL {
+        let p = kind.instantiate(height, width);
+        let profile = wavefront_profile(&p);
+        out.push_str(&format!(
+            "{:<20} {:>9} {:>14} {:>17}\n",
+            p.name(),
+            p.vertex_count(),
+            critical_path_len(&p),
+            profile.iter().copied().max().unwrap_or(0),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::RunArgs;
+
+    #[test]
+    fn every_app_runs_small_on_sim() {
+        for (_, app) in AppChoice::ALL {
+            let args = RunArgs {
+                app,
+                vertices: 2_000,
+                nodes: 2,
+                ..RunArgs::default()
+            };
+            let summary = run(&args).unwrap_or_else(|e| panic!("{app:?}: {e}"));
+            assert!(!summary.answer.is_empty());
+            assert!(summary.report.sim_time > Duration::ZERO, "{app:?}");
+        }
+    }
+
+    #[test]
+    fn threaded_engine_runs_too() {
+        let args = RunArgs {
+            app: AppChoice::Lcs,
+            engine: EngineChoice::Threaded,
+            vertices: 2_500,
+            places: 2,
+            ..RunArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert!(summary.answer.starts_with("LCS length"));
+        assert!(summary.render().contains("wall time"));
+    }
+
+    #[test]
+    fn fault_run_reports_recovery() {
+        let args = RunArgs {
+            app: AppChoice::Mtp,
+            vertices: 10_000,
+            nodes: 2,
+            fault: Some((dpx10_apgas::PlaceId(3), 0.5)),
+            ..RunArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        assert_eq!(summary.report.recoveries.len(), 1);
+        assert!(summary.render().contains("recovery #0"));
+    }
+
+    #[test]
+    fn timeline_requested_is_rendered() {
+        let args = RunArgs {
+            app: AppChoice::Swlag,
+            vertices: 5_000,
+            nodes: 2,
+            timeline: true,
+            ..RunArgs::default()
+        };
+        let summary = run(&args).unwrap();
+        let text = summary.render();
+        assert!(text.contains("activity timeline"));
+        assert!(text.contains("place   0 |"));
+    }
+
+    #[test]
+    fn listings_are_complete() {
+        let apps = list_apps();
+        for (name, _) in AppChoice::ALL {
+            assert!(apps.contains(name), "{name} missing from listing");
+        }
+        let pats = list_patterns(12, 12);
+        assert!(pats.contains("grid3"));
+        assert!(pats.contains("interval-upper"));
+        assert_eq!(pats.lines().count(), 2 + 8);
+    }
+}

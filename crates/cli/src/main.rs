@@ -1,0 +1,47 @@
+//! `dpx10` — the command-line runner of the DPX10 reproduction.
+//!
+//! ```text
+//! dpx10 run swlag --nodes 8 --vertices 1000000 --timeline
+//! dpx10 run knapsack --engine threaded --places 3 --fault 2:0.4
+//! dpx10 patterns --size 32x32
+//! ```
+
+mod args;
+mod commands;
+
+use args::Command;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args::parse(&raw) {
+        Ok(Command::Help) => {
+            print!("{}", args::usage());
+            0
+        }
+        Ok(Command::Apps) => {
+            print!("{}", commands::list_apps());
+            0
+        }
+        Ok(Command::Patterns { height, width }) => {
+            print!("{}", commands::list_patterns(height, width));
+            0
+        }
+        Ok(Command::Run(run_args)) => match commands::run(&run_args) {
+            Ok(summary) => {
+                print!("{}", summary.render());
+                0
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{}", args::usage());
+            2
+        }
+    };
+    std::process::exit(code);
+}

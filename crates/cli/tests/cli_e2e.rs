@@ -1,0 +1,76 @@
+//! End-to-end tests of the `dpx10` binary itself.
+
+use std::process::Command;
+
+fn dpx10(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dpx10"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_exits_zero() {
+    let (code, stdout, _) = dpx10(&["help"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("swlag"));
+}
+
+#[test]
+fn apps_and_patterns_list() {
+    let (code, stdout, _) = dpx10(&["apps"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("knapsack"));
+
+    let (code, stdout, _) = dpx10(&["patterns", "--size", "10x10"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("grid3"));
+    assert!(stdout.contains("critical path"));
+}
+
+#[test]
+fn run_small_sim_succeeds() {
+    let (code, stdout, stderr) = dpx10(&[
+        "run", "lcs", "--vertices", "2000", "--nodes", "2",
+    ]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("answer: LCS length"));
+    assert!(stdout.contains("simulated makespan"));
+}
+
+#[test]
+fn run_with_fault_reports_recovery() {
+    let (code, stdout, stderr) = dpx10(&[
+        "run", "mtp", "--vertices", "5000", "--nodes", "2", "--fault", "3",
+    ]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("recovery #0"), "{stdout}");
+    assert!(stdout.contains("2 epochs"), "{stdout}");
+}
+
+#[test]
+fn bad_flags_exit_nonzero_with_usage() {
+    let (code, _, stderr) = dpx10(&["run", "lcs", "--engine", "quantum"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown engine"));
+    assert!(stderr.contains("USAGE"));
+
+    let (code, _, stderr) = dpx10(&["frobnicate"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn timeline_flag_prints_timeline() {
+    let (code, stdout, _) = dpx10(&[
+        "run", "swlag", "--vertices", "4000", "--nodes", "2", "--timeline",
+    ]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("activity timeline"));
+}

@@ -1,0 +1,169 @@
+//! The user-facing application API — the reproduction of the paper's
+//! `DPX10App[T]` interface and `Vertex[T]` class (Fig. 2).
+
+use dpx10_apgas::Codec;
+use dpx10_dag::VertexId;
+use dpx10_distarray::DistArray;
+
+use crate::stats::RunReport;
+
+/// Bounds on the per-vertex value type (the paper's template argument
+/// `T`: "each vertex has an associated computing result of the specified
+/// type", §V).
+///
+/// `Codec` prices the value on the wire; `Default` provides the
+/// uncomputed placeholder the distributed array is initialised with.
+pub trait VertexValue: Clone + Default + Send + Sync + Codec + 'static {}
+
+impl<T> VertexValue for T where T: Clone + Default + Send + Sync + Codec + 'static {}
+
+/// The dependency vertices passed to `compute()` — the paper's
+/// `vertices: Rail[Vertex[T]]` parameter, with `Vertex.getResult()`
+/// folded into [`DepView::get`].
+///
+/// Dependencies appear in the order the DAG pattern returned them from
+/// `dependencies(i, j)`, so position-based access is also possible via
+/// [`DepView::values`].
+pub struct DepView<'a, V> {
+    ids: &'a [VertexId],
+    values: &'a [V],
+}
+
+impl<'a, V> DepView<'a, V> {
+    /// Builds a view; lengths must match.
+    pub fn new(ids: &'a [VertexId], values: &'a [V]) -> Self {
+        debug_assert_eq!(ids.len(), values.len());
+        DepView { ids, values }
+    }
+
+    /// The result of dependency `(i, j)`, if `(i, j)` is a dependency of
+    /// the current vertex (the paper's loop over `vertices` comparing
+    /// `vertex.i`/`vertex.j` then calling `getResult()`).
+    pub fn get(&self, i: u32, j: u32) -> Option<&V> {
+        let want = VertexId::new(i, j);
+        self.ids
+            .iter()
+            .position(|&id| id == want)
+            .map(|k| &self.values[k])
+    }
+
+    /// Dependency ids, in pattern order.
+    pub fn ids(&self) -> &[VertexId] {
+        self.ids
+    }
+
+    /// Dependency values, in pattern order.
+    pub fn values(&self) -> &[V] {
+        self.values
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the vertex has no dependencies (a DAG source).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Iterates `(id, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &V)> + '_ {
+        self.ids.iter().copied().zip(self.values.iter())
+    }
+}
+
+/// A DPX10 application: the `compute()` kernel plus the completion hook
+/// (paper Fig. 2).
+///
+/// Implementations must be deterministic functions of `(id, deps)` — the
+/// engine may recompute a vertex after a failure (paper §VI-D), and the
+/// scheduler may execute it on any place.
+pub trait DpApp: Send + Sync {
+    /// The per-vertex result type.
+    type Value: VertexValue;
+
+    /// Computes the result of vertex `id` from its dependencies' results.
+    fn compute(&self, id: VertexId, deps: &DepView<'_, Self::Value>) -> Self::Value;
+
+    /// Invoked once when every vertex has completed; `result` gives access
+    /// to the whole distributed array (paper: `appFinished(dag)`).
+    fn app_finished(&self, result: &DagResult<Self::Value>) {
+        let _ = result;
+    }
+}
+
+/// The completed computation handed to [`DpApp::app_finished`] and
+/// returned by the engines: every vertex's result plus the run's metrics.
+pub struct DagResult<V> {
+    array: DistArray<V>,
+    report: RunReport,
+}
+
+impl<V: Clone + Default> DagResult<V> {
+    /// Wraps a finished array.
+    pub fn new(array: DistArray<V>, report: RunReport) -> Self {
+        DagResult { array, report }
+    }
+
+    /// The result of vertex `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` was not part of the DAG (e.g. the lower triangle
+    /// of an interval pattern).
+    pub fn get(&self, i: u32, j: u32) -> V {
+        self.array
+            .get_finished(i, j)
+            .cloned()
+            .unwrap_or_else(|| panic!("vertex ({i}, {j}) was not computed"))
+    }
+
+    /// The result of `(i, j)`, or `None` for cells outside the DAG.
+    pub fn try_get(&self, i: u32, j: u32) -> Option<V> {
+        self.array.get_finished(i, j).cloned()
+    }
+
+    /// The underlying distributed array.
+    pub fn array(&self) -> &DistArray<V> {
+        &self.array
+    }
+
+    /// Metrics of the run that produced this result.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depview_lookup_by_coordinates() {
+        let ids = [VertexId::new(1, 1), VertexId::new(2, 1), VertexId::new(1, 2)];
+        let values = [10, 21, 12];
+        let view = DepView::new(&ids, &values);
+        assert_eq!(view.get(1, 1), Some(&10));
+        assert_eq!(view.get(2, 1), Some(&21));
+        assert_eq!(view.get(0, 0), None);
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+    }
+
+    #[test]
+    fn depview_iterates_in_pattern_order() {
+        let ids = [VertexId::new(0, 1), VertexId::new(1, 0)];
+        let values = [5, 7];
+        let view = DepView::new(&ids, &values);
+        let collected: Vec<_> = view.iter().map(|(id, &v)| (id.i, id.j, v)).collect();
+        assert_eq!(collected, vec![(0, 1, 5), (1, 0, 7)]);
+    }
+
+    #[test]
+    fn empty_depview_for_sources() {
+        let view: DepView<'_, i32> = DepView::new(&[], &[]);
+        assert!(view.is_empty());
+        assert_eq!(view.values(), &[] as &[i32]);
+    }
+}

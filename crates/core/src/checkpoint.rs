@@ -1,0 +1,165 @@
+//! Disk checkpointing: the engine-integrated form of the §X future-work
+//! item ("we are working on spilling some data to local disk to enable
+//! computations on large scale of DP problems").
+//!
+//! With a [`CheckpointConfig`], the threaded engine appends every
+//! published vertex value to a per-place [`SpillStore`] file. A later
+//! run — after a crash, or to continue an interrupted computation —
+//! replays the directory into an init override via
+//! [`load_checkpoint`], so already-finished vertices are never
+//! recomputed (the same §VI-E pre-finish mechanism recovery uses).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dpx10_apgas::PlaceId;
+use dpx10_dag::VertexId;
+
+use crate::app::VertexValue;
+use crate::config::InitOverride;
+use crate::spill::SpillStore;
+
+/// Where and how to checkpoint.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory holding one `place-<n>.spill` file per place.
+    pub dir: PathBuf,
+    /// Spill every `every`-th published vertex per place (1 = all).
+    pub every: u64,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint every published vertex into `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            every: 1,
+        }
+    }
+}
+
+/// Per-place spill writers used by the engine during a run.
+pub(crate) struct CheckpointWriters<V> {
+    every: u64,
+    stores: Vec<Mutex<(SpillStore<V>, u64)>>,
+}
+
+impl<V: VertexValue> CheckpointWriters<V> {
+    /// Creates (truncating) one store per place.
+    pub(crate) fn create(
+        config: &CheckpointConfig,
+        places: u16,
+    ) -> std::io::Result<CheckpointWriters<V>> {
+        std::fs::create_dir_all(&config.dir)?;
+        let stores = (0..places)
+            .map(|p| {
+                SpillStore::create(place_file(&config.dir, PlaceId(p)))
+                    .map(|s| Mutex::new((s, 0u64)))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(CheckpointWriters {
+            every: config.every.max(1),
+            stores,
+        })
+    }
+
+    /// Records one published vertex on `place` (subsampled by `every`).
+    pub(crate) fn on_publish(&self, place: PlaceId, id: VertexId, value: &V) {
+        let mut guard = self.stores[place.index()].lock();
+        let (store, count) = &mut *guard;
+        *count += 1;
+        if (*count - 1) % self.every == 0 {
+            // Checkpointing is best-effort: an I/O error must not take
+            // down the computation (the data still lives in RAM).
+            let _ = store.spill(id, value);
+        }
+    }
+}
+
+fn place_file(dir: &Path, place: PlaceId) -> PathBuf {
+    dir.join(format!("place-{}.spill", place.0))
+}
+
+/// Replays a checkpoint directory into an init override: every vertex
+/// found in any place file starts the next run pre-finished with its
+/// recorded value. Missing files are fine (that place spilled nothing
+/// or its disk died — matching the paper's local-disk semantics).
+pub fn load_checkpoint<V: VertexValue>(
+    dir: impl AsRef<Path>,
+    places: u16,
+) -> std::io::Result<InitOverride<V>> {
+    let dir = dir.as_ref();
+    let mut fills: HashMap<u64, V> = HashMap::new();
+    for p in 0..places {
+        let path = place_file(dir, PlaceId(p));
+        if !path.exists() {
+            continue;
+        }
+        let mut store: SpillStore<V> = SpillStore::open_readonly(&path)?;
+        for (id, v) in store.replay()? {
+            fills.insert(id.pack(), v);
+        }
+    }
+    Ok(Arc::new(move |i, j| {
+        fills.get(&VertexId::new(i, j).pack()).cloned()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dpx10-ckpt-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn writers_then_load_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let config = CheckpointConfig::new(&dir);
+        let writers: CheckpointWriters<u64> = CheckpointWriters::create(&config, 2).unwrap();
+        writers.on_publish(PlaceId(0), VertexId::new(0, 0), &10);
+        writers.on_publish(PlaceId(1), VertexId::new(1, 1), &11);
+        writers.on_publish(PlaceId(1), VertexId::new(2, 2), &12);
+        drop(writers);
+
+        let init = load_checkpoint::<u64>(&dir, 2).unwrap();
+        assert_eq!(init(0, 0), Some(10));
+        assert_eq!(init(1, 1), Some(11));
+        assert_eq!(init(2, 2), Some(12));
+        assert_eq!(init(3, 3), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn subsampling_skips_entries() {
+        let dir = temp_dir("subsample");
+        let config = CheckpointConfig {
+            dir: dir.clone(),
+            every: 2,
+        };
+        let writers: CheckpointWriters<u32> = CheckpointWriters::create(&config, 1).unwrap();
+        for k in 0..6u32 {
+            writers.on_publish(PlaceId(0), VertexId::new(0, k), &k);
+        }
+        drop(writers);
+        let init = load_checkpoint::<u32>(&dir, 1).unwrap();
+        let kept = (0..6).filter(|&k| init(0, k).is_some()).count();
+        assert_eq!(kept, 3, "every=2 keeps alternating publishes");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_are_tolerated() {
+        let dir = temp_dir("missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let init = load_checkpoint::<u64>(&dir, 3).unwrap();
+        assert_eq!(init(0, 0), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,650 @@
+//! The threaded DPX10 engine.
+//!
+//! Reproduces the execution overview of paper §VI-A on the APGAS
+//! substrate: distribute + initialise the DAG over places, seed the ready
+//! lists with zero-indegree vertices, run one worker (of
+//! `threads_per_place` threads) per place until every vertex is finished,
+//! then invoke `appFinished`. Fault tolerance follows §VI-D: a
+//! `DeadPlaceError` ends the epoch, the paper's recovery rebuilds the
+//! distributed array over the survivors, and a fresh epoch resumes from
+//! the restored state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dpx10_apgas::{
+    mailbox::{post_office, Envelope, Mailbox, MailboxSender},
+    Codec, FinishScope, NetworkModel, PlaceId, Runtime, RuntimeConfig, Topology,
+};
+use dpx10_dag::{validate_pattern, DagPattern, VertexId};
+use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
+
+use crate::app::{DagResult, DepView, DpApp};
+use crate::checkpoint::CheckpointWriters;
+use crate::config::{EngineConfig, InitOverride};
+use crate::error::EngineError;
+use crate::msg::Msg;
+use crate::schedule::{min_comm_choice, random_choice, ScheduleStrategy};
+use crate::state::{build_shards, collect_array, local_index, Shard};
+use crate::stats::RunReport;
+
+/// The threaded engine: one instance runs one application to completion.
+pub struct ThreadedEngine<A: DpApp> {
+    app: Arc<A>,
+    pattern: Arc<dyn DagPattern>,
+    config: EngineConfig,
+    init: Option<InitOverride<A::Value>>,
+}
+
+impl<A: DpApp + 'static> ThreadedEngine<A> {
+    /// Creates an engine for `app` over `pattern` with `config`.
+    pub fn new(app: A, pattern: impl DagPattern + 'static, config: EngineConfig) -> Self {
+        ThreadedEngine {
+            app: Arc::new(app),
+            pattern: Arc::new(pattern),
+            config,
+            init: None,
+        }
+    }
+
+    /// Installs a §VI-E initialisation override (pre-finish cells).
+    pub fn with_init(mut self, init: InitOverride<A::Value>) -> Self {
+        self.init = Some(init);
+        self
+    }
+
+    /// Runs the computation to completion (surviving any planned fault)
+    /// and returns the full result set.
+    pub fn run(&self) -> Result<DagResult<A::Value>, EngineError> {
+        let pattern = &self.pattern;
+        let total = pattern.vertex_count();
+        if self.config.validate_pattern && total <= self.config.validate_limit {
+            validate_pattern(pattern.as_ref())?;
+        }
+        if let Some(plan) = &self.config.fault {
+            if plan.place == PlaceId::ZERO
+                || plan.place.index() >= self.config.topology.num_places() as usize
+            {
+                return Err(EngineError::BadFaultPlan(format!(
+                    "{} is not a killable place",
+                    plan.place
+                )));
+            }
+        }
+
+        let topo = self.config.topology;
+        let rt = Runtime::new(RuntimeConfig {
+            topology: topo,
+            network: self.config.network,
+        });
+        let region = Region2D::new(pattern.height(), pattern.width());
+
+        let checkpoint = match &self.config.checkpoint {
+            Some(cfg) => Some(Arc::new(
+                CheckpointWriters::create(cfg, topo.num_places())
+                    .map_err(|e| EngineError::BadFaultPlan(format!("checkpoint: {e}")))?,
+            )),
+            None => None,
+        };
+        let started = Instant::now();
+        let mut report = RunReport {
+            vertices_total: total,
+            ..RunReport::default()
+        };
+        let mut prior: Option<DistArray<A::Value>> = None;
+        let mut alive: Vec<PlaceId> = rt.places().collect();
+
+        let final_array = loop {
+            report.epochs += 1;
+            let dist = Arc::new(Dist::new(region, self.config.dist_kind.clone(), alive.clone()));
+            let (shards, prefinished) = build_shards(
+                pattern.as_ref(),
+                &dist,
+                prior.as_ref(),
+                self.init.as_ref(),
+                self.config.cache_capacity,
+            );
+
+            if prefinished == total {
+                break collect_array(&shards, &dist);
+            }
+
+            let (mailboxes, sender) = post_office::<Msg<A::Value>>(
+                topo,
+                self.config.network,
+                rt.liveness().clone(),
+                rt.stats().clone(),
+            );
+
+            let fault_plan = self.config.fault.as_ref().and_then(|plan| {
+                // One-shot across epochs: don't re-kill after recovery.
+                if rt.liveness().is_alive(plan.place) {
+                    let threshold =
+                        ((plan.after_fraction * total as f64).ceil() as u64).clamp(1, total);
+                    Some((plan.place, threshold))
+                } else {
+                    None
+                }
+            });
+
+            let shared = Arc::new(Shared {
+                app: self.app.clone(),
+                stall_limit: self.config.stall_limit,
+                pattern: pattern.clone(),
+                dist: dist.clone(),
+                shards,
+                sender,
+                topo,
+                net: self.config.network,
+                schedule: self.config.schedule,
+                liveness: rt.liveness().clone(),
+                stats: rt.stats().clone(),
+                total,
+                finished_global: AtomicU64::new(prefinished),
+                computed: AtomicU64::new(0),
+                done: AtomicBool::new(false),
+                fault: AtomicBool::new(false),
+                stalled: AtomicBool::new(false),
+                fault_plan,
+                fault_fired: AtomicBool::new(false),
+                checkpoint: checkpoint.clone(),
+            });
+
+            run_epoch(&rt, &shared, mailboxes);
+
+            report.vertices_computed += shared.computed.load(Ordering::Relaxed);
+
+            if shared.stalled.load(Ordering::Acquire) {
+                return Err(EngineError::Stalled {
+                    finished: shared.finished_global.load(Ordering::Relaxed),
+                    total,
+                });
+            }
+
+            if shared.done.load(Ordering::Acquire) {
+                break collect_array(&shared.shards, &dist);
+            }
+
+            // Fault: run the paper's recovery and start a new epoch.
+            debug_assert!(shared.fault.load(Ordering::Acquire));
+            let dead: Vec<PlaceId> = alive
+                .iter()
+                .copied()
+                .filter(|&p| !rt.liveness().is_alive(p))
+                .collect();
+            let snapshot = collect_array(&shared.shards, &dist);
+            let (restored, rec) = recover(
+                &snapshot,
+                &dead,
+                self.config.restore_manner,
+                &topo,
+                &self.config.network,
+                &RecoveryCostModel::default(),
+            );
+            report.recovery_time += rec.sim_time;
+            report.recoveries.push(rec);
+            prior = Some(restored);
+            alive.retain(|p| rt.liveness().is_alive(*p));
+        };
+
+        report.wall_time = started.elapsed();
+        report.comm = rt.stats_snapshot();
+        let result = DagResult::new(final_array, report);
+        self.app.app_finished(&result);
+        Ok(result)
+    }
+}
+
+/// Everything an epoch's workers share.
+struct Shared<A: DpApp> {
+    app: Arc<A>,
+    stall_limit: Duration,
+    pattern: Arc<dyn DagPattern>,
+    dist: Arc<Dist>,
+    shards: Vec<Shard<A::Value>>,
+    sender: MailboxSender<Msg<A::Value>>,
+    topo: Topology,
+    net: NetworkModel,
+    schedule: ScheduleStrategy,
+    liveness: dpx10_apgas::LivenessBoard,
+    stats: dpx10_apgas::StatsBoard,
+    total: u64,
+    finished_global: AtomicU64,
+    computed: AtomicU64,
+    done: AtomicBool,
+    fault: AtomicBool,
+    stalled: AtomicBool,
+    fault_plan: Option<(PlaceId, u64)>,
+    fault_fired: AtomicBool,
+    checkpoint: Option<Arc<CheckpointWriters<A::Value>>>,
+}
+
+impl<A: DpApp> Shared<A> {
+    #[inline]
+    fn should_stop(&self) -> bool {
+        self.done.load(Ordering::Acquire) || self.fault.load(Ordering::Acquire)
+    }
+
+    fn send(&self, src: PlaceId, dst: PlaceId, msg: Msg<A::Value>) {
+        let bytes = msg.wire_size();
+        if self.sender.send(src, dst, msg, bytes).is_err() {
+            self.fault.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Runs one epoch: spawns the workers, babysits progress, joins them.
+fn run_epoch<A: DpApp + 'static>(
+    rt: &Runtime,
+    shared: &Arc<Shared<A>>,
+    mailboxes: Vec<Mailbox<Msg<A::Value>>>,
+) {
+    let scope = FinishScope::new();
+    let threads = shared.topo.threads_per_place;
+    for (slot, place) in shared.dist.places().iter().enumerate() {
+        let inbox = &mailboxes[place.index()];
+        for _ in 0..threads {
+            let shared = shared.clone();
+            let rx = inbox.clone_handle();
+            // A dead place fails the spawn; the epoch then ends through
+            // the fault flag set by the first blocked sender.
+            let _ = rt.spawn_at(*place, &scope, move || worker_loop(shared, slot, rx));
+        }
+    }
+
+    // Watchdog: workers park briefly when idle, so they notice the flags
+    // quickly; if global progress freezes without done/fault, flag a
+    // stall so `run` can fail instead of hanging.
+    let mut last = shared.finished_global.load(Ordering::Relaxed);
+    let mut last_change = Instant::now();
+    while !shared.should_stop() {
+        std::thread::sleep(Duration::from_millis(2));
+        let now = shared.finished_global.load(Ordering::Relaxed);
+        if now != last {
+            last = now;
+            last_change = Instant::now();
+        } else if last_change.elapsed() > shared.stall_limit {
+            shared.stalled.store(true, Ordering::Release);
+            shared.done.store(true, Ordering::Release); // unblock workers
+            break;
+        }
+    }
+    scope.wait();
+}
+
+/// The per-thread worker: drain messages, execute ready vertices, steal
+/// if configured, park briefly when idle (paper §VI-C's worker loop).
+fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize, rx: Mailbox<Msg<A::Value>>) {
+    let me = shared.dist.places()[slot];
+    let mut bufs = WorkerBufs::default();
+    let mut idle_rounds = 0u32;
+    loop {
+        if shared.should_stop() || !shared.liveness.is_alive(me) {
+            break;
+        }
+        let mut progress = false;
+        for _ in 0..128 {
+            match rx.try_recv() {
+                Some(env) => {
+                    handle_msg(&shared, slot, env, &mut bufs);
+                    progress = true;
+                }
+                None => break,
+            }
+        }
+        for _ in 0..32 {
+            match shared.shards[slot].ready.pop() {
+                Some(li) => {
+                    execute(&shared, slot, li, &mut bufs);
+                    progress = true;
+                }
+                None => break,
+            }
+        }
+        if !progress && shared.schedule == ScheduleStrategy::WorkStealing {
+            progress = try_steal(&shared, slot, &mut bufs);
+        }
+        if progress {
+            idle_rounds = 0;
+            continue;
+        }
+        idle_rounds += 1;
+        if idle_rounds < 8 {
+            std::thread::yield_now();
+        } else if let Some(env) = rx.recv_timeout(Duration::from_micros(500)) {
+            handle_msg(&shared, slot, env, &mut bufs);
+            idle_rounds = 0;
+        }
+    }
+}
+
+/// Reusable per-worker scratch buffers (hot path: no fresh allocations
+/// per vertex).
+struct WorkerBufs {
+    deps: Vec<VertexId>,
+    anti: Vec<VertexId>,
+    groups: HashMap<u16, Vec<VertexId>>,
+}
+
+impl Default for WorkerBufs {
+    fn default() -> Self {
+        WorkerBufs {
+            deps: Vec::with_capacity(8),
+            anti: Vec::with_capacity(8),
+            groups: HashMap::new(),
+        }
+    }
+}
+
+/// Work stealing (extension strategy): pop a ready vertex from the most
+/// loaded other shard and run its full owner-side path here, charging a
+/// task-ship round-trip to the network stats.
+fn try_steal<A: DpApp>(shared: &Arc<Shared<A>>, thief_slot: usize, bufs: &mut WorkerBufs) -> bool {
+    let victim = (0..shared.shards.len())
+        .filter(|&s| s != thief_slot)
+        .max_by_key(|&s| shared.shards[s].ready.len());
+    let Some(victim) = victim else { return false };
+    if shared.shards[victim].ready.is_empty() {
+        return false;
+    }
+    let Some(li) = shared.shards[victim].ready.pop() else {
+        return false;
+    };
+    let thief = shared.dist.places()[thief_slot];
+    let owner = shared.dist.places()[victim];
+    // Task descriptor over, result back: two small control messages.
+    let over = shared.net.transfer_time(&shared.topo, owner, thief, 16);
+    shared.stats.place(owner).on_send(16, over);
+    let back = shared.net.transfer_time(&shared.topo, thief, owner, 16);
+    shared.stats.place(thief).on_send(16, back);
+    execute(shared, victim, li, bufs);
+    true
+}
+
+/// Handles one inbound message.
+fn handle_msg<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    env: Envelope<Msg<A::Value>>,
+    bufs: &mut WorkerBufs,
+) {
+    let me = shared.dist.places()[slot];
+    let shard = &shared.shards[slot];
+    match env.msg {
+        Msg::Done {
+            from,
+            value,
+            targets,
+        } => {
+            shard.cache.lock().insert(from.pack(), value);
+            for t in targets {
+                decrement(shared, slot, t);
+            }
+        }
+        Msg::Pull { id } => {
+            let li = local_index(&shared.dist, id);
+            debug_assert!(
+                shard.finished[li as usize].load(Ordering::Acquire),
+                "pull of unfinished vertex {id}"
+            );
+            let value = shard.value(li).clone();
+            shared.send(me, env.src, Msg::PullVal { id, value });
+        }
+        Msg::PullVal { id, value } => {
+            shard.cache.lock().insert(id.pack(), value.clone());
+            let mut pending = shard.pending.lock();
+            if let Some(waiters) = pending.waiters.remove(&id.pack()) {
+                for wli in waiters {
+                    if let Some(p) = pending.parked.get_mut(&wli) {
+                        if let Some(slot_val) = p.fills.get_mut(&id.pack()) {
+                            if slot_val.is_none() {
+                                *slot_val = Some(value.clone());
+                                p.remaining -= 1;
+                                if p.remaining == 0 {
+                                    shard.ready.push(wli);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Msg::Exec {
+            id,
+            dep_ids,
+            dep_values,
+        } => {
+            let view = DepView::new(&dep_ids, &dep_values);
+            let value = shared.app.compute(id, &view);
+            shared.send(me, env.src, Msg::ExecResult { id, value });
+        }
+        Msg::ExecResult { id, value } => {
+            let li = local_index(&shared.dist, id);
+            publish(shared, slot, li, id, value, bufs);
+        }
+    }
+}
+
+/// Decrements the indegree of locally-owned `t`; readies it at zero.
+///
+/// Targets already finished are skipped: after a recovery, a recomputed
+/// vertex publishes again and would otherwise decrement dependents that
+/// were restored as finished (whose epoch-start indegree is zero).
+#[inline]
+fn decrement<A: DpApp>(shared: &Shared<A>, slot: usize, t: VertexId) {
+    let shard = &shared.shards[slot];
+    let li = local_index(&shared.dist, t);
+    if shard.finished[li as usize].load(Ordering::Acquire) {
+        return;
+    }
+    let old = shard.indegree[li as usize].fetch_sub(1, Ordering::AcqRel);
+    debug_assert!(old >= 1, "indegree underflow at {t}");
+    if old == 1 {
+        shard.ready.push(li);
+    }
+}
+
+/// Executes one owned ready vertex: gather → (maybe ship) → compute →
+/// publish.
+fn execute<A: DpApp>(shared: &Arc<Shared<A>>, slot: usize, li: u32, bufs: &mut WorkerBufs) {
+    let shard = &shared.shards[slot];
+    let (i, j) = shard.points[li as usize];
+    let id = VertexId::new(i, j);
+    debug_assert!(shard.in_pattern[li as usize]);
+    if shard.finished[li as usize].load(Ordering::Acquire) {
+        return;
+    }
+
+    bufs.deps.clear();
+    shared.pattern.dependencies(i, j, &mut bufs.deps);
+
+    let Some(values) = gather(shared, slot, li, &bufs.deps) else {
+        return; // parked awaiting pulls
+    };
+
+    let me = shared.dist.places()[slot];
+    let target = match shared.schedule {
+        ScheduleStrategy::Local | ScheduleStrategy::WorkStealing => me,
+        ScheduleStrategy::Random => random_choice(id, shared.dist.places()),
+        ScheduleStrategy::MinComm => {
+            let homes: Vec<PlaceId> = bufs
+                .deps
+                .iter()
+                .map(|d| shared.dist.place_of(d.i, d.j))
+                .collect();
+            let bytes: Vec<usize> =
+                values.iter().map(Codec::wire_size).collect();
+            let result_bytes = values.first().map_or(8, |v| v.wire_size());
+            min_comm_choice(
+                me,
+                shared.dist.places(),
+                &homes,
+                &bytes,
+                result_bytes,
+                &shared.topo,
+                &shared.net,
+            )
+        }
+    };
+
+    if target != me && shared.liveness.is_alive(target) {
+        let msg = Msg::Exec {
+            id,
+            dep_ids: bufs.deps.clone(),
+            dep_values: values,
+        };
+        shared.send(me, target, msg);
+        return;
+    }
+
+    let view = DepView::new(&bufs.deps, &values);
+    let value = shared.app.compute(id, &view);
+    publish(shared, slot, li, id, value, bufs);
+}
+
+/// Gathers dependency values: local reads, then cache, then previously
+/// pulled fills; parks the vertex and issues pulls for anything missing.
+fn gather<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    li: u32,
+    deps: &[VertexId],
+) -> Option<Vec<A::Value>> {
+    let shard = &shared.shards[slot];
+    if deps.is_empty() {
+        return Some(Vec::new());
+    }
+    let me = shared.dist.places()[slot];
+
+    let mut vals: Vec<Option<A::Value>> = Vec::with_capacity(deps.len());
+    {
+        let cache = shard.cache.lock();
+        for d in deps {
+            if shared.dist.slot_of(d.i, d.j) == slot {
+                let dli = local_index(&shared.dist, *d);
+                vals.push(Some(shard.value(dli).clone()));
+            } else if let Some(v) = cache.get(d.pack()) {
+                shared.stats.place(me).on_cache_hit();
+                vals.push(Some(v.clone()));
+            } else {
+                vals.push(None);
+            }
+        }
+    }
+
+    if vals.iter().all(Option::is_some) {
+        shard.pending.lock().parked.remove(&li);
+        return Some(vals.into_iter().map(Option::unwrap).collect());
+    }
+
+    // Try previously pulled fills, then park for the rest.
+    let mut pending = shard.pending.lock();
+    if let Some(p) = pending.parked.get(&li) {
+        for (k, d) in deps.iter().enumerate() {
+            if vals[k].is_none() {
+                if let Some(Some(v)) = p.fills.get(&d.pack()) {
+                    vals[k] = Some(v.clone());
+                }
+            }
+        }
+    }
+    if vals.iter().all(Option::is_some) {
+        pending.parked.remove(&li);
+        return Some(vals.into_iter().map(Option::unwrap).collect());
+    }
+
+    let mut newly_missing: Vec<VertexId> = Vec::new();
+    {
+        let entry = pending.parked.entry(li).or_insert_with(|| {
+            crate::state::Parked {
+                fills: HashMap::new(),
+                remaining: 0,
+            }
+        });
+        for (k, d) in deps.iter().enumerate() {
+            if vals[k].is_none() && !entry.fills.contains_key(&d.pack()) {
+                entry.fills.insert(d.pack(), None);
+                entry.remaining += 1;
+                newly_missing.push(*d);
+            }
+        }
+    }
+    let mut to_pull: Vec<VertexId> = Vec::new();
+    for d in newly_missing {
+        let waiters = pending.waiters.entry(d.pack()).or_default();
+        if waiters.is_empty() {
+            to_pull.push(d);
+        }
+        waiters.push(li);
+    }
+    drop(pending);
+
+    for d in &to_pull {
+        shared.stats.place(me).on_cache_miss();
+        let owner = shared.dist.place_of(d.i, d.j);
+        shared.send(me, owner, Msg::Pull { id: *d });
+    }
+    None
+}
+
+/// Publishes a computed value: store, flag, decrement anti-dependencies
+/// (locally or by message), advance the finished counter, trigger
+/// termination and any planned fault.
+fn publish<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    li: u32,
+    id: VertexId,
+    value: A::Value,
+    bufs: &mut WorkerBufs,
+) {
+    let shard = &shared.shards[slot];
+    shard.values[li as usize].set(value.clone()).ok();
+    if shard.finished[li as usize].swap(true, Ordering::AcqRel) {
+        return; // double publication guard
+    }
+    shard.finished_local.fetch_add(1, Ordering::Relaxed);
+    shared.computed.fetch_add(1, Ordering::Relaxed);
+    if let Some(ckpt) = &shared.checkpoint {
+        ckpt.on_publish(shared.dist.places()[slot], id, &value);
+    }
+
+    bufs.anti.clear();
+    shared
+        .pattern
+        .anti_dependencies(id.i, id.j, &mut bufs.anti);
+
+    let me = shared.dist.places()[slot];
+    for t in &bufs.anti {
+        let tslot = shared.dist.slot_of(t.i, t.j);
+        if tslot == slot {
+            decrement(shared.as_ref(), slot, *t);
+        } else {
+            bufs.groups
+                .entry(shared.dist.places()[tslot].0)
+                .or_default()
+                .push(*t);
+        }
+    }
+    for (q, targets) in bufs.groups.drain() {
+        let msg = Msg::Done {
+            from: id,
+            value: value.clone(),
+            targets,
+        };
+        shared.send(me, PlaceId(q), msg);
+    }
+
+    let g = shared.finished_global.fetch_add(1, Ordering::AcqRel) + 1;
+    if g >= shared.total {
+        shared.done.store(true, Ordering::Release);
+    }
+    if let Some((victim, threshold)) = shared.fault_plan {
+        if g >= threshold && !shared.fault_fired.swap(true, Ordering::AcqRel) {
+            shared.liveness.kill(victim);
+            shared.fault.store(true, Ordering::Release);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Inter-place protocol of the threaded engine.
+
+use dpx10_apgas::Codec;
+use dpx10_dag::VertexId;
+
+/// Messages exchanged between places while executing a DAG.
+///
+/// The protocol is push-based with a pull fallback, matching §VI-C: a
+/// completing vertex *pushes* its value alongside the indegree decrements
+/// of its remote dependents (`Done`), landing it in the consumer's FIFO
+/// cache; if the value was evicted before use, the consumer *pulls* it
+/// (`Pull`/`PullVal`). `Exec`/`ExecResult` carry remotely scheduled
+/// vertices under the random and min-comm strategies.
+#[derive(Clone, Debug)]
+pub enum Msg<V> {
+    /// `from` finished with `value`; decrement the indegree of `targets`
+    /// (all owned by the receiver).
+    Done {
+        /// The finished vertex.
+        from: VertexId,
+        /// Its result, for the receiver's cache.
+        value: V,
+        /// Receiver-owned dependents to decrement.
+        targets: Vec<VertexId>,
+    },
+    /// Request the finished value of receiver-owned `id`.
+    Pull {
+        /// The wanted vertex.
+        id: VertexId,
+    },
+    /// Reply to [`Msg::Pull`].
+    PullVal {
+        /// The pulled vertex.
+        id: VertexId,
+        /// Its result.
+        value: V,
+    },
+    /// Execute `id` here on behalf of its owner (random / min-comm
+    /// scheduling); dependencies come pre-gathered.
+    Exec {
+        /// The vertex to compute.
+        id: VertexId,
+        /// Its dependency ids, in pattern order.
+        dep_ids: Vec<VertexId>,
+        /// The matching dependency values.
+        dep_values: Vec<V>,
+    },
+    /// Result of an [`Msg::Exec`], returning home to the owner.
+    ExecResult {
+        /// The computed vertex.
+        id: VertexId,
+        /// Its result.
+        value: V,
+    },
+}
+
+impl<V: Codec> Msg<V> {
+    /// Bytes this message occupies on the wire (8 per vertex id plus the
+    /// value payloads), used to price the transfer.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Msg::Done { value, targets, .. } => 8 + value.wire_size() + 8 * targets.len(),
+            Msg::Pull { .. } => 8,
+            Msg::PullVal { value, .. } => 8 + value.wire_size(),
+            Msg::Exec {
+                dep_ids,
+                dep_values,
+                ..
+            } => {
+                8 + 8 * dep_ids.len()
+                    + dep_values.iter().map(Codec::wire_size).sum::<usize>()
+            }
+            Msg::ExecResult { value, .. } => 8 + value.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        let done = Msg::Done {
+            from: VertexId::new(0, 0),
+            value: 7i64,
+            targets: vec![VertexId::new(0, 1), VertexId::new(1, 0)],
+        };
+        assert_eq!(done.wire_size(), 8 + 8 + 16);
+        assert_eq!(Msg::<i64>::Pull { id: VertexId::new(0, 0) }.wire_size(), 8);
+        let exec = Msg::Exec {
+            id: VertexId::new(2, 2),
+            dep_ids: vec![VertexId::new(1, 2)],
+            dep_values: vec![3i64],
+        };
+        assert_eq!(exec.wire_size(), 8 + 8 + 8);
+    }
+}

@@ -1,0 +1,273 @@
+//! Spill-to-disk store for finished vertex values.
+//!
+//! The paper's future work: "Currently the entire computation state
+//! resides in RAM. We are working on spilling some data to local disk to
+//! enable computations on large scale of DP problems" (§X). This module
+//! implements that extension: a per-place append-only spill file holding
+//! encoded `(id, value)` records, with an in-memory index. The engines
+//! can evict cold finished values here and fault recovery can replay the
+//! file as a free local snapshot.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dpx10_apgas::Codec;
+use dpx10_dag::VertexId;
+
+/// An append-only on-disk store of finished vertex values for one place.
+pub struct SpillStore<V> {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    /// packed id -> (offset, len) of the encoded value.
+    index: HashMap<u64, (u64, u32)>,
+    bytes_written: u64,
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V: Codec> SpillStore<V> {
+    /// Creates (truncating) a spill file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(SpillStore {
+            path,
+            writer: BufWriter::new(file),
+            index: HashMap::new(),
+            bytes_written: 0,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Opens an existing spill file for replay and further appends,
+    /// rebuilding the in-memory index from the records on disk.
+    pub fn open_readonly(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut raw = Vec::new();
+        File::open(&path)?.read_to_end(&mut raw)?;
+        let mut index = HashMap::new();
+        let mut pos = 0usize;
+        while pos + 12 <= raw.len() {
+            let id = u64::from_le_bytes(raw[pos..pos + 8].try_into().unwrap());
+            let len = u32::from_le_bytes(raw[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            let val_at = pos + 12;
+            if val_at + len > raw.len() {
+                break; // truncated tail record
+            }
+            index.insert(id, (val_at as u64, len as u32));
+            pos = val_at + len;
+        }
+        // Drop any truncated tail record so future appends start at a
+        // record boundary.
+        let mut file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(pos as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(SpillStore {
+            path,
+            writer: BufWriter::new(file),
+            index,
+            bytes_written: pos as u64,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of spilled values.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total bytes appended so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Appends `(id, value)`. Re-spilling an id supersedes the old record
+    /// (last write wins via the index).
+    pub fn spill(&mut self, id: VertexId, value: &V) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(value.wire_size());
+        value.encode(&mut buf);
+        let offset = self.bytes_written;
+        self.writer.write_all(&id.pack().to_le_bytes())?;
+        self.writer.write_all(&(buf.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&buf)?;
+        self.bytes_written += 12 + buf.len() as u64;
+        self.index.insert(id.pack(), (offset + 12, buf.len() as u32));
+        Ok(())
+    }
+
+    /// Reads back a spilled value.
+    pub fn fetch(&mut self, id: VertexId) -> std::io::Result<Option<V>> {
+        let Some(&(offset, len)) = self.index.get(&id.pack()) else {
+            return Ok(None);
+        };
+        self.writer.flush()?;
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf)?;
+        let mut src = buf.as_slice();
+        Ok(V::decode(&mut src))
+    }
+
+    /// Replays the whole file in write order, yielding `(id, value)` —
+    /// the recovery path's "free local snapshot". Superseded records are
+    /// skipped.
+    pub fn replay(&mut self) -> std::io::Result<Vec<(VertexId, V)>> {
+        self.writer.flush()?;
+        let mut file = File::open(&self.path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let mut out = Vec::with_capacity(self.index.len());
+        let mut pos = 0usize;
+        let mut offset_of = HashMap::new();
+        while pos + 12 <= raw.len() {
+            let id = u64::from_le_bytes(raw[pos..pos + 8].try_into().unwrap());
+            let len =
+                u32::from_le_bytes(raw[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            let val_at = pos + 12;
+            if val_at + len > raw.len() {
+                break; // truncated tail record
+            }
+            offset_of.insert(id, (val_at, len));
+            pos = val_at + len;
+        }
+        for (&id, &(val_at, len)) in &offset_of {
+            // Only the live (indexed) version counts.
+            if let Some(&(idx_off, _)) = self.index.get(&id) {
+                if idx_off != val_at as u64 {
+                    continue;
+                }
+            }
+            let mut src = &raw[val_at..val_at + len];
+            if let Some(v) = V::decode(&mut src) {
+                out.push((VertexId::unpack(id), v));
+            }
+        }
+        out.sort_by_key(|(id, _)| id.pack());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dpx10-spill-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn spill_and_fetch() {
+        let path = temp_path("basic");
+        let mut store: SpillStore<i64> = SpillStore::create(&path).unwrap();
+        store.spill(VertexId::new(1, 2), &42).unwrap();
+        store.spill(VertexId::new(3, 4), &-7).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.fetch(VertexId::new(1, 2)).unwrap(), Some(42));
+        assert_eq!(store.fetch(VertexId::new(3, 4)).unwrap(), Some(-7));
+        assert_eq!(store.fetch(VertexId::new(9, 9)).unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let path = temp_path("supersede");
+        let mut store: SpillStore<u32> = SpillStore::create(&path).unwrap();
+        store.spill(VertexId::new(0, 0), &1).unwrap();
+        store.spill(VertexId::new(0, 0), &2).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.fetch(VertexId::new(0, 0)).unwrap(), Some(2));
+        let replayed = store.replay().unwrap();
+        assert_eq!(replayed, vec![(VertexId::new(0, 0), 2)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_recovers_everything() {
+        let path = temp_path("replay");
+        let mut store: SpillStore<u64> = SpillStore::create(&path).unwrap();
+        for k in 0..50u32 {
+            store.spill(VertexId::new(k / 10, k % 10), &(k as u64 * 3)).unwrap();
+        }
+        let replayed = store.replay().unwrap();
+        assert_eq!(replayed.len(), 50);
+        for (id, v) in replayed {
+            assert_eq!(v, (id.i * 10 + id.j) as u64 * 3);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bytes_written_accounts_records() {
+        let path = temp_path("bytes");
+        let mut store: SpillStore<u32> = SpillStore::create(&path).unwrap();
+        store.spill(VertexId::new(0, 0), &5).unwrap();
+        assert_eq!(store.bytes_written(), 12 + 4);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod reopen_tests {
+    use super::*;
+
+    #[test]
+    fn reopen_restores_index_and_appends() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dpx10-spill-{}-reopen", std::process::id()));
+        {
+            let mut store: SpillStore<u64> = SpillStore::create(&path).unwrap();
+            store.spill(VertexId::new(0, 1), &10).unwrap();
+            store.spill(VertexId::new(0, 2), &20).unwrap();
+        }
+        let mut store: SpillStore<u64> = SpillStore::open_readonly(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.fetch(VertexId::new(0, 1)).unwrap(), Some(10));
+        store.spill(VertexId::new(0, 3), &30).unwrap();
+        let replayed = store.replay().unwrap();
+        assert_eq!(replayed.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_drops_truncated_tail() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dpx10-spill-{}-tail", std::process::id()));
+        {
+            let mut store: SpillStore<u64> = SpillStore::create(&path).unwrap();
+            store.spill(VertexId::new(0, 1), &10).unwrap();
+        }
+        // Simulate a crash mid-record: append half a header.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        }
+        let mut store: SpillStore<u64> = SpillStore::open_readonly(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        store.spill(VertexId::new(0, 2), &20).unwrap();
+        let replayed = store.replay().unwrap();
+        assert_eq!(
+            replayed,
+            vec![(VertexId::new(0, 1), 10), (VertexId::new(0, 2), 20)]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,258 @@
+//! Per-place runtime state of the threaded engine.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+
+use dpx10_dag::{DagPattern, VertexId};
+use dpx10_distarray::{Dist, DistArray};
+
+use crate::app::VertexValue;
+use crate::cache::FifoCache;
+use crate::config::InitOverride;
+
+/// A vertex parked because some remote dependency values were missing
+/// from the cache; pull replies fill the slots and re-ready the vertex.
+#[derive(Debug)]
+pub struct Parked<V> {
+    /// Missing dependency (packed id) -> value once pulled.
+    pub fills: HashMap<u64, Option<V>>,
+    /// Number of still-missing entries.
+    pub remaining: usize,
+}
+
+/// Pull bookkeeping of one place; a single lock guards both maps so the
+/// fill/park transitions are atomic.
+#[derive(Debug)]
+pub struct Pending<V> {
+    /// Parked vertices by local index.
+    pub parked: HashMap<u32, Parked<V>>,
+    /// Outstanding pulls: packed dep id -> parked local indices waiting.
+    pub waiters: HashMap<u64, Vec<u32>>,
+}
+
+impl<V> Default for Pending<V> {
+    fn default() -> Self {
+        Pending {
+            parked: HashMap::new(),
+            waiters: HashMap::new(),
+        }
+    }
+}
+
+/// The runtime state of one place (one distribution slot) during an
+/// epoch: the paper's per-place vertex partition, ready list and cache
+/// (§VI-C).
+pub struct Shard<V> {
+    /// Local index -> global coordinates, in chunk order.
+    pub points: Vec<(u32, u32)>,
+    /// Whether the cell is a DAG vertex (masked patterns leave holes).
+    pub in_pattern: Vec<bool>,
+    /// Unfinished-dependency counters.
+    pub indegree: Vec<AtomicU32>,
+    /// Completion flags ("a finish flag is kept for each vertex").
+    pub finished: Vec<AtomicBool>,
+    /// Results, published once.
+    pub values: Vec<OnceLock<V>>,
+    /// Ready list: "contains the schedulable and uncompleted vertices".
+    pub ready: SegQueue<u32>,
+    /// Remote-value FIFO cache.
+    pub cache: Mutex<FifoCache<V>>,
+    /// Parked vertices and outstanding pulls.
+    pub pending: Mutex<Pending<V>>,
+    /// Local finished counter ("a finished vertices counter is used to
+    /// determine the termination of the worker").
+    pub finished_local: AtomicU64,
+    /// Number of DAG vertices owned by this shard.
+    pub total_local: u64,
+}
+
+impl<V: VertexValue> Shard<V> {
+    /// Reads the published value of a finished local vertex.
+    #[inline]
+    pub fn value(&self, li: u32) -> &V {
+        self.values[li as usize]
+            .get()
+            .expect("value read before publication")
+    }
+}
+
+/// Builds the shards of an epoch.
+///
+/// A cell starts *finished* when `prior` (the recovered array of the
+/// previous epoch) has it, or when the user's init override pre-finishes
+/// it (§VI-E). Indegrees count only unfinished dependencies, and
+/// zero-indegree unfinished vertices seed the ready lists — stage 1 of
+/// the execution overview (§VI-A).
+pub fn build_shards<V: VertexValue>(
+    pattern: &dyn DagPattern,
+    dist: &Arc<Dist>,
+    prior: Option<&DistArray<V>>,
+    init: Option<&InitOverride<V>>,
+    cache_capacity: usize,
+) -> (Vec<Shard<V>>, u64) {
+    // A dependency is pre-finished iff the same predicate that marks local
+    // cells finished holds for it; this keeps cross-shard indegree
+    // computation local and deterministic.
+    let is_prefinished = |i: u32, j: u32| -> Option<V> {
+        if let Some(arr) = prior {
+            if let Some(v) = arr.get_finished(i, j) {
+                return Some(v.clone());
+            }
+        }
+        if let Some(f) = init {
+            return f(i, j);
+        }
+        None
+    };
+
+    let mut prefinished_total = 0u64;
+    let mut deps_buf = Vec::new();
+    let shards = (0..dist.num_slots())
+        .map(|slot| {
+            let len = dist.chunk_len(slot);
+            let mut shard = Shard {
+                points: Vec::with_capacity(len),
+                in_pattern: vec![false; len],
+                indegree: (0..len).map(|_| AtomicU32::new(0)).collect(),
+                finished: (0..len).map(|_| AtomicBool::new(false)).collect(),
+                values: (0..len).map(|_| OnceLock::new()).collect(),
+                ready: SegQueue::new(),
+                cache: Mutex::new(FifoCache::new(cache_capacity)),
+                pending: Mutex::new(Pending::default()),
+                finished_local: AtomicU64::new(0),
+                total_local: 0,
+            };
+            for (li, (i, j)) in dist.iter_slot(slot).enumerate() {
+                shard.points.push((i, j));
+                if !pattern.contains(i, j) {
+                    continue;
+                }
+                shard.in_pattern[li] = true;
+                shard.total_local += 1;
+                if let Some(v) = is_prefinished(i, j) {
+                    shard.values[li].set(v).ok();
+                    shard.finished[li].store(true, Ordering::Relaxed);
+                    shard.finished_local.fetch_add(1, Ordering::Relaxed);
+                    prefinished_total += 1;
+                    continue;
+                }
+                deps_buf.clear();
+                pattern.dependencies(i, j, &mut deps_buf);
+                let open = deps_buf
+                    .iter()
+                    .filter(|d| is_prefinished(d.i, d.j).is_none())
+                    .count() as u32;
+                shard.indegree[li].store(open, Ordering::Relaxed);
+                if open == 0 {
+                    shard.ready.push(li as u32);
+                }
+            }
+            shard
+        })
+        .collect();
+    (shards, prefinished_total)
+}
+
+/// Collects the current engine state into a [`DistArray`] (used on fault
+/// to hand the paper's recovery routine the surviving finished values).
+pub fn collect_array<V: VertexValue>(
+    shards: &[Shard<V>],
+    dist: &Arc<Dist>,
+) -> DistArray<V> {
+    let mut arr: DistArray<V> = DistArray::new(dist.clone());
+    for (slot, shard) in shards.iter().enumerate() {
+        for (li, &(i, j)) in shard.points.iter().enumerate() {
+            if shard.in_pattern[li] && shard.finished[li].load(Ordering::Acquire) {
+                arr.set(i, j, shard.values[li].get().expect("finished => set").clone());
+            }
+        }
+        debug_assert_eq!(dist.chunk_len(slot), shard.points.len());
+    }
+    arr
+}
+
+/// Looks up the local index of `id` inside its owning shard.
+#[inline]
+pub fn local_index(dist: &Dist, id: VertexId) -> u32 {
+    dist.local_index(id.i, id.j) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx10_apgas::PlaceId;
+    use dpx10_dag::builtin::Grid2;
+    use dpx10_distarray::{DistKind, Region2D};
+
+    fn dist(h: u32, w: u32, places: u16) -> Arc<Dist> {
+        Arc::new(Dist::new(
+            Region2D::new(h, w),
+            DistKind::BlockCol,
+            (0..places).map(PlaceId).collect(),
+        ))
+    }
+
+    #[test]
+    fn fresh_shards_seed_sources() {
+        let pattern = Grid2::new(3, 4);
+        let d = dist(3, 4, 2);
+        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, None, 16);
+        assert_eq!(pre, 0);
+        // Grid2 has a single source (0,0), owned by slot 0.
+        assert_eq!(shards[0].ready.len(), 1);
+        assert_eq!(shards[1].ready.len(), 0);
+        assert_eq!(
+            shards.iter().map(|s| s.total_local).sum::<u64>(),
+            12
+        );
+    }
+
+    #[test]
+    fn init_override_prefinishes_and_unblocks() {
+        let pattern = Grid2::new(2, 2);
+        let d = dist(2, 2, 1);
+        // Pre-finish the whole first row.
+        let init: InitOverride<i64> = Arc::new(|i, _j| (i == 0).then_some(0));
+        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, Some(&init), 16);
+        assert_eq!(pre, 2);
+        // (1,0) now has zero open deps; (1,1) depends on unfinished (1,0).
+        let ready: Vec<u32> = std::iter::from_fn(|| shards[0].ready.pop()).collect();
+        let pts: Vec<_> = ready
+            .iter()
+            .map(|&li| shards[0].points[li as usize])
+            .collect();
+        assert_eq!(pts, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn prior_array_restores_progress() {
+        let pattern = Grid2::new(2, 2);
+        let d = dist(2, 2, 1);
+        let mut prior: DistArray<i64> = DistArray::new(d.clone());
+        prior.set(0, 0, 5);
+        let (shards, pre) = build_shards::<i64>(&pattern, &d, Some(&prior), None, 16);
+        assert_eq!(pre, 1);
+        let li = d.local_index(0, 0) as u32;
+        assert_eq!(shards[0].value(li), &5);
+        // (0,1) and (1,0) are unblocked.
+        assert_eq!(shards[0].ready.len(), 2);
+    }
+
+    #[test]
+    fn collect_round_trips() {
+        let pattern = Grid2::new(2, 3);
+        let d = dist(2, 3, 2);
+        let mut prior: DistArray<i64> = DistArray::new(d.clone());
+        prior.set(0, 0, 1);
+        prior.set(1, 2, 9);
+        let (shards, _) = build_shards::<i64>(&pattern, &d, Some(&prior), None, 16);
+        let collected = collect_array(&shards, &d);
+        assert_eq!(collected.get_finished(0, 0), Some(&1));
+        assert_eq!(collected.get_finished(1, 2), Some(&9));
+        assert_eq!(collected.finished_count(), 2);
+    }
+}

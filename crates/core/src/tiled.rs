@@ -1,0 +1,331 @@
+//! Tiled (blocked) execution: run any [`DpApp`] with `t × t` cells per
+//! scheduled vertex.
+//!
+//! Pairs with [`dpx10_dag::TiledDag`]: the engine schedules *tiles*, and
+//! [`TiledApp`] computes each tile's cells serially in an intra-tile
+//! topological order, reading boundary cells out of the neighbouring
+//! tiles' values. This amortises the framework's per-vertex cost over
+//! `t²` cells and turns `t` boundary messages into one — the classic
+//! block-wavefront optimisation the paper leaves as future work
+//! ("sophisticated scheduling and cache techniques", §X).
+//!
+//! ```
+//! use dpx10_core::tiled::run_tiled_threaded;
+//! use dpx10_core::{DepView, DpApp, EngineConfig};
+//! use dpx10_dag::{builtin::Grid2, VertexId};
+//!
+//! struct Sum;
+//! impl DpApp for Sum {
+//!     type Value = u64;
+//!     fn compute(&self, _id: VertexId, deps: &DepView<'_, u64>) -> u64 {
+//!         deps.values().iter().sum::<u64>() + 1
+//!     }
+//! }
+//!
+//! let run = run_tiled_threaded(Sum, Grid2::new(8, 8), 3, EngineConfig::flat(2)).unwrap();
+//! assert_eq!(run.get(0, 0), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dpx10_apgas::Codec;
+use dpx10_dag::{DagPattern, TiledDag, VertexId};
+
+use crate::app::{DagResult, DepView, DpApp, VertexValue};
+use crate::config::EngineConfig;
+use crate::engine::ThreadedEngine;
+use crate::error::EngineError;
+
+/// The value of one tile: its cells' results, dense and row-major over
+/// the tile's clipped bounds (masked cells hold `V::default()`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TileValue<V> {
+    /// Cell results in row-major tile-local order.
+    pub cells: Vec<V>,
+}
+
+impl<V: Codec> Codec for TileValue<V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.cells.encode(buf);
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        Some(TileValue {
+            cells: Vec::<V>::decode(src)?,
+        })
+    }
+
+    fn wire_size(&self) -> usize {
+        self.cells.wire_size()
+    }
+}
+
+/// Adapter turning a cell-level [`DpApp`] into a tile-level one.
+pub struct TiledApp<A, P> {
+    inner: A,
+    geometry: Arc<TiledDag<P>>,
+}
+
+impl<A: DpApp, P: DagPattern> TiledApp<A, P> {
+    /// Wraps `inner` over the tile geometry.
+    pub fn new(inner: A, geometry: Arc<TiledDag<P>>) -> Self {
+        TiledApp { inner, geometry }
+    }
+
+    /// Tile-local dense index of cell `(i, j)` within tile `t`.
+    fn cell_index(geo: &TiledDag<P>, t: VertexId, i: u32, j: u32) -> usize {
+        let (ri, rj) = geo.cell_bounds(t.i, t.j);
+        debug_assert!(ri.contains(&i) && rj.contains(&j));
+        ((i - ri.start) * (rj.end - rj.start) + (j - rj.start)) as usize
+    }
+}
+
+impl<A, P> DpApp for TiledApp<A, P>
+where
+    A: DpApp,
+    P: DagPattern + 'static,
+{
+    type Value = TileValue<A::Value>;
+
+    fn compute(
+        &self,
+        tile: VertexId,
+        tile_deps: &DepView<'_, TileValue<A::Value>>,
+    ) -> TileValue<A::Value> {
+        let geo = self.geometry.as_ref();
+        let (ri, rj) = geo.cell_bounds(tile.i, tile.j);
+        let width = (rj.end - rj.start) as usize;
+        let len = (ri.end - ri.start) as usize * width;
+        let mut cells: Vec<A::Value> = vec![A::Value::default(); len];
+        let mut done = vec![false; len];
+
+        // Intra-tile Kahn: indegree counts only same-tile dependencies.
+        let mut indegree: HashMap<u64, u32> = HashMap::new();
+        let mut ready: Vec<VertexId> = Vec::new();
+        let mut deps_buf = Vec::new();
+        for cell in geo.cells_of(tile.i, tile.j) {
+            deps_buf.clear();
+            geo.inner().dependencies(cell.i, cell.j, &mut deps_buf);
+            let local = deps_buf
+                .iter()
+                .filter(|d| geo.tile_of(d.i, d.j) == tile)
+                .count() as u32;
+            if local == 0 {
+                ready.push(cell);
+            } else {
+                indegree.insert(cell.pack(), local);
+            }
+        }
+
+        let mut dep_vals: Vec<A::Value> = Vec::new();
+        let mut anti_buf = Vec::new();
+        while let Some(cell) = ready.pop() {
+            deps_buf.clear();
+            geo.inner().dependencies(cell.i, cell.j, &mut deps_buf);
+            dep_vals.clear();
+            for d in &deps_buf {
+                let home = geo.tile_of(d.i, d.j);
+                let v = if home == tile {
+                    let idx = Self::cell_index(geo, tile, d.i, d.j);
+                    debug_assert!(done[idx], "intra-tile order violated at {d}");
+                    cells[idx].clone()
+                } else {
+                    let neighbour = tile_deps
+                        .get(home.i, home.j)
+                        .unwrap_or_else(|| panic!("tile {home} missing for cell dep {d}"));
+                    neighbour.cells[Self::cell_index(geo, home, d.i, d.j)].clone()
+                };
+                dep_vals.push(v);
+            }
+            let view = DepView::new(&deps_buf, &dep_vals);
+            let value = self.inner.compute(cell, &view);
+            let idx = Self::cell_index(geo, tile, cell.i, cell.j);
+            cells[idx] = value;
+            done[idx] = true;
+
+            anti_buf.clear();
+            geo.inner().anti_dependencies(cell.i, cell.j, &mut anti_buf);
+            for t in &anti_buf {
+                if geo.tile_of(t.i, t.j) != tile {
+                    continue;
+                }
+                if let Some(slot) = indegree.get_mut(&t.pack()) {
+                    *slot -= 1;
+                    if *slot == 0 {
+                        indegree.remove(&t.pack());
+                        ready.push(*t);
+                    }
+                }
+            }
+        }
+        debug_assert!(indegree.is_empty(), "unscheduled intra-tile cells");
+        TileValue { cells }
+    }
+}
+
+/// A finished tiled run, with cell-level access.
+pub struct TiledRun<V, P> {
+    result: DagResult<TileValue<V>>,
+    geometry: Arc<TiledDag<P>>,
+}
+
+impl<V: VertexValue, P: DagPattern> TiledRun<V, P> {
+    /// The result of cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is not a cell of the underlying pattern.
+    pub fn get(&self, i: u32, j: u32) -> V {
+        self.try_get(i, j)
+            .unwrap_or_else(|| panic!("cell ({i}, {j}) was not computed"))
+    }
+
+    /// The result of cell `(i, j)`, or `None` outside the pattern.
+    pub fn try_get(&self, i: u32, j: u32) -> Option<V> {
+        if !self.geometry.inner().contains(i, j) {
+            return None;
+        }
+        let t = self.geometry.tile_of(i, j);
+        let tile = self.result.try_get(t.i, t.j)?;
+        let (ri, rj) = self.geometry.cell_bounds(t.i, t.j);
+        let idx = ((i - ri.start) * (rj.end - rj.start) + (j - rj.start)) as usize;
+        Some(tile.cells[idx].clone())
+    }
+
+    /// The tile-level result and run report.
+    pub fn tiles(&self) -> &DagResult<TileValue<V>> {
+        &self.result
+    }
+}
+
+/// Runs `app` over `pattern` with `tile × tile` blocking on the
+/// threaded engine.
+pub fn run_tiled_threaded<A, P>(
+    app: A,
+    pattern: P,
+    tile: u32,
+    config: EngineConfig,
+) -> Result<TiledRun<A::Value, P>, EngineError>
+where
+    A: DpApp + 'static,
+    P: DagPattern + Clone + 'static,
+{
+    let geometry = Arc::new(TiledDag::try_new(pattern, tile)?);
+    let tiled_app = TiledApp::new(app, geometry.clone());
+    let engine = ThreadedEngine::new(tiled_app, geometry.clone(), config);
+    let result = engine.run()?;
+    Ok(TiledRun { result, geometry })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx10_dag::builtin::{Grid3, IntervalUpper};
+    use dpx10_dag::KnapsackDag;
+
+    struct MixApp;
+
+    impl DpApp for MixApp {
+        type Value = u64;
+        fn compute(&self, id: VertexId, deps: &DepView<'_, u64>) -> u64 {
+            let mut acc = 0x9E37_79B9_u64.wrapping_mul(id.pack() | 1).rotate_left(7);
+            for (did, v) in deps.iter() {
+                acc = acc
+                    .wrapping_add(v.rotate_left((did.i % 31) + 1))
+                    .wrapping_mul(0x100_0000_01B3);
+            }
+            acc
+        }
+    }
+
+    fn untiled_oracle(pattern: &dyn DagPattern) -> std::collections::HashMap<VertexId, u64> {
+        let order = dpx10_dag::topological_order(pattern).unwrap();
+        let mut out = std::collections::HashMap::new();
+        let mut deps = Vec::new();
+        for id in order {
+            deps.clear();
+            pattern.dependencies(id.i, id.j, &mut deps);
+            let vals: Vec<u64> = deps.iter().map(|d| out[d]).collect();
+            out.insert(id, MixApp.compute(id, &DepView::new(&deps, &vals)));
+        }
+        out
+    }
+
+    #[test]
+    fn tiled_grid3_matches_untiled() {
+        let expect = untiled_oracle(&Grid3::new(13, 11));
+        for tile in [1u32, 2, 4, 7, 16] {
+            let run = run_tiled_threaded(
+                MixApp,
+                Grid3::new(13, 11),
+                tile,
+                EngineConfig::flat(3),
+            )
+            .unwrap();
+            for (id, v) in &expect {
+                assert_eq!(run.try_get(id.i, id.j), Some(*v), "tile {tile} at {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_interval_matches_untiled() {
+        let expect = untiled_oracle(&IntervalUpper::new(12));
+        let run = run_tiled_threaded(MixApp, IntervalUpper::new(12), 3, EngineConfig::flat(2))
+            .unwrap();
+        for (id, v) in &expect {
+            assert_eq!(run.try_get(id.i, id.j), Some(*v), "{id}");
+        }
+        assert_eq!(run.try_get(11, 0), None, "lower triangle stays masked");
+    }
+
+    #[test]
+    fn tiled_knapsack_matches_untiled() {
+        let weights = vec![3u32, 1, 4, 2];
+        let expect = untiled_oracle(&KnapsackDag::new(weights.clone(), 10));
+        let run = run_tiled_threaded(
+            MixApp,
+            KnapsackDag::new(weights, 10),
+            4,
+            EngineConfig::flat(2),
+        )
+        .unwrap();
+        for (id, v) in &expect {
+            assert_eq!(run.try_get(id.i, id.j), Some(*v), "{id}");
+        }
+    }
+
+    #[test]
+    fn tiling_reduces_scheduled_vertices() {
+        let untiled = ThreadedEngine::new(MixApp, Grid3::new(16, 16), EngineConfig::flat(2))
+            .run()
+            .unwrap();
+        let tiled = run_tiled_threaded(MixApp, Grid3::new(16, 16), 4, EngineConfig::flat(2))
+            .unwrap();
+        assert_eq!(untiled.report().vertices_total, 256);
+        assert_eq!(tiled.tiles().report().vertices_total, 16);
+    }
+
+    #[test]
+    fn pyramid_tiling_surfaces_error() {
+        use dpx10_dag::builtin::Pyramid;
+        let err = match run_tiled_threaded(MixApp, Pyramid::new(8, 8), 2, EngineConfig::flat(2)) {
+            Err(e) => e,
+            Ok(_) => panic!("pyramid tiling must be rejected"),
+        };
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn tile_value_codec_round_trips() {
+        let tv = TileValue {
+            cells: vec![1u64, 2, 3],
+        };
+        let mut buf = Vec::new();
+        tv.encode(&mut buf);
+        assert_eq!(buf.len(), tv.wire_size());
+        let mut src = buf.as_slice();
+        assert_eq!(TileValue::<u64>::decode(&mut src), Some(tv));
+    }
+}

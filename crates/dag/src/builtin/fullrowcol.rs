@@ -1,0 +1,118 @@
+//! Fig. 5 (h): full previous-row-and-column dependencies (2D/1D type).
+
+use super::Rect;
+use crate::{DagPattern, VertexId};
+
+/// Each vertex `(i, j)` depends on **every** earlier cell in its row
+/// (`(i, k)` for `k < j`) and **every** earlier cell in its column
+/// (`(k, j)` for `k < i`).
+///
+/// This is the dependency closure of 2D/1D recurrences such as matrix-chain
+/// multiplication or optimal binary search trees (paper Algorithm 3.2
+/// shape). The paper notes DPX10 *can express* `2D/iD (i ≥ 1)` recurrences
+/// but that "the performance is less than satisfactory" (§III) — the
+/// O(n) indegree per vertex shown here is exactly why, and the benches
+/// quantify it.
+#[derive(Clone, Copy, Debug)]
+pub struct FullPrevRowCol {
+    rect: Rect,
+}
+
+impl FullPrevRowCol {
+    /// Creates the pattern for a `height × width` matrix.
+    pub fn new(height: u32, width: u32) -> Self {
+        FullPrevRowCol {
+            rect: Rect::new(height, width),
+        }
+    }
+}
+
+impl DagPattern for FullPrevRowCol {
+    fn height(&self) -> u32 {
+        self.rect.height
+    }
+
+    fn width(&self) -> u32 {
+        self.rect.width
+    }
+
+    fn dependencies(&self, i: u32, j: u32, out: &mut Vec<VertexId>) {
+        debug_assert!(self.rect.contains(i, j));
+        out.reserve((i + j) as usize);
+        for k in 0..j {
+            out.push(VertexId::new(i, k));
+        }
+        for k in 0..i {
+            out.push(VertexId::new(k, j));
+        }
+    }
+
+    fn anti_dependencies(&self, i: u32, j: u32, out: &mut Vec<VertexId>) {
+        debug_assert!(self.rect.contains(i, j));
+        out.reserve((self.rect.width - j + self.rect.height - i) as usize);
+        for k in j + 1..self.rect.width {
+            out.push(VertexId::new(i, k));
+        }
+        for k in i + 1..self.rect.height {
+            out.push(VertexId::new(k, j));
+        }
+    }
+
+    fn indegree(&self, i: u32, j: u32) -> u32 {
+        i + j
+    }
+
+    fn name(&self) -> &str {
+        "full-prev-row-col"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_source() {
+        let p = FullPrevRowCol::new(3, 3);
+        assert_eq!(p.indegree(0, 0), 0);
+        assert_eq!(p.indegree(2, 2), 4);
+    }
+
+    #[test]
+    fn deps_cover_row_and_column_prefixes() {
+        let p = FullPrevRowCol::new(3, 4);
+        let mut deps = Vec::new();
+        p.dependencies(2, 1, &mut deps);
+        deps.sort();
+        assert_eq!(
+            deps,
+            vec![
+                VertexId::new(0, 1),
+                VertexId::new(1, 1),
+                VertexId::new(2, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn anti_deps_cover_row_and_column_suffixes() {
+        let p = FullPrevRowCol::new(3, 3);
+        let mut anti = Vec::new();
+        p.anti_dependencies(1, 1, &mut anti);
+        anti.sort();
+        assert_eq!(anti, vec![VertexId::new(1, 2), VertexId::new(2, 1)]);
+    }
+
+    #[test]
+    fn indegree_closed_form_matches_enumeration() {
+        let p = FullPrevRowCol::new(4, 4);
+        let mut buf = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                buf.clear();
+                p.dependencies(i, j, &mut buf);
+                assert_eq!(p.indegree(i, j), buf.len() as u32);
+            }
+        }
+    }
+}

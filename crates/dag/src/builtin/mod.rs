@@ -1,0 +1,41 @@
+//! The eight built-in DAG patterns (paper §VI-B, Fig. 5).
+//!
+//! Every pattern is a zero-allocation value type parameterised only by its
+//! size, so a pattern can describe a billion-vertex graph in 8 bytes.
+
+mod colwave;
+mod diagonal;
+mod fullrowcol;
+mod grid2;
+mod grid3;
+mod interval;
+mod pyramid;
+mod rowwave;
+
+pub use colwave::ColWave;
+pub use diagonal::Diagonal;
+pub use fullrowcol::FullPrevRowCol;
+pub use grid2::Grid2;
+pub use grid3::Grid3;
+pub use interval::IntervalUpper;
+pub use pyramid::Pyramid;
+pub use rowwave::RowWave;
+
+/// Shared rectangular-bounds helper embedded in each grid-shaped pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Rect {
+    pub height: u32,
+    pub width: u32,
+}
+
+impl Rect {
+    pub(crate) fn new(height: u32, width: u32) -> Self {
+        assert!(height > 0 && width > 0, "pattern must be non-empty");
+        Rect { height, width }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, i: u32, j: u32) -> bool {
+        i < self.height && j < self.width
+    }
+}

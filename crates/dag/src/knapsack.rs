@@ -1,0 +1,185 @@
+//! The 0/1-Knapsack DAG pattern (paper §VII-B, Figs. 8–9).
+//!
+//! Unlike the eight built-ins, the edge set here is **data-dependent**: the
+//! second parent of `(i, j)` is `(i-1, j - w_i)`, a jump whose length is
+//! the weight of item `i`. The paper uses this pattern both as its custom-
+//! pattern tutorial and as the fourth evaluation application (0/1KP), the
+//! one with "nondeterministic dependencies" that scales worst in Fig. 10.
+
+use crate::{DagPattern, VertexId};
+
+/// DAG pattern for the 0/1 Knapsack recurrence
+/// `m(i,j) = max(m(i-1,j), m(i-1, j-w_i) + v_i)`.
+///
+/// Row `i` corresponds to "items considered up to `i`" (`0 ..= n_items`),
+/// column `j` to remaining capacity (`0 ..= capacity`). Row 0 holds the
+/// zero-item base case and has no dependencies, mirroring the paper's
+/// `KnapsackDag` (Fig. 9).
+#[derive(Clone, Debug)]
+pub struct KnapsackDag {
+    /// `weights[k]` is the weight of item `k+1` (items are 1-based in the
+    /// recurrence, exactly as the paper's `Knapsack.weight(i-1)` indexing).
+    weights: Vec<u32>,
+    capacity: u32,
+}
+
+impl KnapsackDag {
+    /// Creates the pattern for the given item weights and knapsack
+    /// capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is zero (the recurrence
+    /// requires strictly positive integer weights, paper §VII-B).
+    pub fn new(weights: Vec<u32>, capacity: u32) -> Self {
+        assert!(!weights.is_empty(), "knapsack needs at least one item");
+        assert!(
+            weights.iter().all(|&w| w > 0),
+            "knapsack weights must be strictly positive"
+        );
+        KnapsackDag { weights, capacity }
+    }
+
+    /// Weight of (1-based) item `i`.
+    #[inline]
+    fn weight(&self, i: u32) -> u32 {
+        self.weights[(i - 1) as usize]
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u32 {
+        self.weights.len() as u32
+    }
+
+    /// Knapsack capacity `W`.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+}
+
+impl DagPattern for KnapsackDag {
+    fn height(&self) -> u32 {
+        self.items() + 1
+    }
+
+    fn width(&self) -> u32 {
+        self.capacity + 1
+    }
+
+    fn dependencies(&self, i: u32, j: u32, out: &mut Vec<VertexId>) {
+        debug_assert!(self.contains(i, j));
+        if i == 0 {
+            return; // base row: m(0, j) = 0
+        }
+        out.push(VertexId::new(i - 1, j));
+        let w = self.weight(i);
+        if w <= j {
+            out.push(VertexId::new(i - 1, j - w));
+        }
+    }
+
+    fn anti_dependencies(&self, i: u32, j: u32, out: &mut Vec<VertexId>) {
+        debug_assert!(self.contains(i, j));
+        if i == self.items() {
+            return; // last row: nothing below
+        }
+        // (i+1, j) always takes m(i, j) as its "skip item i+1" parent.
+        out.push(VertexId::new(i + 1, j));
+        // (i+1, j + w_{i+1}) takes m(i, j) as its "take item i+1" parent.
+        let w = self.weight(i + 1);
+        if j + w <= self.capacity {
+            out.push(VertexId::new(i + 1, j + w));
+        }
+    }
+
+    fn indegree(&self, i: u32, j: u32) -> u32 {
+        if i == 0 {
+            0
+        } else {
+            1 + (self.weight(i) <= j) as u32
+        }
+    }
+
+    fn name(&self) -> &str {
+        "knapsack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KnapsackDag {
+        // 3 items of weights 2, 1, 3; capacity 4.
+        KnapsackDag::new(vec![2, 1, 3], 4)
+    }
+
+    #[test]
+    fn shape_is_items_plus_one_by_capacity_plus_one() {
+        let p = sample();
+        assert_eq!(p.height(), 4);
+        assert_eq!(p.width(), 5);
+        assert_eq!(p.vertex_count(), 20);
+    }
+
+    #[test]
+    fn base_row_has_no_dependencies() {
+        let p = sample();
+        let mut deps = Vec::new();
+        for j in 0..5 {
+            deps.clear();
+            p.dependencies(0, j, &mut deps);
+            assert!(deps.is_empty());
+        }
+    }
+
+    #[test]
+    fn take_branch_appears_when_capacity_allows() {
+        let p = sample();
+        let mut deps = Vec::new();
+        // Item 1 has weight 2: vertex (1, 1) cannot take it.
+        p.dependencies(1, 1, &mut deps);
+        assert_eq!(deps, vec![VertexId::new(0, 1)]);
+        // Vertex (1, 3) can: depends on (0, 3) and (0, 1).
+        deps.clear();
+        p.dependencies(1, 3, &mut deps);
+        assert_eq!(deps, vec![VertexId::new(0, 3), VertexId::new(0, 1)]);
+    }
+
+    #[test]
+    fn anti_deps_mirror_paper_fig9() {
+        let p = sample();
+        let mut anti = Vec::new();
+        // From row 0, item 1 (weight 2) consumes (0, j) at (1, j) and
+        // (1, j+2).
+        p.anti_dependencies(0, 1, &mut anti);
+        assert_eq!(anti, vec![VertexId::new(1, 1), VertexId::new(1, 3)]);
+        // Capacity-clipped: (0, 4) only feeds (1, 4).
+        anti.clear();
+        p.anti_dependencies(0, 4, &mut anti);
+        assert_eq!(anti, vec![VertexId::new(1, 4)]);
+        // Last row has no anti-dependencies.
+        anti.clear();
+        p.anti_dependencies(3, 2, &mut anti);
+        assert!(anti.is_empty());
+    }
+
+    #[test]
+    fn indegree_closed_form_matches_enumeration() {
+        let p = sample();
+        let mut buf = Vec::new();
+        for i in 0..p.height() {
+            for j in 0..p.width() {
+                buf.clear();
+                p.dependencies(i, j, &mut buf);
+                assert_eq!(p.indegree(i, j), buf.len() as u32, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_weight_rejected() {
+        let _ = KnapsackDag::new(vec![1, 0], 4);
+    }
+}

@@ -1,0 +1,61 @@
+//! DAG pattern library for the DPX10 reproduction.
+//!
+//! A dynamic-programming recurrence is described to the framework as a
+//! *DAG pattern*: an implicit directed acyclic graph over the cells of a
+//! 2-D matrix. Each vertex `(i, j)` is one cell; edges encode the data
+//! dependencies of the recurrence (paper §IV–V, Figs. 3, 5 and 8).
+//!
+//! The framework never materialises the edge set. Instead a pattern answers
+//! two queries, mirroring the paper's `getDependency()` /
+//! `getAntiDependency()` API:
+//!
+//! * [`DagPattern::dependencies`] — vertices that must complete **before**
+//!   `(i, j)` may run, and
+//! * [`DagPattern::anti_dependencies`] — vertices whose indegree must be
+//!   decremented **after** `(i, j)` completes.
+//!
+//! Eight commonly used patterns ship with the library ([`builtin`]), the
+//! data-dependent 0/1-Knapsack pattern (paper Fig. 8) lives in
+//! [`knapsack`], and arbitrary recurrences can be expressed with
+//! [`custom::CustomDag`].
+//!
+//! # Example
+//!
+//! ```
+//! use dpx10_dag::{DagPattern, VertexId, builtin::Grid3};
+//!
+//! // The LCS / Smith-Waterman pattern (paper Fig. 5 (b)).
+//! let dag = Grid3::new(4, 4);
+//! let mut deps = Vec::new();
+//! dag.dependencies(2, 2, &mut deps);
+//! assert_eq!(deps, vec![
+//!     VertexId::new(1, 2),
+//!     VertexId::new(2, 1),
+//!     VertexId::new(1, 1),
+//! ]);
+//! // Vertex (0, 0) has no dependencies: it is a DAG source.
+//! deps.clear();
+//! dag.dependencies(0, 0, &mut deps);
+//! assert!(deps.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builtin;
+pub mod custom;
+pub mod extra;
+pub mod knapsack;
+pub mod pattern;
+pub mod tiled;
+pub mod topo;
+pub mod validate;
+pub mod vertex;
+
+pub use custom::CustomDag;
+pub use extra::{BandedGrid3, IntervalSplits};
+pub use knapsack::KnapsackDag;
+pub use pattern::{BuiltinKind, DagPattern};
+pub use tiled::TiledDag;
+pub use topo::{critical_path_len, topological_order, wavefront_profile};
+pub use validate::{validate_pattern, ValidationError};
+pub use vertex::VertexId;

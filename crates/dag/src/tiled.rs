@@ -1,0 +1,296 @@
+//! Tiled (blocked) DAG patterns.
+//!
+//! Per-vertex scheduling costs the framework a constant per cell
+//! (quantified by Fig. 12 and the `micro` benches); the classic remedy —
+//! used by EasyPDP's block DAGs and by hand-tuned wavefront codes — is
+//! to group a `t × t` block of cells into one macro-vertex. [`TiledDag`]
+//! derives the tile-level DAG from *any* underlying [`DagPattern`]
+//! automatically, so every pattern in the library (and any custom one)
+//! can be run blocked without re-deriving its dependency structure. The
+//! matching application adapter lives in `dpx10_core::tiled`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{DagPattern, VertexId};
+
+/// Rectangular blocking of this pattern at the given tile size induces
+/// a cycle between tiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TilingCycle {
+    /// The offending tile size.
+    pub tile: u32,
+}
+
+impl fmt::Display for TilingCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rectangular {0}x{0} tiling induces a cycle between tiles",
+            self.tile
+        )
+    }
+}
+
+impl std::error::Error for TilingCycle {}
+
+/// A tile-level view of an underlying pattern: tile `(I, J)` covers the
+/// cells `i ∈ [I·t, min((I+1)·t, h))`, `j ∈ [J·t, min((J+1)·t, w))`, and
+/// exists iff it covers at least one cell of the underlying pattern.
+///
+/// Tile `(A, B)` is a dependency of tile `(I, J)` iff some covered cell
+/// of `(I, J)` depends on some covered cell of `(A, B)` — computed by
+/// scanning the covered cells' queries, so the derived pattern inherits
+/// the underlying contract (validated in tests for the whole library).
+///
+/// Not every pattern tiles: if cells of two tiles depend on each other
+/// (e.g. the [`crate::builtin::Pyramid`] stencil, whose `(i-1, j-1)`
+/// and `(i-1, j+1)` edges point into *both* horizontal neighbours),
+/// rectangular blocking creates a tile-level cycle. [`TiledDag::try_new`]
+/// detects this and refuses; such patterns need skewed tiles, which is
+/// out of scope here.
+#[derive(Clone, Debug)]
+pub struct TiledDag<P> {
+    inner: P,
+    tile: u32,
+    tiles_high: u32,
+    tiles_wide: u32,
+}
+
+impl<P: DagPattern> TiledDag<P> {
+    /// Wraps `inner` with `tile × tile` blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocking induces a tile-level cycle; use
+    /// [`TiledDag::try_new`] to handle that case.
+    pub fn new(inner: P, tile: u32) -> Self {
+        TiledDag::try_new(inner, tile).expect("pattern admits rectangular tiling")
+    }
+
+    /// Wraps `inner` with `tile × tile` blocking, or reports that the
+    /// blocking would be cyclic.
+    pub fn try_new(inner: P, tile: u32) -> Result<Self, TilingCycle> {
+        assert!(tile > 0, "tile size must be positive");
+        let tiles_high = inner.height().div_ceil(tile);
+        let tiles_wide = inner.width().div_ceil(tile);
+        let tiled = TiledDag {
+            inner,
+            tile,
+            tiles_high,
+            tiles_wide,
+        };
+        if crate::topo::topological_order(&tiled).is_none() {
+            return Err(TilingCycle { tile });
+        }
+        Ok(tiled)
+    }
+
+    /// Tile edge length.
+    pub fn tile(&self) -> u32 {
+        self.tile
+    }
+
+    /// The wrapped pattern.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The tile owning cell `(i, j)`.
+    #[inline]
+    pub fn tile_of(&self, i: u32, j: u32) -> VertexId {
+        VertexId::new(i / self.tile, j / self.tile)
+    }
+
+    /// The cell ranges covered by tile `(ti, tj)`:
+    /// `(i0..i1, j0..j1)` clipped to the underlying matrix.
+    pub fn cell_bounds(&self, ti: u32, tj: u32) -> (std::ops::Range<u32>, std::ops::Range<u32>) {
+        let i0 = ti * self.tile;
+        let j0 = tj * self.tile;
+        (
+            i0..(i0 + self.tile).min(self.inner.height()),
+            j0..(j0 + self.tile).min(self.inner.width()),
+        )
+    }
+
+    /// Iterates the in-pattern cells covered by tile `(ti, tj)` in
+    /// row-major order.
+    pub fn cells_of(&self, ti: u32, tj: u32) -> impl Iterator<Item = VertexId> + '_ {
+        let (ri, rj) = self.cell_bounds(ti, tj);
+        ri.flat_map(move |i| {
+            rj.clone()
+                .filter(move |&j| self.inner.contains(i, j))
+                .map(move |j| VertexId::new(i, j))
+        })
+    }
+
+    /// Collects the distinct neighbour tiles of `(ti, tj)` through
+    /// `query` (dependencies or anti-dependencies of covered cells).
+    fn neighbour_tiles(
+        &self,
+        ti: u32,
+        tj: u32,
+        query: impl Fn(u32, u32, &mut Vec<VertexId>),
+        out: &mut Vec<VertexId>,
+    ) {
+        let me = VertexId::new(ti, tj);
+        let mut set: BTreeSet<u64> = BTreeSet::new();
+        let mut buf = Vec::new();
+        for cell in self.cells_of(ti, tj) {
+            buf.clear();
+            query(cell.i, cell.j, &mut buf);
+            for d in &buf {
+                let t = self.tile_of(d.i, d.j);
+                if t != me {
+                    set.insert(t.pack());
+                }
+            }
+        }
+        out.extend(set.into_iter().map(VertexId::unpack));
+    }
+}
+
+impl<P: DagPattern> DagPattern for TiledDag<P> {
+    fn height(&self) -> u32 {
+        self.tiles_high
+    }
+
+    fn width(&self) -> u32 {
+        self.tiles_wide
+    }
+
+    fn contains(&self, ti: u32, tj: u32) -> bool {
+        ti < self.tiles_high && tj < self.tiles_wide && self.cells_of(ti, tj).next().is_some()
+    }
+
+    fn dependencies(&self, ti: u32, tj: u32, out: &mut Vec<VertexId>) {
+        self.neighbour_tiles(ti, tj, |i, j, buf| self.inner.dependencies(i, j, buf), out);
+    }
+
+    fn anti_dependencies(&self, ti: u32, tj: u32, out: &mut Vec<VertexId>) {
+        self.neighbour_tiles(
+            ti,
+            tj,
+            |i, j, buf| self.inner.anti_dependencies(i, j, buf),
+            out,
+        );
+    }
+
+    fn vertex_count(&self) -> u64 {
+        let mut n = 0;
+        for ti in 0..self.tiles_high {
+            for tj in 0..self.tiles_wide {
+                n += self.contains(ti, tj) as u64;
+            }
+        }
+        n
+    }
+
+    fn name(&self) -> &str {
+        "tiled"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::{Grid3, IntervalUpper};
+    use crate::{validate_pattern, BuiltinKind, KnapsackDag};
+
+    #[test]
+    fn tiled_builtins_validate() {
+        for kind in BuiltinKind::ALL {
+            for tile in [1u32, 2, 3, 5] {
+                match TiledDag::try_new(kind.instantiate(11, 9), tile) {
+                    Ok(p) => validate_pattern(&p)
+                        .unwrap_or_else(|e| panic!("{kind:?} tile {tile}: {e}")),
+                    Err(_) => assert!(
+                        kind == BuiltinKind::Pyramid && tile > 1,
+                        "only the pyramid stencil refuses tiling, not {kind:?} at {tile}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pyramid_tiling_rejected_with_clear_error() {
+        use crate::builtin::Pyramid;
+        let err = TiledDag::try_new(Pyramid::new(8, 8), 2).unwrap_err();
+        assert_eq!(err.tile, 2);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn tiled_knapsack_validates() {
+        let p = TiledDag::new(KnapsackDag::new(vec![2, 5, 3], 11), 4);
+        validate_pattern(&p).unwrap();
+    }
+
+    #[test]
+    fn tile_of_and_bounds() {
+        let p = TiledDag::new(Grid3::new(10, 10), 4);
+        assert_eq!(p.height(), 3);
+        assert_eq!(p.width(), 3);
+        assert_eq!(p.tile_of(0, 0), VertexId::new(0, 0));
+        assert_eq!(p.tile_of(9, 4), VertexId::new(2, 1));
+        let (ri, rj) = p.cell_bounds(2, 2);
+        assert_eq!((ri.start, ri.end), (8, 10));
+        assert_eq!((rj.start, rj.end), (8, 10));
+    }
+
+    #[test]
+    fn grid3_tiles_have_grid3_structure() {
+        // Tiling a grid wavefront yields a coarser grid wavefront.
+        let p = TiledDag::new(Grid3::new(12, 12), 4);
+        let mut deps = Vec::new();
+        p.dependencies(1, 1, &mut deps);
+        deps.sort();
+        assert_eq!(
+            deps,
+            vec![
+                VertexId::new(0, 0),
+                VertexId::new(0, 1),
+                VertexId::new(1, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn tile_size_one_is_identity() {
+        let inner = Grid3::new(5, 7);
+        let p = TiledDag::new(Grid3::new(5, 7), 1);
+        assert_eq!(p.vertex_count(), inner.vertex_count());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for i in 0..5 {
+            for j in 0..7 {
+                a.clear();
+                b.clear();
+                p.dependencies(i, j, &mut a);
+                inner.dependencies(i, j, &mut b);
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_pattern_tiles_skip_empty_blocks() {
+        // The lower-left tiles of an interval pattern cover no cells.
+        let p = TiledDag::new(IntervalUpper::new(12), 4);
+        assert!(p.contains(0, 0));
+        assert!(p.contains(0, 2));
+        assert!(!p.contains(2, 0), "tile fully below the diagonal");
+        validate_pattern(&p).unwrap();
+    }
+
+    #[test]
+    fn huge_tile_collapses_to_single_vertex() {
+        let p = TiledDag::new(Grid3::new(6, 6), 100);
+        assert_eq!(p.vertex_count(), 1);
+        let mut deps = Vec::new();
+        p.dependencies(0, 0, &mut deps);
+        assert!(deps.is_empty());
+    }
+}

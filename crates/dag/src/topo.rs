@@ -1,0 +1,231 @@
+//! Topology utilities: vertex enumeration, Kahn ordering, wavefront and
+//! critical-path analysis.
+//!
+//! These walk the *whole* graph and are meant for tests, validation and
+//! offline analysis at moderate sizes — the runtime engines never
+//! materialise the graph.
+
+use crate::{DagPattern, VertexId};
+
+/// Calls `f` for every vertex of `pattern`, in row-major order.
+pub fn for_each_vertex<P: DagPattern + ?Sized>(pattern: &P, mut f: impl FnMut(VertexId)) {
+    for i in 0..pattern.height() {
+        for j in 0..pattern.width() {
+            if pattern.contains(i, j) {
+                f(VertexId::new(i, j));
+            }
+        }
+    }
+}
+
+/// Collects all vertices in row-major order.
+pub fn all_vertices<P: DagPattern + ?Sized>(pattern: &P) -> Vec<VertexId> {
+    let mut v = Vec::with_capacity(pattern.vertex_count() as usize);
+    for_each_vertex(pattern, |id| v.push(id));
+    v
+}
+
+/// Computes a topological order of the pattern with Kahn's algorithm.
+///
+/// Returns `None` if the pattern is cyclic or if some vertex can never be
+/// scheduled (its indegree never reaches zero) — either means the pattern
+/// violates the [`DagPattern`] contract.
+pub fn topological_order<P: DagPattern + ?Sized>(pattern: &P) -> Option<Vec<VertexId>> {
+    let total = pattern.vertex_count() as usize;
+    let index = VertexIndex::new(pattern);
+    let mut indegree = vec![0u32; total];
+    for_each_vertex(pattern, |id| {
+        indegree[index.of(id)] = pattern.indegree(id.i, id.j);
+    });
+
+    let mut order = Vec::with_capacity(total);
+    let mut queue: Vec<VertexId> = Vec::new();
+    for_each_vertex(pattern, |id| {
+        if indegree[index.of(id)] == 0 {
+            queue.push(id);
+        }
+    });
+
+    let mut anti = Vec::new();
+    while let Some(id) = queue.pop() {
+        order.push(id);
+        anti.clear();
+        pattern.anti_dependencies(id.i, id.j, &mut anti);
+        for &succ in &anti {
+            let slot = &mut indegree[index.of(succ)];
+            debug_assert!(*slot > 0, "anti-dependency underflow at {succ}");
+            *slot -= 1;
+            if *slot == 0 {
+                queue.push(succ);
+            }
+        }
+    }
+
+    (order.len() == total).then_some(order)
+}
+
+/// The *wavefront profile*: `profile[s]` is the number of vertices whose
+/// longest dependency chain from a source has length `s`.
+///
+/// The profile length is the critical-path length in steps; its maximum is
+/// the peak available parallelism. For an `n × n` [`crate::builtin::Grid3`]
+/// the profile is the anti-diagonal lengths `1, 2, …, n, …, 2, 1`.
+pub fn wavefront_profile<P: DagPattern + ?Sized>(pattern: &P) -> Vec<u64> {
+    let index = VertexIndex::new(pattern);
+    let mut level = vec![0u32; pattern.vertex_count() as usize];
+    let order = topological_order(pattern).expect("pattern must be acyclic");
+    let mut deps = Vec::new();
+    let mut profile: Vec<u64> = Vec::new();
+    // `topological_order` guarantees deps precede dependents, but the order
+    // it returns is LIFO; levels only need deps-before-use, which holds.
+    for id in order {
+        deps.clear();
+        pattern.dependencies(id.i, id.j, &mut deps);
+        let lvl = deps
+            .iter()
+            .map(|d| level[index.of(*d)] + 1)
+            .max()
+            .unwrap_or(0);
+        level[index.of(id)] = lvl;
+        let lvl = lvl as usize;
+        if profile.len() <= lvl {
+            profile.resize(lvl + 1, 0);
+        }
+        profile[lvl] += 1;
+    }
+    profile
+}
+
+/// Length (in vertices) of the longest dependency chain — the number of
+/// inherently sequential steps, a lower bound on parallel makespan.
+pub fn critical_path_len<P: DagPattern + ?Sized>(pattern: &P) -> u64 {
+    wavefront_profile(pattern).len() as u64
+}
+
+/// Dense index of the (possibly masked) vertex set, for analysis passes.
+struct VertexIndex {
+    width: u32,
+    /// `slot[i*width + j]` = dense index, or `u32::MAX` outside the mask.
+    slot: Vec<u32>,
+}
+
+impl VertexIndex {
+    fn new<P: DagPattern + ?Sized>(pattern: &P) -> Self {
+        let (h, w) = (pattern.height() as usize, pattern.width() as usize);
+        let mut slot = vec![u32::MAX; h * w];
+        let mut next = 0u32;
+        for i in 0..pattern.height() {
+            for j in 0..pattern.width() {
+                if pattern.contains(i, j) {
+                    slot[i as usize * w + j as usize] = next;
+                    next += 1;
+                }
+            }
+        }
+        VertexIndex {
+            width: pattern.width(),
+            slot,
+        }
+    }
+
+    #[inline]
+    fn of(&self, id: VertexId) -> usize {
+        let s = self.slot[id.i as usize * self.width as usize + id.j as usize];
+        debug_assert_ne!(s, u32::MAX, "vertex {id} outside the pattern");
+        s as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::*;
+    use crate::{BuiltinKind, KnapsackDag};
+
+    #[test]
+    fn topo_order_exists_for_all_builtins() {
+        for kind in BuiltinKind::ALL {
+            let p = kind.instantiate(7, 7);
+            let order = topological_order(&p).unwrap_or_else(|| panic!("{kind:?} cyclic"));
+            assert_eq!(order.len() as u64, p.vertex_count());
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let p = Grid3::new(6, 6);
+        let order = topological_order(&p).unwrap();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(k, &v)| (v, k)).collect();
+        let mut deps = Vec::new();
+        for &v in &order {
+            deps.clear();
+            p.dependencies(v.i, v.j, &mut deps);
+            for d in &deps {
+                assert!(pos[d] < pos[&v], "{d} must precede {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid3_wavefront_is_antidiagonals() {
+        let p = Grid3::new(4, 4);
+        assert_eq!(wavefront_profile(&p), vec![1, 2, 3, 4, 3, 2, 1]);
+        assert_eq!(critical_path_len(&p), 7);
+    }
+
+    #[test]
+    fn diagonal_pattern_has_max_parallelism() {
+        let p = Diagonal::new(4, 4);
+        // Chains of length <= 4; level s holds all cells (i,j) with
+        // min(i,j) == s.
+        assert_eq!(wavefront_profile(&p), vec![7, 5, 3, 1]);
+    }
+
+    #[test]
+    fn rowwave_levels_are_columns() {
+        let p = RowWave::new(3, 5);
+        assert_eq!(wavefront_profile(&p), vec![3; 5]);
+    }
+
+    #[test]
+    fn interval_levels_are_bands() {
+        let p = IntervalUpper::new(5);
+        // Band `j - i = s` has `n - s` cells.
+        assert_eq!(wavefront_profile(&p), vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn knapsack_levels_are_rows() {
+        let p = KnapsackDag::new(vec![2, 3, 1], 6);
+        // Every row only depends on the previous row.
+        assert_eq!(wavefront_profile(&p), vec![7; 4]);
+    }
+
+    #[test]
+    fn pyramid_levels_are_rows() {
+        let p = Pyramid::new(4, 6);
+        assert_eq!(wavefront_profile(&p), vec![6; 4]);
+    }
+
+    #[test]
+    fn fullrowcol_critical_path() {
+        let p = FullPrevRowCol::new(3, 3);
+        // Longest chain walks alternating row/column steps: length i+j+1.
+        assert_eq!(critical_path_len(&p), 5);
+    }
+
+    #[test]
+    fn all_vertices_row_major() {
+        let p = Grid2::new(2, 2);
+        assert_eq!(
+            all_vertices(&p),
+            vec![
+                VertexId::new(0, 0),
+                VertexId::new(0, 1),
+                VertexId::new(1, 0),
+                VertexId::new(1, 1)
+            ]
+        );
+    }
+}

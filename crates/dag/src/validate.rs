@@ -1,0 +1,360 @@
+//! Pattern validation against the [`DagPattern`] contract.
+//!
+//! Custom patterns are the framework's main extension point (paper §V-A),
+//! and a wrong `getAntiDependency` silently deadlocks or corrupts a run.
+//! [`validate_pattern`] exhaustively checks a pattern at its configured
+//! size; tests call it on small instances of every shipped pattern, and
+//! the engines call it in debug builds.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::topo::{for_each_vertex, topological_order};
+use crate::{DagPattern, VertexId};
+
+/// A violation of the [`DagPattern`] contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A query returned a vertex outside the pattern.
+    OutOfPattern {
+        /// Vertex whose query misbehaved.
+        at: VertexId,
+        /// The out-of-pattern id that was returned.
+        returned: VertexId,
+        /// Which query returned it.
+        query: QueryKind,
+    },
+    /// `d ∈ dependencies(v)` but `v ∉ anti_dependencies(d)`.
+    MissingAntiDependency {
+        /// The dependent vertex `v`.
+        vertex: VertexId,
+        /// The dependency `d` that fails to list `v` back.
+        dependency: VertexId,
+    },
+    /// `v ∈ anti_dependencies(d)` but `d ∉ dependencies(v)`.
+    SpuriousAntiDependency {
+        /// The vertex `d` whose anti-dependency list is wrong.
+        vertex: VertexId,
+        /// The listed dependent `v` that does not declare `d`.
+        dependent: VertexId,
+    },
+    /// A query returned the same id twice for one vertex.
+    DuplicateEdge {
+        /// Vertex whose query misbehaved.
+        at: VertexId,
+        /// The duplicated id.
+        returned: VertexId,
+        /// Which query returned it.
+        query: QueryKind,
+    },
+    /// A vertex listed itself as its own dependency.
+    SelfLoop {
+        /// The offending vertex.
+        at: VertexId,
+    },
+    /// The edge relation contains a cycle (or an unreachable vertex).
+    Cyclic,
+    /// `indegree(i, j)` disagrees with `dependencies(i, j).len()`.
+    IndegreeMismatch {
+        /// The offending vertex.
+        at: VertexId,
+        /// Value reported by `indegree`.
+        reported: u32,
+        /// Number of ids actually returned by `dependencies`.
+        actual: u32,
+    },
+}
+
+/// Which pattern query produced an invalid answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// `dependencies()`.
+    Dependencies,
+    /// `anti_dependencies()`.
+    AntiDependencies,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::OutOfPattern { at, returned, query } => write!(
+                f,
+                "{query:?} of {at} returned {returned}, which is outside the pattern"
+            ),
+            ValidationError::MissingAntiDependency { vertex, dependency } => write!(
+                f,
+                "{vertex} depends on {dependency}, but {dependency} does not list it back"
+            ),
+            ValidationError::SpuriousAntiDependency { vertex, dependent } => write!(
+                f,
+                "{vertex} lists dependent {dependent}, which does not depend on it"
+            ),
+            ValidationError::DuplicateEdge { at, returned, query } => {
+                write!(f, "{query:?} of {at} returned {returned} twice")
+            }
+            ValidationError::SelfLoop { at } => write!(f, "{at} depends on itself"),
+            ValidationError::Cyclic => write!(f, "the pattern contains a dependency cycle"),
+            ValidationError::IndegreeMismatch { at, reported, actual } => write!(
+                f,
+                "indegree({at}) reports {reported} but dependencies() returns {actual} ids"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Exhaustively validates `pattern` (O(V + E) time, O(V) space).
+///
+/// Checks containment, duplicate-freedom, self-loops, the
+/// dependency/anti-dependency inversion property, `indegree` consistency
+/// and acyclicity. Returns the first violation found.
+pub fn validate_pattern<P: DagPattern + ?Sized>(pattern: &P) -> Result<(), ValidationError> {
+    let mut deps = Vec::new();
+    let mut anti = Vec::new();
+    let mut result = Ok(());
+
+    // Edge set gathered from `dependencies`, used to cross-check `anti`.
+    let mut dep_edges: HashSet<(u64, u64)> = HashSet::new();
+
+    for_each_vertex(pattern, |v| {
+        if result.is_err() {
+            return;
+        }
+        deps.clear();
+        pattern.dependencies(v.i, v.j, &mut deps);
+
+        if pattern.indegree(v.i, v.j) != deps.len() as u32 {
+            result = Err(ValidationError::IndegreeMismatch {
+                at: v,
+                reported: pattern.indegree(v.i, v.j),
+                actual: deps.len() as u32,
+            });
+            return;
+        }
+        let mut seen = HashSet::with_capacity(deps.len());
+        for &d in &deps {
+            if d == v {
+                result = Err(ValidationError::SelfLoop { at: v });
+                return;
+            }
+            if !pattern.contains(d.i, d.j) {
+                result = Err(ValidationError::OutOfPattern {
+                    at: v,
+                    returned: d,
+                    query: QueryKind::Dependencies,
+                });
+                return;
+            }
+            if !seen.insert(d) {
+                result = Err(ValidationError::DuplicateEdge {
+                    at: v,
+                    returned: d,
+                    query: QueryKind::Dependencies,
+                });
+                return;
+            }
+            dep_edges.insert((d.pack(), v.pack()));
+        }
+    });
+    result?;
+
+    let mut result = Ok(());
+    let mut anti_count = 0u64;
+    for_each_vertex(pattern, |d| {
+        if result.is_err() {
+            return;
+        }
+        anti.clear();
+        pattern.anti_dependencies(d.i, d.j, &mut anti);
+        let mut seen = HashSet::with_capacity(anti.len());
+        for &v in &anti {
+            if !pattern.contains(v.i, v.j) {
+                result = Err(ValidationError::OutOfPattern {
+                    at: d,
+                    returned: v,
+                    query: QueryKind::AntiDependencies,
+                });
+                return;
+            }
+            if !seen.insert(v) {
+                result = Err(ValidationError::DuplicateEdge {
+                    at: d,
+                    returned: v,
+                    query: QueryKind::AntiDependencies,
+                });
+                return;
+            }
+            if !dep_edges.contains(&(d.pack(), v.pack())) {
+                result = Err(ValidationError::SpuriousAntiDependency {
+                    vertex: d,
+                    dependent: v,
+                });
+                return;
+            }
+            anti_count += 1;
+        }
+    });
+    result?;
+
+    // Every dep edge must have been confirmed from the anti side.
+    if anti_count != dep_edges.len() as u64 {
+        // Find a witness for the error report.
+        let mut witness = None;
+        let mut anti = Vec::new();
+        for &(d_raw, v_raw) in &dep_edges {
+            let (d, v) = (VertexId::unpack(d_raw), VertexId::unpack(v_raw));
+            anti.clear();
+            pattern.anti_dependencies(d.i, d.j, &mut anti);
+            if !anti.contains(&v) {
+                witness = Some((v, d));
+                break;
+            }
+        }
+        let (vertex, dependency) = witness.expect("count mismatch implies a witness");
+        return Err(ValidationError::MissingAntiDependency { vertex, dependency });
+    }
+
+    if topological_order(pattern).is_none() {
+        return Err(ValidationError::Cyclic);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BuiltinKind, CustomDag, KnapsackDag};
+
+    #[test]
+    fn all_builtins_validate() {
+        for kind in BuiltinKind::ALL {
+            let p = kind.instantiate(9, 7);
+            validate_pattern(&p).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn knapsack_validates() {
+        let p = KnapsackDag::new(vec![3, 1, 4, 1, 5], 12);
+        validate_pattern(&p).unwrap();
+    }
+
+    #[test]
+    fn missing_anti_dependency_detected() {
+        let p = CustomDag::new(1, 3).with_dependencies(|_i, j, out| {
+            if j > 0 {
+                out.push(VertexId::new(0, j - 1));
+            }
+        });
+        // anti closure left empty -> inversion violated.
+        let err = validate_pattern(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::MissingAntiDependency { .. }), "{err}");
+    }
+
+    #[test]
+    fn spurious_anti_dependency_detected() {
+        let p = CustomDag::new(1, 3)
+            .with_anti_dependencies(|_i, j, out, (_h, w)| {
+                if j + 1 < w {
+                    out.push(VertexId::new(0, j + 1));
+                }
+            });
+        let err = validate_pattern(&p).unwrap_err();
+        assert!(matches!(err, ValidationError::SpuriousAntiDependency { .. }), "{err}");
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let p = CustomDag::new(2, 2)
+            .with_dependencies(|i, j, out| out.push(VertexId::new(i, j)));
+        assert_eq!(
+            validate_pattern(&p).unwrap_err(),
+            ValidationError::SelfLoop {
+                at: VertexId::new(0, 0)
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_pattern_detected() {
+        let p = CustomDag::new(2, 2)
+            .with_dependencies(|_i, _j, out| out.push(VertexId::new(9, 9)));
+        assert!(matches!(
+            validate_pattern(&p).unwrap_err(),
+            ValidationError::OutOfPattern { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_edge_detected() {
+        let p = CustomDag::new(1, 2)
+            .with_dependencies(|_i, j, out| {
+                if j == 1 {
+                    out.push(VertexId::new(0, 0));
+                    out.push(VertexId::new(0, 0));
+                }
+            })
+            .with_anti_dependencies(|_i, j, out, _| {
+                if j == 0 {
+                    out.push(VertexId::new(0, 1));
+                }
+            });
+        assert!(matches!(
+            validate_pattern(&p).unwrap_err(),
+            ValidationError::DuplicateEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // (0,0) <-> (0,1): each depends on the other, anti lists kept
+        // consistent so only the acyclicity check can catch it.
+        let p = CustomDag::new(1, 2)
+            .with_dependencies(|_i, j, out| {
+                out.push(VertexId::new(0, 1 - j));
+            })
+            .with_anti_dependencies(|_i, j, out, _| {
+                out.push(VertexId::new(0, 1 - j));
+            });
+        assert_eq!(validate_pattern(&p).unwrap_err(), ValidationError::Cyclic);
+    }
+
+    #[test]
+    fn indegree_mismatch_detected() {
+        struct Lying;
+        impl DagPattern for Lying {
+            fn height(&self) -> u32 {
+                1
+            }
+            fn width(&self) -> u32 {
+                2
+            }
+            fn dependencies(&self, _i: u32, j: u32, out: &mut Vec<VertexId>) {
+                if j == 1 {
+                    out.push(VertexId::new(0, 0));
+                }
+            }
+            fn anti_dependencies(&self, _i: u32, j: u32, out: &mut Vec<VertexId>) {
+                if j == 0 {
+                    out.push(VertexId::new(0, 1));
+                }
+            }
+            fn indegree(&self, _i: u32, _j: u32) -> u32 {
+                7 // wrong on purpose
+            }
+        }
+        assert!(matches!(
+            validate_pattern(&Lying).unwrap_err(),
+            ValidationError::IndegreeMismatch { reported: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ValidationError::SelfLoop {
+            at: VertexId::new(1, 1),
+        };
+        assert!(e.to_string().contains("(1, 1)"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the `DagPattern` contract across the whole
+//! shipped library, at randomised sizes and parameters.
+
+use dpx10_dag::{
+    builtin::*, critical_path_len, topological_order, validate_pattern, wavefront_profile,
+    BuiltinKind, KnapsackDag,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every built-in pattern satisfies the full contract at arbitrary
+    /// sizes: containment, inversion, indegree consistency, acyclicity.
+    #[test]
+    fn builtins_validate(h in 1u32..24, w in 1u32..24, kind_idx in 0usize..8) {
+        let kind = BuiltinKind::ALL[kind_idx];
+        let pattern = kind.instantiate(h, w);
+        prop_assert!(validate_pattern(&pattern).is_ok(), "{kind:?} {h}x{w}");
+    }
+
+    /// Knapsack patterns validate for arbitrary weights and capacities —
+    /// the data-dependent edges stay mutually inverse.
+    #[test]
+    fn knapsack_validates(
+        weights in proptest::collection::vec(1u32..12, 1..8),
+        capacity in 0u32..30,
+    ) {
+        let pattern = KnapsackDag::new(weights, capacity);
+        prop_assert!(validate_pattern(&pattern).is_ok());
+    }
+
+    /// The wavefront profile partitions the vertex set: its entries sum to
+    /// the vertex count, and its length (critical path) never exceeds it.
+    #[test]
+    fn wavefront_partitions_vertices(h in 1u32..16, w in 1u32..16, kind_idx in 0usize..8) {
+        use dpx10_dag::DagPattern;
+        let pattern = BuiltinKind::ALL[kind_idx].instantiate(h, w);
+        let profile = wavefront_profile(&pattern);
+        prop_assert_eq!(profile.iter().sum::<u64>(), pattern.vertex_count());
+        prop_assert!(critical_path_len(&pattern) <= pattern.vertex_count());
+        prop_assert!(profile.iter().all(|&n| n > 0));
+    }
+
+    /// A topological order visits each vertex exactly once and respects
+    /// every dependency edge.
+    #[test]
+    fn topo_order_sound(h in 1u32..12, w in 1u32..12, kind_idx in 0usize..8) {
+        use dpx10_dag::DagPattern;
+        let pattern = BuiltinKind::ALL[kind_idx].instantiate(h, w);
+        let order = topological_order(&pattern).expect("builtin must be acyclic");
+        prop_assert_eq!(order.len() as u64, pattern.vertex_count());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(k, &v)| (v, k)).collect();
+        let mut deps = Vec::new();
+        for &v in &order {
+            deps.clear();
+            pattern.dependencies(v.i, v.j, &mut deps);
+            for d in &deps {
+                prop_assert!(pos[d] < pos[&v]);
+            }
+        }
+    }
+
+    /// Grid3's critical path is exactly h + w - 1 (the anti-diagonal
+    /// count): the paper's wavefront intuition in closed form.
+    #[test]
+    fn grid3_critical_path_closed_form(h in 1u32..20, w in 1u32..20) {
+        prop_assert_eq!(critical_path_len(&Grid3::new(h, w)), (h + w - 1) as u64);
+    }
+
+    /// Knapsack's critical path is the row count: rows only depend on the
+    /// previous row, so all of Fig. 10 (d)'s lost parallelism comes from
+    /// communication, not from chain depth.
+    #[test]
+    fn knapsack_critical_path_is_rows(
+        weights in proptest::collection::vec(1u32..6, 1..7),
+        capacity in 0u32..20,
+    ) {
+        let rows = weights.len() as u64 + 1;
+        let pattern = KnapsackDag::new(weights, capacity);
+        prop_assert_eq!(critical_path_len(&pattern), rows);
+    }
+}

@@ -1,0 +1,328 @@
+//! The paper's new recovery method for distributed arrays (§VI-D).
+//!
+//! On a `DeadPlaceException` the program pauses, a **new** distributed
+//! array is created over the remaining places, and the results of
+//! finished vertices are restored *from the alive places*: a finished
+//! value survives only if its owner did not change ("the result of remote
+//! vertices will be discarded since it may take less time to recompute
+//! them rather than copy them across the network"). The user can flip
+//! that default with [`RestoreManner::CopyRemote`] "if the computation is
+//! more time-consuming than the communication" (§VI-E, *Restore manner*).
+//!
+//! Fig. 6's example is reproduced verbatim in this module's tests.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dpx10_apgas::{Codec, NetworkModel, PlaceId, Topology};
+
+use crate::array::DistArray;
+use crate::dist::Dist;
+
+/// What to do with finished vertices whose owner changed (paper §VI-E).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RestoreManner {
+    /// Discard and recompute them — the paper's default.
+    #[default]
+    RecomputeRemote,
+    /// Copy them across the network to their new owner.
+    CopyRemote,
+}
+
+/// Cost model of the recovery pass itself (used for the simulated
+/// recovery-time metric of Fig. 13 (a)).
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryCostModel {
+    /// Re-initialising one vertex of the new array (allocation + indegree
+    /// reset).
+    pub per_vertex_init: Duration,
+    /// Memory bandwidth for copying kept values within a place.
+    pub local_copy_bytes_per_sec: f64,
+}
+
+impl Default for RecoveryCostModel {
+    fn default() -> Self {
+        RecoveryCostModel {
+            per_vertex_init: Duration::from_nanos(4),
+            local_copy_bytes_per_sec: 10.0e9,
+        }
+    }
+}
+
+/// Outcome of a recovery pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Finished values kept because their owner did not change.
+    pub kept: u64,
+    /// Finished values copied to a new owner (only under
+    /// [`RestoreManner::CopyRemote`]).
+    pub migrated: u64,
+    /// Finished values discarded for recomputation.
+    pub dropped: u64,
+    /// Finished values lost with the dead place's memory.
+    pub lost: u64,
+    /// Bytes moved across the network by migration.
+    pub bytes_migrated: u64,
+    /// Simulated recovery time: the slowest place's share of the pass,
+    /// since "the recovery process is executed in parallel on all alive
+    /// places" (§VI-D).
+    pub sim_time: Duration,
+}
+
+/// Runs the paper's recovery over `old`, whose places `dead` have failed.
+///
+/// Returns the new array (distributed over the surviving places with the
+/// same scheme) plus a [`RecoveryReport`]. The caller — the engine — then
+/// resets the indegrees of unfinished vertices and resumes.
+pub fn recover<T>(
+    old: &DistArray<T>,
+    dead: &[PlaceId],
+    manner: RestoreManner,
+    topo: &Topology,
+    net: &NetworkModel,
+    costs: &RecoveryCostModel,
+) -> (DistArray<T>, RecoveryReport)
+where
+    T: Default + Clone + Codec,
+{
+    let old_dist = old.dist();
+    let alive: Vec<PlaceId> = old_dist
+        .places()
+        .iter()
+        .copied()
+        .filter(|p| !dead.contains(p))
+        .collect();
+    assert!(!alive.is_empty(), "no places left to recover onto");
+    assert!(
+        alive.contains(&PlaceId::ZERO) || !old_dist.places().contains(&PlaceId::ZERO),
+        "place 0 cannot be among the dead"
+    );
+
+    let new_dist = Arc::new(Dist::new(
+        old_dist.region(),
+        old_dist.kind().clone(),
+        alive.clone(),
+    ));
+    let mut fresh: DistArray<T> = DistArray::new(new_dist.clone());
+
+    let mut report = RecoveryReport::default();
+    // Per-new-slot simulated work, maxed at the end (parallel recovery).
+    let mut slot_work = vec![Duration::ZERO; new_dist.num_slots()];
+    // Migrations are batched: one bulk transfer per (source, destination)
+    // place pair, so the per-message latency is paid once per pair, not
+    // once per vertex.
+    let mut migrate_bytes: std::collections::BTreeMap<(PlaceId, PlaceId, usize), usize> =
+        std::collections::BTreeMap::new();
+
+    // Re-initialisation cost: every vertex of the new array is touched
+    // once (allocation, indegree reset).
+    for (s, work) in slot_work.iter_mut().enumerate() {
+        *work += costs.per_vertex_init * new_dist.chunk_len(s) as u32;
+    }
+
+    for old_slot in 0..old_dist.num_slots() {
+        let old_place = old_dist.places()[old_slot];
+        let chunk = old.chunk(old_slot);
+        for (li, (i, j)) in old_dist.iter_slot(old_slot).enumerate() {
+            if !chunk.finished[li] {
+                continue;
+            }
+            if dead.contains(&old_place) {
+                report.lost += 1;
+                continue;
+            }
+            let new_slot = new_dist.slot_of(i, j);
+            let new_place = new_dist.places()[new_slot];
+            if new_place == old_place {
+                let value = chunk.values[li].clone();
+                let bytes = value.wire_size();
+                fresh.set(i, j, value);
+                report.kept += 1;
+                slot_work[new_slot] +=
+                    Duration::from_secs_f64(bytes as f64 / costs.local_copy_bytes_per_sec);
+            } else if manner == RestoreManner::CopyRemote {
+                let value = chunk.values[li].clone();
+                let bytes = value.wire_size();
+                fresh.set(i, j, value);
+                report.migrated += 1;
+                report.bytes_migrated += bytes as u64;
+                migrate_bytes
+                    .entry((old_place, new_place, new_slot))
+                    .and_modify(|b| *b += bytes)
+                    .or_insert(bytes);
+            } else {
+                report.dropped += 1;
+            }
+        }
+    }
+
+    for ((src, dst, new_slot), bytes) in migrate_bytes {
+        slot_work[new_slot] += net.transfer_time(topo, src, dst, bytes);
+    }
+
+    report.sim_time = slot_work.into_iter().max().unwrap_or(Duration::ZERO);
+    (fresh, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DistKind;
+    use crate::region::Region2D;
+
+    fn places(n: u16) -> Vec<PlaceId> {
+        (0..n).map(PlaceId).collect()
+    }
+
+    /// The paper's Fig. 6 walk-through: 12 vertices (3 rows × 4 cols)
+    /// divided by row over 3 places; finished = {(1,1),(1,2),(2,2),(2,3)}
+    /// in the paper's 1-based indexing. Place 3 (our PlaceId(2)) dies;
+    /// rows are re-blocked over the two survivors. (1,1),(1,2) stay on
+    /// place 1 and (2,3)'s row stays on place 2, so they are kept; (2,2)
+    /// is dropped "because it was stored on the remote place".
+    #[test]
+    fn paper_fig6_walkthrough() {
+        let dist = Arc::new(Dist::new(
+            Region2D::new(3, 4),
+            DistKind::BlockRow,
+            places(3),
+        ));
+        let mut a: DistArray<i32> = DistArray::new(dist);
+        // 0-based: paper (1,1) -> (0,0); (1,2) -> (0,1); (2,2) -> (1,1);
+        // (2,3) -> (1,2).
+        a.set(0, 0, 11);
+        a.set(0, 1, 12);
+        a.set(1, 1, 22);
+        a.set(1, 2, 23);
+
+        let topo = Topology::flat(3);
+        let (fresh, report) = recover(
+            &a,
+            &[PlaceId(2)],
+            RestoreManner::RecomputeRemote,
+            &topo,
+            &NetworkModel::tianhe_like(),
+            &RecoveryCostModel::default(),
+        );
+
+        // New blocking of 3 rows over 2 places: place 0 gets rows {0, 1},
+        // place 1 gets row {2}.
+        assert_eq!(fresh.place_of(0, 0), PlaceId(0));
+        assert_eq!(fresh.place_of(1, 1), PlaceId(0));
+        assert_eq!(fresh.place_of(2, 0), PlaceId(1));
+
+        // Row 0 stayed on place 0: kept.
+        assert_eq!(fresh.get_finished(0, 0), Some(&11));
+        assert_eq!(fresh.get_finished(0, 1), Some(&12));
+        // Row 1 moved from place 1 to place 0: dropped by default.
+        assert_eq!(fresh.get_finished(1, 1), None);
+        assert_eq!(fresh.get_finished(1, 2), None);
+
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.dropped, 2);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.migrated, 0);
+    }
+
+    #[test]
+    fn copy_remote_migrates_instead_of_dropping() {
+        let dist = Arc::new(Dist::new(
+            Region2D::new(3, 4),
+            DistKind::BlockRow,
+            places(3),
+        ));
+        let mut a: DistArray<i32> = DistArray::new(dist);
+        a.set(1, 1, 22);
+        a.set(1, 2, 23);
+
+        let topo = Topology::flat(3);
+        let (fresh, report) = recover(
+            &a,
+            &[PlaceId(2)],
+            RestoreManner::CopyRemote,
+            &topo,
+            &NetworkModel::tianhe_like(),
+            &RecoveryCostModel::default(),
+        );
+        assert_eq!(fresh.get_finished(1, 1), Some(&22));
+        assert_eq!(fresh.get_finished(1, 2), Some(&23));
+        assert_eq!(report.migrated, 2);
+        assert_eq!(report.bytes_migrated, 8);
+        assert!(report.sim_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn dead_place_values_are_lost() {
+        let dist = Arc::new(Dist::new(
+            Region2D::new(3, 3),
+            DistKind::BlockRow,
+            places(3),
+        ));
+        let mut a: DistArray<i32> = DistArray::new(dist);
+        a.set(2, 0, 99); // row 2 lives on place 2
+        let topo = Topology::flat(3);
+        let (fresh, report) = recover(
+            &a,
+            &[PlaceId(2)],
+            RestoreManner::CopyRemote,
+            &topo,
+            &NetworkModel::tianhe_like(),
+            &RecoveryCostModel::default(),
+        );
+        assert_eq!(report.lost, 1);
+        assert_eq!(fresh.get_finished(2, 0), None);
+    }
+
+    #[test]
+    fn recovery_time_scales_down_with_more_places() {
+        // Fig. 13 (a): recovery on 8 nodes is about half of 4 nodes.
+        let region = Region2D::new(64, 64);
+        let run = |nplaces: u16| {
+            let dist = Arc::new(Dist::new(region, DistKind::BlockRow, places(nplaces)));
+            let mut a: DistArray<i64> = DistArray::new(dist);
+            for i in 0..32 {
+                for j in 0..64 {
+                    a.set(i, j, (i + j) as i64);
+                }
+            }
+            let topo = Topology::flat(nplaces);
+            let dead = PlaceId(nplaces - 1);
+            let (_, report) = recover(
+                &a,
+                &[dead],
+                RestoreManner::RecomputeRemote,
+                &topo,
+                &NetworkModel::tianhe_like(),
+                &RecoveryCostModel::default(),
+            );
+            report.sim_time
+        };
+        let t4 = run(4);
+        let t8 = run(8);
+        let ratio = t4.as_secs_f64() / t8.as_secs_f64();
+        assert!(
+            (1.5..=2.8).contains(&ratio),
+            "expected ~2x speedup, got {ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "place 0")]
+    fn killing_place_zero_rejected() {
+        let dist = Arc::new(Dist::new(
+            Region2D::new(2, 2),
+            DistKind::BlockRow,
+            places(2),
+        ));
+        let a: DistArray<i32> = DistArray::new(dist);
+        let topo = Topology::flat(2);
+        let _ = recover(
+            &a,
+            &[PlaceId(0)],
+            RestoreManner::RecomputeRemote,
+            &topo,
+            &NetworkModel::tianhe_like(),
+            &RecoveryCostModel::default(),
+        );
+    }
+}

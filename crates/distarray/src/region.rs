@@ -1,0 +1,96 @@
+//! Dense rectangular index regions.
+
+/// A dense `height × width` rectangle of `(i, j)` points — the index space
+/// of a distributed array (X10's `Region` restricted to the 2-D dense case
+/// DPX10 uses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region2D {
+    /// Number of rows.
+    pub height: u32,
+    /// Number of columns.
+    pub width: u32,
+}
+
+impl Region2D {
+    /// Creates a non-empty region.
+    pub fn new(height: u32, width: u32) -> Self {
+        assert!(height > 0 && width > 0, "region must be non-empty");
+        Region2D { height, width }
+    }
+
+    /// Total number of points.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.height as u64 * self.width as u64
+    }
+
+    /// Always false (regions are non-empty by construction); present for
+    /// API symmetry with collections.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `(i, j)` lies in the region.
+    #[inline]
+    pub fn contains(&self, i: u32, j: u32) -> bool {
+        i < self.height && j < self.width
+    }
+
+    /// Row-major linear index of `(i, j)`.
+    #[inline]
+    pub fn linear(&self, i: u32, j: u32) -> usize {
+        debug_assert!(self.contains(i, j));
+        i as usize * self.width as usize + j as usize
+    }
+
+    /// Inverse of [`linear`](Self::linear).
+    #[inline]
+    pub fn point(&self, linear: usize) -> (u32, u32) {
+        debug_assert!((linear as u64) < self.len());
+        (
+            (linear / self.width as usize) as u32,
+            (linear % self.width as usize) as u32,
+        )
+    }
+
+    /// Iterates all points in row-major order.
+    pub fn points(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.height).flat_map(move |i| (0..self.width).map(move |j| (i, j)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_round_trips() {
+        let r = Region2D::new(3, 5);
+        for (i, j) in r.points() {
+            assert_eq!(r.point(r.linear(i, j)), (i, j));
+        }
+    }
+
+    #[test]
+    fn len_and_contains() {
+        let r = Region2D::new(4, 4);
+        assert_eq!(r.len(), 16);
+        assert!(r.contains(3, 3));
+        assert!(!r.contains(4, 0));
+        assert!(!r.contains(0, 4));
+    }
+
+    #[test]
+    fn points_row_major() {
+        let r = Region2D::new(2, 2);
+        let pts: Vec<_> = r.points().collect();
+        assert_eq!(pts, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_region_rejected() {
+        let _ = Region2D::new(3, 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The periodic-snapshot baseline: X10's `ResilientDistArray`.
+//!
+//! Resilient X10 offers snapshot/restore as its stock fault-tolerance for
+//! distributed arrays (paper §VI-D, method (c)). The paper rejects it for
+//! DP because "a large volume of intermediate results may be produced in
+//! the progress of computing" — every snapshot ships the whole live state
+//! to stable storage. This module implements that mechanism anyway, so
+//! the recovery experiments can quantify the comparison the paper makes
+//! qualitatively (ablation bench `fig13`-snapshot).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dpx10_apgas::{Codec, NetworkModel, PlaceId, Topology};
+
+use crate::array::DistArray;
+use crate::dist::Dist;
+
+/// Cost accounting for one snapshot or restore pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// Finished values captured/restored.
+    pub values: u64,
+    /// Bytes shipped to/from the resilient store.
+    pub bytes: u64,
+    /// Simulated time of the pass (parallel over places; the slowest
+    /// place's transfer bounds it).
+    pub sim_time: Duration,
+}
+
+/// A [`DistArray`] with X10-style snapshot/restore fault tolerance.
+pub struct ResilientDistArray<T> {
+    array: DistArray<T>,
+    /// Finished values at the last snapshot: `(i, j, value)`.
+    snapshot: Vec<(u32, u32, T)>,
+    snapshots_taken: u64,
+}
+
+impl<T> ResilientDistArray<T>
+where
+    T: Default + Clone + Codec,
+{
+    /// Wraps a fresh array.
+    pub fn new(dist: Arc<Dist>) -> Self {
+        ResilientDistArray {
+            array: DistArray::new(dist),
+            snapshot: Vec::new(),
+            snapshots_taken: 0,
+        }
+    }
+
+    /// The live array.
+    pub fn array(&self) -> &DistArray<T> {
+        &self.array
+    }
+
+    /// Mutable access to the live array.
+    pub fn array_mut(&mut self) -> &mut DistArray<T> {
+        &mut self.array
+    }
+
+    /// Number of snapshots taken so far.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken
+    }
+
+    /// Captures the current finished state to the (modelled) resilient
+    /// store. Cost: every place ships its finished values over the
+    /// inter-node link; the pass completes when the slowest place does.
+    pub fn snapshot(&mut self, _topo: &Topology, net: &NetworkModel) -> SnapshotReport {
+        let dist = self.array.dist().clone();
+        let mut report = SnapshotReport::default();
+        let mut captured = Vec::new();
+        let mut slowest = Duration::ZERO;
+        for s in 0..dist.num_slots() {
+            let mut place_bytes = 0usize;
+            for (i, j, v, done) in self.array.iter_slot(s) {
+                if done {
+                    place_bytes += v.wire_size() + 8; // value + coordinates
+                    captured.push((i, j, v.clone()));
+                }
+            }
+            report.bytes += place_bytes as u64;
+            // Stable storage is modelled as "some other node": worst-case
+            // inter-node link from this place.
+            let t = net.inter_node.transfer_time(place_bytes);
+            slowest = slowest.max(t);
+        }
+        report.values = captured.len() as u64;
+        report.sim_time = slowest;
+        self.snapshot = captured;
+        self.snapshots_taken += 1;
+        report
+    }
+
+    /// Rebuilds the array over the surviving places from the last
+    /// snapshot (X10's restore). Everything finished *after* the snapshot
+    /// is lost — the gap the paper's method closes.
+    pub fn restore(
+        &mut self,
+        dead: &[PlaceId],
+        _topo: &Topology,
+        net: &NetworkModel,
+    ) -> SnapshotReport {
+        let old_dist = self.array.dist().clone();
+        let alive: Vec<PlaceId> = old_dist
+            .places()
+            .iter()
+            .copied()
+            .filter(|p| !dead.contains(p))
+            .collect();
+        assert!(!alive.is_empty(), "no places left to restore onto");
+        let new_dist = Arc::new(Dist::new(old_dist.region(), old_dist.kind().clone(), alive));
+        let mut fresh: DistArray<T> = DistArray::new(new_dist.clone());
+
+        let mut report = SnapshotReport::default();
+        let mut per_slot_bytes = vec![0usize; new_dist.num_slots()];
+        for (i, j, v) in &self.snapshot {
+            let s = new_dist.slot_of(*i, *j);
+            per_slot_bytes[s] += v.wire_size() + 8;
+            fresh.set(*i, *j, v.clone());
+            report.values += 1;
+        }
+        report.bytes = per_slot_bytes.iter().map(|&b| b as u64).sum();
+        report.sim_time = per_slot_bytes
+            .into_iter()
+            .map(|b| net.inter_node.transfer_time(b))
+            .max()
+            .unwrap_or(Duration::ZERO);
+        self.array = fresh;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DistKind;
+    use crate::region::Region2D;
+
+    fn setup(places: u16) -> (ResilientDistArray<i64>, Topology, NetworkModel) {
+        let dist = Arc::new(Dist::new(
+            Region2D::new(4, 4),
+            DistKind::BlockRow,
+            (0..places).map(PlaceId).collect(),
+        ));
+        (
+            ResilientDistArray::new(dist),
+            Topology::flat(places),
+            NetworkModel::tianhe_like(),
+        )
+    }
+
+    #[test]
+    fn restore_recovers_snapshotted_state_only() {
+        let (mut ra, topo, net) = setup(4);
+        ra.array_mut().set(0, 0, 1);
+        ra.array_mut().set(1, 0, 2);
+        let snap = ra.snapshot(&topo, &net);
+        assert_eq!(snap.values, 2);
+
+        // Progress after the snapshot...
+        ra.array_mut().set(2, 0, 3);
+        ra.array_mut().set(3, 0, 4);
+
+        // ...is lost on restore.
+        let rep = ra.restore(&[PlaceId(3)], &topo, &net);
+        assert_eq!(rep.values, 2);
+        assert_eq!(ra.array().get_finished(0, 0), Some(&1));
+        assert_eq!(ra.array().get_finished(1, 0), Some(&2));
+        assert_eq!(ra.array().get_finished(2, 0), None);
+        assert_eq!(ra.array().get_finished(3, 0), None);
+        // The new array spans only the survivors.
+        assert_eq!(ra.array().dist().num_slots(), 3);
+    }
+
+    #[test]
+    fn snapshot_cost_grows_with_state() {
+        let (mut ra, topo, net) = setup(2);
+        let empty = ra.snapshot(&topo, &net);
+        for i in 0..4 {
+            for j in 0..4 {
+                ra.array_mut().set(i, j, 7);
+            }
+        }
+        let full = ra.snapshot(&topo, &net);
+        assert_eq!(ra.snapshots_taken(), 2);
+        assert_eq!(empty.values, 0);
+        assert_eq!(full.values, 16);
+        assert!(full.bytes > empty.bytes);
+        assert!(full.sim_time >= empty.sim_time);
+    }
+
+    #[test]
+    fn restore_without_snapshot_is_empty() {
+        let (mut ra, topo, net) = setup(2);
+        ra.array_mut().set(0, 0, 5);
+        let rep = ra.restore(&[PlaceId(1)], &topo, &net);
+        assert_eq!(rep.values, 0);
+        assert_eq!(ra.array().finished_count(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests of distributions and recovery: every distribution is
+//! a dense per-slot bijection at arbitrary shapes, and recovery
+//! conserves finished values exactly.
+
+use std::sync::Arc;
+
+use dpx10_apgas::{NetworkModel, PlaceId, Topology};
+use dpx10_distarray::{
+    recover, Dist, DistArray, DistKind, RecoveryCostModel, Region2D, RestoreManner,
+};
+use proptest::prelude::*;
+
+fn kind(idx: usize, block: u32) -> DistKind {
+    match idx {
+        0 => DistKind::BlockRow,
+        1 => DistKind::BlockCol,
+        2 => DistKind::CyclicRow,
+        3 => DistKind::CyclicCol,
+        4 => DistKind::BlockCyclicRow { block },
+        _ => DistKind::BlockCyclicCol { block },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-slot local indices form a dense bijection: every point maps
+    /// to exactly one (slot, local) pair and every local slot is hit.
+    #[test]
+    fn distributions_are_dense_bijections(
+        h in 1u32..20,
+        w in 1u32..20,
+        places in 1u16..7,
+        kind_idx in 0usize..6,
+        block in 1u32..4,
+    ) {
+        let d = Dist::new(
+            Region2D::new(h, w),
+            kind(kind_idx, block),
+            (0..places).map(PlaceId).collect(),
+        );
+        let mut seen: Vec<Vec<bool>> =
+            (0..d.num_slots()).map(|s| vec![false; d.chunk_len(s)]).collect();
+        for (i, j) in d.region().points() {
+            let s = d.slot_of(i, j);
+            let li = d.local_index(i, j);
+            prop_assert!(li < seen[s].len(), "({i},{j}) -> slot {s} local {li}");
+            prop_assert!(!seen[s][li], "duplicate local index");
+            seen[s][li] = true;
+        }
+        for slots in &seen {
+            prop_assert!(slots.iter().all(|&b| b), "hole in a chunk");
+        }
+        // chunk_len sums to the region size.
+        let total: usize = (0..d.num_slots()).map(|s| d.chunk_len(s)).sum();
+        prop_assert_eq!(total as u64, d.region().len());
+    }
+
+    /// `iter_slot` enumerates exactly the owned points in local order.
+    #[test]
+    fn iter_slot_consistent(
+        h in 1u32..14,
+        w in 1u32..14,
+        places in 1u16..5,
+        kind_idx in 0usize..6,
+    ) {
+        let d = Dist::new(
+            Region2D::new(h, w),
+            kind(kind_idx, 2),
+            (0..places).map(PlaceId).collect(),
+        );
+        for s in 0..d.num_slots() {
+            let pts: Vec<_> = d.iter_slot(s).collect();
+            prop_assert_eq!(pts.len(), d.chunk_len(s));
+            for (rank, (i, j)) in pts.iter().enumerate() {
+                prop_assert_eq!(d.slot_of(*i, *j), s);
+                prop_assert_eq!(d.local_index(*i, *j), rank);
+            }
+        }
+    }
+
+    /// Recovery conservation law: finished = kept + dropped + lost +
+    /// migrated, the new array holds exactly kept + migrated finished
+    /// values, and each kept value is byte-identical and owner-stable.
+    #[test]
+    fn recovery_conserves_values(
+        h in 2u32..12,
+        w in 2u32..12,
+        places in 2u16..6,
+        kind_idx in 0usize..6,
+        dead_off in 1u16..5,
+        copy in proptest::bool::ANY,
+        fill_mod in 1u32..5,
+    ) {
+        let d = Arc::new(Dist::new(
+            Region2D::new(h, w),
+            kind(kind_idx, 2),
+            (0..places).map(PlaceId).collect(),
+        ));
+        let mut arr: DistArray<u64> = DistArray::new(d.clone());
+        let mut finished = 0u64;
+        for (i, j) in d.region().points() {
+            if (i + j) % fill_mod == 0 {
+                arr.set(i, j, (i as u64) << 32 | j as u64);
+                finished += 1;
+            }
+        }
+        let dead = PlaceId((dead_off % places).max(1));
+        let manner = if copy { RestoreManner::CopyRemote } else { RestoreManner::RecomputeRemote };
+        let (fresh, rep) = recover(
+            &arr,
+            &[dead],
+            manner,
+            &Topology::flat(places),
+            &NetworkModel::tianhe_like(),
+            &RecoveryCostModel::default(),
+        );
+        prop_assert_eq!(rep.kept + rep.dropped + rep.lost + rep.migrated, finished);
+        prop_assert_eq!(fresh.finished_count(), rep.kept + rep.migrated);
+        if copy {
+            prop_assert_eq!(rep.dropped, 0);
+        } else {
+            prop_assert_eq!(rep.migrated, 0);
+        }
+        // Every surviving value is identical to the original and its
+        // owner did not change unless it was migrated.
+        for (i, j) in d.region().points() {
+            if let Some(v) = fresh.get_finished(i, j) {
+                prop_assert_eq!(*v, (i as u64) << 32 | j as u64);
+                prop_assert_ne!(fresh.place_of(i, j), dead);
+            }
+        }
+    }
+}

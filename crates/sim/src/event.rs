@@ -1,0 +1,116 @@
+//! The event heap: a deterministic virtual-time priority queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds.
+pub type SimTime = u64;
+
+/// A min-heap of `(time, sequence)`-ordered events. The sequence number
+/// breaks ties deterministically in insertion order, so runs are exactly
+/// reproducible.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, OrdIgnore<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper that opts the payload out of the ordering (ties are already
+/// broken by the sequence number, which is unique).
+struct OrdIgnore<E>(E);
+
+impl<E> PartialEq for OrdIgnore<E> {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for OrdIgnore<E> {}
+impl<E> PartialOrd for OrdIgnore<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for OrdIgnore<E> {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute virtual time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        self.heap.push(Reverse((at, self.seq, OrdIgnore(event))));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e.0))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events (epoch boundary: in-flight messages of a
+    /// faulted epoch are lost).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Ready-list ordering policies for the simulator.
+//!
+//! The paper's worker "repeatedly pull\[s\] the vertices from the
+//! \[ready\] list" without specifying an order; its future work plans
+//! "sophisticated scheduling … techniques" (§X). The order matters: a
+//! wavefront DP wants deep vertices first (they unblock the next
+//! anti-diagonal), while FIFO drains each diagonal breadth-first. The
+//! simulator makes the policy explicit so it can be measured.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How a place orders its ready vertices.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReadyPolicy {
+    /// First-in first-out (the engines' default).
+    #[default]
+    Fifo,
+    /// Last-in first-out (depth-first-ish).
+    Lifo,
+    /// Smallest `i + j` first: advance the earliest wavefront.
+    MinDiagonal,
+    /// Largest `i + j` first: race ahead on the deepest wavefront.
+    MaxDiagonal,
+}
+
+impl ReadyPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [ReadyPolicy; 4] = [
+        ReadyPolicy::Fifo,
+        ReadyPolicy::Lifo,
+        ReadyPolicy::MinDiagonal,
+        ReadyPolicy::MaxDiagonal,
+    ];
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReadyPolicy::Fifo => "fifo",
+            ReadyPolicy::Lifo => "lifo",
+            ReadyPolicy::MinDiagonal => "min-diagonal",
+            ReadyPolicy::MaxDiagonal => "max-diagonal",
+        }
+    }
+}
+
+/// One place's ready list under a chosen policy. Entries are
+/// `(local index, diagonal)`.
+#[derive(Debug)]
+pub enum ReadyQueue {
+    /// FIFO / LIFO share a deque.
+    Deque {
+        /// The queue.
+        items: VecDeque<u32>,
+        /// Pop from the back instead of the front.
+        lifo: bool,
+    },
+    /// Diagonal-priority heap; `flip` negates the key for max-first.
+    Heap {
+        /// `(key, insertion seq, local index)` min-heap.
+        items: BinaryHeap<Reverse<(u64, u64, u32)>>,
+        /// Negate the diagonal key (max-diagonal-first).
+        flip: bool,
+        /// Insertion counter for stable ties.
+        seq: u64,
+    },
+}
+
+impl ReadyQueue {
+    /// An empty queue under `policy`.
+    pub fn new(policy: ReadyPolicy) -> Self {
+        match policy {
+            ReadyPolicy::Fifo => ReadyQueue::Deque {
+                items: VecDeque::new(),
+                lifo: false,
+            },
+            ReadyPolicy::Lifo => ReadyQueue::Deque {
+                items: VecDeque::new(),
+                lifo: true,
+            },
+            ReadyPolicy::MinDiagonal => ReadyQueue::Heap {
+                items: BinaryHeap::new(),
+                flip: false,
+                seq: 0,
+            },
+            ReadyPolicy::MaxDiagonal => ReadyQueue::Heap {
+                items: BinaryHeap::new(),
+                flip: true,
+                seq: 0,
+            },
+        }
+    }
+
+    /// Enqueues a ready vertex with its anti-diagonal `diag = i + j`.
+    pub fn push(&mut self, li: u32, diag: u64) {
+        match self {
+            ReadyQueue::Deque { items, .. } => items.push_back(li),
+            ReadyQueue::Heap { items, flip, seq } => {
+                let key = if *flip { u64::MAX - diag } else { diag };
+                items.push(Reverse((key, *seq, li)));
+                *seq += 1;
+            }
+        }
+    }
+
+    /// Dequeues the next vertex under the policy.
+    pub fn pop(&mut self) -> Option<u32> {
+        match self {
+            ReadyQueue::Deque { items, lifo: false } => items.pop_front(),
+            ReadyQueue::Deque { items, lifo: true } => items.pop_back(),
+            ReadyQueue::Heap { items, .. } => items.pop().map(|Reverse((_, _, li))| li),
+        }
+    }
+
+    /// Number of queued vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            ReadyQueue::Deque { items, .. } => items.len(),
+            ReadyQueue::Heap { items, .. } => items.len(),
+        }
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut ReadyQueue) -> Vec<u32> {
+        std::iter::from_fn(|| q.pop()).collect()
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = ReadyQueue::new(ReadyPolicy::Fifo);
+        for (li, d) in [(1, 9), (2, 1), (3, 5)] {
+            q.push(li, d);
+        }
+        assert_eq!(drain(&mut q), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lifo_order() {
+        let mut q = ReadyQueue::new(ReadyPolicy::Lifo);
+        for (li, d) in [(1, 9), (2, 1), (3, 5)] {
+            q.push(li, d);
+        }
+        assert_eq!(drain(&mut q), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn min_diagonal_order_with_stable_ties() {
+        let mut q = ReadyQueue::new(ReadyPolicy::MinDiagonal);
+        for (li, d) in [(1, 5), (2, 1), (3, 5), (4, 0)] {
+            q.push(li, d);
+        }
+        assert_eq!(drain(&mut q), vec![4, 2, 1, 3]);
+    }
+
+    #[test]
+    fn max_diagonal_order() {
+        let mut q = ReadyQueue::new(ReadyPolicy::MaxDiagonal);
+        for (li, d) in [(1, 5), (2, 1), (3, 9)] {
+            q.push(li, d);
+        }
+        assert_eq!(drain(&mut q), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = ReadyQueue::new(ReadyPolicy::MaxDiagonal);
+        assert!(q.is_empty());
+        q.push(7, 3);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

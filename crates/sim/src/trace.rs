@@ -1,0 +1,220 @@
+//! Execution tracing for simulated runs.
+//!
+//! A [`TraceBuffer`] records per-event `(virtual time, place, vertex,
+//! kind)` tuples up to a capacity bound, and renders an ASCII activity
+//! timeline — the quickest way to *see* a wavefront sweep across places,
+//! a load imbalance, or the dead gap a recovery leaves behind.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use dpx10_apgas::PlaceId;
+use dpx10_dag::VertexId;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A vertex began computing on a worker slot.
+    Dispatch,
+    /// A vertex's result was published.
+    Finish,
+    /// A message left this place.
+    Send {
+        /// Destination place.
+        dst: PlaceId,
+        /// Wire bytes.
+        bytes: u32,
+    },
+    /// A recovery pass ran (vertex is `None`).
+    Recovery,
+}
+
+/// One trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual timestamp.
+    pub at: Duration,
+    /// The place where it happened.
+    pub place: PlaceId,
+    /// The vertex involved, if any.
+    pub vertex: Option<VertexId>,
+    /// The event kind.
+    pub kind: TraceKind,
+}
+
+/// A bounded event log. Events past the capacity are counted but
+/// dropped, so tracing a billion-vertex run cannot exhaust memory.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Vec::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event (or counts it as dropped when full).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that arrived after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders an ASCII activity timeline: one row per place, `buckets`
+    /// time buckets wide, brightness ∝ vertices finished in the bucket.
+    ///
+    /// ```text
+    /// place 0 |@@%#=-:.    |
+    /// place 1 |  .:=+#%@%=.|
+    /// ```
+    pub fn render_timeline(&self, buckets: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        assert!(buckets > 0);
+        let finishes: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Finish)
+            .collect();
+        if finishes.is_empty() {
+            return String::from("(no finish events recorded)\n");
+        }
+        let t_end = finishes.iter().map(|e| e.at).max().unwrap();
+        let t_end = t_end.max(Duration::from_nanos(1));
+        let nplaces = finishes.iter().map(|e| e.place.index()).max().unwrap() + 1;
+        let mut counts = vec![vec![0u64; buckets]; nplaces];
+        for e in &finishes {
+            let b = ((e.at.as_nanos() * buckets as u128) / (t_end.as_nanos() + 1)) as usize;
+            counts[e.place.index()][b.min(buckets - 1)] += 1;
+        }
+        let peak = counts
+            .iter()
+            .flat_map(|row| row.iter())
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "activity timeline ({} finishes over {:?}; peak {} per bucket)",
+            finishes.len(),
+            t_end,
+            peak
+        );
+        for (p, row) in counts.iter().enumerate() {
+            let cells: String = row
+                .iter()
+                .map(|&c| {
+                    let idx = (c * (RAMP.len() as u64 - 1)).div_ceil(peak) as usize;
+                    RAMP[idx.min(RAMP.len() - 1)] as char
+                })
+                .collect();
+            let _ = writeln!(out, "place {p:>3} |{cells}|");
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "({} events dropped past capacity)", self.dropped);
+        }
+        out
+    }
+
+    /// Per-place finished-vertex counts — a quick balance check.
+    pub fn finishes_per_place(&self) -> Vec<(PlaceId, u64)> {
+        let mut counts: std::collections::BTreeMap<u16, u64> = Default::default();
+        for e in &self.events {
+            if e.kind == TraceKind::Finish {
+                *counts.entry(e.place.0).or_default() += 1;
+            }
+        }
+        counts.into_iter().map(|(p, c)| (PlaceId(p), c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ns: u64, place: u16, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: Duration::from_nanos(ns),
+            place: PlaceId(place),
+            vertex: Some(VertexId::new(0, 0)),
+            kind,
+        }
+    }
+
+    #[test]
+    fn records_until_capacity() {
+        let mut t = TraceBuffer::new(2);
+        t.record(ev(1, 0, TraceKind::Finish));
+        t.record(ev(2, 0, TraceKind::Finish));
+        t.record(ev(3, 0, TraceKind::Finish));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn timeline_renders_rows_per_place() {
+        let mut t = TraceBuffer::new(64);
+        for k in 0..10 {
+            t.record(ev(k * 100, 0, TraceKind::Finish));
+        }
+        for k in 5..10 {
+            t.record(ev(k * 100, 1, TraceKind::Finish));
+        }
+        let s = t.render_timeline(10);
+        assert!(s.contains("place   0 |"));
+        assert!(s.contains("place   1 |"));
+        // Place 1 is idle early: its row starts with spaces.
+        let row1 = s.lines().find(|l| l.starts_with("place   1")).unwrap();
+        assert!(row1.contains("| "), "{row1}");
+    }
+
+    #[test]
+    fn empty_timeline_is_graceful() {
+        let t = TraceBuffer::new(8);
+        assert_eq!(t.render_timeline(5), "(no finish events recorded)\n");
+    }
+
+    #[test]
+    fn finishes_per_place_counts() {
+        let mut t = TraceBuffer::new(16);
+        t.record(ev(1, 2, TraceKind::Finish));
+        t.record(ev(2, 2, TraceKind::Finish));
+        t.record(ev(3, 0, TraceKind::Finish));
+        t.record(ev(4, 0, TraceKind::Send { dst: PlaceId(2), bytes: 8 }));
+        assert_eq!(
+            t.finishes_per_place(),
+            vec![(PlaceId(0), 1), (PlaceId(2), 2)]
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Cluster-scale scalability on the simulator: a miniature of the
+//! paper's Fig. 10, sweeping 2 → 12 nodes for all four evaluation apps.
+//!
+//! ```text
+//! cargo run --release -p dpx10 --example cluster_sim [vertices]
+//! ```
+
+use std::time::Duration;
+
+use dpx10::apps::{workload, KnapsackApp, LpsApp, MtpApp, SwlagApp};
+use dpx10::prelude::*;
+
+fn main() {
+    let vertices: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250_000);
+    let nodes = [2u16, 4, 6, 8, 10, 12];
+
+    println!("simulated runtime (virtual seconds) at ~{vertices} vertices:");
+    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "nodes", "SWLAG", "MTP", "LPS", "0/1KP");
+
+    let mut first: Option<[Duration; 4]> = None;
+    for &n in &nodes {
+        let row = [
+            swlag_time(vertices, n),
+            mtp_time(vertices, n),
+            lps_time(vertices, n),
+            knapsack_time(vertices, n),
+        ];
+        first.get_or_insert(row);
+        println!(
+            "{:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            n,
+            row[0].as_secs_f64(),
+            row[1].as_secs_f64(),
+            row[2].as_secs_f64(),
+            row[3].as_secs_f64()
+        );
+    }
+    if let Some(base) = first {
+        println!("\nspeedup at 12 nodes over 2 nodes:");
+        let last = [
+            swlag_time(vertices, 12),
+            mtp_time(vertices, 12),
+            lps_time(vertices, 12),
+            knapsack_time(vertices, 12),
+        ];
+        for (name, (b, l)) in ["SWLAG", "MTP", "LPS", "0/1KP"]
+            .iter()
+            .zip(base.iter().zip(last.iter()))
+        {
+            println!("  {name}: {:.2}x", b.as_secs_f64() / l.as_secs_f64());
+        }
+    }
+}
+
+fn swlag_time(vertices: u64, nodes: u16) -> Duration {
+    let n = workload::side_for_vertices(vertices) as usize;
+    let app = SwlagApp::new(workload::dna(n, 1), workload::dna(n, 2));
+    let pattern = app.pattern();
+    let cfg = SimConfig::paper(nodes).with_cost(CostModel::with_compute(90));
+    SimEngine::new(app, pattern, cfg).run().unwrap().report().sim_time
+}
+
+fn mtp_time(vertices: u64, nodes: u16) -> Duration {
+    let n = workload::side_for_vertices(vertices) + 1;
+    let app = MtpApp::new(n, n, 42);
+    let pattern = app.pattern();
+    SimEngine::new(app, pattern, SimConfig::paper(nodes))
+        .run()
+        .unwrap()
+        .report()
+        .sim_time
+}
+
+fn lps_time(vertices: u64, nodes: u16) -> Duration {
+    // Triangular matrix: n(n+1)/2 ≈ vertices.
+    let n = ((vertices as f64 * 2.0).sqrt() as usize).max(2);
+    let app = LpsApp::new(workload::letters(n, 3));
+    let pattern = app.pattern();
+    SimEngine::new(app, pattern, SimConfig::paper(nodes))
+        .run()
+        .unwrap()
+        .report()
+        .sim_time
+}
+
+fn knapsack_time(vertices: u64, nodes: u16) -> Duration {
+    let capacity = 999;
+    let items = workload::knapsack_items(
+        workload::knapsack_shape_for_vertices(vertices, capacity),
+        64,
+        4,
+    );
+    let app = KnapsackApp::new(items, capacity);
+    let pattern = app.pattern();
+    SimEngine::new(
+        app,
+        pattern,
+        SimConfig::paper(nodes).with_dist(DistKind::BlockRow),
+    )
+    .run()
+    .unwrap()
+    .report()
+    .sim_time
+}

@@ -1,0 +1,56 @@
+//! Quickstart: the paper's §IV walk-through (Fig. 1).
+//!
+//! Given `ABC` and `DBC`, build the LCS DAG, run it on the framework and
+//! backtrack the answer (`BC`). Run with:
+//!
+//! ```text
+//! cargo run --release -p dpx10 --example quickstart
+//! ```
+
+use dpx10::apps::LcsApp;
+use dpx10::prelude::*;
+
+fn main() {
+    let a = b"ABC".to_vec();
+    let b = b"DBC".to_vec();
+
+    // Step 1 (paper §VII): choose a built-in DAG pattern — LCS uses
+    // Fig. 5 (b), provided by the app.
+    let app = LcsApp::new(a.clone(), b.clone());
+    let pattern = app.pattern();
+
+    // Step 2: the app implements compute(); LcsApp ships it.
+    // Step 3: launch. Four places, like a 2-node paper deployment.
+    let engine = ThreadedEngine::new(
+        LcsApp::new(a.clone(), b.clone()),
+        pattern,
+        EngineConfig::flat(4),
+    );
+    let result = engine.run().expect("LCS completes");
+
+    println!("LCS matrix for {:?} vs {:?}:", "ABC", "DBC");
+    for i in 0..=a.len() as u32 {
+        let row: Vec<u32> = (0..=b.len() as u32).map(|j| result.get(i, j)).collect();
+        println!("  {row:?}");
+    }
+
+    let helper = LcsApp::new(a, b);
+    let answer = helper.backtrack(&result);
+    println!(
+        "LCS = {:?} (length {})",
+        String::from_utf8_lossy(&answer),
+        helper.length(&result)
+    );
+
+    let report = result.report();
+    println!(
+        "computed {} vertices on {} places in {:?} ({} messages, {} bytes)",
+        report.vertices_computed,
+        4,
+        report.wall_time,
+        report.comm.messages_sent,
+        report.comm.bytes_sent,
+    );
+
+    assert_eq!(answer, b"BC");
+}
