@@ -8,8 +8,8 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use dpx10_sync::channel::{self, Receiver, Sender};
+use dpx10_sync::{Condvar, Mutex};
 
 use crate::fault::{DeadPlaceError, LivenessBoard};
 use crate::place::PlaceId;
@@ -95,12 +95,7 @@ pub struct ActivityPool {
 
 impl ActivityPool {
     /// Spawns `threads` worker threads for `place`.
-    pub fn new(
-        place: PlaceId,
-        threads: u16,
-        liveness: LivenessBoard,
-        stats: StatsBoard,
-    ) -> Self {
+    pub fn new(place: PlaceId, threads: u16, liveness: LivenessBoard, stats: StatsBoard) -> Self {
         assert!(threads > 0, "a place needs at least one worker thread");
         let (tx, rx) = channel::unbounded::<Job>();
         let handles = (0..threads)

@@ -122,6 +122,22 @@ impl<A: Codec, B: Codec> Codec for (A, B) {
     }
 }
 
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(src)?, B::decode(src)?, C::decode(src)?))
+    }
+
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size() + self.2.wire_size()
+    }
+}
+
 impl<T: Codec> Codec for Option<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dpx10_sync::Mutex;
 
 use crate::place::PlaceId;
 use crate::runtime::Runtime;

@@ -83,6 +83,18 @@ impl LivenessBoard {
         self.alive[place.index()].swap(false, Ordering::AcqRel)
     }
 
+    /// Marks `place` dead without the place-0 restriction of
+    /// [`kill`](Self::kill). Returns whether the place was alive.
+    ///
+    /// This is the entry point for *detected* failures (a transport
+    /// noticing a closed connection) as opposed to *injected* ones: a
+    /// transport thread must never panic, and on a multi-process backend
+    /// even place 0 can be observed dead by its peers — the observer then
+    /// shuts down, mirroring Resilient X10 aborting when place 0 dies.
+    pub fn mark_dead(&self, place: PlaceId) -> bool {
+        self.alive[place.index()].swap(false, Ordering::AcqRel)
+    }
+
     /// Ids of the places still alive, in order.
     pub fn alive_places(&self) -> Vec<PlaceId> {
         (0..self.alive.len() as u16)
@@ -126,7 +138,10 @@ mod tests {
             board.check(PlaceId(2)),
             Err(DeadPlaceError { place: PlaceId(2) })
         );
-        assert_eq!(board.alive_places(), vec![PlaceId(0), PlaceId(1), PlaceId(3)]);
+        assert_eq!(
+            board.alive_places(),
+            vec![PlaceId(0), PlaceId(1), PlaceId(3)]
+        );
     }
 
     #[test]

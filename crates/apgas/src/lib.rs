@@ -16,18 +16,24 @@
 //! * [`Mailbox`] — typed inter-place channels with byte accounting; every
 //!   transfer is priced by a [`NetworkModel`] so experiments can report
 //!   communication volume and (simulated) communication time honestly.
-//! * [`Codec`] — a small hand-rolled wire format used to measure the bytes
-//!   a value would occupy on a real interconnect (the crate never touches a
-//!   socket: places are threads; "the network" is a cost model).
+//! * [`Codec`] — a small hand-rolled wire format: the byte count a value
+//!   occupies on the interconnect, and the actual encoding the socket
+//!   backend puts on the wire.
+//! * [`Transport`] — the seam between engines and substrates, with two
+//!   implementations: [`LocalTransport`] (places as threads, transfers
+//!   priced by the cost model) and [`socket`] (one OS process per place
+//!   over a real TCP mesh, transfers counted as framed bytes).
 //! * [`fault`] — per-place liveness flags and [`DeadPlaceError`],
 //!   mirroring Resilient X10's failure reporting, including its documented
-//!   limitation that place 0 must survive.
+//!   limitation that place 0 must survive. The socket transport feeds the
+//!   same board when it *detects* a dead peer (closed connection, missed
+//!   heartbeats), so injected and real failures follow one code path.
 //!
 //! The single-machine substitution is deliberate and documented in
 //! DESIGN.md §3: this container has one CPU core, so cluster-scale
 //! behaviour is reproduced by the deterministic simulator in `dpx10-sim`,
-//! while this crate provides real concurrent execution for functional and
-//! fault-tolerance correctness.
+//! while this crate provides real concurrent execution (threads or
+//! processes) for functional and fault-tolerance correctness.
 
 #![warn(missing_docs)]
 
@@ -39,7 +45,9 @@ pub mod mailbox;
 pub mod network;
 pub mod place;
 pub mod runtime;
+pub mod socket;
 pub mod stats;
+pub mod transport;
 
 pub use activity::{ActivityPool, FinishScope};
 pub use codec::Codec;
@@ -48,4 +56,7 @@ pub use mailbox::{Mailbox, MailboxSender};
 pub use network::NetworkModel;
 pub use place::{PlaceId, Topology};
 pub use runtime::{Runtime, RuntimeConfig};
+pub use socket::launch::{launch_places, PlaceChildren};
+pub use socket::{SocketConfig, SocketNode, SocketTransport};
 pub use stats::{PlaceStats, StatsBoard, StatsSnapshot};
+pub use transport::{LocalTransport, Transport};

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use dpx10_sync::channel::{self, Receiver, RecvTimeoutError, Sender};
 
 use crate::fault::{DeadPlaceError, LivenessBoard};
 use crate::network::NetworkModel;
@@ -162,7 +162,14 @@ pub fn post_office<M: Send>(
 mod tests {
     use super::*;
 
-    fn setup(places: u16) -> (Vec<Mailbox<u32>>, MailboxSender<u32>, LivenessBoard, StatsBoard) {
+    fn setup(
+        places: u16,
+    ) -> (
+        Vec<Mailbox<u32>>,
+        MailboxSender<u32>,
+        LivenessBoard,
+        StatsBoard,
+    ) {
         let topo = Topology::flat(places);
         let liveness = LivenessBoard::new(places);
         let stats = StatsBoard::new(places);
@@ -221,9 +228,7 @@ mod tests {
     #[test]
     fn recv_timeout_times_out() {
         let (boxes, _sender, _, _) = setup(1);
-        assert!(boxes[0]
-            .recv_timeout(Duration::from_millis(5))
-            .is_none());
+        assert!(boxes[0].recv_timeout(Duration::from_millis(5)).is_none());
     }
 
     #[test]

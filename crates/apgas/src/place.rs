@@ -107,10 +107,7 @@ mod tests {
         assert_eq!(t.num_places(), 24);
         assert_eq!(t.threads_per_place, 6);
         // 144 cores total at 12 nodes, as in Fig. 10's caption.
-        assert_eq!(
-            t.num_places() as u32 * t.threads_per_place as u32,
-            144
-        );
+        assert_eq!(t.num_places() as u32 * t.threads_per_place as u32, 144);
     }
 
     #[test]

@@ -172,7 +172,7 @@ impl Runtime {
         R: Send + 'static,
         F: FnOnce() -> R + Send + 'static,
     {
-        let (tx, rx) = crossbeam::channel::bounded::<R>(1);
+        let (tx, rx) = dpx10_sync::channel::bounded::<R>(1);
         let scope = FinishScope::new();
         self.spawn_at(place, &scope, move || {
             let _ = tx.send(f());
@@ -271,7 +271,7 @@ mod invoke_tests {
 
     #[test]
     fn invoke_at_place_dying_after_enqueue_does_not_hang() {
-        use parking_lot::Mutex;
+        use dpx10_sync::Mutex;
         let rt = Runtime::new(RuntimeConfig::flat(2));
         // Block place 1's single worker, enqueue the invoke, then kill
         // the place and release the worker: the queued job is dropped

@@ -1,0 +1,363 @@
+//! Length-prefixed frames for the socket transport.
+//!
+//! Wire layout of one frame:
+//!
+//! ```text
+//! [u32 len (LE)] [u8 kind] [body...]     len = 1 + body.len()
+//! ```
+//!
+//! Bodies reuse the workspace's hand-rolled [`Codec`] format. Decoding is
+//! total: every malformed, truncated or hostile input comes back as a
+//! [`FrameError`] — a corrupt peer must never be able to panic (or OOM)
+//! the process reading from it.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::codec::{decode_exact, Codec};
+
+/// Magic prefix of a [`Frame::Hello`], guarding against a stranger (or a
+/// different protocol) dialing the port.
+pub const HELLO_MAGIC: u32 = 0x4450_5831; // "DPX1"
+
+/// Hard ceiling on one frame's body, bounding the allocation a hostile
+/// length prefix can provoke.
+pub const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// Bytes a frame with `body` bytes of payload occupies on the wire.
+#[inline]
+pub fn framed_len(body: usize) -> usize {
+    4 + 1 + body
+}
+
+/// Everything that can go wrong reading or decoding a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed (includes read timeouts, surfaced as
+    /// `WouldBlock`/`TimedOut`, and mid-frame EOF as `UnexpectedEof`).
+    Io(io::Error),
+    /// The peer closed the connection on a frame boundary.
+    Closed,
+    /// The length prefix is zero or exceeds [`MAX_BODY`].
+    BadLength(usize),
+    /// The kind byte names no known frame.
+    BadKind(u8),
+    /// The body did not decode as the advertised kind.
+    Malformed(&'static str),
+}
+
+impl FrameError {
+    /// Whether this error is a read timeout (no traffic within the
+    /// configured window) rather than a hard failure.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+            FrameError::Closed => write!(f, "connection closed by peer"),
+            FrameError::BadLength(n) => write!(f, "bad frame length {n} (max {MAX_BODY})"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Malformed(what) => write!(f, "malformed frame body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// One unit of the socket protocol.
+///
+/// `Hello`/`PeerMap`/`Ready`/`Go` form the mesh handshake;
+/// `Data`/`Heartbeat`/`Bye` are the steady state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// First frame on every dialed connection: who is calling.
+    Hello {
+        /// The dialing place.
+        place: u16,
+        /// Total places the dialer believes in (cross-checked).
+        places: u16,
+        /// The dialer's own listen address (empty on peer-to-peer dials,
+        /// where the coordinator already published it).
+        addr: String,
+    },
+    /// Coordinator → worker: listen address of every place, indexed by
+    /// place id (entry 0 is unused).
+    PeerMap {
+        /// `addrs[p]` is place `p`'s listen address.
+        addrs: Vec<String>,
+    },
+    /// Worker → coordinator: fully meshed, ready to start.
+    Ready,
+    /// Coordinator → worker: everyone is ready, start the run.
+    Go,
+    /// An application payload from `src`, opaque to the transport.
+    Data {
+        /// Originating place.
+        src: u16,
+        /// Encoded message bytes.
+        payload: Vec<u8>,
+    },
+    /// Keep-alive written by an idle writer; resets the peer's silence
+    /// timer.
+    Heartbeat,
+    /// Graceful goodbye; the reader exits without declaring the peer
+    /// dead.
+    Bye,
+}
+
+const KIND_HELLO: u8 = 0;
+const KIND_PEER_MAP: u8 = 1;
+const KIND_READY: u8 = 2;
+const KIND_GO: u8 = 3;
+const KIND_DATA: u8 = 4;
+const KIND_HEARTBEAT: u8 = 5;
+const KIND_BYE: u8 = 6;
+
+impl Frame {
+    /// Encodes the frame to its full wire representation, length prefix
+    /// included.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; 4]; // length patched below
+        match self {
+            Frame::Hello {
+                place,
+                places,
+                addr,
+            } => {
+                buf.push(KIND_HELLO);
+                HELLO_MAGIC.encode(&mut buf);
+                place.encode(&mut buf);
+                places.encode(&mut buf);
+                addr.encode(&mut buf);
+            }
+            Frame::PeerMap { addrs } => {
+                buf.push(KIND_PEER_MAP);
+                addrs.encode(&mut buf);
+            }
+            Frame::Ready => buf.push(KIND_READY),
+            Frame::Go => buf.push(KIND_GO),
+            Frame::Data { src, payload } => {
+                buf.push(KIND_DATA);
+                src.encode(&mut buf);
+                buf.extend_from_slice(payload);
+            }
+            Frame::Heartbeat => buf.push(KIND_HEARTBEAT),
+            Frame::Bye => buf.push(KIND_BYE),
+        }
+        let body_len = (buf.len() - 4) as u32;
+        buf[..4].copy_from_slice(&body_len.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a frame body (kind byte + fields, no length prefix).
+    pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+        let (&kind, mut rest) = body
+            .split_first()
+            .ok_or(FrameError::Malformed("empty body"))?;
+        match kind {
+            KIND_HELLO => {
+                let magic = u32::decode(&mut rest)
+                    .ok_or(FrameError::Malformed("hello: truncated magic"))?;
+                if magic != HELLO_MAGIC {
+                    return Err(FrameError::Malformed("hello: bad magic"));
+                }
+                let rec: (u16, u16, String) =
+                    decode_exact(rest).ok_or(FrameError::Malformed("hello: bad fields"))?;
+                let (place, places, addr) = rec;
+                Ok(Frame::Hello {
+                    place,
+                    places,
+                    addr,
+                })
+            }
+            KIND_PEER_MAP => {
+                let addrs: Vec<String> =
+                    decode_exact(rest).ok_or(FrameError::Malformed("peer map: bad fields"))?;
+                Ok(Frame::PeerMap { addrs })
+            }
+            KIND_READY => empty(rest, Frame::Ready, "ready"),
+            KIND_GO => empty(rest, Frame::Go, "go"),
+            KIND_DATA => {
+                let src =
+                    u16::decode(&mut rest).ok_or(FrameError::Malformed("data: truncated src"))?;
+                Ok(Frame::Data {
+                    src,
+                    payload: rest.to_vec(),
+                })
+            }
+            KIND_HEARTBEAT => empty(rest, Frame::Heartbeat, "heartbeat"),
+            KIND_BYE => empty(rest, Frame::Bye, "bye"),
+            other => Err(FrameError::BadKind(other)),
+        }
+    }
+}
+
+fn empty(rest: &[u8], frame: Frame, what: &'static str) -> Result<Frame, FrameError> {
+    if rest.is_empty() {
+        Ok(frame)
+    } else {
+        let _ = what;
+        Err(FrameError::Malformed("trailing bytes on bodyless frame"))
+    }
+}
+
+/// Writes one frame to `w` (no flush; callers batch or flush as needed).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.to_wire())
+}
+
+/// Reads one frame from `r`.
+///
+/// EOF *before the first length byte* is a clean [`FrameError::Closed`];
+/// EOF inside a frame is an [`FrameError::Io`] with `UnexpectedEof`. The
+/// body allocation is bounded by [`MAX_BODY`] regardless of what the peer
+/// claims.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_BODY {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Frame::decode_body(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: &Frame) {
+        let wire = f.to_wire();
+        assert_eq!(framed_len(wire.len() - 5), wire.len());
+        let mut cursor = &wire[..];
+        let back = read_frame(&mut cursor).unwrap();
+        assert_eq!(&back, f);
+        assert!(cursor.is_empty(), "frame fully consumed");
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        round_trip(&Frame::Hello {
+            place: 3,
+            places: 8,
+            addr: "127.0.0.1:4821".into(),
+        });
+        round_trip(&Frame::PeerMap {
+            addrs: vec!["".into(), "127.0.0.1:1".into(), "127.0.0.1:2".into()],
+        });
+        round_trip(&Frame::Ready);
+        round_trip(&Frame::Go);
+        round_trip(&Frame::Data {
+            src: 5,
+            payload: vec![1, 2, 3, 255, 0],
+        });
+        round_trip(&Frame::Data {
+            src: 0,
+            payload: Vec::new(),
+        });
+        round_trip(&Frame::Heartbeat);
+        round_trip(&Frame::Bye);
+    }
+
+    #[test]
+    fn eof_on_boundary_is_closed() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn eof_inside_header_is_io() {
+        let mut short: &[u8] = &[5, 0];
+        assert!(matches!(read_frame(&mut short), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn eof_inside_body_is_io() {
+        let wire = Frame::Data {
+            src: 1,
+            payload: vec![9; 32],
+        }
+        .to_wire();
+        let mut truncated = &wire[..wire.len() - 1];
+        assert!(matches!(read_frame(&mut truncated), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.push(KIND_DATA);
+        let mut cursor = &wire[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::BadLength(_))
+        ));
+        let mut zero: &[u8] = &[0, 0, 0, 0];
+        assert!(matches!(
+            read_frame(&mut zero),
+            Err(FrameError::BadLength(0))
+        ));
+    }
+
+    #[test]
+    fn bad_kind_and_bad_magic_are_errors() {
+        assert!(matches!(
+            Frame::decode_body(&[42]),
+            Err(FrameError::BadKind(42))
+        ));
+        let mut body = vec![KIND_HELLO];
+        0xdead_beefu32.encode(&mut body);
+        3u16.encode(&mut body);
+        8u16.encode(&mut body);
+        String::new().encode(&mut body);
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(FrameError::Malformed("hello: bad magic"))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_on_bodyless_frames_are_rejected() {
+        assert!(matches!(
+            Frame::decode_body(&[KIND_READY, 0]),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,90 @@
+//! Spawning place processes on the local machine.
+//!
+//! `dpx10 run --backend sockets` turns one invocation into `N` place
+//! processes: the launcher binds a bootstrap listener, re-executes its
+//! own binary `N - 1` times with `DPX10_PLACE`/`DPX10_PLACES`/
+//! `DPX10_COORD` in the environment and the *same* argument vector, then
+//! becomes place 0 itself. A child sees `DPX10_PLACE` set, rebuilds the
+//! identical workload from the identical arguments, and joins the mesh
+//! as a worker.
+
+use std::io;
+use std::net::TcpListener;
+use std::process::{Child, Command, ExitStatus, Stdio};
+
+use super::SocketConfig;
+
+/// The spawned worker processes of a socket run.
+///
+/// Dropping the handle does **not** kill the children — after a clean
+/// run they exit by themselves; call [`kill_all`](Self::kill_all) for
+/// abnormal teardown.
+#[derive(Debug)]
+pub struct PlaceChildren {
+    children: Vec<Child>,
+}
+
+impl PlaceChildren {
+    /// Pids of the children, indexed by `place - 1`.
+    pub fn pids(&self) -> Vec<u32> {
+        self.children.iter().map(Child::id).collect()
+    }
+
+    /// Waits for every child and returns the exit statuses.
+    pub fn wait_all(&mut self) -> io::Result<Vec<ExitStatus>> {
+        self.children.iter_mut().map(Child::wait).collect()
+    }
+
+    /// Kills any child still running (used when the coordinator errors
+    /// out and the run is being abandoned).
+    pub fn kill_all(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Binds the bootstrap listener and spawns `places - 1` worker processes
+/// re-running the current executable with `args`.
+///
+/// Each child's pid is announced on stderr as
+/// `dpx10: place <p> pid <pid>` — fault-injection harnesses parse these
+/// lines to aim their `SIGKILL`.
+pub fn launch_places(places: u16, args: &[String]) -> io::Result<(SocketConfig, PlaceChildren)> {
+    if places == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "cannot launch zero places",
+        ));
+    }
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let coord_addr = listener.local_addr()?.to_string();
+    let exe = std::env::current_exe()?;
+    let mut children = Vec::with_capacity(places.saturating_sub(1) as usize);
+    for place in 1..places {
+        match Command::new(&exe)
+            .args(args)
+            .env("DPX10_PLACE", place.to_string())
+            .env("DPX10_PLACES", places.to_string())
+            .env("DPX10_COORD", &coord_addr)
+            .stdin(Stdio::null())
+            .spawn()
+        {
+            Ok(child) => {
+                eprintln!("dpx10: place {place} pid {}", child.id());
+                children.push(child);
+            }
+            Err(e) => {
+                // Partial launch: reap what we started, then fail.
+                let mut started = PlaceChildren { children };
+                started.kill_all();
+                return Err(e);
+            }
+        }
+    }
+    Ok((
+        SocketConfig::coordinator(listener, places),
+        PlaceChildren { children },
+    ))
+}

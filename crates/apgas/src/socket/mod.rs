@@ -1,0 +1,860 @@
+//! The multi-process socket transport: one OS process per place,
+//! connected by a full TCP mesh on localhost (or any reachable
+//! addresses).
+//!
+//! Where the in-process [`LocalTransport`](crate::transport::LocalTransport)
+//! *models* a network, this backend has a real one: every message is
+//! encoded with [`Codec`], wrapped in a length-prefixed [`frame`], and
+//! written to a socket. The [`StatsBoard`] consequently records the bytes
+//! actually framed, with zero simulated network time.
+//!
+//! # Mesh formation
+//!
+//! Place 0 is the *coordinator* of the handshake (and, in DPX10, of the
+//! whole run — Resilient X10's immortal place). Startup:
+//!
+//! 1. every worker binds its own listener, dials the coordinator and
+//!    sends `Hello { place, places, addr }`;
+//! 2. the coordinator, having heard all `places - 1` hellos, replies to
+//!    each with a `PeerMap` of every listen address;
+//! 3. each worker dials every *lower-numbered* worker (and accepts a
+//!    connection from every higher-numbered one), sends `Ready` to the
+//!    coordinator, and waits for `Go`.
+//!
+//! The coordinator's address comes either from the in-process launcher
+//! ([`launch::launch_places`]) via `DPX10_COORD`, or from a static
+//! `DPX10_PEERS` list (in which case each place binds its listed
+//! address).
+//!
+//! # Steady state
+//!
+//! Each connection gets a *writer thread* (draining a bounded outbox,
+//! emitting a `Heartbeat` when idle) and a *reader thread* (demuxing
+//! `Data` frames into the node's inbound queue). A read that sees EOF, a
+//! protocol violation, or silence longer than the peer timeout marks the
+//! peer dead on the shared [`LivenessBoard`] — from there the engine's
+//! ordinary [`DeadPlaceError`] machinery takes over, exactly as with an
+//! injected fault.
+
+pub mod frame;
+pub mod launch;
+
+use std::io::{self, Write};
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dpx10_sync::channel::{self, Receiver, RecvTimeoutError, Sender};
+use dpx10_sync::Mutex;
+
+use crate::codec::{decode_exact, Codec};
+use crate::fault::{DeadPlaceError, LivenessBoard};
+use crate::mailbox::Envelope;
+use crate::place::PlaceId;
+use crate::stats::StatsBoard;
+use crate::transport::Transport;
+use frame::{Frame, FrameError};
+
+/// Frames a writer queues before senders block (bounds memory if a peer
+/// reads slowly).
+const OUTBOX_CAP: usize = 4096;
+
+/// How this process joins the mesh.
+#[derive(Debug)]
+pub enum ConnectMode {
+    /// Place 0 with a pre-bound listener the workers will dial.
+    Coordinator(TcpListener),
+    /// A worker place: dial `coordinator`, optionally binding a fixed
+    /// listen address (static `DPX10_PEERS` deployments).
+    Worker {
+        /// The coordinator's address.
+        coordinator: String,
+        /// Fixed listen address, or `None` for an ephemeral port.
+        bind: Option<String>,
+    },
+}
+
+/// Everything needed to bring one place onto the socket mesh.
+#[derive(Debug)]
+pub struct SocketConfig {
+    /// This process's place.
+    pub place: PlaceId,
+    /// Total places in the computation.
+    pub places: u16,
+    /// Handshake role.
+    pub mode: ConnectMode,
+    /// Idle-writer keep-alive interval (`DPX10_HB_MS`, default 250 ms).
+    pub heartbeat: Duration,
+    /// Silence after which a peer is declared dead (`DPX10_TIMEOUT_MS`,
+    /// default 5 s).
+    pub peer_timeout: Duration,
+    /// Budget for the whole handshake (`DPX10_CONNECT_MS`, default 30 s).
+    pub connect_timeout: Duration,
+}
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    let ms = std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default);
+    Duration::from_millis(ms.max(1))
+}
+
+fn bad_input<T>(msg: impl Into<String>) -> io::Result<T> {
+    Err(io::Error::new(io::ErrorKind::InvalidInput, msg.into()))
+}
+
+impl SocketConfig {
+    /// Coordinator config over an already-bound listener.
+    pub fn coordinator(listener: TcpListener, places: u16) -> Self {
+        SocketConfig {
+            place: PlaceId::ZERO,
+            places,
+            mode: ConnectMode::Coordinator(listener),
+            heartbeat: env_ms("DPX10_HB_MS", 250),
+            peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
+            connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
+        }
+    }
+
+    /// Worker config dialing `coordinator` from an ephemeral port.
+    pub fn worker(place: PlaceId, places: u16, coordinator: String) -> Self {
+        SocketConfig {
+            place,
+            places,
+            mode: ConnectMode::Worker {
+                coordinator,
+                bind: None,
+            },
+            heartbeat: env_ms("DPX10_HB_MS", 250),
+            peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
+            connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
+        }
+    }
+
+    /// Reads the launcher environment (`DPX10_PLACE`, `DPX10_PLACES`,
+    /// `DPX10_COORD` / `DPX10_PEERS`).
+    ///
+    /// Returns `Ok(None)` when `DPX10_PLACE` is unset — the process is
+    /// not a spawned place and should act as launcher/coordinator.
+    pub fn from_env() -> io::Result<Option<SocketConfig>> {
+        let Ok(place_raw) = std::env::var("DPX10_PLACE") else {
+            return Ok(None);
+        };
+        let Ok(place) = place_raw.parse::<u16>() else {
+            return bad_input(format!("bad DPX10_PLACE {place_raw:?}"));
+        };
+        let places: u16 = match std::env::var("DPX10_PLACES") {
+            Ok(v) => match v.parse() {
+                Ok(n) if n > place => n,
+                _ => return bad_input(format!("bad DPX10_PLACES {v:?} for place {place}")),
+            },
+            Err(_) => return bad_input("DPX10_PLACE set but DPX10_PLACES missing"),
+        };
+        let mode = if let Ok(peers) = std::env::var("DPX10_PEERS") {
+            let addrs: Vec<String> = peers.split(',').map(str::trim).map(String::from).collect();
+            if addrs.len() != places as usize {
+                return bad_input(format!(
+                    "DPX10_PEERS lists {} addresses for {places} places",
+                    addrs.len()
+                ));
+            }
+            if place == 0 {
+                ConnectMode::Coordinator(TcpListener::bind(addrs[0].as_str())?)
+            } else {
+                ConnectMode::Worker {
+                    coordinator: addrs[0].clone(),
+                    bind: Some(addrs[place as usize].clone()),
+                }
+            }
+        } else {
+            let Ok(coordinator) = std::env::var("DPX10_COORD") else {
+                return bad_input("DPX10_PLACE set but neither DPX10_COORD nor DPX10_PEERS is");
+            };
+            if place == 0 {
+                return bad_input("place 0 needs DPX10_PEERS, not DPX10_COORD");
+            }
+            ConnectMode::Worker {
+                coordinator,
+                bind: None,
+            }
+        };
+        Ok(Some(SocketConfig {
+            place: PlaceId(place),
+            places,
+            mode,
+            heartbeat: env_ms("DPX10_HB_MS", 250),
+            peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
+            connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
+        }))
+    }
+}
+
+/// One place's end of the byte-level socket mesh.
+///
+/// Typed use goes through [`SocketTransport`]; this level moves opaque
+/// payload bytes and owns the liveness/stats boards of the process.
+pub struct SocketNode {
+    me: PlaceId,
+    places: u16,
+    liveness: LivenessBoard,
+    stats: StatsBoard,
+    outboxes: Mutex<Vec<Option<Sender<Vec<u8>>>>>,
+    inbound_tx: Sender<(PlaceId, Vec<u8>)>,
+    inbound_rx: Receiver<(PlaceId, Vec<u8>)>,
+    shutting_down: Arc<AtomicBool>,
+    writer_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SocketNode {
+    /// Performs the handshake of `cfg` and starts the per-peer reader and
+    /// writer threads. Blocks until the whole mesh is up (`Go` received /
+    /// sent) or the connect timeout expires.
+    pub fn connect(cfg: SocketConfig) -> io::Result<SocketNode> {
+        let places = cfg.places;
+        if cfg.place.index() >= places as usize {
+            return bad_input(format!("place {} out of range 0..{places}", cfg.place.0));
+        }
+        let links = match &cfg.mode {
+            ConnectMode::Coordinator(listener) => {
+                handshake_coordinator(listener, places, cfg.connect_timeout)?
+            }
+            ConnectMode::Worker { coordinator, bind } => handshake_worker(
+                cfg.place,
+                places,
+                coordinator,
+                bind.as_deref(),
+                cfg.connect_timeout,
+            )?,
+        };
+
+        let liveness = LivenessBoard::new(places);
+        let stats = StatsBoard::new(places);
+        let (inbound_tx, inbound_rx) = channel::unbounded();
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let mut outboxes: Vec<Option<Sender<Vec<u8>>>> = (0..places).map(|_| None).collect();
+        let mut writers = Vec::new();
+
+        for (peer_idx, link) in links.into_iter().enumerate() {
+            let Some(stream) = link else { continue };
+            let peer = PlaceId(peer_idx as u16);
+            stream.set_read_timeout(Some(cfg.peer_timeout))?;
+            stream.set_nodelay(true)?;
+            let wstream = stream.try_clone()?;
+            let (tx, rx) = channel::bounded(OUTBOX_CAP);
+            outboxes[peer_idx] = Some(tx);
+            {
+                let liveness = liveness.clone();
+                let shutting = shutting_down.clone();
+                let hb = cfg.heartbeat;
+                writers.push(
+                    std::thread::Builder::new()
+                        .name(format!("sock-w{}-{}", cfg.place.0, peer_idx))
+                        .spawn(move || writer_loop(wstream, peer, rx, liveness, hb, shutting))
+                        .expect("spawn writer"),
+                );
+            }
+            {
+                let liveness = liveness.clone();
+                let shutting = shutting_down.clone();
+                let inbound = inbound_tx.clone();
+                // Readers are detached: on shutdown they exit on the
+                // peer's `Bye` or its closed socket, and must not delay
+                // process teardown by a full peer timeout.
+                std::thread::Builder::new()
+                    .name(format!("sock-r{}-{}", cfg.place.0, peer_idx))
+                    .spawn(move || reader_loop(stream, peer, places, inbound, liveness, shutting))
+                    .expect("spawn reader");
+            }
+        }
+
+        Ok(SocketNode {
+            me: cfg.place,
+            places,
+            liveness,
+            stats,
+            outboxes: Mutex::new(outboxes),
+            inbound_tx,
+            inbound_rx,
+            shutting_down,
+            writer_handles: Mutex::new(writers),
+        })
+    }
+
+    /// This process's place.
+    pub fn me(&self) -> PlaceId {
+        self.me
+    }
+
+    /// Total places in the mesh.
+    pub fn places(&self) -> u16 {
+        self.places
+    }
+
+    /// The liveness board fed by the reader threads.
+    pub fn liveness(&self) -> &LivenessBoard {
+        &self.liveness
+    }
+
+    /// The stats board; `place(me)` carries this process's real framed
+    /// bytes.
+    pub fn stats(&self) -> &StatsBoard {
+        &self.stats
+    }
+
+    /// Sends `payload` to `dst` and returns the framed byte count
+    /// written to the wire (0 for the loopback `dst == me`, which never
+    /// touches a socket and is not accounted — matching the in-process
+    /// transport, where local sends are free).
+    pub fn send_bytes(&self, dst: PlaceId, payload: Vec<u8>) -> Result<usize, DeadPlaceError> {
+        self.liveness.check(dst)?;
+        if dst == self.me {
+            let _ = self.inbound_tx.send((self.me, payload));
+            return Ok(0);
+        }
+        let wire = Frame::Data {
+            src: self.me.0,
+            payload,
+        }
+        .to_wire();
+        let n = wire.len();
+        let tx = {
+            let outboxes = self.outboxes.lock();
+            match &outboxes[dst.index()] {
+                Some(tx) => tx.clone(),
+                None => return Err(DeadPlaceError { place: dst }),
+            }
+        };
+        // A writer that hit a socket error drops its receiver, so a
+        // blocked (outbox-full) send unblocks with an error instead of
+        // hanging on a dead peer.
+        tx.send(wire).map_err(|_| DeadPlaceError { place: dst })?;
+        self.stats.place(self.me).on_send(n, Duration::ZERO);
+        Ok(n)
+    }
+
+    /// Non-blocking receive of the next inbound payload.
+    pub fn try_recv_bytes(&self) -> Option<(PlaceId, Vec<u8>)> {
+        self.inbound_rx.try_recv().ok()
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_bytes_timeout(&self, timeout: Duration) -> Option<(PlaceId, Vec<u8>)> {
+        self.inbound_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Flushes and closes every connection: queued frames drain, each
+    /// writer signs off with `Bye`, writers are joined. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        self.outboxes.lock().iter_mut().for_each(|tx| {
+            tx.take();
+        });
+        let handles: Vec<_> = self.writer_handles.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SocketNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for SocketNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketNode")
+            .field("me", &self.me)
+            .field("places", &self.places)
+            .finish_non_exhaustive()
+    }
+}
+
+fn mark_peer(liveness: &LivenessBoard, peer: PlaceId, shutting: &AtomicBool) {
+    if !shutting.load(Ordering::Acquire) {
+        liveness.mark_dead(peer);
+    }
+}
+
+fn writer_loop(
+    mut stream: TcpStream,
+    peer: PlaceId,
+    rx: Receiver<Vec<u8>>,
+    liveness: LivenessBoard,
+    heartbeat: Duration,
+    shutting: Arc<AtomicBool>,
+) {
+    let hb = Frame::Heartbeat.to_wire();
+    loop {
+        match rx.recv_timeout(heartbeat) {
+            Ok(bytes) => {
+                if stream.write_all(&bytes).is_err() {
+                    mark_peer(&liveness, peer, &shutting);
+                    return; // dropping rx unblocks senders with an error
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stream.write_all(&hb).is_err() {
+                    mark_peer(&liveness, peer, &shutting);
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                let _ = frame::write_frame(&mut stream, &Frame::Bye);
+                let _ = stream.flush();
+                return;
+            }
+        }
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    peer: PlaceId,
+    places: u16,
+    inbound: Sender<(PlaceId, Vec<u8>)>,
+    liveness: LivenessBoard,
+    shutting: Arc<AtomicBool>,
+) {
+    loop {
+        match frame::read_frame(&mut stream) {
+            Ok(Frame::Data { src, payload }) if src < places => {
+                let _ = inbound.send((PlaceId(src), payload));
+            }
+            Ok(Frame::Heartbeat) => {}
+            Ok(Frame::Bye) => return,
+            // A handshake frame (or out-of-range src) after `Go`, EOF,
+            // a read timeout, or any decode error: the peer is gone or
+            // talking garbage either way.
+            Ok(_) | Err(_) => {
+                mark_peer(&liveness, peer, &shutting);
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------
+
+fn hs_err<T>(what: impl Into<String>) -> io::Result<T> {
+    Err(io::Error::other(format!("handshake: {}", what.into())))
+}
+
+fn read_hs(stream: &mut TcpStream) -> io::Result<Frame> {
+    frame::read_frame(stream).map_err(|e| match e {
+        FrameError::Io(io) => io,
+        other => io::Error::other(format!("handshake: {other}")),
+    })
+}
+
+fn accept_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                listener.set_nonblocking(false)?;
+                stream.set_nonblocking(false)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "handshake: timed out waiting for a place to dial in",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn prepare(stream: &TcpStream, timeout: Duration) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))
+}
+
+/// Coordinator side: collect hellos, publish the peer map, collect
+/// readies, fire `Go`. Returns `links[p] = Some(stream)` for `p >= 1`.
+fn handshake_coordinator(
+    listener: &TcpListener,
+    places: u16,
+    timeout: Duration,
+) -> io::Result<Vec<Option<TcpStream>>> {
+    let deadline = Instant::now() + timeout;
+    let mut links: Vec<Option<TcpStream>> = (0..places).map(|_| None).collect();
+    let mut addrs = vec![String::new(); places as usize];
+    for _ in 1..places {
+        let mut stream = accept_deadline(listener, deadline)?;
+        prepare(&stream, timeout)?;
+        match read_hs(&mut stream)? {
+            Frame::Hello {
+                place,
+                places: claimed,
+                addr,
+            } => {
+                if claimed != places {
+                    return hs_err(format!(
+                        "place {place} expects {claimed} places, not {places}"
+                    ));
+                }
+                if place == 0 || place >= places {
+                    return hs_err(format!("hello from out-of-range place {place}"));
+                }
+                if links[place as usize].is_some() {
+                    return hs_err(format!("duplicate hello from place {place}"));
+                }
+                if addr.is_empty() {
+                    return hs_err(format!("place {place} sent no listen address"));
+                }
+                addrs[place as usize] = addr;
+                links[place as usize] = Some(stream);
+            }
+            other => return hs_err(format!("expected hello, got {other:?}")),
+        }
+    }
+    let map = Frame::PeerMap { addrs };
+    for stream in links.iter_mut().flatten() {
+        frame::write_frame(stream, &map)?;
+    }
+    for (p, stream) in links.iter_mut().enumerate() {
+        let Some(stream) = stream else { continue };
+        match read_hs(stream)? {
+            Frame::Ready => {}
+            other => return hs_err(format!("expected ready from place {p}, got {other:?}")),
+        }
+    }
+    for stream in links.iter_mut().flatten() {
+        frame::write_frame(stream, &Frame::Go)?;
+    }
+    Ok(links)
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, format!("unresolvable {addr}")))
+}
+
+/// Worker side of the handshake; see the module docs for the sequence.
+fn handshake_worker(
+    me: PlaceId,
+    places: u16,
+    coordinator: &str,
+    bind: Option<&str>,
+    timeout: Duration,
+) -> io::Result<Vec<Option<TcpStream>>> {
+    let deadline = Instant::now() + timeout;
+    let listener = match bind {
+        Some(addr) => TcpListener::bind(addr)?,
+        None => TcpListener::bind("127.0.0.1:0")?,
+    };
+    let my_addr = listener.local_addr()?.to_string();
+
+    let mut coord = TcpStream::connect_timeout(&resolve(coordinator)?, timeout)?;
+    prepare(&coord, timeout)?;
+    frame::write_frame(
+        &mut coord,
+        &Frame::Hello {
+            place: me.0,
+            places,
+            addr: my_addr,
+        },
+    )?;
+    let addrs = match read_hs(&mut coord)? {
+        Frame::PeerMap { addrs } if addrs.len() == places as usize => addrs,
+        Frame::PeerMap { addrs } => {
+            return hs_err(format!("peer map of {} for {places} places", addrs.len()))
+        }
+        other => return hs_err(format!("expected peer map, got {other:?}")),
+    };
+
+    let mut links: Vec<Option<TcpStream>> = (0..places).map(|_| None).collect();
+    // Dial every lower-numbered worker; their listeners are bound before
+    // they dial the coordinator, so the connections queue in the backlog
+    // even if the peer has not reached `accept` yet.
+    for p in 1..me.0 {
+        let mut stream = TcpStream::connect_timeout(&resolve(&addrs[p as usize])?, timeout)?;
+        prepare(&stream, timeout)?;
+        frame::write_frame(
+            &mut stream,
+            &Frame::Hello {
+                place: me.0,
+                places,
+                addr: String::new(),
+            },
+        )?;
+        links[p as usize] = Some(stream);
+    }
+    // Accept the higher-numbered workers dialing us.
+    for _ in me.0 + 1..places {
+        let mut stream = accept_deadline(&listener, deadline)?;
+        prepare(&stream, timeout)?;
+        match read_hs(&mut stream)? {
+            Frame::Hello { place, .. } => {
+                if place <= me.0 || place >= places {
+                    return hs_err(format!("unexpected dial-in from place {place}"));
+                }
+                if links[place as usize].is_some() {
+                    return hs_err(format!("duplicate dial-in from place {place}"));
+                }
+                links[place as usize] = Some(stream);
+            }
+            other => return hs_err(format!("expected hello, got {other:?}")),
+        }
+    }
+    frame::write_frame(&mut coord, &Frame::Ready)?;
+    match read_hs(&mut coord)? {
+        Frame::Go => {}
+        other => return hs_err(format!("expected go, got {other:?}")),
+    }
+    links[0] = Some(coord);
+    Ok(links)
+}
+
+// ---------------------------------------------------------------------
+// Typed facade
+// ---------------------------------------------------------------------
+
+/// [`Transport`] adapter over a [`SocketNode`]: encodes `M` with
+/// [`Codec`] on send, decodes on receive. A payload that fails to decode
+/// marks the *sender* dead (its stream is corrupt) instead of panicking.
+pub struct SocketTransport<M> {
+    node: Arc<SocketNode>,
+    _marker: PhantomData<fn() -> M>,
+}
+
+impl<M> SocketTransport<M> {
+    /// Wraps a connected node.
+    pub fn new(node: Arc<SocketNode>) -> Self {
+        SocketTransport {
+            node,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying byte-level node.
+    pub fn node(&self) -> &Arc<SocketNode> {
+        &self.node
+    }
+
+    fn decode_or_mark(&self, src: PlaceId, bytes: &[u8]) -> Option<M>
+    where
+        M: Codec,
+    {
+        match decode_exact::<M>(bytes) {
+            Some(msg) => Some(msg),
+            None => {
+                if src != self.node.me {
+                    self.node.liveness.mark_dead(src);
+                }
+                None
+            }
+        }
+    }
+}
+
+impl<M: Codec + Send> Transport<M> for SocketTransport<M> {
+    fn num_places(&self) -> u16 {
+        self.node.places
+    }
+
+    fn liveness(&self) -> &LivenessBoard {
+        self.node.liveness()
+    }
+
+    fn send(
+        &self,
+        src: PlaceId,
+        dst: PlaceId,
+        msg: M,
+        _wire_bytes: usize,
+    ) -> Result<(), DeadPlaceError> {
+        debug_assert_eq!(src, self.node.me, "socket sends originate locally");
+        let mut buf = Vec::with_capacity(msg.wire_size().saturating_add(8));
+        msg.encode(&mut buf);
+        self.node.send_bytes(dst, buf).map(|_| ())
+    }
+
+    fn try_recv(&self, at: PlaceId) -> Option<Envelope<M>> {
+        debug_assert_eq!(at, self.node.me, "socket receives are local");
+        loop {
+            let (src, bytes) = self.node.try_recv_bytes()?;
+            if let Some(msg) = self.decode_or_mark(src, &bytes) {
+                return Some(Envelope { src, msg });
+            }
+        }
+    }
+
+    fn recv_timeout(&self, at: PlaceId, timeout: Duration) -> Option<Envelope<M>> {
+        debug_assert_eq!(at, self.node.me, "socket receives are local");
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let (src, bytes) = self.node.recv_bytes_timeout(remaining)?;
+            if let Some(msg) = self.decode_or_mark(src, &bytes) {
+                return Some(Envelope { src, msg });
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        self.node.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(n: u16) -> Vec<SocketNode> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut handles = Vec::new();
+        for p in 1..n {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                SocketNode::connect(SocketConfig::worker(PlaceId(p), n, addr)).unwrap()
+            }));
+        }
+        let mut nodes = vec![SocketNode::connect(SocketConfig::coordinator(listener, n)).unwrap()];
+        for h in handles {
+            nodes.push(h.join().unwrap());
+        }
+        nodes.sort_by_key(|nd| nd.me().0);
+        nodes
+    }
+
+    #[test]
+    fn four_place_mesh_delivers_everywhere() {
+        let nodes = mesh(4);
+        for src in 0..4u16 {
+            for dst in 0..4u16 {
+                nodes[src as usize]
+                    .send_bytes(PlaceId(dst), vec![src as u8, dst as u8])
+                    .unwrap();
+            }
+        }
+        for dst in 0..4u16 {
+            let mut seen = Vec::new();
+            while seen.len() < 4 {
+                let (src, payload) = nodes[dst as usize]
+                    .recv_bytes_timeout(Duration::from_secs(5))
+                    .expect("payload arrives");
+                assert_eq!(payload, vec![src.0 as u8, dst as u8]);
+                seen.push(src.0);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn framed_bytes_are_accounted_loopback_is_not() {
+        let nodes = mesh(2);
+        let n = nodes[0].send_bytes(PlaceId(1), vec![7; 10]).unwrap();
+        assert_eq!(n, frame::framed_len(2 + 10)); // u16 src + payload
+        assert_eq!(nodes[0].send_bytes(PlaceId(0), vec![7; 10]).unwrap(), 0);
+        let snap = nodes[0].stats().snapshot();
+        assert_eq!(snap.messages_sent, 1);
+        assert_eq!(snap.bytes_sent, n as u64);
+        assert_eq!(snap.net_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn abrupt_peer_death_is_detected_and_sends_fail() {
+        // A 2-place mesh where place 1 is a hand-rolled impostor that
+        // completes the handshake and then vanishes without `Bye` —
+        // the coordinator's reader must see the closed stream and mark
+        // place 1 dead, exactly as if the process had been SIGKILLed.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let impostor = std::thread::spawn(move || {
+            let own = TcpListener::bind("127.0.0.1:0").unwrap();
+            let mut coord = TcpStream::connect(addr).unwrap();
+            frame::write_frame(
+                &mut coord,
+                &Frame::Hello {
+                    place: 1,
+                    places: 2,
+                    addr: own.local_addr().unwrap().to_string(),
+                },
+            )
+            .unwrap();
+            assert!(matches!(
+                frame::read_frame(&mut coord).unwrap(),
+                Frame::PeerMap { .. }
+            ));
+            frame::write_frame(&mut coord, &Frame::Ready).unwrap();
+            assert!(matches!(frame::read_frame(&mut coord).unwrap(), Frame::Go));
+            // Die abruptly: stream drops, kernel sends FIN, no Bye.
+        });
+        let node = SocketNode::connect(SocketConfig::coordinator(listener, 2)).unwrap();
+        impostor.join().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while node.liveness().is_alive(PlaceId(1)) {
+            assert!(Instant::now() < deadline, "death never detected");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            node.send_bytes(PlaceId(1), vec![1]).unwrap_err().place,
+            PlaceId(1)
+        );
+    }
+
+    #[test]
+    fn graceful_shutdown_is_not_a_death() {
+        let mut nodes = mesh(3);
+        let victim = nodes.remove(2);
+        victim.shutdown(); // sends Bye on every link
+        drop(victim);
+        // Give the survivors' readers a moment to consume the Bye.
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(nodes[0].liveness().is_alive(PlaceId(2)));
+        // The other two places still talk.
+        nodes[0].send_bytes(PlaceId(1), vec![9]).unwrap();
+        let (src, payload) = nodes[1].recv_bytes_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((src, payload), (PlaceId(0), vec![9]));
+    }
+
+    #[test]
+    fn typed_transport_round_trips_and_rejects_corruption() {
+        let mut nodes = mesh(2).into_iter();
+        let a: SocketTransport<(u64, String)> =
+            SocketTransport::new(Arc::new(nodes.next().unwrap()));
+        let b: SocketTransport<(u64, String)> =
+            SocketTransport::new(Arc::new(nodes.next().unwrap()));
+        a.send(PlaceId(0), PlaceId(1), (42, "hi".into()), 0)
+            .unwrap();
+        let env = b.recv_timeout(PlaceId(1), Duration::from_secs(5)).unwrap();
+        assert_eq!(env.src, PlaceId(0));
+        assert_eq!(env.msg, (42, "hi".into()));
+
+        // Corrupt payload: raw bytes that do not decode as the type.
+        b.node().send_bytes(PlaceId(0), vec![1, 2, 3]).unwrap();
+        assert!(a
+            .recv_timeout(PlaceId(0), Duration::from_millis(300))
+            .is_none());
+        assert!(
+            !a.liveness().is_alive(PlaceId(1)),
+            "corrupt sender marked dead"
+        );
+    }
+
+    #[test]
+    fn from_env_absent_is_none() {
+        // DPX10_PLACE is not set in the test environment.
+        assert!(SocketConfig::from_env().unwrap().is_none());
+    }
+}

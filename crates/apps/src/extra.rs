@@ -348,7 +348,10 @@ mod tests {
         )
         .run()
         .unwrap();
-        assert_eq!(app.answer(&result), serial::needleman_wunsch(&a, &b, 1, -1, -1));
+        assert_eq!(
+            app.answer(&result),
+            serial::needleman_wunsch(&a, &b, 1, -1, -1)
+        );
     }
 
     #[test]
@@ -409,10 +412,13 @@ mod tests {
     fn matrix_chain_single_matrix_is_free() {
         let app = MatrixChainApp::new(vec![4, 7]);
         let pattern = app.pattern();
-        let result =
-            ThreadedEngine::new(MatrixChainApp::new(vec![4, 7]), pattern, EngineConfig::flat(1))
-                .run()
-                .unwrap();
+        let result = ThreadedEngine::new(
+            MatrixChainApp::new(vec![4, 7]),
+            pattern,
+            EngineConfig::flat(1),
+        )
+        .run()
+        .unwrap();
         assert_eq!(app.answer(&result), 0);
     }
 }

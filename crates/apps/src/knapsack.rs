@@ -90,10 +90,22 @@ mod tests {
     fn textbook_instance() {
         // Items (w, v): (1,1), (3,4), (4,5), (5,7); W=7 -> best 9.
         let items = vec![
-            Item { weight: 1, value: 1 },
-            Item { weight: 3, value: 4 },
-            Item { weight: 4, value: 5 },
-            Item { weight: 5, value: 7 },
+            Item {
+                weight: 1,
+                value: 1,
+            },
+            Item {
+                weight: 3,
+                value: 4,
+            },
+            Item {
+                weight: 4,
+                value: 5,
+            },
+            Item {
+                weight: 5,
+                value: 7,
+            },
         ];
         assert_eq!(solve(items, 7), 9);
     }
@@ -101,11 +113,26 @@ mod tests {
     #[test]
     fn matches_serial_reference() {
         let items = vec![
-            Item { weight: 2, value: 3 },
-            Item { weight: 3, value: 4 },
-            Item { weight: 4, value: 5 },
-            Item { weight: 5, value: 6 },
-            Item { weight: 1, value: 1 },
+            Item {
+                weight: 2,
+                value: 3,
+            },
+            Item {
+                weight: 3,
+                value: 4,
+            },
+            Item {
+                weight: 4,
+                value: 5,
+            },
+            Item {
+                weight: 5,
+                value: 6,
+            },
+            Item {
+                weight: 1,
+                value: 1,
+            },
         ];
         for cap in [0u32, 1, 5, 9, 15] {
             assert_eq!(
@@ -118,15 +145,24 @@ mod tests {
 
     #[test]
     fn zero_capacity_takes_nothing() {
-        let items = vec![Item { weight: 2, value: 10 }];
+        let items = vec![Item {
+            weight: 2,
+            value: 10,
+        }];
         assert_eq!(solve(items, 0), 0);
     }
 
     #[test]
     fn all_items_fit() {
         let items = vec![
-            Item { weight: 1, value: 2 },
-            Item { weight: 1, value: 3 },
+            Item {
+                weight: 1,
+                value: 2,
+            },
+            Item {
+                weight: 1,
+                value: 3,
+            },
         ];
         assert_eq!(solve(items, 10), 5);
     }

@@ -16,6 +16,7 @@ pub mod knapsack;
 pub mod lcs;
 pub mod lps;
 pub mod mtp;
+pub mod rng;
 pub mod serial;
 pub mod swlag;
 pub mod workload;

@@ -89,7 +89,12 @@ mod tests {
     #[test]
     fn matches_serial_reference() {
         for text in [b"AGBDBA".as_slice(), b"CHARACTER", b"XYZZYXQQ"] {
-            assert_eq!(lps_of(text), serial::lps(text), "{:?}", std::str::from_utf8(text));
+            assert_eq!(
+                lps_of(text),
+                serial::lps(text),
+                "{:?}",
+                std::str::from_utf8(text)
+            );
         }
     }
 

@@ -112,7 +112,11 @@ mod tests {
         .unwrap();
         for i in 0..12 {
             for j in 0..9 {
-                assert_eq!(result.get(i, j), expect[i as usize][j as usize], "({i},{j})");
+                assert_eq!(
+                    result.get(i, j),
+                    expect[i as usize][j as usize],
+                    "({i},{j})"
+                );
             }
         }
     }

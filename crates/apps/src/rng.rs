@@ -1,0 +1,58 @@
+//! A tiny seeded PRNG for workload generation.
+//!
+//! SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+//! generators") — a 64-bit state, statistically solid for test-data
+//! generation, and dependency-free so the workspace builds offline.
+//! Workloads only need determinism per seed, not cryptographic quality.
+
+/// SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "SplitMix64::below(0)");
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range_and_varies() {
+        let mut rng = SplitMix64::new(7);
+        let draws: Vec<u64> = (0..1000).map(|_| rng.below(10)).collect();
+        assert!(draws.iter().all(|&d| d < 10));
+        for v in 0..10 {
+            assert!(draws.contains(&v), "value {v} never drawn");
+        }
+    }
+}

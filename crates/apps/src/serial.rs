@@ -51,14 +51,12 @@ pub fn manhattan_tourist(height: u32, width: u32, seed: u64) -> Vec<Vec<i64>> {
             }
             let mut best = i64::MIN;
             if i > 0 {
-                best = best.max(
-                    d[(i - 1) as usize][j as usize] + edge_weight(seed, i - 1, j, i, j),
-                );
+                best =
+                    best.max(d[(i - 1) as usize][j as usize] + edge_weight(seed, i - 1, j, i, j));
             }
             if j > 0 {
-                best = best.max(
-                    d[i as usize][(j - 1) as usize] + edge_weight(seed, i, j - 1, i, j),
-                );
+                best =
+                    best.max(d[i as usize][(j - 1) as usize] + edge_weight(seed, i, j - 1, i, j));
             }
             d[i as usize][j as usize] = best;
         }
@@ -148,7 +146,11 @@ pub fn needleman_wunsch(a: &[u8], b: &[u8], matched: i32, mismatch: i32, gap: i3
     for i in 1..=m {
         cur[0] = i as i32 * gap;
         for j in 1..=n {
-            let s = if a[i - 1] == b[j - 1] { matched } else { mismatch };
+            let s = if a[i - 1] == b[j - 1] {
+                matched
+            } else {
+                mismatch
+            };
             cur[j] = (prev[j - 1] + s).max(prev[j] + gap).max(cur[j - 1] + gap);
         }
         std::mem::swap(&mut prev, &mut cur);
@@ -237,9 +239,18 @@ mod tests {
     fn knapsack_greedy_trap() {
         // Greedy-by-value would take the 10; DP must take 6+5.
         let items = [
-            Item { weight: 5, value: 10 },
-            Item { weight: 3, value: 6 },
-            Item { weight: 3, value: 5 },
+            Item {
+                weight: 5,
+                value: 10,
+            },
+            Item {
+                weight: 3,
+                value: 6,
+            },
+            Item {
+                weight: 3,
+                value: 5,
+            },
         ];
         assert_eq!(knapsack(&items, 6), 11);
     }
@@ -258,4 +269,3 @@ mod tests {
         assert!(d[4][4] > 0);
     }
 }
-

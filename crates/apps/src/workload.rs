@@ -2,33 +2,31 @@
 //! harness ("the time for ... generating test graphs ... was not included
 //! in the measurements", §VIII — generation is separated out here too).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::knapsack::Item;
+use crate::rng::SplitMix64;
 
 /// A random DNA sequence of length `len`.
 pub fn dna(len: usize, seed: u64) -> Vec<u8> {
     const ALPHABET: [u8; 4] = *b"ACGT";
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| ALPHABET[rng.gen_range(0..4)]).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| ALPHABET[rng.below(4) as usize]).collect()
 }
 
 /// A random uppercase-letter string (for LPS/LCS demos).
 pub fn letters(len: usize, seed: u64) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(b'A'..=b'Z')).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| b'A' + rng.below(26) as u8).collect()
 }
 
 /// A random knapsack instance: `n` items with weights in
 /// `1..=max_weight` and values in `1..=100`.
 pub fn knapsack_items(n: usize, max_weight: u32, seed: u64) -> Vec<Item> {
     assert!(max_weight >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..n)
         .map(|_| Item {
-            weight: rng.gen_range(1..=max_weight),
-            value: rng.gen_range(1..=100),
+            weight: 1 + rng.below(max_weight as u64) as u32,
+            value: 1 + rng.below(100),
         })
         .collect()
 }

@@ -24,7 +24,7 @@
 use std::thread;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use dpx10_sync::channel::{bounded, Receiver, Sender};
 
 use dpx10_apps::swlag::{Scoring, SwCell};
 use dpx10_sim::CostModel;
@@ -96,9 +96,7 @@ impl NativeSwlag {
                 let rx = rxs[s].take();
                 let tx = txs[s].take();
                 let (a, b, sc) = (&self.a, &self.b, &self.scoring);
-                handles.push(scope.spawn(move || {
-                    stage_worker(a, b, sc, h, c0, c1, rx, tx)
-                }));
+                handles.push(scope.spawn(move || stage_worker(a, b, sc, h, c0, c1, rx, tx)));
             }
             handles.into_iter().map(|jh| jh.join().unwrap()).collect()
         });
@@ -118,11 +116,7 @@ impl NativeSwlag {
 
     /// Highest local-alignment score.
     pub fn best_score(&self) -> i32 {
-        self.run()
-            .into_iter()
-            .flatten()
-            .max()
-            .unwrap_or(0)
+        self.run().into_iter().flatten().max().unwrap_or(0)
     }
 }
 

@@ -31,7 +31,9 @@ fn bench_schedule(c: &mut Criterion) {
             BenchmarkId::new("mtp", strat.name()),
             &strat,
             |b, &strat| {
-                b.iter(|| run_sim_with(AppKind::Mtp, VERTICES, 4, |c| c.with_schedule(strat)).sim_time)
+                b.iter(|| {
+                    run_sim_with(AppKind::Mtp, VERTICES, 4, |c| c.with_schedule(strat)).sim_time
+                })
             },
         );
     }
@@ -46,16 +48,14 @@ fn bench_distribution(c: &mut Criterion) {
         ("block-col", DistKind::BlockCol),
         ("cyclic-col", DistKind::CyclicCol),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("knapsack", name),
-            &kind,
-            |b, kind| {
-                b.iter(|| {
-                    run_sim_with(AppKind::Knapsack, VERTICES, 4, |c| c.with_dist(kind.clone()))
-                        .sim_time
+        group.bench_with_input(BenchmarkId::new("knapsack", name), &kind, |b, kind| {
+            b.iter(|| {
+                run_sim_with(AppKind::Knapsack, VERTICES, 4, |c| {
+                    c.with_dist(kind.clone())
                 })
-            },
-        );
+                .sim_time
+            })
+        });
     }
     group.finish();
 }
@@ -82,10 +82,8 @@ mod extension_benches {
                 &policy,
                 |b, &policy| {
                     b.iter(|| {
-                        run_sim_with(AppKind::Swlag, VERTICES, 4, |c| {
-                            c.with_ready_policy(policy)
-                        })
-                        .sim_time
+                        run_sim_with(AppKind::Swlag, VERTICES, 4, |c| c.with_ready_policy(policy))
+                            .sim_time
                     })
                 },
             );

@@ -19,9 +19,7 @@ fn bench_faulted_runs(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("sim-swlag-fault", format!("{nodes}nodes")),
             &nodes,
-            |b, &n| {
-                b.iter(|| run_recovery(100_000, n, RestoreManner::RecomputeRemote))
-            },
+            |b, &n| b.iter(|| run_recovery(100_000, n, RestoreManner::RecomputeRemote)),
         );
     }
     group.bench_function("threaded-mtp-fault-3places", |b| {

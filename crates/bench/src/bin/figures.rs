@@ -16,8 +16,8 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use dpx10_bench::{
-    run_recovery, run_sim, run_sim_with, sim_overhead_pair, threaded_overhead_pair, AppKind,
-    Chart, Table,
+    run_recovery, run_sim, run_sim_with, sim_overhead_pair, threaded_overhead_pair, AppKind, Chart,
+    Table,
 };
 use dpx10_core::{DistKind, PlaceId, RestoreManner, ScheduleStrategy};
 use dpx10_sim::SimFaultPlan;
@@ -225,11 +225,7 @@ fn fig12(opts: &Opts) {
         ratio_series.push((format!("{nodes} nodes"), pts));
     }
     emit(table, opts);
-    let mut chart = Chart::new(
-        "Fig 12 (b): DPX10 / native X10 ratio",
-        "vertices",
-        "ratio",
-    );
+    let mut chart = Chart::new("Fig 12 (b): DPX10 / native X10 ratio", "vertices", "ratio");
     for (name, pts) in ratio_series {
         chart = chart.series(name, pts);
     }
@@ -280,9 +276,13 @@ fn fig13(opts: &Opts) {
     }
     emit(a, opts);
     emit_chart(
-        Chart::new("Fig 13 (a): recovery time vs vertices", "vertices", "recovery ms")
-            .series("4 nodes", s4)
-            .series("8 nodes", s8),
+        Chart::new(
+            "Fig 13 (a): recovery time vs vertices",
+            "vertices",
+            "recovery ms",
+        )
+        .series("4 nodes", s4)
+        .series("8 nodes", s8),
         opts,
     );
 
@@ -340,7 +340,9 @@ fn ablation(opts: &Opts) {
         &["strategy", "makespan_s", "messages", "bytes"],
     );
     for strat in ScheduleStrategy::ALL {
-        let report = run_sim_with(AppKind::Mtp, opts.vertices / 5, 4, |c| c.with_schedule(strat));
+        let report = run_sim_with(AppKind::Mtp, opts.vertices / 5, 4, |c| {
+            c.with_schedule(strat)
+        });
         sched.row(&[
             strat.name().to_string(),
             secs(report.sim_time),
@@ -360,7 +362,9 @@ fn ablation(opts: &Opts) {
         ("block-col", DistKind::BlockCol),
         ("cyclic-row", DistKind::CyclicRow),
     ] {
-        let report = run_sim_with(AppKind::Knapsack, opts.vertices / 5, 4, |c| c.with_dist(kind));
+        let report = run_sim_with(AppKind::Knapsack, opts.vertices / 5, 4, |c| {
+            c.with_dist(kind)
+        });
         dist.row(&[
             name.to_string(),
             secs(report.sim_time),
@@ -437,15 +441,11 @@ fn ablation(opts: &Opts) {
                 compute: std::time::Duration::from_nanos(cell * (tile as u64).pow(2)),
                 ..CostModel::default()
             };
-            let report = SimEngine::new(
-                tiled_app,
-                geometry,
-                SimConfig::paper(4).with_cost(cost),
-            )
-            .run()
-            .unwrap()
-            .report()
-            .clone();
+            let report = SimEngine::new(tiled_app, geometry, SimConfig::paper(4).with_cost(cost))
+                .run()
+                .unwrap()
+                .report()
+                .clone();
             tiles.row(&[
                 tile.to_string(),
                 report.vertices_total.to_string(),
@@ -459,7 +459,12 @@ fn ablation(opts: &Opts) {
     // The 2D/iD caveat (§III): a 2D/1D pattern's per-vertex cost.
     let mut heavy = Table::new(
         "Ablation: 2D/0D vs 2D/1D pattern cost (paper SIII caveat)",
-        &["pattern", "vertices", "makespan_s", "normalized_per_vertex_ns"],
+        &[
+            "pattern",
+            "vertices",
+            "makespan_s",
+            "normalized_per_vertex_ns",
+        ],
     );
     {
         use dpx10_core::{DepView, DpApp};
@@ -490,8 +495,7 @@ fn ablation(opts: &Opts) {
             ),
         ] {
             let rep = run.report();
-            let per_vertex =
-                rep.sim_time.as_nanos() as f64 / rep.vertices_total as f64;
+            let per_vertex = rep.sim_time.as_nanos() as f64 / rep.vertices_total as f64;
             heavy.row(&[
                 name.to_string(),
                 rep.vertices_total.to_string(),

@@ -88,9 +88,8 @@ impl Chart {
         let plot_w = W - MARGIN_L - MARGIN_R;
         let plot_h = H - MARGIN_T - MARGIN_B;
         let sx = move |x: f64| MARGIN_L + (x - x0) / (x1 - x0).max(f64::MIN_POSITIVE) * plot_w;
-        let sy = move |y: f64| {
-            MARGIN_T + plot_h - (y - y0) / (y1 - y0).max(f64::MIN_POSITIVE) * plot_h
-        };
+        let sy =
+            move |y: f64| MARGIN_T + plot_h - (y - y0) / (y1 - y0).max(f64::MIN_POSITIVE) * plot_h;
 
         let mut svg = String::new();
         let _ = writeln!(
@@ -286,7 +285,9 @@ fn trim(v: f64) -> String {
 
 /// Escapes XML text content.
 fn xml(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -354,7 +355,12 @@ mod tests {
     fn write_svg_slugifies() {
         let dir = std::env::temp_dir().join(format!("dpx10-chart-{}", std::process::id()));
         let path = sample().write_svg(&dir).unwrap();
-        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("fig-x"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("fig-x"));
         assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
         std::fs::remove_dir_all(&dir).ok();
     }

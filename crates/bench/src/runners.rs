@@ -25,7 +25,12 @@ pub enum AppKind {
 
 impl AppKind {
     /// All four, in the paper's order.
-    pub const ALL: [AppKind; 4] = [AppKind::Swlag, AppKind::Mtp, AppKind::Lps, AppKind::Knapsack];
+    pub const ALL: [AppKind; 4] = [
+        AppKind::Swlag,
+        AppKind::Mtp,
+        AppKind::Lps,
+        AppKind::Knapsack,
+    ];
 
     /// Display name as used in the figures.
     pub fn name(self) -> &'static str {
@@ -82,19 +87,31 @@ pub fn run_sim_with(
             let n = workload::side_for_vertices(vertices) as usize;
             let a = SwlagApp::new(workload::dna(n, 1), workload::dna(n, 2));
             let pattern = a.pattern();
-            SimEngine::new(a, pattern, config).run().unwrap().report().clone()
+            SimEngine::new(a, pattern, config)
+                .run()
+                .unwrap()
+                .report()
+                .clone()
         }
         AppKind::Mtp => {
             let n = workload::side_for_vertices(vertices) + 1;
             let a = MtpApp::new(n, n, 42);
             let pattern = a.pattern();
-            SimEngine::new(a, pattern, config).run().unwrap().report().clone()
+            SimEngine::new(a, pattern, config)
+                .run()
+                .unwrap()
+                .report()
+                .clone()
         }
         AppKind::Lps => {
             let n = ((vertices as f64 * 2.0).sqrt() as usize).max(2);
             let a = LpsApp::new(workload::letters(n, 3));
             let pattern = a.pattern();
-            SimEngine::new(a, pattern, config).run().unwrap().report().clone()
+            SimEngine::new(a, pattern, config)
+                .run()
+                .unwrap()
+                .report()
+                .clone()
         }
         AppKind::Knapsack => {
             let items = workload::knapsack_items(
@@ -104,7 +121,11 @@ pub fn run_sim_with(
             );
             let a = KnapsackApp::new(items, KNAPSACK_CAPACITY);
             let pattern = a.pattern();
-            SimEngine::new(a, pattern, config).run().unwrap().report().clone()
+            SimEngine::new(a, pattern, config)
+                .run()
+                .unwrap()
+                .report()
+                .clone()
         }
     }
 }
@@ -157,7 +178,11 @@ pub fn threaded_overhead_pair(side: usize, places: u16) -> (Duration, Duration) 
 /// Fig. 13 runner: SWLAG with a mid-run failure on a `nodes`-node
 /// simulated cluster. Returns (clean makespan, faulty makespan,
 /// recovery time).
-pub fn run_recovery(vertices: u64, nodes: u16, manner: RestoreManner) -> (Duration, Duration, Duration) {
+pub fn run_recovery(
+    vertices: u64,
+    nodes: u16,
+    manner: RestoreManner,
+) -> (Duration, Duration, Duration) {
     let clean = run_sim(AppKind::Swlag, vertices, nodes).sim_time;
     let report = run_sim_with(AppKind::Swlag, vertices, nodes, |c| {
         c.with_restore(manner)

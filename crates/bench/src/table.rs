@@ -109,7 +109,12 @@ mod tests {
         let path = t.write_csv(&dir).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body, "nodes,seconds\n2,1.5\n");
-        assert!(path.file_name().unwrap().to_str().unwrap().starts_with("fig-10"));
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("fig-10"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -68,6 +68,8 @@ pub enum EngineChoice {
     Sim,
     /// The real threaded engine.
     Threaded,
+    /// Multi-process places over TCP sockets (one OS process per place).
+    Sockets,
 }
 
 /// A parsed `dpx10 run` invocation.
@@ -181,9 +183,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::Patterns { height, width })
         }
         Some("run") => {
-            let app_name = it.next().ok_or(ParseError("run needs an app name".into()))?;
-            let app = AppChoice::parse(app_name)
-                .ok_or(ParseError(format!("unknown app {app_name}; try `dpx10 apps`")))?;
+            let app_name = it
+                .next()
+                .ok_or(ParseError("run needs an app name".into()))?;
+            let app = AppChoice::parse(app_name).ok_or(ParseError(format!(
+                "unknown app {app_name}; try `dpx10 apps`"
+            )))?;
             let mut run = RunArgs {
                 app,
                 ..RunArgs::default()
@@ -195,11 +200,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         .ok_or(ParseError(format!("{name} needs a value")))
                 };
                 match flag {
-                    "--engine" => {
-                        run.engine = match value("--engine")?.as_str() {
+                    "--engine" | "--backend" => {
+                        run.engine = match value(flag)?.as_str() {
                             "sim" => EngineChoice::Sim,
-                            "threaded" => EngineChoice::Threaded,
-                            other => return err(format!("unknown engine {other}")),
+                            "threaded" | "threads" => EngineChoice::Threaded,
+                            "sockets" => EngineChoice::Sockets,
+                            other => return err(format!("unknown {} {other}", &flag[2..])),
                         }
                     }
                     "--vertices" => {
@@ -297,10 +303,12 @@ pub fn usage() -> String {
          APPS: {}\n\
          \n\
          RUN FLAGS:\n\
-         \x20 --engine sim|threaded   executor (default sim)\n\
+         \x20 --backend B             sim|threads|sockets executor (default sim);\n\
+         \x20                         sockets spawns one OS process per place over TCP\n\
+         \x20 --engine E              alias of --backend (also accepts `threaded`)\n\
          \x20 --vertices N            problem scale (default 250000)\n\
          \x20 --nodes N               simulated nodes, 2 places x 6 workers each (default 4)\n\
-         \x20 --places N              threaded places, 1 worker each (default 4)\n\
+         \x20 --places N              threaded/socket places, 1 worker each (default 4)\n\
          \x20 --dist KIND             block-row|block-col|cyclic-row|cyclic-col\n\
          \x20 --schedule S            local|random|min-comm|work-stealing (default local)\n\
          \x20 --cache N               remote-value cache entries (default 4096)\n\
@@ -382,6 +390,27 @@ mod tests {
     }
 
     #[test]
+    fn backend_flag_selects_engines() {
+        for (spelling, want) in [
+            ("sim", EngineChoice::Sim),
+            ("threads", EngineChoice::Threaded),
+            ("sockets", EngineChoice::Sockets),
+        ] {
+            let Command::Run(run) = parse_ok(&["run", "lps", "--backend", spelling]) else {
+                panic!()
+            };
+            assert_eq!(run.engine, want, "--backend {spelling}");
+        }
+        let Command::Run(run) = parse_ok(&["run", "lps", "--engine", "sockets"]) else {
+            panic!()
+        };
+        assert_eq!(run.engine, EngineChoice::Sockets);
+        assert!(parse_err(&["run", "lps", "--backend", "gpu"])
+            .0
+            .contains("unknown backend"));
+    }
+
+    #[test]
     fn fault_without_fraction_defaults_to_half() {
         let Command::Run(run) = parse_ok(&["run", "mtp", "--fault", "1"]) else {
             panic!()
@@ -393,8 +422,12 @@ mod tests {
     fn bad_inputs_are_reported() {
         assert!(parse_err(&["run"]).0.contains("app name"));
         assert!(parse_err(&["run", "nope"]).0.contains("unknown app"));
-        assert!(parse_err(&["run", "lps", "--engine", "gpu"]).0.contains("unknown engine"));
-        assert!(parse_err(&["run", "lps", "--fault", "1:2.0"]).0.contains("[0, 1]"));
+        assert!(parse_err(&["run", "lps", "--engine", "gpu"])
+            .0
+            .contains("unknown engine"));
+        assert!(parse_err(&["run", "lps", "--fault", "1:2.0"])
+            .0
+            .contains("[0, 1]"));
         assert!(parse_err(&["frobnicate"]).0.contains("unknown command"));
         assert!(parse_err(&["patterns", "--size", "8"]).0.contains("HxW"));
     }

@@ -2,13 +2,13 @@
 
 use std::time::Duration;
 
-use dpx10_apgas::Topology;
+use dpx10_apgas::{launch_places, SocketConfig, Topology};
 use dpx10_apps::{
     workload, EditDistanceApp, KnapsackApp, LcsApp, LpsApp, MtpApp, NeedlemanWunschApp,
     NussinovApp, SwLinearApp, SwlagApp,
 };
 use dpx10_core::{
-    DagResult, DpApp, EngineConfig, FaultPlan, RunReport, ThreadedEngine, VertexValue,
+    DagResult, DpApp, EngineConfig, FaultPlan, RunReport, SocketEngine, ThreadedEngine, VertexValue,
 };
 use dpx10_dag::{critical_path_len, wavefront_profile, BuiltinKind, DagPattern};
 use dpx10_sim::{CostModel, SimConfig, SimEngine, SimFaultPlan, TraceBuffer};
@@ -67,14 +67,18 @@ impl RunSummary {
 }
 
 /// Dispatches a `run` command.
-pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
+///
+/// `raw` is the full argument vector (minus the program name) as typed;
+/// the sockets backend re-executes the binary with it so every place
+/// process rebuilds the identical workload.
+pub fn run(args: &RunArgs, raw: &[String]) -> Result<RunSummary, String> {
     match args.app {
         AppChoice::Swlag => {
             let n = workload::side_for_vertices(args.vertices) as usize;
             let app = SwlagApp::new(workload::dna(n, args.seed), workload::dna(n, args.seed + 1));
             let pattern = app.pattern();
             let last = n as u32;
-            execute(args, app, pattern, 90, move |r| {
+            execute(args, raw, app, pattern, 90, move |r| {
                 format!("H({last}, {last}) = {:?}", r.get(last, last).h)
             })
         }
@@ -84,7 +88,7 @@ pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
                 SwLinearApp::new(workload::dna(n, args.seed), workload::dna(n, args.seed + 1));
             let pattern = app.pattern();
             let last = n as u32;
-            execute(args, app, pattern, 60, move |r| {
+            execute(args, raw, app, pattern, 60, move |r| {
                 format!("H({last}, {last}) = {}", r.get(last, last))
             })
         }
@@ -92,7 +96,7 @@ pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
             let n = workload::side_for_vertices(args.vertices) + 1;
             let app = MtpApp::new(n, n, args.seed);
             let pattern = app.pattern();
-            execute(args, app, pattern, 60, move |r| {
+            execute(args, raw, app, pattern, 60, move |r| {
                 format!("longest path = {}", r.get(n - 1, n - 1))
             })
         }
@@ -101,7 +105,7 @@ pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
             let app = LpsApp::new(workload::letters(n, args.seed));
             let pattern = app.pattern();
             let last = n as u32 - 1;
-            execute(args, app, pattern, 60, move |r| {
+            execute(args, raw, app, pattern, 60, move |r| {
                 format!("longest palindromic subsequence = {}", r.get(0, last))
             })
         }
@@ -115,7 +119,7 @@ pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
             let rows = items.len() as u32;
             let app = KnapsackApp::new(items, capacity);
             let pattern = app.pattern();
-            execute(args, app, pattern, 60, move |r| {
+            execute(args, raw, app, pattern, 60, move |r| {
                 format!("optimum value = {}", r.get(rows, capacity))
             })
         }
@@ -127,7 +131,7 @@ pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
             );
             let pattern = app.pattern();
             let last = n as u32;
-            execute(args, app, pattern, 60, move |r| {
+            execute(args, raw, app, pattern, 60, move |r| {
                 format!("LCS length = {}", r.get(last, last))
             })
         }
@@ -139,7 +143,7 @@ pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
             );
             let pattern = app.pattern();
             let last = n as u32;
-            execute(args, app, pattern, 60, move |r| {
+            execute(args, raw, app, pattern, 60, move |r| {
                 format!("edit distance = {}", r.get(last, last))
             })
         }
@@ -151,7 +155,7 @@ pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
             );
             let pattern = app.pattern();
             let last = n as u32;
-            execute(args, app, pattern, 60, move |r| {
+            execute(args, raw, app, pattern, 60, move |r| {
                 format!("global alignment score = {}", r.get(last, last))
             })
         }
@@ -165,7 +169,7 @@ pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
             let app = NussinovApp::new(rna);
             let pattern = app.pattern();
             let last = n as u32 - 1;
-            execute(args, app, pattern, 60, move |r| {
+            execute(args, raw, app, pattern, 60, move |r| {
                 format!("max base pairs = {}", r.get(0, last))
             })
         }
@@ -175,6 +179,7 @@ pub fn run(args: &RunArgs) -> Result<RunSummary, String> {
 /// Runs one app on the selected engine.
 fn execute<A, P, F>(
     args: &RunArgs,
+    raw: &[String],
     app: A,
     pattern: P,
     compute_ns: u64,
@@ -218,22 +223,7 @@ where
             })
         }
         EngineChoice::Threaded => {
-            let mut config = EngineConfig {
-                topology: Topology::flat(args.places),
-                ..EngineConfig::paper(1)
-            };
-            config.schedule = args.schedule;
-            config.cache_capacity = args.cache;
-            config.restore_manner = args.restore;
-            if let Some(kind) = &args.dist {
-                config.dist_kind = kind.clone();
-            }
-            if let Some((place, fraction)) = args.fault {
-                config.fault = Some(FaultPlan {
-                    place,
-                    after_fraction: fraction,
-                });
-            }
+            let config = places_config(args);
             let result = ThreadedEngine::new(app, pattern, config)
                 .run()
                 .map_err(|e| e.to_string())?;
@@ -244,7 +234,67 @@ where
                 workers_per_place: 1,
             })
         }
+        EngineChoice::Sockets => {
+            let config = places_config(args);
+            let engine = SocketEngine::new(app, pattern, config);
+            match SocketConfig::from_env().map_err(|e| e.to_string())? {
+                Some(worker_cfg) => {
+                    // We are a spawned place process: join the mesh, do
+                    // our share, and exit without printing a summary —
+                    // the coordinator owns the result.
+                    match engine.run(worker_cfg) {
+                        Ok(_) => std::process::exit(0),
+                        Err(e) => {
+                            eprintln!("dpx10: place error: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                None => {
+                    let (coord_cfg, mut children) =
+                        launch_places(args.places, raw).map_err(|e| e.to_string())?;
+                    match engine.run(coord_cfg) {
+                        Ok(result) => {
+                            let _ = children.wait_all();
+                            let result = result.ok_or("coordinator finished without a result")?;
+                            Ok(RunSummary {
+                                answer: answer(&result),
+                                report: result.report().clone(),
+                                timeline: None,
+                                workers_per_place: 1,
+                            })
+                        }
+                        Err(e) => {
+                            children.kill_all();
+                            Err(e.to_string())
+                        }
+                    }
+                }
+            }
+        }
     }
+}
+
+/// The per-place engine configuration shared by the threaded and socket
+/// backends (one worker per place, like the threaded default).
+fn places_config(args: &RunArgs) -> EngineConfig {
+    let mut config = EngineConfig {
+        topology: Topology::flat(args.places),
+        ..EngineConfig::paper(1)
+    };
+    config.schedule = args.schedule;
+    config.cache_capacity = args.cache;
+    config.restore_manner = args.restore;
+    if let Some(kind) = &args.dist {
+        config.dist_kind = kind.clone();
+    }
+    if let Some((place, fraction)) = args.fault {
+        config.fault = Some(FaultPlan {
+            place,
+            after_fraction: fraction,
+        });
+    }
+    config
 }
 
 /// `dpx10 apps`: one line per application.
@@ -301,7 +351,7 @@ mod tests {
                 nodes: 2,
                 ..RunArgs::default()
             };
-            let summary = run(&args).unwrap_or_else(|e| panic!("{app:?}: {e}"));
+            let summary = run(&args, &[]).unwrap_or_else(|e| panic!("{app:?}: {e}"));
             assert!(!summary.answer.is_empty());
             assert!(summary.report.sim_time > Duration::ZERO, "{app:?}");
         }
@@ -316,7 +366,7 @@ mod tests {
             places: 2,
             ..RunArgs::default()
         };
-        let summary = run(&args).unwrap();
+        let summary = run(&args, &[]).unwrap();
         assert!(summary.answer.starts_with("LCS length"));
         assert!(summary.render().contains("wall time"));
     }
@@ -330,7 +380,7 @@ mod tests {
             fault: Some((dpx10_apgas::PlaceId(3), 0.5)),
             ..RunArgs::default()
         };
-        let summary = run(&args).unwrap();
+        let summary = run(&args, &[]).unwrap();
         assert_eq!(summary.report.recoveries.len(), 1);
         assert!(summary.render().contains("recovery #0"));
     }
@@ -344,7 +394,7 @@ mod tests {
             timeline: true,
             ..RunArgs::default()
         };
-        let summary = run(&args).unwrap();
+        let summary = run(&args, &[]).unwrap();
         let text = summary.render();
         assert!(text.contains("activity timeline"));
         assert!(text.contains("place   0 |"));

@@ -26,7 +26,7 @@ fn main() {
             print!("{}", commands::list_patterns(height, width));
             0
         }
-        Ok(Command::Run(run_args)) => match commands::run(&run_args) {
+        Ok(Command::Run(run_args)) => match commands::run(&run_args, &raw) {
             Ok(summary) => {
                 print!("{}", summary.render());
                 0

@@ -36,9 +36,7 @@ fn apps_and_patterns_list() {
 
 #[test]
 fn run_small_sim_succeeds() {
-    let (code, stdout, stderr) = dpx10(&[
-        "run", "lcs", "--vertices", "2000", "--nodes", "2",
-    ]);
+    let (code, stdout, stderr) = dpx10(&["run", "lcs", "--vertices", "2000", "--nodes", "2"]);
     assert_eq!(code, 0, "stderr: {stderr}");
     assert!(stdout.contains("answer: LCS length"));
     assert!(stdout.contains("simulated makespan"));
@@ -47,7 +45,14 @@ fn run_small_sim_succeeds() {
 #[test]
 fn run_with_fault_reports_recovery() {
     let (code, stdout, stderr) = dpx10(&[
-        "run", "mtp", "--vertices", "5000", "--nodes", "2", "--fault", "3",
+        "run",
+        "mtp",
+        "--vertices",
+        "5000",
+        "--nodes",
+        "2",
+        "--fault",
+        "3",
     ]);
     assert_eq!(code, 0, "stderr: {stderr}");
     assert!(stdout.contains("recovery #0"), "{stdout}");
@@ -69,7 +74,13 @@ fn bad_flags_exit_nonzero_with_usage() {
 #[test]
 fn timeline_flag_prints_timeline() {
     let (code, stdout, _) = dpx10(&[
-        "run", "swlag", "--vertices", "4000", "--nodes", "2", "--timeline",
+        "run",
+        "swlag",
+        "--vertices",
+        "4000",
+        "--nodes",
+        "2",
+        "--timeline",
     ]);
     assert_eq!(code, 0);
     assert!(stdout.contains("activity timeline"));

@@ -141,7 +141,11 @@ mod tests {
 
     #[test]
     fn depview_lookup_by_coordinates() {
-        let ids = [VertexId::new(1, 1), VertexId::new(2, 1), VertexId::new(1, 2)];
+        let ids = [
+            VertexId::new(1, 1),
+            VertexId::new(2, 1),
+            VertexId::new(1, 2),
+        ];
         let values = [10, 21, 12];
         let view = DepView::new(&ids, &values);
         assert_eq!(view.get(1, 1), Some(&10));

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use dpx10_sync::Mutex;
 
 use dpx10_apgas::PlaceId;
 use dpx10_dag::VertexId;

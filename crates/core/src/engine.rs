@@ -15,8 +15,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dpx10_apgas::{
-    mailbox::{post_office, Envelope, Mailbox, MailboxSender},
-    Codec, FinishScope, NetworkModel, PlaceId, Runtime, RuntimeConfig, Topology,
+    mailbox::Envelope, Codec, FinishScope, LocalTransport, NetworkModel, PlaceId, Runtime,
+    RuntimeConfig, Topology, Transport,
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
@@ -98,7 +98,11 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
 
         let final_array = loop {
             report.epochs += 1;
-            let dist = Arc::new(Dist::new(region, self.config.dist_kind.clone(), alive.clone()));
+            let dist = Arc::new(Dist::new(
+                region,
+                self.config.dist_kind.clone(),
+                alive.clone(),
+            ));
             let (shards, prefinished) = build_shards(
                 pattern.as_ref(),
                 &dist,
@@ -111,12 +115,12 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 break collect_array(&shards, &dist);
             }
 
-            let (mailboxes, sender) = post_office::<Msg<A::Value>>(
+            let transport: Arc<dyn Transport<Msg<A::Value>>> = Arc::new(LocalTransport::new(
                 topo,
                 self.config.network,
                 rt.liveness().clone(),
                 rt.stats().clone(),
-            );
+            ));
 
             let fault_plan = self.config.fault.as_ref().and_then(|plan| {
                 // One-shot across epochs: don't re-kill after recovery.
@@ -135,7 +139,7 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 pattern: pattern.clone(),
                 dist: dist.clone(),
                 shards,
-                sender,
+                transport,
                 topo,
                 net: self.config.network,
                 schedule: self.config.schedule,
@@ -152,7 +156,7 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 checkpoint: checkpoint.clone(),
             });
 
-            run_epoch(&rt, &shared, mailboxes);
+            run_epoch(&rt, &shared);
 
             report.vertices_computed += shared.computed.load(Ordering::Relaxed);
 
@@ -197,60 +201,55 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
     }
 }
 
-/// Everything an epoch's workers share.
-struct Shared<A: DpApp> {
-    app: Arc<A>,
-    stall_limit: Duration,
-    pattern: Arc<dyn DagPattern>,
-    dist: Arc<Dist>,
-    shards: Vec<Shard<A::Value>>,
-    sender: MailboxSender<Msg<A::Value>>,
-    topo: Topology,
-    net: NetworkModel,
-    schedule: ScheduleStrategy,
-    liveness: dpx10_apgas::LivenessBoard,
-    stats: dpx10_apgas::StatsBoard,
-    total: u64,
-    finished_global: AtomicU64,
-    computed: AtomicU64,
-    done: AtomicBool,
-    fault: AtomicBool,
-    stalled: AtomicBool,
-    fault_plan: Option<(PlaceId, u64)>,
-    fault_fired: AtomicBool,
-    checkpoint: Option<Arc<CheckpointWriters<A::Value>>>,
+/// Everything an epoch's workers share. `pub(crate)` because the socket
+/// engine drives the same worker loop over its own transport.
+pub(crate) struct Shared<A: DpApp> {
+    pub(crate) app: Arc<A>,
+    pub(crate) stall_limit: Duration,
+    pub(crate) pattern: Arc<dyn DagPattern>,
+    pub(crate) dist: Arc<Dist>,
+    pub(crate) shards: Vec<Shard<A::Value>>,
+    pub(crate) transport: Arc<dyn Transport<Msg<A::Value>>>,
+    pub(crate) topo: Topology,
+    pub(crate) net: NetworkModel,
+    pub(crate) schedule: ScheduleStrategy,
+    pub(crate) liveness: dpx10_apgas::LivenessBoard,
+    pub(crate) stats: dpx10_apgas::StatsBoard,
+    pub(crate) total: u64,
+    pub(crate) finished_global: AtomicU64,
+    pub(crate) computed: AtomicU64,
+    pub(crate) done: AtomicBool,
+    pub(crate) fault: AtomicBool,
+    pub(crate) stalled: AtomicBool,
+    pub(crate) fault_plan: Option<(PlaceId, u64)>,
+    pub(crate) fault_fired: AtomicBool,
+    pub(crate) checkpoint: Option<Arc<CheckpointWriters<A::Value>>>,
 }
 
 impl<A: DpApp> Shared<A> {
     #[inline]
-    fn should_stop(&self) -> bool {
+    pub(crate) fn should_stop(&self) -> bool {
         self.done.load(Ordering::Acquire) || self.fault.load(Ordering::Acquire)
     }
 
-    fn send(&self, src: PlaceId, dst: PlaceId, msg: Msg<A::Value>) {
+    pub(crate) fn send(&self, src: PlaceId, dst: PlaceId, msg: Msg<A::Value>) {
         let bytes = msg.wire_size();
-        if self.sender.send(src, dst, msg, bytes).is_err() {
+        if self.transport.send(src, dst, msg, bytes).is_err() {
             self.fault.store(true, Ordering::Release);
         }
     }
 }
 
 /// Runs one epoch: spawns the workers, babysits progress, joins them.
-fn run_epoch<A: DpApp + 'static>(
-    rt: &Runtime,
-    shared: &Arc<Shared<A>>,
-    mailboxes: Vec<Mailbox<Msg<A::Value>>>,
-) {
+fn run_epoch<A: DpApp + 'static>(rt: &Runtime, shared: &Arc<Shared<A>>) {
     let scope = FinishScope::new();
     let threads = shared.topo.threads_per_place;
     for (slot, place) in shared.dist.places().iter().enumerate() {
-        let inbox = &mailboxes[place.index()];
         for _ in 0..threads {
             let shared = shared.clone();
-            let rx = inbox.clone_handle();
             // A dead place fails the spawn; the epoch then ends through
             // the fault flag set by the first blocked sender.
-            let _ = rt.spawn_at(*place, &scope, move || worker_loop(shared, slot, rx));
+            let _ = rt.spawn_at(*place, &scope, move || worker_loop(shared, slot));
         }
     }
 
@@ -276,7 +275,10 @@ fn run_epoch<A: DpApp + 'static>(
 
 /// The per-thread worker: drain messages, execute ready vertices, steal
 /// if configured, park briefly when idle (paper §VI-C's worker loop).
-fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize, rx: Mailbox<Msg<A::Value>>) {
+///
+/// The inbox is `shared.transport`'s — the same loop serves the threaded
+/// engine (mailboxes) and each place process of the socket engine.
+pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
     let me = shared.dist.places()[slot];
     let mut bufs = WorkerBufs::default();
     let mut idle_rounds = 0u32;
@@ -286,7 +288,7 @@ fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize, rx: Mailbox<Msg<A:
         }
         let mut progress = false;
         for _ in 0..128 {
-            match rx.try_recv() {
+            match shared.transport.try_recv(me) {
                 Some(env) => {
                     handle_msg(&shared, slot, env, &mut bufs);
                     progress = true;
@@ -313,7 +315,10 @@ fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize, rx: Mailbox<Msg<A:
         idle_rounds += 1;
         if idle_rounds < 8 {
             std::thread::yield_now();
-        } else if let Some(env) = rx.recv_timeout(Duration::from_micros(500)) {
+        } else if let Some(env) = shared
+            .transport
+            .recv_timeout(me, Duration::from_micros(500))
+        {
             handle_msg(&shared, slot, env, &mut bufs);
             idle_rounds = 0;
         }
@@ -474,8 +479,7 @@ fn execute<A: DpApp>(shared: &Arc<Shared<A>>, slot: usize, li: u32, bufs: &mut W
                 .iter()
                 .map(|d| shared.dist.place_of(d.i, d.j))
                 .collect();
-            let bytes: Vec<usize> =
-                values.iter().map(Codec::wire_size).collect();
+            let bytes: Vec<usize> = values.iter().map(Codec::wire_size).collect();
             let result_bytes = values.first().map_or(8, |v| v.wire_size());
             min_comm_choice(
                 me,
@@ -557,12 +561,13 @@ fn gather<A: DpApp>(
 
     let mut newly_missing: Vec<VertexId> = Vec::new();
     {
-        let entry = pending.parked.entry(li).or_insert_with(|| {
-            crate::state::Parked {
+        let entry = pending
+            .parked
+            .entry(li)
+            .or_insert_with(|| crate::state::Parked {
                 fills: HashMap::new(),
                 remaining: 0,
-            }
-        });
+            });
         for (k, d) in deps.iter().enumerate() {
             if vals[k].is_none() && !entry.fills.contains_key(&d.pack()) {
                 entry.fills.insert(d.pack(), None);
@@ -612,9 +617,7 @@ fn publish<A: DpApp>(
     }
 
     bufs.anti.clear();
-    shared
-        .pattern
-        .anti_dependencies(id.i, id.j, &mut bufs.anti);
+    shared.pattern.anti_dependencies(id.i, id.j, &mut bufs.anti);
 
     let me = shared.dist.places()[slot];
     for t in &bufs.anti {

@@ -23,6 +23,10 @@ pub enum EngineError {
     /// Rectangular tiling of the pattern would create a tile-level cycle
     /// (see [`dpx10_dag::tiled::TilingCycle`]).
     Untileable(dpx10_dag::tiled::TilingCycle),
+    /// The socket backend failed outside the fault-tolerance protocol —
+    /// mesh formation, an unrecoverable peer loss (place 0), or an I/O
+    /// error on the coordinator itself.
+    Socket(String),
 }
 
 impl fmt::Display for EngineError {
@@ -34,6 +38,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::BadFaultPlan(msg) => write!(f, "bad fault plan: {msg}"),
             EngineError::Untileable(e) => write!(f, "{e}"),
+            EngineError::Socket(msg) => write!(f, "socket backend: {msg}"),
         }
     }
 }

@@ -55,11 +55,12 @@ pub mod engine;
 pub mod error;
 pub mod msg;
 pub mod schedule;
+pub mod socket_engine;
 pub mod spill;
 #[doc(hidden)]
 pub mod state;
-pub mod tiled;
 pub mod stats;
+pub mod tiled;
 
 pub use app::{DagResult, DepView, DpApp, VertexValue};
 pub use cache::FifoCache;
@@ -68,8 +69,9 @@ pub use config::{EngineConfig, FaultPlan, InitOverride};
 pub use engine::ThreadedEngine;
 pub use error::EngineError;
 pub use schedule::ScheduleStrategy;
-pub use tiled::{run_tiled_threaded, TiledApp, TiledRun, TileValue};
+pub use socket_engine::SocketEngine;
 pub use stats::RunReport;
+pub use tiled::{run_tiled_threaded, TileValue, TiledApp, TiledRun};
 
 // Re-export the pieces applications touch, so `dpx10_core` is
 // self-sufficient for most users.

@@ -1,0 +1,998 @@
+//! The multi-process socket engine.
+//!
+//! Runs the same vertex-execution protocol as [`crate::ThreadedEngine`],
+//! but with one OS process per place connected by the TCP mesh of
+//! [`dpx10_apgas::socket`] — the closest this reproduction gets to the
+//! paper's real X10 deployment (§VII ran 2 place processes per node).
+//!
+//! Every process executes [`SocketEngine::run`] with the same
+//! application, pattern and configuration; the mesh handshake assigns
+//! place ids. All processes build the full shard table deterministically
+//! (cheap: it is metadata plus prefinished values), then each place runs
+//! workers only for its own slot and exchanges [`Msg`]s over the wire.
+//!
+//! # The control protocol
+//!
+//! Vertex traffic alone cannot terminate a distributed run — no process
+//! sees the global finished counter — so a thin coordination layer rides
+//! on the same connections, multiplexed by [`Wire`] and tagged with an
+//! *epoch* (recovery round) so stragglers from a failed epoch are
+//! discarded:
+//!
+//! * workers stream `Progress` (their slot's finished count) to place 0;
+//! * place 0 declares success when the counts sum to the DAG size, sends
+//!   `Stop`, gathers a `Snapshot` of every slot's values, and releases
+//!   everyone with `Done`;
+//! * a detected failure (connection loss / missed heartbeats feeding the
+//!   shared liveness board, or a planned `Die`) makes place 0 broadcast
+//!   `Abort`, gather the survivors' snapshots, run the paper's recovery
+//!   (§VI-D), and restart everyone with `Resume` carrying the restored
+//!   cells and the surviving place list — a fresh epoch.
+//!
+//! Communication statistics on this backend are the bytes *actually
+//! framed* onto the sockets (vertex and control traffic alike); the
+//! [`dpx10_apgas::NetworkModel`] prices nothing here.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dpx10_apgas::codec::{decode_exact, encode_to_vec};
+use dpx10_apgas::mailbox::Envelope;
+use dpx10_apgas::{
+    Codec, DeadPlaceError, LivenessBoard, PlaceId, SocketConfig, SocketNode, Transport,
+};
+use dpx10_dag::{validate_pattern, DagPattern, VertexId};
+use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
+use dpx10_sync::channel::{unbounded, Receiver, Sender};
+
+use crate::app::{DagResult, DpApp, VertexValue};
+use crate::config::{EngineConfig, InitOverride};
+use crate::engine::{worker_loop, Shared};
+use crate::error::EngineError;
+use crate::msg::Msg;
+use crate::schedule::ScheduleStrategy;
+use crate::state::{build_shards, collect_array};
+use crate::stats::RunReport;
+
+/// How long place 0 waits for a survivor's snapshot before writing the
+/// place off as dead (generous: the transport's own heartbeat timeout
+/// fires much earlier for real failures).
+const SNAPSHOT_DEADLINE: Duration = Duration::from_secs(60);
+
+/// How often a worker place re-sends its progress even when the count has
+/// not moved (keeps the coordinator's view fresh without flooding).
+const PROGRESS_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Everything that crosses a socket during a run: vertex traffic
+/// ([`Wire::App`]) and the control protocol, all epoch-tagged.
+enum Wire<V> {
+    /// A vertex-protocol message of the given epoch.
+    App(u32, Msg<V>),
+    /// Worker → place 0: my slot has `finished` vertices done.
+    Progress {
+        /// Epoch the count belongs to.
+        epoch: u32,
+        /// Finished vertices of the sender's slot (monotone).
+        finished: u64,
+    },
+    /// Place 0 → workers: every vertex is finished; snapshot your slot.
+    Stop {
+        /// Epoch being concluded.
+        epoch: u32,
+    },
+    /// Place 0 → survivors: these places died; snapshot for recovery.
+    Abort {
+        /// Epoch being aborted.
+        epoch: u32,
+        /// The places detected dead.
+        dead: Vec<u16>,
+    },
+    /// Worker → place 0: my slot's finished cells plus local counters.
+    Snapshot {
+        /// Epoch the snapshot concludes.
+        epoch: u32,
+        /// `(packed vertex id, value)` for every finished owned cell.
+        cells: Vec<(u64, V)>,
+        /// Vertices this place computed during the epoch.
+        computed: u64,
+        /// Cumulative place counters: `[tasks, msgs, bytes, net_ns,
+        /// cache_hits, cache_misses]`.
+        stats: Vec<u64>,
+    },
+    /// Place 0 → survivors: recovery done, start the next epoch.
+    Resume {
+        /// The new epoch (old + 1).
+        epoch: u32,
+        /// Surviving places, in slot order.
+        alive: Vec<u16>,
+        /// The restored array's finished cells.
+        cells: Vec<(u64, V)>,
+    },
+    /// Place 0 → a worker: abort the process immediately (planned fault
+    /// injection — dies without a goodbye so peers *detect* the death).
+    Die,
+    /// Place 0 → workers: the run is over, exit cleanly.
+    Done,
+}
+
+impl<V: Codec> Codec for Wire<V> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Wire::App(epoch, msg) => {
+                buf.push(0);
+                epoch.encode(buf);
+                msg.encode(buf);
+            }
+            Wire::Progress { epoch, finished } => {
+                buf.push(1);
+                epoch.encode(buf);
+                finished.encode(buf);
+            }
+            Wire::Stop { epoch } => {
+                buf.push(2);
+                epoch.encode(buf);
+            }
+            Wire::Abort { epoch, dead } => {
+                buf.push(3);
+                epoch.encode(buf);
+                dead.encode(buf);
+            }
+            Wire::Snapshot {
+                epoch,
+                cells,
+                computed,
+                stats,
+            } => {
+                buf.push(4);
+                epoch.encode(buf);
+                cells.encode(buf);
+                computed.encode(buf);
+                stats.encode(buf);
+            }
+            Wire::Resume {
+                epoch,
+                alive,
+                cells,
+            } => {
+                buf.push(5);
+                epoch.encode(buf);
+                alive.encode(buf);
+                cells.encode(buf);
+            }
+            Wire::Die => buf.push(6),
+            Wire::Done => buf.push(7),
+        }
+    }
+
+    fn decode(src: &mut &[u8]) -> Option<Self> {
+        match u8::decode(src)? {
+            0 => Some(Wire::App(u32::decode(src)?, Msg::decode(src)?)),
+            1 => Some(Wire::Progress {
+                epoch: u32::decode(src)?,
+                finished: u64::decode(src)?,
+            }),
+            2 => Some(Wire::Stop {
+                epoch: u32::decode(src)?,
+            }),
+            3 => Some(Wire::Abort {
+                epoch: u32::decode(src)?,
+                dead: Vec::decode(src)?,
+            }),
+            4 => Some(Wire::Snapshot {
+                epoch: u32::decode(src)?,
+                cells: Vec::decode(src)?,
+                computed: u64::decode(src)?,
+                stats: Vec::decode(src)?,
+            }),
+            5 => Some(Wire::Resume {
+                epoch: u32::decode(src)?,
+                alive: Vec::decode(src)?,
+                cells: Vec::decode(src)?,
+            }),
+            6 => Some(Wire::Die),
+            7 => Some(Wire::Done),
+            _ => None,
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            Wire::App(epoch, msg) => epoch.wire_size() + Codec::wire_size(msg),
+            Wire::Progress { epoch, finished } => epoch.wire_size() + finished.wire_size(),
+            Wire::Stop { epoch } => epoch.wire_size(),
+            Wire::Abort { epoch, dead } => epoch.wire_size() + dead.wire_size(),
+            Wire::Snapshot {
+                epoch,
+                cells,
+                computed,
+                stats,
+            } => epoch.wire_size() + cells.wire_size() + computed.wire_size() + stats.wire_size(),
+            Wire::Resume {
+                epoch,
+                alive,
+                cells,
+            } => epoch.wire_size() + alive.wire_size() + cells.wire_size(),
+            Wire::Die | Wire::Done => 0,
+        }
+    }
+}
+
+/// The vertex-traffic half of the demultiplexed socket: implements
+/// [`Transport`] for the worker loop, filtering out messages from other
+/// epochs *at consumption time* (so a message that raced past an epoch
+/// change in the demux thread is still discarded).
+struct AppPlane<V> {
+    node: Arc<SocketNode>,
+    epoch: AtomicU32,
+    app_rx: Receiver<(u32, Envelope<Msg<V>>)>,
+    liveness: LivenessBoard,
+}
+
+impl<V: VertexValue> Transport<Msg<V>> for AppPlane<V> {
+    fn num_places(&self) -> u16 {
+        self.node.places()
+    }
+
+    fn liveness(&self) -> &LivenessBoard {
+        &self.liveness
+    }
+
+    fn send(
+        &self,
+        src: PlaceId,
+        dst: PlaceId,
+        msg: Msg<V>,
+        _wire_bytes: usize,
+    ) -> Result<(), DeadPlaceError> {
+        debug_assert_eq!(src, self.node.me(), "socket places only send as themselves");
+        let wire = Wire::App(self.epoch.load(Ordering::Acquire), msg);
+        self.node.send_bytes(dst, encode_to_vec(&wire)).map(|_| ())
+    }
+
+    fn try_recv(&self, _at: PlaceId) -> Option<Envelope<Msg<V>>> {
+        let current = self.epoch.load(Ordering::Acquire);
+        loop {
+            match self.app_rx.try_recv() {
+                Ok((epoch, env)) if epoch == current => return Some(env),
+                Ok(_) => continue, // stale epoch: state was recovered, drop
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn recv_timeout(&self, at: PlaceId, timeout: Duration) -> Option<Envelope<Msg<V>>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(env) = self.try_recv(at) {
+                return Some(env);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            // Wait for anything to arrive, then re-filter.
+            let (epoch, env) = self.app_rx.recv_timeout(deadline - now).ok()?;
+            if epoch == self.epoch.load(Ordering::Acquire) {
+                return Some(env);
+            }
+        }
+    }
+}
+
+/// Reads raw frames off the mesh and splits them: vertex traffic to the
+/// [`AppPlane`]'s channel, control messages to the control channel. A
+/// payload that fails to decode marks its sender dead — same policy as
+/// the typed transport.
+fn demux_loop<V: VertexValue>(
+    node: Arc<SocketNode>,
+    app_tx: Sender<(u32, Envelope<Msg<V>>)>,
+    ctl_tx: Sender<(PlaceId, Wire<V>)>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Acquire) {
+        let Some((src, bytes)) = node.recv_bytes_timeout(Duration::from_millis(5)) else {
+            continue;
+        };
+        match decode_exact::<Wire<V>>(&bytes) {
+            Some(Wire::App(epoch, msg)) => {
+                let _ = app_tx.send((epoch, Envelope { src, msg }));
+            }
+            Some(wire) => {
+                let _ = ctl_tx.send((src, wire));
+            }
+            None => {
+                node.liveness().mark_dead(src);
+            }
+        }
+    }
+}
+
+/// What a control loop decided the epoch's fate is.
+enum Flow<V> {
+    /// Place 0: every vertex finished.
+    Finished,
+    /// Place 0: a place died (or a planned fault fired); recover.
+    Fault,
+    /// Place 0: global progress froze.
+    Stalled {
+        /// Vertices finished when the watchdog gave up.
+        finished: u64,
+    },
+    /// Worker: the run is over.
+    WorkerExit,
+    /// Worker: recovery finished, start the next epoch.
+    WorkerResume {
+        /// Surviving places in slot order.
+        alive: Vec<u16>,
+        /// The restored array's finished cells.
+        cells: Vec<(u64, V)>,
+    },
+}
+
+/// The multi-process engine. Construct identically in every place
+/// process, then call [`run`](SocketEngine::run) with that process's
+/// [`SocketConfig`].
+pub struct SocketEngine<A: DpApp> {
+    app: Arc<A>,
+    pattern: Arc<dyn DagPattern>,
+    config: EngineConfig,
+    init: Option<InitOverride<A::Value>>,
+}
+
+impl<A: DpApp + 'static> SocketEngine<A> {
+    /// Creates an engine for `app` over `pattern` with `config`.
+    ///
+    /// Work stealing degrades to local scheduling here: stealing pops
+    /// from another slot's ready list through shared memory, which only
+    /// exists inside one process.
+    pub fn new(app: A, pattern: impl DagPattern + 'static, mut config: EngineConfig) -> Self {
+        if config.schedule == ScheduleStrategy::WorkStealing {
+            config.schedule = ScheduleStrategy::Local;
+        }
+        // Checkpoint writers assume one process owns all places' files.
+        config.checkpoint = None;
+        SocketEngine {
+            app: Arc::new(app),
+            pattern: Arc::new(pattern),
+            config,
+            init: None,
+        }
+    }
+
+    /// Installs a §VI-E initialisation override (pre-finish cells).
+    pub fn with_init(mut self, init: InitOverride<A::Value>) -> Self {
+        self.init = Some(init);
+        self
+    }
+
+    /// Joins the mesh as `socket` describes and runs the computation.
+    ///
+    /// Returns `Ok(Some(result))` on place 0 and `Ok(None)` on every
+    /// other place (the result lives with the coordinator; workers just
+    /// exit).
+    pub fn run(&self, socket: SocketConfig) -> Result<Option<DagResult<A::Value>>, EngineError> {
+        let total = self.pattern.vertex_count();
+        if self.config.validate_pattern && total <= self.config.validate_limit {
+            validate_pattern(self.pattern.as_ref())?;
+        }
+
+        let node = Arc::new(
+            SocketNode::connect(socket)
+                .map_err(|e| EngineError::Socket(format!("mesh formation failed: {e}")))?,
+        );
+        let me = node.me();
+        let places = node.places();
+        if self.config.topology.num_places() != places {
+            return Err(EngineError::Socket(format!(
+                "topology has {} places but the mesh has {places}",
+                self.config.topology.num_places()
+            )));
+        }
+        if let Some(plan) = &self.config.fault {
+            if plan.place == PlaceId::ZERO || plan.place.index() >= places as usize {
+                return Err(EngineError::BadFaultPlan(format!(
+                    "{} is not a killable place",
+                    plan.place
+                )));
+            }
+        }
+
+        let (app_tx, app_rx) = unbounded();
+        let (ctl_tx, ctl_rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let demux = {
+            let node = node.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name(format!("dpx10-demux{}", me.index()))
+                .spawn(move || demux_loop(node, app_tx, ctl_tx, stop))
+                .map_err(|e| EngineError::Socket(format!("spawn demux: {e}")))?
+        };
+        let plane = Arc::new(AppPlane {
+            node: node.clone(),
+            epoch: AtomicU32::new(0),
+            app_rx,
+            liveness: node.liveness().clone(),
+        });
+
+        let driver = Driver {
+            engine: self,
+            node: node.clone(),
+            plane,
+            ctl_rx,
+            me,
+            places,
+        };
+        let result = driver.drive(total);
+
+        // Whatever happened — success, stall, error — release the
+        // workers before the goodbye, or a coordinator error would
+        // strand them waiting on a control message that never comes.
+        if me == PlaceId::ZERO {
+            for p in 1..places {
+                let _ = node.send_bytes(PlaceId(p), encode_to_vec(&Wire::<A::Value>::Done));
+            }
+        }
+        stop.store(true, Ordering::Release);
+        node.shutdown();
+        let _ = demux.join();
+        result
+    }
+}
+
+/// Per-run state shared by the epoch loop and the control loops.
+struct Driver<'a, A: DpApp> {
+    engine: &'a SocketEngine<A>,
+    node: Arc<SocketNode>,
+    plane: Arc<AppPlane<A::Value>>,
+    ctl_rx: Receiver<(PlaceId, Wire<A::Value>)>,
+    me: PlaceId,
+    places: u16,
+}
+
+impl<A: DpApp + 'static> Driver<'_, A> {
+    fn send_ctl(&self, dst: PlaceId, wire: &Wire<A::Value>) -> Result<(), DeadPlaceError> {
+        self.node.send_bytes(dst, encode_to_vec(wire)).map(|_| ())
+    }
+
+    fn drive(&self, total: u64) -> Result<Option<DagResult<A::Value>>, EngineError> {
+        let cfg = &self.engine.config;
+        let pattern = &self.engine.pattern;
+        let region = Region2D::new(pattern.height(), pattern.width());
+        let started = Instant::now();
+        let mut report = RunReport {
+            vertices_total: total,
+            ..RunReport::default()
+        };
+        let mut alive: Vec<PlaceId> = (0..self.places).map(PlaceId).collect();
+        let mut prior: Option<DistArray<A::Value>> = None;
+        let mut pending_cells: Option<Vec<(u64, A::Value)>> = None;
+        let mut peer_stats: Vec<[u64; 6]> = vec![[0; 6]; self.places as usize];
+        let mut fault_fired = false;
+        let mut epoch: u32 = 0;
+
+        let final_array = loop {
+            report.epochs += 1;
+            self.plane.epoch.store(epoch, Ordering::Release);
+            let dist = Arc::new(Dist::new(region, cfg.dist_kind.clone(), alive.clone()));
+            if let Some(cells) = pending_cells.take() {
+                // Rebuild the restored array place 0 sent with `Resume`.
+                let mut arr = DistArray::new(dist.clone());
+                for (packed, v) in cells {
+                    let id = VertexId::unpack(packed);
+                    arr.set(id.i, id.j, v);
+                }
+                prior = Some(arr);
+            }
+            let Some(my_slot) = alive.iter().position(|p| *p == self.me) else {
+                // The coordinator counted us among the dead (e.g. a
+                // false-positive timeout); nothing left to contribute.
+                return Ok(None);
+            };
+            let (shards, prefinished) = build_shards(
+                pattern.as_ref(),
+                &dist,
+                prior.as_ref(),
+                self.engine.init.as_ref(),
+                cfg.cache_capacity,
+            );
+            if prefinished == total {
+                // Deterministic on every place: all exit without a word.
+                break collect_array(&shards, &dist);
+            }
+
+            let shared = Arc::new(Shared {
+                app: self.engine.app.clone(),
+                stall_limit: cfg.stall_limit,
+                pattern: pattern.clone(),
+                dist: dist.clone(),
+                shards,
+                transport: self.plane.clone() as Arc<dyn Transport<Msg<A::Value>>>,
+                topo: cfg.topology,
+                net: cfg.network,
+                schedule: cfg.schedule,
+                liveness: self.node.liveness().clone(),
+                stats: self.node.stats().clone(),
+                total,
+                finished_global: AtomicU64::new(prefinished),
+                computed: AtomicU64::new(0),
+                done: AtomicBool::new(false),
+                fault: AtomicBool::new(false),
+                stalled: AtomicBool::new(false),
+                fault_plan: None, // planned faults go through `Wire::Die`
+                fault_fired: AtomicBool::new(false),
+                checkpoint: None,
+            });
+
+            let mut handles = Vec::new();
+            for t in 0..cfg.topology.threads_per_place {
+                let sh = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("dpx10-p{}w{t}", self.me.index()))
+                    .spawn(move || worker_loop(sh, my_slot))
+                    .map_err(|e| EngineError::Socket(format!("spawn worker: {e}")))?;
+                handles.push(handle);
+            }
+
+            let outcome = if self.me == PlaceId::ZERO {
+                self.coordinate(&shared, epoch, &alive, my_slot, total, &mut fault_fired)
+            } else {
+                self.follow(&shared, epoch, my_slot)
+            };
+            shared.done.store(true, Ordering::Release); // belt and braces
+            for h in handles {
+                let _ = h.join();
+            }
+            report.vertices_computed += shared.computed.load(Ordering::Relaxed);
+
+            match outcome? {
+                Flow::Finished => {
+                    let survivors: Vec<PlaceId> = self.survivors(&alive);
+                    for p in &survivors {
+                        let _ = self.send_ctl(*p, &Wire::Stop { epoch });
+                    }
+                    let mut arr = collect_array(&shared.shards, &dist);
+                    let lost = self.collect_snapshots(
+                        epoch,
+                        &alive,
+                        &mut arr,
+                        &mut peer_stats,
+                        &mut report,
+                    );
+                    if lost.is_empty() {
+                        break arr;
+                    }
+                    // A place died between the last vertex and its
+                    // snapshot: its values are gone, recover and re-run.
+                    let restored = self.recover_from(&arr, &lost, &mut report);
+                    self.resume_epoch(epoch, &mut alive, &restored)?;
+                    prior = Some(restored);
+                    epoch += 1;
+                }
+                Flow::Fault => {
+                    let dead: Vec<PlaceId> = alive
+                        .iter()
+                        .copied()
+                        .filter(|p| !self.node.liveness().is_alive(*p))
+                        .collect();
+                    let dead_u16: Vec<u16> = dead.iter().map(|p| p.0).collect();
+                    for p in self.survivors(&alive) {
+                        let _ = self.send_ctl(
+                            p,
+                            &Wire::Abort {
+                                epoch,
+                                dead: dead_u16.clone(),
+                            },
+                        );
+                    }
+                    let mut arr = collect_array(&shared.shards, &dist);
+                    let lost = self.collect_snapshots(
+                        epoch,
+                        &alive,
+                        &mut arr,
+                        &mut peer_stats,
+                        &mut report,
+                    );
+                    let mut all_dead = dead;
+                    all_dead.extend(lost);
+                    let restored = self.recover_from(&arr, &all_dead, &mut report);
+                    self.resume_epoch(epoch, &mut alive, &restored)?;
+                    prior = Some(restored);
+                    epoch += 1;
+                }
+                Flow::Stalled { finished } => {
+                    return Err(EngineError::Stalled { finished, total });
+                }
+                Flow::WorkerExit => return Ok(None),
+                Flow::WorkerResume {
+                    alive: new_alive,
+                    cells,
+                } => {
+                    alive = new_alive.into_iter().map(PlaceId).collect();
+                    pending_cells = Some(cells);
+                    prior = None; // rebuilt from `pending_cells` above
+                    epoch += 1;
+                }
+            }
+        };
+
+        if self.me != PlaceId::ZERO {
+            // Worker that left through the all-prefinished short-circuit.
+            return Ok(None);
+        }
+
+        report.wall_time = started.elapsed();
+        let mut comm = self.node.stats().snapshot();
+        for stats in peer_stats.iter().skip(1) {
+            comm.tasks_run += stats[0];
+            comm.messages_sent += stats[1];
+            comm.bytes_sent += stats[2];
+            comm.net_time += Duration::from_nanos(stats[3]);
+            comm.cache_hits += stats[4];
+            comm.cache_misses += stats[5];
+        }
+        report.comm = comm;
+        let result = DagResult::new(final_array, report);
+        self.engine.app.app_finished(&result);
+        Ok(Some(result))
+    }
+
+    /// Alive peers other than this place, per the liveness board.
+    fn survivors(&self, alive: &[PlaceId]) -> Vec<PlaceId> {
+        alive
+            .iter()
+            .copied()
+            .filter(|p| *p != self.me && self.node.liveness().is_alive(*p))
+            .collect()
+    }
+
+    /// Place 0's mid-epoch loop: fold progress reports into the finished
+    /// table, fire any planned fault, and decide the epoch's fate.
+    fn coordinate(
+        &self,
+        shared: &Arc<Shared<A>>,
+        epoch: u32,
+        alive: &[PlaceId],
+        my_slot: usize,
+        total: u64,
+        fault_fired: &mut bool,
+    ) -> Result<Flow<A::Value>, EngineError> {
+        // Seeded from our own deterministic copy of every shard, so the
+        // table starts at each slot's prefinished count.
+        let mut table: Vec<u64> = (0..alive.len())
+            .map(|s| shared.shards[s].finished_local.load(Ordering::Relaxed))
+            .collect();
+        let plan = self.engine.config.fault.as_ref().map(|p| {
+            let threshold = ((p.after_fraction * total as f64).ceil() as u64).clamp(1, total);
+            (p.place, threshold)
+        });
+        let mut last_sum = u64::MAX;
+        let mut last_change = Instant::now();
+
+        loop {
+            match self.ctl_rx.recv_timeout(Duration::from_millis(2)) {
+                Ok((src, Wire::Progress { epoch: e, finished })) if e == epoch => {
+                    if let Some(s) = alive.iter().position(|p| *p == src) {
+                        table[s] = table[s].max(finished);
+                    }
+                }
+                Ok(_) | Err(_) => {} // stale traffic / timeout tick
+            }
+            table[my_slot] = shared.shards[my_slot]
+                .finished_local
+                .load(Ordering::Relaxed);
+            let sum: u64 = table.iter().sum();
+
+            if let Some((victim, threshold)) = plan {
+                if !*fault_fired && sum >= threshold && self.node.liveness().is_alive(victim) {
+                    *fault_fired = true;
+                    let _ = self.send_ctl(victim, &Wire::Die);
+                }
+            }
+
+            let someone_died = alive.iter().any(|p| !self.node.liveness().is_alive(*p));
+            if someone_died || shared.fault.load(Ordering::Acquire) {
+                shared.fault.store(true, Ordering::Release);
+                return Ok(Flow::Fault);
+            }
+            if sum >= total {
+                shared.done.store(true, Ordering::Release);
+                return Ok(Flow::Finished);
+            }
+
+            if sum != last_sum {
+                last_sum = sum;
+                last_change = Instant::now();
+            } else if last_change.elapsed() > shared.stall_limit {
+                shared.stalled.store(true, Ordering::Release);
+                shared.done.store(true, Ordering::Release);
+                return Ok(Flow::Stalled { finished: sum });
+            }
+        }
+    }
+
+    /// A worker place's mid-epoch loop: stream progress to place 0 and
+    /// obey its control messages.
+    fn follow(
+        &self,
+        shared: &Arc<Shared<A>>,
+        epoch: u32,
+        my_slot: usize,
+    ) -> Result<Flow<A::Value>, EngineError> {
+        let mut last_reported = u64::MAX;
+        let mut last_progress = Instant::now();
+        // Set once we have snapshotted and are owed a Resume/Done; if
+        // the coordinator wrote *us* off it cannot even address us, so
+        // an orphaned wait must time out rather than hang.
+        let mut awaiting_release: Option<Instant> = None;
+
+        loop {
+            if !self.node.liveness().is_alive(PlaceId::ZERO) {
+                return Err(EngineError::Socket(
+                    "place 0 was lost; a worker cannot continue without the coordinator".into(),
+                ));
+            }
+            if let Some(since) = awaiting_release {
+                if since.elapsed() > SNAPSHOT_DEADLINE {
+                    return Err(EngineError::Socket(
+                        "no release from the coordinator after snapshot".into(),
+                    ));
+                }
+            }
+
+            match self.ctl_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok((_, Wire::Stop { epoch: e })) if e == epoch => {
+                    shared.done.store(true, Ordering::Release);
+                    self.send_snapshot(shared, epoch, my_slot)?;
+                    awaiting_release = Some(Instant::now());
+                }
+                Ok((_, Wire::Abort { epoch: e, dead })) if e == epoch => {
+                    for d in dead {
+                        self.node.liveness().mark_dead(PlaceId(d));
+                    }
+                    shared.fault.store(true, Ordering::Release);
+                    self.send_snapshot(shared, epoch, my_slot)?;
+                    awaiting_release = Some(Instant::now());
+                }
+                Ok((
+                    _,
+                    Wire::Resume {
+                        epoch: e,
+                        alive,
+                        cells,
+                    },
+                )) if e == epoch + 1 => {
+                    return Ok(Flow::WorkerResume { alive, cells });
+                }
+                Ok((_, Wire::Die)) => {
+                    // Planned fault: die the way a crashed process dies —
+                    // no goodbye frame, so the peers must *detect* it.
+                    std::process::abort();
+                }
+                Ok((_, Wire::Done)) => return Ok(Flow::WorkerExit),
+                Ok(_) | Err(_) => {}
+            }
+
+            let finished = shared.shards[my_slot]
+                .finished_local
+                .load(Ordering::Relaxed);
+            if finished != last_reported || last_progress.elapsed() > PROGRESS_INTERVAL {
+                last_reported = finished;
+                last_progress = Instant::now();
+                // Failure to report is not fatal by itself; the liveness
+                // check at the top of the loop is the judge of that.
+                let _ = self.send_ctl(PlaceId::ZERO, &Wire::Progress { epoch, finished });
+            }
+        }
+    }
+
+    /// Sends this place's slot snapshot to place 0.
+    fn send_snapshot(
+        &self,
+        shared: &Arc<Shared<A>>,
+        epoch: u32,
+        my_slot: usize,
+    ) -> Result<(), EngineError> {
+        let shard = &shared.shards[my_slot];
+        let mut cells = Vec::new();
+        for (li, &(i, j)) in shard.points.iter().enumerate() {
+            if shard.in_pattern[li] && shard.finished[li].load(Ordering::Acquire) {
+                let v = shard.values[li].get().expect("finished => set").clone();
+                cells.push((VertexId::new(i, j).pack(), v));
+            }
+        }
+        let mine = self.node.stats().place(self.me);
+        let stats = vec![
+            mine.tasks_run.load(Ordering::Relaxed),
+            mine.messages_sent.load(Ordering::Relaxed),
+            mine.bytes_sent.load(Ordering::Relaxed),
+            mine.net_time_ns.load(Ordering::Relaxed),
+            mine.cache_hits.load(Ordering::Relaxed),
+            mine.cache_misses.load(Ordering::Relaxed),
+        ];
+        self.send_ctl(
+            PlaceId::ZERO,
+            &Wire::Snapshot {
+                epoch,
+                cells,
+                computed: shared.computed.load(Ordering::Relaxed),
+                stats,
+            },
+        )
+        .map_err(|e| EngineError::Socket(format!("snapshot delivery failed: {e}")))
+    }
+
+    /// Place 0: waits for every live peer's snapshot, folding cells into
+    /// `arr` and counters into `peer_stats`; peers that never answer are
+    /// marked dead and returned.
+    fn collect_snapshots(
+        &self,
+        epoch: u32,
+        alive: &[PlaceId],
+        arr: &mut DistArray<A::Value>,
+        peer_stats: &mut [[u64; 6]],
+        report: &mut RunReport,
+    ) -> Vec<PlaceId> {
+        let mut pending = self.survivors(alive);
+        let mut lost = Vec::new();
+        let deadline = Instant::now() + SNAPSHOT_DEADLINE;
+        loop {
+            pending.retain(|p| {
+                if self.node.liveness().is_alive(*p) {
+                    true
+                } else {
+                    lost.push(*p);
+                    false
+                }
+            });
+            if pending.is_empty() {
+                break;
+            }
+            if Instant::now() > deadline {
+                for p in pending.drain(..) {
+                    self.node.liveness().mark_dead(p);
+                    lost.push(p);
+                }
+                break;
+            }
+            let Ok((src, wire)) = self.ctl_rx.recv_timeout(Duration::from_millis(10)) else {
+                continue;
+            };
+            if let Wire::Snapshot {
+                epoch: e,
+                cells,
+                computed,
+                stats,
+            } = wire
+            {
+                if e != epoch {
+                    continue;
+                }
+                let Some(k) = pending.iter().position(|p| *p == src) else {
+                    continue;
+                };
+                pending.swap_remove(k);
+                for (packed, v) in cells {
+                    let id = VertexId::unpack(packed);
+                    arr.set(id.i, id.j, v);
+                }
+                report.vertices_computed += computed;
+                if stats.len() == 6 {
+                    let row = &mut peer_stats[src.index()];
+                    for (dst, s) in row.iter_mut().zip(stats) {
+                        *dst = s;
+                    }
+                }
+            }
+        }
+        lost
+    }
+
+    /// Place 0: runs the paper's recovery over the collected snapshot.
+    fn recover_from(
+        &self,
+        snapshot: &DistArray<A::Value>,
+        dead: &[PlaceId],
+        report: &mut RunReport,
+    ) -> DistArray<A::Value> {
+        let (restored, rec) = recover(
+            snapshot,
+            dead,
+            self.engine.config.restore_manner,
+            &self.engine.config.topology,
+            &self.engine.config.network,
+            &RecoveryCostModel::default(),
+        );
+        report.recovery_time += rec.sim_time;
+        report.recoveries.push(rec);
+        restored
+    }
+
+    /// Place 0: prunes `alive` to the survivors and sends each of them
+    /// the restored state for the next epoch.
+    fn resume_epoch(
+        &self,
+        epoch: u32,
+        alive: &mut Vec<PlaceId>,
+        restored: &DistArray<A::Value>,
+    ) -> Result<(), EngineError> {
+        alive.retain(|p| self.node.liveness().is_alive(*p));
+        let mut cells = Vec::new();
+        let rdist = restored.dist();
+        for s in 0..rdist.num_slots() {
+            for (i, j, v, finished) in restored.iter_slot(s) {
+                if finished {
+                    cells.push((VertexId::new(i, j).pack(), v.clone()));
+                }
+            }
+        }
+        let alive_u16: Vec<u16> = alive.iter().map(|p| p.0).collect();
+        for p in alive.iter().filter(|p| **p != self.me) {
+            // A send failure here means the peer died *after* recovery;
+            // the next epoch's liveness check will catch it.
+            let _ = self.send_ctl(
+                *p,
+                &Wire::Resume {
+                    epoch: epoch + 1,
+                    alive: alive_u16.clone(),
+                    cells: cells.clone(),
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trips() {
+        let wires: Vec<Wire<i64>> = vec![
+            Wire::App(
+                3,
+                Msg::PullVal {
+                    id: VertexId::new(1, 2),
+                    value: -7,
+                },
+            ),
+            Wire::Progress {
+                epoch: 1,
+                finished: 42,
+            },
+            Wire::Stop { epoch: 0 },
+            Wire::Abort {
+                epoch: 2,
+                dead: vec![1, 3],
+            },
+            Wire::Snapshot {
+                epoch: 1,
+                cells: vec![(VertexId::new(0, 0).pack(), 9)],
+                computed: 5,
+                stats: vec![1, 2, 3, 4, 5, 6],
+            },
+            Wire::Resume {
+                epoch: 2,
+                alive: vec![0, 2],
+                cells: vec![(VertexId::new(1, 1).pack(), -1)],
+            },
+            Wire::Die,
+            Wire::Done,
+        ];
+        for wire in wires {
+            let buf = encode_to_vec(&wire);
+            assert_eq!(buf.len(), Codec::wire_size(&wire));
+            let back: Wire<i64> = decode_exact(&buf).expect("decodes");
+            // Structural comparison through re-encoding (no PartialEq on
+            // purpose: Wire is an internal protocol type).
+            assert_eq!(encode_to_vec(&back), buf);
+        }
+    }
+
+    #[test]
+    fn wire_rejects_unknown_tag() {
+        assert!(decode_exact::<Wire<i64>>(&[99]).is_none());
+    }
+}

@@ -106,7 +106,8 @@ impl<V: Codec> SpillStore<V> {
         self.writer.write_all(&(buf.len() as u32).to_le_bytes())?;
         self.writer.write_all(&buf)?;
         self.bytes_written += 12 + buf.len() as u64;
-        self.index.insert(id.pack(), (offset + 12, buf.len() as u32));
+        self.index
+            .insert(id.pack(), (offset + 12, buf.len() as u32));
         Ok(())
     }
 
@@ -137,8 +138,7 @@ impl<V: Codec> SpillStore<V> {
         let mut offset_of = HashMap::new();
         while pos + 12 <= raw.len() {
             let id = u64::from_le_bytes(raw[pos..pos + 8].try_into().unwrap());
-            let len =
-                u32::from_le_bytes(raw[pos + 8..pos + 12].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(raw[pos + 8..pos + 12].try_into().unwrap()) as usize;
             let val_at = pos + 12;
             if val_at + len > raw.len() {
                 break; // truncated tail record
@@ -204,7 +204,9 @@ mod tests {
         let path = temp_path("replay");
         let mut store: SpillStore<u64> = SpillStore::create(&path).unwrap();
         for k in 0..50u32 {
-            store.spill(VertexId::new(k / 10, k % 10), &(k as u64 * 3)).unwrap();
+            store
+                .spill(VertexId::new(k / 10, k % 10), &(k as u64 * 3))
+                .unwrap();
         }
         let replayed = store.replay().unwrap();
         assert_eq!(replayed.len(), 50);

@@ -4,8 +4,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
+use dpx10_sync::Mutex;
+use dpx10_sync::SegQueue;
 
 use dpx10_dag::{DagPattern, VertexId};
 use dpx10_distarray::{Dist, DistArray};
@@ -159,15 +159,16 @@ pub fn build_shards<V: VertexValue>(
 
 /// Collects the current engine state into a [`DistArray`] (used on fault
 /// to hand the paper's recovery routine the surviving finished values).
-pub fn collect_array<V: VertexValue>(
-    shards: &[Shard<V>],
-    dist: &Arc<Dist>,
-) -> DistArray<V> {
+pub fn collect_array<V: VertexValue>(shards: &[Shard<V>], dist: &Arc<Dist>) -> DistArray<V> {
     let mut arr: DistArray<V> = DistArray::new(dist.clone());
     for (slot, shard) in shards.iter().enumerate() {
         for (li, &(i, j)) in shard.points.iter().enumerate() {
             if shard.in_pattern[li] && shard.finished[li].load(Ordering::Acquire) {
-                arr.set(i, j, shard.values[li].get().expect("finished => set").clone());
+                arr.set(
+                    i,
+                    j,
+                    shard.values[li].get().expect("finished => set").clone(),
+                );
             }
         }
         debug_assert_eq!(dist.chunk_len(slot), shard.points.len());
@@ -205,10 +206,7 @@ mod tests {
         // Grid2 has a single source (0,0), owned by slot 0.
         assert_eq!(shards[0].ready.len(), 1);
         assert_eq!(shards[1].ready.len(), 0);
-        assert_eq!(
-            shards.iter().map(|s| s.total_local).sum::<u64>(),
-            12
-        );
+        assert_eq!(shards.iter().map(|s| s.total_local).sum::<u64>(), 12);
     }
 
     #[test]

@@ -256,13 +256,8 @@ mod tests {
     fn tiled_grid3_matches_untiled() {
         let expect = untiled_oracle(&Grid3::new(13, 11));
         for tile in [1u32, 2, 4, 7, 16] {
-            let run = run_tiled_threaded(
-                MixApp,
-                Grid3::new(13, 11),
-                tile,
-                EngineConfig::flat(3),
-            )
-            .unwrap();
+            let run = run_tiled_threaded(MixApp, Grid3::new(13, 11), tile, EngineConfig::flat(3))
+                .unwrap();
             for (id, v) in &expect {
                 assert_eq!(run.try_get(id.i, id.j), Some(*v), "tile {tile} at {id}");
             }
@@ -272,8 +267,8 @@ mod tests {
     #[test]
     fn tiled_interval_matches_untiled() {
         let expect = untiled_oracle(&IntervalUpper::new(12));
-        let run = run_tiled_threaded(MixApp, IntervalUpper::new(12), 3, EngineConfig::flat(2))
-            .unwrap();
+        let run =
+            run_tiled_threaded(MixApp, IntervalUpper::new(12), 3, EngineConfig::flat(2)).unwrap();
         for (id, v) in &expect {
             assert_eq!(run.try_get(id.i, id.j), Some(*v), "{id}");
         }
@@ -301,8 +296,8 @@ mod tests {
         let untiled = ThreadedEngine::new(MixApp, Grid3::new(16, 16), EngineConfig::flat(2))
             .run()
             .unwrap();
-        let tiled = run_tiled_threaded(MixApp, Grid3::new(16, 16), 4, EngineConfig::flat(2))
-            .unwrap();
+        let tiled =
+            run_tiled_threaded(MixApp, Grid3::new(16, 16), 4, EngineConfig::flat(2)).unwrap();
         assert_eq!(untiled.report().vertices_total, 256);
         assert_eq!(tiled.tiles().report().vertices_total, 16);
     }

@@ -19,9 +19,7 @@ struct MixApp;
 impl DpApp for MixApp {
     type Value = u64;
     fn compute(&self, id: VertexId, deps: &DepView<'_, u64>) -> u64 {
-        let mut acc = 0x9E37_79B9_u64
-            .wrapping_mul(id.pack() | 1)
-            .rotate_left(7);
+        let mut acc = 0x9E37_79B9_u64.wrapping_mul(id.pack() | 1).rotate_left(7);
         for (did, v) in deps.iter() {
             acc = acc
                 .wrapping_add(v.rotate_left((did.i % 31) + 1))
@@ -82,14 +80,14 @@ fn all_builtins_match_oracle() {
     for kind in BuiltinKind::ALL {
         let expect_pattern = kind.instantiate(9, 9);
         let expect = oracle(&expect_pattern, &MixApp);
-        let engine = ThreadedEngine::new(
-            MixApp,
-            kind.instantiate(9, 9),
-            EngineConfig::flat(2),
-        );
+        let engine = ThreadedEngine::new(MixApp, kind.instantiate(9, 9), EngineConfig::flat(2));
         let result = engine.run().expect("completes");
         for (id, v) in &expect {
-            assert_eq!(result.try_get(id.i, id.j).as_ref(), Some(v), "{kind:?} {id}");
+            assert_eq!(
+                result.try_get(id.i, id.j).as_ref(),
+                Some(v),
+                "{kind:?} {id}"
+            );
         }
     }
 }
@@ -120,7 +118,9 @@ fn zero_cache_forces_pull_path_and_still_correct() {
     // nearly every boundary vertex.
     check_against_oracle(
         Grid3::new(12, 12),
-        EngineConfig::flat(4).with_cache(0).with_dist(DistKind::CyclicCol),
+        EngineConfig::flat(4)
+            .with_cache(0)
+            .with_dist(DistKind::CyclicCol),
     );
 }
 
@@ -128,7 +128,9 @@ fn zero_cache_forces_pull_path_and_still_correct() {
 fn tiny_cache_mixes_hits_and_pulls() {
     check_against_oracle(
         Grid3::new(16, 16),
-        EngineConfig::flat(4).with_cache(2).with_dist(DistKind::CyclicRow),
+        EngineConfig::flat(4)
+            .with_cache(2)
+            .with_dist(DistKind::CyclicRow),
     );
 }
 
@@ -208,10 +210,9 @@ fn init_override_prefinished_cells_are_respected() {
             deps.values().iter().sum::<u64>() + 1
         }
     }
-    let init: dpx10_core::InitOverride<u64> =
-        Arc::new(|i, j| (i == 0 || j == 0).then_some(0));
-    let engine = ThreadedEngine::new(BorderApp, Grid3::new(6, 6), EngineConfig::flat(2))
-        .with_init(init);
+    let init: dpx10_core::InitOverride<u64> = Arc::new(|i, j| (i == 0 || j == 0).then_some(0));
+    let engine =
+        ThreadedEngine::new(BorderApp, Grid3::new(6, 6), EngineConfig::flat(2)).with_init(init);
     let result = engine.run().unwrap();
     assert_eq!(result.get(0, 3), 0);
     assert_eq!(result.get(1, 1), 1);
@@ -268,7 +269,10 @@ fn interval_pattern_triangular_cells_absent() {
     let engine = ThreadedEngine::new(MixApp, IntervalUpper::new(8), EngineConfig::flat(2));
     let result = engine.run().unwrap();
     assert!(result.try_get(3, 5).is_some());
-    assert!(result.try_get(5, 3).is_none(), "lower triangle is not part of the DAG");
+    assert!(
+        result.try_get(5, 3).is_none(),
+        "lower triangle is not part of the DAG"
+    );
 }
 
 #[test]
@@ -365,7 +369,11 @@ fn checkpointed_run_survives_fault_and_resumes() {
         .with_init(init)
         .run()
         .unwrap();
-    assert_eq!(resumed.report().vertices_computed, 0, "checkpoint covers all publishes");
+    assert_eq!(
+        resumed.report().vertices_computed,
+        0,
+        "checkpoint covers all publishes"
+    );
     for (id, v) in &expect {
         assert_eq!(resumed.try_get(id.i, id.j).as_ref(), Some(v), "{id}");
     }

@@ -108,9 +108,7 @@ impl DagPattern for CustomDag {
     }
 
     fn contains(&self, i: u32, j: u32) -> bool {
-        i < self.height
-            && j < self.width
-            && self.mask.as_ref().map_or(true, |m| m(i, j))
+        i < self.height && j < self.width && self.mask.as_ref().map_or(true, |m| m(i, j))
     }
 
     fn dependencies(&self, i: u32, j: u32, out: &mut Vec<VertexId>) {

@@ -202,8 +202,9 @@ mod tests {
         for kind in BuiltinKind::ALL {
             for tile in [1u32, 2, 3, 5] {
                 match TiledDag::try_new(kind.instantiate(11, 9), tile) {
-                    Ok(p) => validate_pattern(&p)
-                        .unwrap_or_else(|e| panic!("{kind:?} tile {tile}: {e}")),
+                    Ok(p) => {
+                        validate_pattern(&p).unwrap_or_else(|e| panic!("{kind:?} tile {tile}: {e}"))
+                    }
                     Err(_) => assert!(
                         kind == BuiltinKind::Pyramid && tile > 1,
                         "only the pyramid stencil refuses tiling, not {kind:?} at {tile}"

@@ -77,7 +77,11 @@ pub enum QueryKind {
 impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidationError::OutOfPattern { at, returned, query } => write!(
+            ValidationError::OutOfPattern {
+                at,
+                returned,
+                query,
+            } => write!(
                 f,
                 "{query:?} of {at} returned {returned}, which is outside the pattern"
             ),
@@ -89,12 +93,20 @@ impl fmt::Display for ValidationError {
                 f,
                 "{vertex} lists dependent {dependent}, which does not depend on it"
             ),
-            ValidationError::DuplicateEdge { at, returned, query } => {
+            ValidationError::DuplicateEdge {
+                at,
+                returned,
+                query,
+            } => {
                 write!(f, "{query:?} of {at} returned {returned} twice")
             }
             ValidationError::SelfLoop { at } => write!(f, "{at} depends on itself"),
             ValidationError::Cyclic => write!(f, "the pattern contains a dependency cycle"),
-            ValidationError::IndegreeMismatch { at, reported, actual } => write!(
+            ValidationError::IndegreeMismatch {
+                at,
+                reported,
+                actual,
+            } => write!(
                 f,
                 "indegree({at}) reports {reported} but dependencies() returns {actual} ids"
             ),
@@ -249,25 +261,29 @@ mod tests {
         });
         // anti closure left empty -> inversion violated.
         let err = validate_pattern(&p).unwrap_err();
-        assert!(matches!(err, ValidationError::MissingAntiDependency { .. }), "{err}");
+        assert!(
+            matches!(err, ValidationError::MissingAntiDependency { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn spurious_anti_dependency_detected() {
-        let p = CustomDag::new(1, 3)
-            .with_anti_dependencies(|_i, j, out, (_h, w)| {
-                if j + 1 < w {
-                    out.push(VertexId::new(0, j + 1));
-                }
-            });
+        let p = CustomDag::new(1, 3).with_anti_dependencies(|_i, j, out, (_h, w)| {
+            if j + 1 < w {
+                out.push(VertexId::new(0, j + 1));
+            }
+        });
         let err = validate_pattern(&p).unwrap_err();
-        assert!(matches!(err, ValidationError::SpuriousAntiDependency { .. }), "{err}");
+        assert!(
+            matches!(err, ValidationError::SpuriousAntiDependency { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn self_loop_detected() {
-        let p = CustomDag::new(2, 2)
-            .with_dependencies(|i, j, out| out.push(VertexId::new(i, j)));
+        let p = CustomDag::new(2, 2).with_dependencies(|i, j, out| out.push(VertexId::new(i, j)));
         assert_eq!(
             validate_pattern(&p).unwrap_err(),
             ValidationError::SelfLoop {
@@ -278,8 +294,7 @@ mod tests {
 
     #[test]
     fn out_of_pattern_detected() {
-        let p = CustomDag::new(2, 2)
-            .with_dependencies(|_i, _j, out| out.push(VertexId::new(9, 9)));
+        let p = CustomDag::new(2, 2).with_dependencies(|_i, _j, out| out.push(VertexId::new(9, 9)));
         assert!(matches!(
             validate_pattern(&p).unwrap_err(),
             ValidationError::OutOfPattern { .. }

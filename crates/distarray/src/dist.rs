@@ -65,7 +65,10 @@ pub struct Dist {
 impl Dist {
     /// Distributes `region` over `places` with the given `kind`.
     pub fn new(region: Region2D, kind: DistKind, places: Vec<PlaceId>) -> Self {
-        assert!(!places.is_empty(), "a distribution needs at least one place");
+        assert!(
+            !places.is_empty(),
+            "a distribution needs at least one place"
+        );
         if let DistKind::BlockCyclicRow { block } | DistKind::BlockCyclicCol { block } = kind {
             assert!(block > 0, "block size must be positive");
         }
@@ -349,7 +352,13 @@ mod tests {
 
     #[test]
     fn block_row_and_col_bijective() {
-        for &(h, w, p) in &[(7u32, 5u32, 3u16), (5, 7, 3), (4, 4, 4), (3, 10, 4), (2, 3, 5)] {
+        for &(h, w, p) in &[
+            (7u32, 5u32, 3u16),
+            (5, 7, 3),
+            (4, 4, 4),
+            (3, 10, 4),
+            (2, 3, 5),
+        ] {
             let r = Region2D::new(h, w);
             check_dist(&Dist::new(r, DistKind::BlockRow, places(p)));
             check_dist(&Dist::new(r, DistKind::BlockCol, places(p)));
@@ -367,10 +376,23 @@ mod tests {
 
     #[test]
     fn block_cyclic_bijective() {
-        for &(h, w, p, b) in &[(8u32, 6u32, 2u16, 2u32), (9, 9, 3, 2), (10, 7, 2, 3), (5, 11, 3, 4)] {
+        for &(h, w, p, b) in &[
+            (8u32, 6u32, 2u16, 2u32),
+            (9, 9, 3, 2),
+            (10, 7, 2, 3),
+            (5, 11, 3, 4),
+        ] {
             let r = Region2D::new(h, w);
-            check_dist(&Dist::new(r, DistKind::BlockCyclicRow { block: b }, places(p)));
-            check_dist(&Dist::new(r, DistKind::BlockCyclicCol { block: b }, places(p)));
+            check_dist(&Dist::new(
+                r,
+                DistKind::BlockCyclicRow { block: b },
+                places(p),
+            ));
+            check_dist(&Dist::new(
+                r,
+                DistKind::BlockCyclicCol { block: b },
+                places(p),
+            ));
         }
     }
 
@@ -417,11 +439,7 @@ mod tests {
         // The recovery path builds the same scheme over fewer places.
         let r = Region2D::new(6, 6);
         let before = Dist::new(r, DistKind::BlockRow, places(3));
-        let after = Dist::new(
-            r,
-            DistKind::BlockRow,
-            vec![PlaceId(0), PlaceId(2)],
-        );
+        let after = Dist::new(r, DistKind::BlockRow, vec![PlaceId(0), PlaceId(2)]);
         check_dist(&after);
         assert_eq!(before.num_slots(), 3);
         assert_eq!(after.num_slots(), 2);

@@ -12,10 +12,10 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`apgas`] | places, activities, `finish`, mailboxes, fault model |
+//! | [`apgas`] | places, activities, `finish`, mailboxes, fault model, transports (in-memory + TCP sockets) |
 //! | [`dag`] | the DAG-pattern library (8 built-ins, knapsack, custom) |
 //! | [`distarray`] | `Dist`/`DistArray`, snapshot baseline, new recovery |
-//! | [`core`] | the framework engine (threaded) and its configuration |
+//! | [`core`] | the framework engines (threaded + multi-process sockets) and their configuration |
 //! | [`sim`] | the deterministic cluster simulator (all figures) |
 //! | [`apps`] | SWLAG, MTP, LPS, 0/1KP, LCS + serial oracles |
 //! | [`baseline`] | the hand-written "native X10" comparator |
@@ -50,10 +50,12 @@ pub use dpx10_sim as sim;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use dpx10_apgas::{NetworkModel, PlaceId, Topology};
+    pub use dpx10_apgas::{
+        launch_places, NetworkModel, PlaceId, SocketConfig, Topology, Transport,
+    };
     pub use dpx10_core::{
         DagResult, DepView, DistKind, DpApp, EngineConfig, FaultPlan, RestoreManner, RunReport,
-        ScheduleStrategy, ThreadedEngine, VertexValue,
+        ScheduleStrategy, SocketEngine, ThreadedEngine, VertexValue,
     };
     pub use dpx10_dag::{
         builtin::*, BandedGrid3, BuiltinKind, CustomDag, DagPattern, IntervalSplits, KnapsackDag,

@@ -45,7 +45,11 @@ enum Ev<V> {
         value: V,
     },
     /// A message arrives at `dst`.
-    Arrive { src: PlaceId, dst: PlaceId, msg: Msg<V> },
+    Arrive {
+        src: PlaceId,
+        dst: PlaceId,
+        msg: Msg<V>,
+    },
 }
 
 /// Mutable per-epoch simulation state.
@@ -145,8 +149,7 @@ impl<A: DpApp + 'static> SimEngine<A> {
         };
         let mut fault_pending = self.config.fault;
         let mut makespan_ns: SimTime = 0;
-        let mut full_trace =
-            (trace_capacity > 0).then(|| TraceBuffer::new(trace_capacity));
+        let mut full_trace = (trace_capacity > 0).then(|| TraceBuffer::new(trace_capacity));
 
         let final_array = loop {
             report.epochs += 1;
@@ -343,7 +346,14 @@ fn slot_of_place(dist: &Dist, place: PlaceId) -> Option<usize> {
 
 impl<A: DpApp + 'static> SimEngine<A> {
     /// Prices and enqueues a message; local sends are free.
-    fn send(&self, ep: &mut Epoch<A::Value>, t: SimTime, src: PlaceId, dst: PlaceId, msg: Msg<A::Value>) {
+    fn send(
+        &self,
+        ep: &mut Epoch<A::Value>,
+        t: SimTime,
+        src: PlaceId,
+        dst: PlaceId,
+        msg: Msg<A::Value>,
+    ) {
         let bytes = msg.wire_size();
         let arrive = if src == dst {
             t
@@ -426,10 +436,8 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 ScheduleStrategy::Local | ScheduleStrategy::WorkStealing => me,
                 ScheduleStrategy::Random => random_choice(id, ep.dist.places()),
                 ScheduleStrategy::MinComm => {
-                    let homes: Vec<PlaceId> = dep_ids
-                        .iter()
-                        .map(|d| ep.dist.place_of(d.i, d.j))
-                        .collect();
+                    let homes: Vec<PlaceId> =
+                        dep_ids.iter().map(|d| ep.dist.place_of(d.i, d.j)).collect();
                     let bytes: Vec<usize> = values.iter().map(Codec::wire_size).collect();
                     let result_bytes = values.first().map_or(8, |v| v.wire_size());
                     min_comm_choice(

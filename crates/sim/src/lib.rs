@@ -26,6 +26,6 @@ pub mod ready;
 pub mod trace;
 
 pub use cost::{CostModel, SimConfig, SimFaultPlan};
-pub use ready::{ReadyPolicy, ReadyQueue};
 pub use engine::SimEngine;
+pub use ready::{ReadyPolicy, ReadyQueue};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};

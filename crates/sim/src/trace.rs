@@ -211,7 +211,14 @@ mod tests {
         t.record(ev(1, 2, TraceKind::Finish));
         t.record(ev(2, 2, TraceKind::Finish));
         t.record(ev(3, 0, TraceKind::Finish));
-        t.record(ev(4, 0, TraceKind::Send { dst: PlaceId(2), bytes: 8 }));
+        t.record(ev(
+            4,
+            0,
+            TraceKind::Send {
+                dst: PlaceId(2),
+                bytes: 8,
+            },
+        ));
         assert_eq!(
             t.finishes_per_place(),
             vec![(PlaceId(0), 1), (PlaceId(2), 2)]

@@ -39,7 +39,9 @@ fn oracle<P: DagPattern>(pattern: &P) -> std::collections::HashMap<VertexId, u64
 
 fn check(pattern: impl DagPattern + Clone + 'static, config: SimConfig) -> Duration {
     let expect = oracle(&pattern);
-    let result = SimEngine::new(MixApp, pattern, config).run().expect("completes");
+    let result = SimEngine::new(MixApp, pattern, config)
+        .run()
+        .expect("completes");
     for (id, v) in &expect {
         assert_eq!(result.try_get(id.i, id.j).as_ref(), Some(v), "{id}");
     }
@@ -54,7 +56,10 @@ fn matches_oracle_across_patterns_and_distributions() {
             SimConfig::flat(3).with_dist(DistKind::BlockRow),
         );
     }
-    check(Grid3::new(15, 11), SimConfig::flat(4).with_dist(DistKind::CyclicCol));
+    check(
+        Grid3::new(15, 11),
+        SimConfig::flat(4).with_dist(DistKind::CyclicCol),
+    );
     check(
         KnapsackDag::new(vec![3, 1, 4, 1, 5], 16),
         SimConfig::flat(3).with_dist(DistKind::BlockRow),
@@ -79,7 +84,9 @@ impl DagPattern for KindWrap {
         self.0.instantiate(self.1, self.2).dependencies(i, j, out)
     }
     fn anti_dependencies(&self, i: u32, j: u32, out: &mut Vec<VertexId>) {
-        self.0.instantiate(self.1, self.2).anti_dependencies(i, j, out)
+        self.0
+            .instantiate(self.1, self.2)
+            .anti_dependencies(i, j, out)
     }
     fn vertex_count(&self) -> u64 {
         self.0.instantiate(self.1, self.2).vertex_count()
@@ -98,7 +105,9 @@ fn all_schedulers_match_oracle() {
 fn zero_cache_still_correct() {
     check(
         Grid3::new(10, 10),
-        SimConfig::flat(4).with_cache(0).with_dist(DistKind::CyclicCol),
+        SimConfig::flat(4)
+            .with_cache(0)
+            .with_dist(DistKind::CyclicCol),
     );
 }
 
@@ -115,10 +124,7 @@ fn more_nodes_speed_up_grid_wavefront() {
     // 4 nodes (paper-shaped places).
     let t1 = check(Grid3::new(300, 300), SimConfig::paper(1));
     let t4 = check(Grid3::new(300, 300), SimConfig::paper(4));
-    assert!(
-        t4 < t1,
-        "4 nodes ({t4:?}) should beat 1 node ({t1:?})"
-    );
+    assert!(t4 < t1, "4 nodes ({t4:?}) should beat 1 node ({t1:?})");
 }
 
 #[test]
@@ -187,7 +193,10 @@ fn comm_counters_track_boundary_traffic() {
     .unwrap();
     let comm = result.report().comm;
     assert!(comm.messages_sent > 0);
-    assert!(comm.bytes_sent > comm.messages_sent, "payloads are > 1 byte");
+    assert!(
+        comm.bytes_sent > comm.messages_sent,
+        "payloads are > 1 byte"
+    );
     // Two column boundaries × 30 rows, each crossing pushes Done msgs.
     assert!(comm.messages_sent >= 58);
 }
@@ -249,7 +258,10 @@ fn traced_run_records_wavefront_and_matches_untraced() {
 
     // The timeline renders one row per place.
     let timeline = trace.render_timeline(20);
-    assert_eq!(timeline.lines().filter(|l| l.starts_with("place")).count(), 4);
+    assert_eq!(
+        timeline.lines().filter(|l| l.starts_with("place")).count(),
+        4
+    );
     assert_eq!(trace.dropped(), 0);
 }
 
@@ -289,11 +301,15 @@ fn min_diagonal_policy_never_loses_to_lifo_badly() {
     // Policies change the makespan but not correctness; record that the
     // wavefront-aware order is competitive on a grid DP.
     let run = |p| {
-        SimEngine::new(MixApp, Grid3::new(120, 120), SimConfig::paper(2).with_ready_policy(p))
-            .run()
-            .unwrap()
-            .report()
-            .sim_time
+        SimEngine::new(
+            MixApp,
+            Grid3::new(120, 120),
+            SimConfig::paper(2).with_ready_policy(p),
+        )
+        .run()
+        .unwrap()
+        .report()
+        .sim_time
     };
     let fifo = run(ReadyPolicy::Fifo);
     let min_diag = run(ReadyPolicy::MinDiagonal);

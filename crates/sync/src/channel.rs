@@ -1,0 +1,369 @@
+//! Multi-producer multi-consumer channels with `crossbeam-channel`
+//! calling conventions, built on `Mutex` + `Condvar`.
+//!
+//! Both [`Sender`] and [`Receiver`] are `Clone`. Disconnection follows
+//! crossbeam's rules: a receive on an empty channel whose senders are
+//! all gone fails with `Disconnected`; a send into a channel whose
+//! receivers are all gone fails with [`SendError`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::{Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every receiver is gone; the
+/// unsent message is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Chan<T> {
+    fn no_senders(&self) -> bool {
+        self.senders.load(Ordering::Acquire) == 0
+    }
+    fn no_receivers(&self) -> bool {
+        self.receivers.load(Ordering::Acquire) == 0
+    }
+}
+
+/// The sending half of a channel. Cloneable.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half of a channel. Cloneable — clones share the same
+/// queue, each message is delivered to exactly one receiver.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a bounded channel: `send` blocks while `cap` messages are
+/// queued. A capacity of zero is rounded up to one (our engines never
+/// rely on rendezvous semantics).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::new()),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while a bounded channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let chan = &*self.chan;
+        let mut queue = chan.queue.lock();
+        loop {
+            if chan.no_receivers() {
+                return Err(SendError(value));
+            }
+            match chan.cap {
+                Some(cap) if queue.len() >= cap => {
+                    // Re-check disconnection at least every 10ms so a
+                    // send into a full, abandoned channel cannot hang.
+                    chan.not_full
+                        .wait_for(&mut queue, Duration::from_millis(10));
+                }
+                _ => break,
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        chan.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends without blocking; returns the message if the channel is
+    /// full or disconnected.
+    pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+        let chan = &*self.chan;
+        let mut queue = chan.queue.lock();
+        if chan.no_receivers() {
+            return Err(SendError(value));
+        }
+        if let Some(cap) = chan.cap {
+            if queue.len() >= cap {
+                return Err(SendError(value));
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        chan.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.queue.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.senders.fetch_add(1, Ordering::AcqRel);
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake every blocked receiver. Taking the
+            // queue lock first serialises with a receiver's
+            // check-then-wait, so the notification cannot fall between
+            // its disconnect check and its wait.
+            let guard = self.chan.queue.lock();
+            drop(guard);
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one arrives or every sender
+    /// is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let chan = &*self.chan;
+        let mut queue = chan.queue.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if chan.no_senders() {
+                return Err(RecvError);
+            }
+            chan.not_empty.wait(&mut queue);
+        }
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let chan = &*self.chan;
+        let mut queue = chan.queue.lock();
+        if let Some(v) = queue.pop_front() {
+            drop(queue);
+            chan.not_full.notify_one();
+            return Ok(v);
+        }
+        if chan.no_senders() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receives with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let chan = &*self.chan;
+        let mut queue = chan.queue.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if chan.no_senders() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            chan.not_empty.wait_for(&mut queue, deadline - now);
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.chan.queue.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A blocking iterator that ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.chan.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver gone: wake every blocked sender (same
+            // lock-then-notify ordering as the sender side).
+            let guard = self.chan.queue.lock();
+            drop(guard);
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking iterator over received messages; see [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn mpmc_delivers_each_message_once() {
+        let (tx, rx) = unbounded::<u32>();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            handles.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for i in 0..400 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(tx.try_send(3).is_err());
+        let h = thread::spawn(move || tx.send(3));
+        assert_eq!(rx.recv(), Ok(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_timeout_and_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn iter_drains_until_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -18,7 +18,10 @@ fn main() {
     let nodes = [2u16, 4, 6, 8, 10, 12];
 
     println!("simulated runtime (virtual seconds) at ~{vertices} vertices:");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "nodes", "SWLAG", "MTP", "LPS", "0/1KP");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "nodes", "SWLAG", "MTP", "LPS", "0/1KP"
+    );
 
     let mut first: Option<[Duration; 4]> = None;
     for &n in &nodes {
@@ -60,7 +63,11 @@ fn swlag_time(vertices: u64, nodes: u16) -> Duration {
     let app = SwlagApp::new(workload::dna(n, 1), workload::dna(n, 2));
     let pattern = app.pattern();
     let cfg = SimConfig::paper(nodes).with_cost(CostModel::with_compute(90));
-    SimEngine::new(app, pattern, cfg).run().unwrap().report().sim_time
+    SimEngine::new(app, pattern, cfg)
+        .run()
+        .unwrap()
+        .report()
+        .sim_time
 }
 
 fn mtp_time(vertices: u64, nodes: u16) -> Duration {

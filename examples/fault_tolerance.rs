@@ -40,13 +40,17 @@ fn main() {
     );
 
     // The result is still exactly right.
-    let expect = serial::smith_waterman_linear(&a, &b, &SwLinearApp::new(a.clone(), b.clone()).scoring);
+    let expect =
+        serial::smith_waterman_linear(&a, &b, &SwLinearApp::new(a.clone(), b.clone()).scoring);
     for i in 0..=a.len() as u32 {
         for j in 0..=b.len() as u32 {
             assert_eq!(result.get(i, j), expect[i as usize][j as usize]);
         }
     }
-    println!("all {} cells verified against the serial oracle ✔", expect.len() * expect[0].len());
+    println!(
+        "all {} cells verified against the serial oracle ✔",
+        expect.len() * expect[0].len()
+    );
 
     // The same failure on the simulated cluster, with the restore-manner
     // refinement flipped: copy finished remote vertices instead of

@@ -14,11 +14,26 @@ use dpx10::prelude::*;
 
 fn main() {
     let items = vec![
-        Item { weight: 1, value: 1 },
-        Item { weight: 3, value: 4 },
-        Item { weight: 4, value: 5 },
-        Item { weight: 5, value: 7 },
-        Item { weight: 2, value: 3 },
+        Item {
+            weight: 1,
+            value: 1,
+        },
+        Item {
+            weight: 3,
+            value: 4,
+        },
+        Item {
+            weight: 4,
+            value: 5,
+        },
+        Item {
+            weight: 5,
+            value: 7,
+        },
+        Item {
+            weight: 2,
+            value: 3,
+        },
     ];
     let capacity = 9;
 

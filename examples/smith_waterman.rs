@@ -41,16 +41,22 @@ fn main() {
         rep.vertices_computed,
         rep.wall_time,
         rep.comm.messages_sent,
-        rep.comm.cache_hit_rate().map(|r| format!("{:.1}%", r * 100.0)),
+        rep.comm
+            .cache_hit_rate()
+            .map(|r| format!("{:.1}%", r * 100.0)),
     );
 
     // The same computation on a simulated 4-node paper cluster
     // (8 places × 6 workers, InfiniBand-like network).
     let app = SwlagApp::new(a.clone(), b.clone());
     let pattern = app.pattern();
-    let sim = SimEngine::new(app, pattern, SimConfig::paper(4).with_cost(CostModel::with_compute(90)))
-        .run()
-        .expect("simulation completes");
+    let sim = SimEngine::new(
+        app,
+        pattern,
+        SimConfig::paper(4).with_cost(CostModel::with_compute(90)),
+    )
+    .run()
+    .expect("simulation completes");
     let sim_best = {
         let mut best = 0;
         for i in 0..=len as u32 {

@@ -48,7 +48,10 @@ fn sim_mtp_survives_fault_under_both_restore_manners() {
         )
         .run()
         .unwrap();
-        assert_eq!(result.get(h - 1, w - 1), expect[(h - 1) as usize][(w - 1) as usize]);
+        assert_eq!(
+            result.get(h - 1, w - 1),
+            expect[(h - 1) as usize][(w - 1) as usize]
+        );
         let rec = &result.report().recoveries[0];
         match manner {
             RestoreManner::RecomputeRemote => assert_eq!(rec.migrated, 0),
@@ -142,13 +145,10 @@ fn snapshot_baseline_loses_more_work_than_new_recovery() {
             snap_array.array_mut().set(i, j, 1);
         }
     }
-    let survivors_after_snapshot = snap_array
-        .restore(&[PlaceId(3)], &topo, &net)
-        .values;
+    let survivors_after_snapshot = snap_array.restore(&[PlaceId(3)], &topo, &net).values;
 
     // The paper's method at the same 75 % point.
-    let mut live: dpx10::distarray::DistArray<i64> =
-        dpx10::distarray::DistArray::new(dist.clone());
+    let mut live: dpx10::distarray::DistArray<i64> = dpx10::distarray::DistArray::new(dist.clone());
     for i in 0..12u32 {
         for j in 0..16u32 {
             live.set(i, j, 1);

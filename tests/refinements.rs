@@ -23,15 +23,22 @@ fn distribution_controls_communication() {
         }
     }
     let run = |kind: DistKind| {
-        SimEngine::new(Chain, ColWave::new(24, 24), SimConfig::flat(4).with_dist(kind))
-            .run()
-            .unwrap()
-            .report()
-            .comm
+        SimEngine::new(
+            Chain,
+            ColWave::new(24, 24),
+            SimConfig::flat(4).with_dist(kind),
+        )
+        .run()
+        .unwrap()
+        .report()
+        .comm
     };
     let col_blocked = run(DistKind::BlockCol);
     let row_blocked = run(DistKind::BlockRow);
-    assert_eq!(col_blocked.messages_sent, 0, "column blocks keep chains local");
+    assert_eq!(
+        col_blocked.messages_sent, 0,
+        "column blocks keep chains local"
+    );
     assert!(row_blocked.messages_sent > 0, "row blocks cut every chain");
 }
 
@@ -43,7 +50,9 @@ fn bigger_cache_means_fewer_pulls() {
         SimEngine::new(
             app,
             pattern,
-            SimConfig::flat(4).with_dist(DistKind::CyclicCol).with_cache(cache),
+            SimConfig::flat(4)
+                .with_dist(DistKind::CyclicCol)
+                .with_cache(cache),
         )
         .run()
         .unwrap()
@@ -146,10 +155,8 @@ fn spill_store_round_trips_engine_results() {
     assert_eq!(replayed.len(), 100);
 
     // Replay as init override: the engine should compute nothing.
-    let fills: std::collections::HashMap<u64, i64> = replayed
-        .into_iter()
-        .map(|(id, v)| (id.pack(), v))
-        .collect();
+    let fills: std::collections::HashMap<u64, i64> =
+        replayed.into_iter().map(|(id, v)| (id.pack(), v)).collect();
     let init: dpx10::core::InitOverride<i64> =
         Arc::new(move |i, j| fills.get(&VertexId::new(i, j).pack()).copied());
     let app = MtpApp::new(10, 10, 11);
