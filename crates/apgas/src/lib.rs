@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod chaos;
 pub mod codec;
 pub mod collective;
 pub mod fault;
@@ -50,6 +51,10 @@ pub mod stats;
 pub mod transport;
 
 pub use activity::{ActivityPool, FinishScope};
+pub use chaos::{
+    ChaosCounters, ChaosPlan, ChaosRng, ChaosTransport, HeartbeatFlap, KillSpec, KillTrigger,
+    NetChaos,
+};
 pub use codec::Codec;
 pub use fault::{DeadPlaceError, LivenessBoard};
 pub use mailbox::{Mailbox, MailboxSender};
@@ -57,6 +62,6 @@ pub use network::NetworkModel;
 pub use place::{PlaceId, Topology};
 pub use runtime::{Runtime, RuntimeConfig};
 pub use socket::launch::{launch_places, PlaceChildren};
-pub use socket::{SocketConfig, SocketNode, SocketTransport};
+pub use socket::{SocketChaos, SocketConfig, SocketNode, SocketTransport};
 pub use stats::{PlaceStats, StatsBoard, StatsSnapshot};
 pub use transport::{LocalTransport, Transport};

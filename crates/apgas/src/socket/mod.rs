@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 use dpx10_sync::channel::{self, Receiver, RecvTimeoutError, Sender};
 use dpx10_sync::Mutex;
 
+use crate::chaos::ChaosRng;
 use crate::codec::{decode_exact, Codec};
 use crate::fault::{DeadPlaceError, LivenessBoard};
 use crate::mailbox::Envelope;
@@ -76,6 +77,51 @@ pub enum ConnectMode {
     },
 }
 
+/// Seeded frame-level perturbation of the socket mesh, applied by the
+/// writer threads (`DPX10_CHAOS`, see [`SocketConfig::from_env`]).
+///
+/// Delay stalls a frame (and, FIFO link, everything queued behind it) a
+/// few milliseconds before writing. `dup_prob`/`drop_prob` act on *whole
+/// frames* — including the engines' control-plane messages, which are
+/// not idempotent — so they stay at zero in differential runs and exist
+/// for targeted robustness tests. `flap` suppresses idle heartbeats for
+/// a window starting [`SocketChaos::FLAP_DELAY`] after connect: shorter
+/// than the peer timeout and the link rides it out, longer and the peer
+/// is declared dead — either way the detection path runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SocketChaos {
+    /// Root seed; each link derives its own decision stream from it.
+    pub seed: u64,
+    /// Probability a frame's write is delayed.
+    pub delay_prob: f64,
+    /// Maximum per-frame write delay.
+    pub max_delay: Duration,
+    /// Probability a frame is written twice.
+    pub dup_prob: f64,
+    /// Probability a frame is not written at all.
+    pub drop_prob: f64,
+    /// Heartbeat-suppression window length, if flapping.
+    pub flap: Option<Duration>,
+}
+
+impl SocketChaos {
+    /// How long after connect the heartbeat flap window opens.
+    pub const FLAP_DELAY: Duration = Duration::from_millis(500);
+
+    /// Delay-only chaos — the perturbation that is always safe on the
+    /// engines' control plane.
+    pub fn delay_only(seed: u64, delay_prob: f64, max_delay: Duration) -> Self {
+        SocketChaos {
+            seed,
+            delay_prob,
+            max_delay,
+            dup_prob: 0.0,
+            drop_prob: 0.0,
+            flap: None,
+        }
+    }
+}
+
 /// Everything needed to bring one place onto the socket mesh.
 #[derive(Debug)]
 pub struct SocketConfig {
@@ -92,6 +138,8 @@ pub struct SocketConfig {
     pub peer_timeout: Duration,
     /// Budget for the whole handshake (`DPX10_CONNECT_MS`, default 30 s).
     pub connect_timeout: Duration,
+    /// Frame-level chaos injection, off by default.
+    pub chaos: Option<SocketChaos>,
 }
 
 fn env_ms(name: &str, default: u64) -> Duration {
@@ -116,6 +164,7 @@ impl SocketConfig {
             heartbeat: env_ms("DPX10_HB_MS", 250),
             peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
             connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
+            chaos: chaos_from_env(),
         }
     }
 
@@ -131,6 +180,7 @@ impl SocketConfig {
             heartbeat: env_ms("DPX10_HB_MS", 250),
             peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
             connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
+            chaos: chaos_from_env(),
         }
     }
 
@@ -188,8 +238,42 @@ impl SocketConfig {
             heartbeat: env_ms("DPX10_HB_MS", 250),
             peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
             connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
+            chaos: chaos_from_env(),
         }))
     }
+}
+
+/// Parses `DPX10_CHAOS`, a comma-separated `key=value` list:
+/// `seed=7,delay=0.1,delay_ms=3,dup=0,drop=0,flap_ms=400`. Every key is
+/// optional; an unset or malformed variable means no chaos. Exposed so
+/// the launcher environment reaches spawned places unchanged.
+pub fn chaos_from_env() -> Option<SocketChaos> {
+    parse_chaos(&std::env::var("DPX10_CHAOS").ok()?)
+}
+
+/// The parser behind [`chaos_from_env`].
+pub fn parse_chaos(raw: &str) -> Option<SocketChaos> {
+    let mut chaos = SocketChaos {
+        seed: 0,
+        delay_prob: 0.0,
+        max_delay: Duration::from_millis(2),
+        dup_prob: 0.0,
+        drop_prob: 0.0,
+        flap: None,
+    };
+    for part in raw.split(',') {
+        let (key, value) = part.split_once('=')?;
+        match (key.trim(), value.trim()) {
+            ("seed", v) => chaos.seed = v.parse().ok()?,
+            ("delay", v) => chaos.delay_prob = v.parse().ok()?,
+            ("delay_ms", v) => chaos.max_delay = Duration::from_millis(v.parse().ok()?),
+            ("dup", v) => chaos.dup_prob = v.parse().ok()?,
+            ("drop", v) => chaos.drop_prob = v.parse().ok()?,
+            ("flap_ms", v) => chaos.flap = Some(Duration::from_millis(v.parse().ok()?)),
+            _ => return None,
+        }
+    }
+    Some(chaos)
 }
 
 /// One place's end of the byte-level socket mesh.
@@ -205,6 +289,10 @@ pub struct SocketNode {
     inbound_tx: Sender<(PlaceId, Vec<u8>)>,
     inbound_rx: Receiver<(PlaceId, Vec<u8>)>,
     shutting_down: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+    /// One extra clone of each peer stream, kept so [`SocketNode::crash`]
+    /// can tear the sockets down underneath the reader/writer threads.
+    streams: Mutex<Vec<Option<TcpStream>>>,
     writer_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -234,7 +322,9 @@ impl SocketNode {
         let stats = StatsBoard::new(places);
         let (inbound_tx, inbound_rx) = channel::unbounded();
         let shutting_down = Arc::new(AtomicBool::new(false));
+        let crashed = Arc::new(AtomicBool::new(false));
         let mut outboxes: Vec<Option<Sender<Vec<u8>>>> = (0..places).map(|_| None).collect();
+        let mut streams: Vec<Option<TcpStream>> = (0..places).map(|_| None).collect();
         let mut writers = Vec::new();
 
         for (peer_idx, link) in links.into_iter().enumerate() {
@@ -243,16 +333,21 @@ impl SocketNode {
             stream.set_read_timeout(Some(cfg.peer_timeout))?;
             stream.set_nodelay(true)?;
             let wstream = stream.try_clone()?;
+            streams[peer_idx] = Some(stream.try_clone()?);
             let (tx, rx) = channel::bounded(OUTBOX_CAP);
             outboxes[peer_idx] = Some(tx);
             {
                 let liveness = liveness.clone();
                 let shutting = shutting_down.clone();
+                let crashed = crashed.clone();
                 let hb = cfg.heartbeat;
+                let chaos = cfg.chaos.map(|ch| LinkChaos::new(ch, cfg.place, peer));
                 writers.push(
                     std::thread::Builder::new()
                         .name(format!("sock-w{}-{}", cfg.place.0, peer_idx))
-                        .spawn(move || writer_loop(wstream, peer, rx, liveness, hb, shutting))
+                        .spawn(move || {
+                            writer_loop(wstream, peer, rx, liveness, hb, shutting, crashed, chaos)
+                        })
                         .expect("spawn writer"),
                 );
             }
@@ -279,6 +374,8 @@ impl SocketNode {
             inbound_tx,
             inbound_rx,
             shutting_down,
+            crashed,
+            streams: Mutex::new(streams),
             writer_handles: Mutex::new(writers),
         })
     }
@@ -357,6 +454,25 @@ impl SocketNode {
             let _ = h.join();
         }
     }
+
+    /// Simulates this process being SIGKILLed mid-run: every connection
+    /// closes *without* the `Bye` sign-off, so peers see an abrupt EOF
+    /// and mark this place dead — the same detection path as a real
+    /// process death, but usable when places are in-process threads
+    /// (the chaos harness). Idempotent; a later [`shutdown`] is a no-op.
+    ///
+    /// [`shutdown`]: SocketNode::shutdown
+    pub fn crash(&self) {
+        self.crashed.store(true, Ordering::Release);
+        self.shutting_down.store(true, Ordering::Release);
+        // Tear the sockets down under every thread cloned onto them —
+        // readers (ours and the peers') see EOF immediately, like the
+        // kernel closing a killed process's descriptors.
+        for stream in self.streams.lock().iter().flatten() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        self.shutdown();
+    }
 }
 
 impl Drop for SocketNode {
@@ -380,6 +496,50 @@ fn mark_peer(liveness: &LivenessBoard, peer: PlaceId, shutting: &AtomicBool) {
     }
 }
 
+/// Per-link chaos state for one writer thread: a decision stream forked
+/// from the plan seed by `(me, peer)`, and the heartbeat-flap window.
+struct LinkChaos {
+    cfg: SocketChaos,
+    rng: ChaosRng,
+    flap_from: Instant,
+}
+
+impl LinkChaos {
+    fn new(cfg: SocketChaos, me: PlaceId, peer: PlaceId) -> Self {
+        LinkChaos {
+            cfg,
+            rng: ChaosRng::new(cfg.seed)
+                .fork(u64::from(me.0))
+                .fork(u64::from(peer.0)),
+            flap_from: Instant::now() + SocketChaos::FLAP_DELAY,
+        }
+    }
+
+    fn heartbeat_suppressed(&self) -> bool {
+        let Some(pause) = self.cfg.flap else {
+            return false;
+        };
+        let now = Instant::now();
+        now >= self.flap_from && now < self.flap_from + pause
+    }
+
+    /// Rolls the per-frame dice: `None` drops the frame, otherwise how
+    /// long to stall before writing and whether to write it twice.
+    fn frame_verdict(&mut self) -> Option<(Duration, bool)> {
+        if self.rng.chance(self.cfg.drop_prob) {
+            return None;
+        }
+        let delay = if self.rng.chance(self.cfg.delay_prob) {
+            let ms = self.cfg.max_delay.as_millis().max(1) as u64;
+            Duration::from_millis(1 + self.rng.below(ms))
+        } else {
+            Duration::ZERO
+        };
+        Some((delay, self.rng.chance(self.cfg.dup_prob)))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn writer_loop(
     mut stream: TcpStream,
     peer: PlaceId,
@@ -387,25 +547,49 @@ fn writer_loop(
     liveness: LivenessBoard,
     heartbeat: Duration,
     shutting: Arc<AtomicBool>,
+    crashed: Arc<AtomicBool>,
+    mut chaos: Option<LinkChaos>,
 ) {
     let hb = Frame::Heartbeat.to_wire();
     loop {
         match rx.recv_timeout(heartbeat) {
             Ok(bytes) => {
-                if stream.write_all(&bytes).is_err() {
+                let mut dup = false;
+                if let Some(ch) = chaos.as_mut() {
+                    match ch.frame_verdict() {
+                        Some((delay, d)) => {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            dup = d;
+                        }
+                        None => continue, // dropped on the (chaos) floor
+                    }
+                }
+                let ok =
+                    stream.write_all(&bytes).is_ok() && (!dup || stream.write_all(&bytes).is_ok());
+                if !ok {
                     mark_peer(&liveness, peer, &shutting);
                     return; // dropping rx unblocks senders with an error
                 }
             }
             Err(RecvTimeoutError::Timeout) => {
+                if chaos.as_ref().is_some_and(LinkChaos::heartbeat_suppressed) {
+                    continue;
+                }
                 if stream.write_all(&hb).is_err() {
                     mark_peer(&liveness, peer, &shutting);
                     return;
                 }
             }
             Err(RecvTimeoutError::Disconnected) => {
-                let _ = frame::write_frame(&mut stream, &Frame::Bye);
-                let _ = stream.flush();
+                // A crashed node dies silently: no Bye, just the FIN the
+                // kernel sends when the stream drops — peers must detect
+                // the death, exactly as after a SIGKILL.
+                if !crashed.load(Ordering::Acquire) {
+                    let _ = frame::write_frame(&mut stream, &Frame::Bye);
+                    let _ = stream.flush();
+                }
                 return;
             }
         }
@@ -856,5 +1040,149 @@ mod tests {
     fn from_env_absent_is_none() {
         // DPX10_PLACE is not set in the test environment.
         assert!(SocketConfig::from_env().unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_chaos_round_trips_and_rejects_garbage() {
+        let ch = parse_chaos("seed=7,delay=0.25,delay_ms=3,dup=0.1,drop=0.05,flap_ms=400").unwrap();
+        assert_eq!(ch.seed, 7);
+        assert_eq!(ch.delay_prob, 0.25);
+        assert_eq!(ch.max_delay, Duration::from_millis(3));
+        assert_eq!(ch.dup_prob, 0.1);
+        assert_eq!(ch.drop_prob, 0.05);
+        assert_eq!(ch.flap, Some(Duration::from_millis(400)));
+        assert_eq!(parse_chaos("seed=9").unwrap().delay_prob, 0.0);
+        assert!(parse_chaos("bogus").is_none());
+        assert!(parse_chaos("seed=notanumber").is_none());
+    }
+
+    /// Satellite of the chaos PR: a static `DPX10_PEERS`-style worker
+    /// may list `127.0.0.1:0` — the handshake's `Hello` carries the
+    /// actually-bound ephemeral address, so parallel meshes can never
+    /// collide on a fixed port.
+    #[test]
+    fn static_worker_bind_may_be_an_ephemeral_port() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut handles = Vec::new();
+        for p in 1..3u16 {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut cfg = SocketConfig::worker(PlaceId(p), 3, addr);
+                cfg.mode = match cfg.mode {
+                    ConnectMode::Worker { coordinator, .. } => ConnectMode::Worker {
+                        coordinator,
+                        bind: Some("127.0.0.1:0".into()),
+                    },
+                    other => other,
+                };
+                SocketNode::connect(cfg).unwrap()
+            }));
+        }
+        let n0 = SocketNode::connect(SocketConfig::coordinator(listener, 3)).unwrap();
+        let nodes: Vec<SocketNode> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // The mesh is fully connected, workers included.
+        nodes[0].send_bytes(PlaceId(2), vec![1]).unwrap();
+        let (src, payload) = nodes[1].recv_bytes_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((src, payload), (PlaceId(1), vec![1]));
+        drop(n0);
+    }
+
+    #[test]
+    fn crash_is_detected_as_a_death_not_a_goodbye() {
+        let mut nodes = mesh(3);
+        let victim = nodes.remove(2);
+        victim.crash(); // closes every link with no Bye
+        drop(victim);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while nodes[0].liveness().is_alive(PlaceId(2)) || nodes[1].liveness().is_alive(PlaceId(2)) {
+            assert!(Instant::now() < deadline, "crash never detected");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Survivors keep talking.
+        nodes[0].send_bytes(PlaceId(1), vec![3]).unwrap();
+        let (src, payload) = nodes[1].recv_bytes_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((src, payload), (PlaceId(0), vec![3]));
+    }
+
+    fn chaos_mesh(n: u16, chaos: SocketChaos) -> Vec<SocketNode> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut handles = Vec::new();
+        for p in 1..n {
+            let addr = addr.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut cfg = SocketConfig::worker(PlaceId(p), n, addr);
+                cfg.chaos = Some(chaos);
+                SocketNode::connect(cfg).unwrap()
+            }));
+        }
+        let mut cfg = SocketConfig::coordinator(listener, n);
+        cfg.chaos = Some(chaos);
+        let mut nodes = vec![SocketNode::connect(cfg).unwrap()];
+        for h in handles {
+            nodes.push(h.join().unwrap());
+        }
+        nodes.sort_by_key(|nd| nd.me().0);
+        nodes
+    }
+
+    #[test]
+    fn delay_chaos_perturbs_but_loses_nothing() {
+        let nodes = chaos_mesh(
+            2,
+            SocketChaos::delay_only(11, 0.5, Duration::from_millis(2)),
+        );
+        for v in 0..40u8 {
+            nodes[0].send_bytes(PlaceId(1), vec![v]).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 40 {
+            let (_, payload) = nodes[1]
+                .recv_bytes_timeout(Duration::from_secs(5))
+                .expect("delayed frames still arrive");
+            got.push(payload[0]);
+        }
+        // Writer-side delay stalls the FIFO link, so order holds; the
+        // point is that nothing is lost or damaged under delay chaos.
+        assert_eq!(got, (0..40).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn heartbeat_flap_longer_than_the_peer_timeout_kills_the_link() {
+        // Tight timings so the test is fast: 30 ms heartbeats, 150 ms
+        // peer timeout, and a flap window (0.5 s after connect) longer
+        // than the timeout. The links fall silent, both sides declare
+        // the other dead — the detection path the flap exists to test.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let chaos = SocketChaos {
+            seed: 1,
+            delay_prob: 0.0,
+            max_delay: Duration::ZERO,
+            dup_prob: 0.0,
+            drop_prob: 0.0,
+            flap: Some(Duration::from_secs(2)),
+        };
+        let tighten = move |mut cfg: SocketConfig| {
+            cfg.heartbeat = Duration::from_millis(30);
+            cfg.peer_timeout = Duration::from_millis(150);
+            cfg.chaos = Some(chaos);
+            cfg
+        };
+        let worker = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                SocketNode::connect(tighten(SocketConfig::worker(PlaceId(1), 2, addr))).unwrap()
+            })
+        };
+        let n0 = SocketNode::connect(tighten(SocketConfig::coordinator(listener, 2))).unwrap();
+        let n1 = worker.join().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while n0.liveness().is_alive(PlaceId(1)) {
+            assert!(Instant::now() < deadline, "flap never killed the link");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        drop(n1);
     }
 }

@@ -120,11 +120,40 @@ impl Default for RunArgs {
     }
 }
 
+/// A parsed `dpx10 chaos` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosArgs {
+    /// Run exactly this seed (otherwise a `start..start+count` range).
+    pub seed: Option<u64>,
+    /// First seed of the range.
+    pub start: u64,
+    /// Number of seeds in the range.
+    pub count: u64,
+    /// Include the in-process socket mesh backend.
+    pub sockets: bool,
+    /// Shrink failing plans to minimal counterexamples.
+    pub shrink: bool,
+}
+
+impl Default for ChaosArgs {
+    fn default() -> Self {
+        ChaosArgs {
+            seed: None,
+            start: 0,
+            count: 16,
+            sockets: true,
+            shrink: true,
+        }
+    }
+}
+
 /// The parsed command.
 #[derive(Clone, Debug)]
 pub enum Command {
     /// `dpx10 run <app> [...]`.
     Run(Box<RunArgs>),
+    /// `dpx10 chaos [...]`.
+    Chaos(ChaosArgs),
     /// `dpx10 apps`.
     Apps,
     /// `dpx10 patterns [--size HxW]`.
@@ -154,6 +183,16 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError(msg.into()))
 }
 
+/// Parses a seed in decimal or `0x…` hex (the form failure reports
+/// print, so a reported seed pastes straight back into `--seed`).
+fn parse_seed(s: &str) -> Result<u64, ParseError> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| ParseError(format!("bad seed {s}")))
+}
+
 /// Parses a full argument list (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut it = args.iter().map(String::as_str);
@@ -181,6 +220,32 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
             }
             Ok(Command::Patterns { height, width })
+        }
+        Some("chaos") => {
+            let mut chaos = ChaosArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .map(str::to_string)
+                        .ok_or(ParseError(format!("{name} needs a value")))
+                };
+                match flag {
+                    "--seed" => chaos.seed = Some(parse_seed(&value("--seed")?)?),
+                    "--start" => chaos.start = parse_seed(&value("--start")?)?,
+                    "--count" => {
+                        chaos.count = value("--count")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --count".into()))?
+                    }
+                    "--no-sockets" => chaos.sockets = false,
+                    "--no-shrink" => chaos.shrink = false,
+                    other => return err(format!("unknown chaos flag {other}")),
+                }
+            }
+            if chaos.count == 0 {
+                return err("--count must be at least 1");
+            }
+            Ok(Command::Chaos(chaos))
         }
         Some("run") => {
             let app_name = it
@@ -296,6 +361,7 @@ pub fn usage() -> String {
          \n\
          USAGE:\n\
          \x20 dpx10 run <app> [flags]      run an application\n\
+         \x20 dpx10 chaos [flags]          seeded differential chaos testing\n\
          \x20 dpx10 apps                   list applications\n\
          \x20 dpx10 patterns [--size HxW]  analyse the built-in DAG patterns\n\
          \x20 dpx10 help                   this text\n\
@@ -315,7 +381,18 @@ pub fn usage() -> String {
          \x20 --fault P[:F]           kill place P at progress fraction F (default 0.5)\n\
          \x20 --restore M             recompute|copy (default recompute)\n\
          \x20 --seed N                workload seed (default 1)\n\
-         \x20 --timeline              print an activity timeline (sim engine)\n",
+         \x20 --timeline              print an activity timeline (sim engine)\n\
+         \n\
+         CHAOS FLAGS:\n\
+         \x20 --seed S                run exactly one seed (decimal or 0x… hex)\n\
+         \x20 --start S --count N     run the seed range S..S+N (default 0..16)\n\
+         \x20 --no-sockets            skip the in-process TCP mesh backend\n\
+         \x20 --no-shrink             report failures without minimising the plan\n\
+         \n\
+         Each chaos seed expands into a random pattern, cluster shape and\n\
+         fault plan, runs it on the serial, simulated, threaded and socket\n\
+         backends, and checks the results and recovery invariants agree.\n\
+         Output is deterministic: the same seed prints the same lines.\n",
         apps.join(", ")
     )
 }

@@ -297,6 +297,46 @@ fn places_config(args: &RunArgs) -> EngineConfig {
     config
 }
 
+/// `dpx10 chaos`: the seeded differential chaos suite. Returns the
+/// rendered report and whether every seed passed. Output is
+/// deterministic — no wall-clock content — so the same invocation is
+/// bit-for-bit reproducible.
+pub fn run_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
+    let opts = dpx10_harness::ChaosOptions {
+        sockets: args.sockets,
+        shrink: args.shrink,
+        ..dpx10_harness::ChaosOptions::default()
+    };
+    let seeds: Vec<u64> = match args.seed {
+        Some(s) => vec![s],
+        None => (0..args.count)
+            .map(|k| args.start.wrapping_add(k))
+            .collect(),
+    };
+    let mut out = String::new();
+    let mut failed = Vec::new();
+    for &seed in &seeds {
+        let report = dpx10_harness::run_seed(seed, &opts);
+        out.push_str(&report.render());
+        out.push('\n');
+        if !report.passed() {
+            failed.push(seed);
+        }
+    }
+    out.push_str(&format!(
+        "chaos: {} seed(s), {} passed, {} failed\n",
+        seeds.len(),
+        seeds.len() - failed.len(),
+        failed.len()
+    ));
+    for seed in &failed {
+        out.push_str(&format!(
+            "reproduce with: dpx10 chaos --seed {seed:#018x}\n"
+        ));
+    }
+    (out, failed.is_empty())
+}
+
 /// `dpx10 apps`: one line per application.
 pub fn list_apps() -> String {
     let mut out = String::from("applications (paper SVIII + extensions):\n");

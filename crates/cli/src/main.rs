@@ -26,6 +26,15 @@ fn main() {
             print!("{}", commands::list_patterns(height, width));
             0
         }
+        Ok(Command::Chaos(chaos_args)) => {
+            let (report, all_passed) = commands::run_chaos(&chaos_args);
+            print!("{report}");
+            if all_passed {
+                0
+            } else {
+                1
+            }
+        }
         Ok(Command::Run(run_args)) => match commands::run(&run_args, &raw) {
             Ok(summary) => {
                 print!("{}", summary.render());

@@ -85,3 +85,22 @@ fn timeline_flag_prints_timeline() {
     assert_eq!(code, 0);
     assert!(stdout.contains("activity timeline"));
 }
+
+#[test]
+fn chaos_sweep_is_bit_for_bit_reproducible() {
+    // Sockets excluded to keep this fast; determinism must hold anyway.
+    let args = ["chaos", "--start", "2", "--count", "2", "--no-sockets"];
+    let (code_a, out_a, _) = dpx10(&args);
+    let (code_b, out_b, _) = dpx10(&args);
+    assert_eq!(code_a, 0, "{out_a}");
+    assert_eq!(code_b, 0);
+    assert_eq!(out_a, out_b, "chaos output must not depend on timing");
+    assert!(out_a.contains("chaos: 2 seed(s), 2 passed, 0 failed"));
+}
+
+#[test]
+fn chaos_rejects_a_zero_count() {
+    let (code, _, stderr) = dpx10(&["chaos", "--count", "0"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("count"));
+}

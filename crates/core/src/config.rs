@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use dpx10_apgas::{NetworkModel, PlaceId, Topology};
+use dpx10_apgas::{ChaosPlan, NetworkModel, PlaceId, Topology};
 use dpx10_distarray::{DistKind, RestoreManner};
 
 use crate::schedule::ScheduleStrategy;
@@ -63,6 +63,13 @@ pub struct EngineConfig {
     /// Optional spill-to-disk checkpointing (§X future work; see
     /// [`crate::checkpoint`]).
     pub checkpoint: Option<crate::checkpoint::CheckpointConfig>,
+    /// Optional seeded chaos plan: extra kills (possibly several per
+    /// run), transport perturbation and worker-schedule shaking, all
+    /// derived from the plan's seed. Composes with [`fault`]: both kinds
+    /// of kill can be armed at once.
+    ///
+    /// [`fault`]: EngineConfig::fault
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl EngineConfig {
@@ -80,6 +87,7 @@ impl EngineConfig {
             validate_limit: 10_000,
             stall_limit: std::time::Duration::from_secs(30),
             checkpoint: None,
+            chaos: None,
         }
     }
 
@@ -118,6 +126,12 @@ impl EngineConfig {
     /// Plans a fault injection.
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Arms a seeded chaos plan.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 }

@@ -15,8 +15,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dpx10_apgas::{
-    mailbox::Envelope, Codec, FinishScope, LocalTransport, NetworkModel, PlaceId, Runtime,
-    RuntimeConfig, Topology, Transport,
+    mailbox::Envelope, ChaosRng, ChaosTransport, Codec, FinishScope, KillTrigger, LocalTransport,
+    NetworkModel, PlaceId, Runtime, RuntimeConfig, Topology, Transport,
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
@@ -63,13 +63,24 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
         if self.config.validate_pattern && total <= self.config.validate_limit {
             validate_pattern(pattern.as_ref())?;
         }
-        if let Some(plan) = &self.config.fault {
-            if plan.place == PlaceId::ZERO
-                || plan.place.index() >= self.config.topology.num_places() as usize
+        let chaos_kills: Vec<dpx10_apgas::KillSpec> = self
+            .config
+            .chaos
+            .as_ref()
+            .map(|p| p.kills.clone())
+            .unwrap_or_default();
+        for victim in self
+            .config
+            .fault
+            .iter()
+            .map(|p| p.place)
+            .chain(chaos_kills.iter().map(|k| k.place))
+        {
+            if victim == PlaceId::ZERO
+                || victim.index() >= self.config.topology.num_places() as usize
             {
                 return Err(EngineError::BadFaultPlan(format!(
-                    "{} is not a killable place",
-                    plan.place
+                    "{victim} is not a killable place"
                 )));
             }
         }
@@ -115,23 +126,55 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 break collect_array(&shards, &dist);
             }
 
-            let transport: Arc<dyn Transport<Msg<A::Value>>> = Arc::new(LocalTransport::new(
+            let mut transport: Arc<dyn Transport<Msg<A::Value>>> = Arc::new(LocalTransport::new(
                 topo,
                 self.config.network,
                 rt.liveness().clone(),
                 rt.stats().clone(),
             ));
-
-            let fault_plan = self.config.fault.as_ref().and_then(|plan| {
-                // One-shot across epochs: don't re-kill after recovery.
-                if rt.liveness().is_alive(plan.place) {
-                    let threshold =
-                        ((plan.after_fraction * total as f64).ceil() as u64).clamp(1, total);
-                    Some((plan.place, threshold))
-                } else {
-                    None
+            if let Some(plan) = &self.config.chaos {
+                if !plan.net.is_off() {
+                    // `Done` carries indegree decrements, which are not
+                    // idempotent — everything else on this plane is.
+                    let dup_safe: dpx10_apgas::chaos::DupSafe<Msg<A::Value>> =
+                        Arc::new(|m| !matches!(m, Msg::Done { .. }));
+                    transport = Arc::new(ChaosTransport::new(
+                        transport, plan.net, plan.seed, dup_safe,
+                    ));
                 }
-            });
+            }
+
+            // Progress-triggered kills, one-shot across epochs: don't
+            // re-kill after recovery. The legacy single-fault plan and
+            // the chaos plan's kills arm side by side.
+            let to_threshold = |frac: f64| ((frac * total as f64).ceil() as u64).clamp(1, total);
+            let mut fault_plan: Vec<FaultTrigger> = Vec::new();
+            let mut time_kills: Vec<(PlaceId, Duration)> = Vec::new();
+            for (victim, frac) in self
+                .config
+                .fault
+                .iter()
+                .map(|p| (p.place, p.after_fraction))
+                .chain(chaos_kills.iter().filter_map(|k| match k.trigger {
+                    KillTrigger::Progress(f) => Some((k.place, f)),
+                    KillTrigger::After(_) => None,
+                }))
+            {
+                if rt.liveness().is_alive(victim) {
+                    fault_plan.push(FaultTrigger {
+                        victim,
+                        threshold: to_threshold(frac),
+                        fired: AtomicBool::new(false),
+                    });
+                }
+            }
+            for k in &chaos_kills {
+                if let KillTrigger::After(t) = k.trigger {
+                    if rt.liveness().is_alive(k.place) {
+                        time_kills.push((k.place, t));
+                    }
+                }
+            }
 
             let shared = Arc::new(Shared {
                 app: self.app.clone(),
@@ -152,7 +195,15 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 fault: AtomicBool::new(false),
                 stalled: AtomicBool::new(false),
                 fault_plan,
-                fault_fired: AtomicBool::new(false),
+                time_kills,
+                run_started: started,
+                shake: self
+                    .config
+                    .chaos
+                    .as_ref()
+                    .filter(|p| p.shake)
+                    .map(|p| p.seed),
+                worker_seq: AtomicU64::new(0),
                 checkpoint: checkpoint.clone(),
             });
 
@@ -221,9 +272,23 @@ pub(crate) struct Shared<A: DpApp> {
     pub(crate) done: AtomicBool,
     pub(crate) fault: AtomicBool,
     pub(crate) stalled: AtomicBool,
-    pub(crate) fault_plan: Option<(PlaceId, u64)>,
-    pub(crate) fault_fired: AtomicBool,
+    pub(crate) fault_plan: Vec<FaultTrigger>,
+    /// Wall-clock-triggered kills, fired by the epoch watchdog.
+    pub(crate) time_kills: Vec<(PlaceId, Duration)>,
+    /// When the whole run started (time kills are relative to it).
+    pub(crate) run_started: Instant,
+    /// Schedule-shaker seed; `Some` randomizes the worker loops.
+    pub(crate) shake: Option<u64>,
+    /// Hands each worker a distinct shaker substream.
+    pub(crate) worker_seq: AtomicU64,
     pub(crate) checkpoint: Option<Arc<CheckpointWriters<A::Value>>>,
+}
+
+/// One armed progress-triggered kill.
+pub(crate) struct FaultTrigger {
+    pub(crate) victim: PlaceId,
+    pub(crate) threshold: u64,
+    pub(crate) fired: AtomicBool,
 }
 
 impl<A: DpApp> Shared<A> {
@@ -260,6 +325,14 @@ fn run_epoch<A: DpApp + 'static>(rt: &Runtime, shared: &Arc<Shared<A>>) {
     let mut last_change = Instant::now();
     while !shared.should_stop() {
         std::thread::sleep(Duration::from_millis(2));
+        // Wall-clock chaos kills fire from here, not from publish:
+        // "kill after T" must work even while no vertex is finishing.
+        for &(victim, after) in &shared.time_kills {
+            if shared.run_started.elapsed() >= after && shared.liveness.is_alive(victim) {
+                shared.liveness.kill(victim);
+                shared.fault.store(true, Ordering::Release);
+            }
+        }
         let now = shared.finished_global.load(Ordering::Relaxed);
         if now != last {
             last = now;
@@ -282,12 +355,29 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
     let me = shared.dist.places()[slot];
     let mut bufs = WorkerBufs::default();
     let mut idle_rounds = 0u32;
+    // The schedule shaker: a per-worker substream of the chaos seed that
+    // randomizes drain budgets, ready-pop order and yield points. Any
+    // interleaving it produces is one the engine must tolerate anyway —
+    // the shaker just reaches them on purpose.
+    let mut shaker = shared.shake.map(|seed| {
+        let wid = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
+        ChaosRng::new(seed).fork(0x5748_4B52).fork(wid) // "WHKR"
+    });
     loop {
         if shared.should_stop() || !shared.liveness.is_alive(me) {
             break;
         }
+        let (drain_budget, ready_budget) = match shaker.as_mut() {
+            Some(rng) => {
+                if rng.chance(0.05) {
+                    std::thread::yield_now();
+                }
+                (1 + rng.below(128), 1 + rng.below(32))
+            }
+            None => (128, 32),
+        };
         let mut progress = false;
-        for _ in 0..128 {
+        for _ in 0..drain_budget {
             match shared.transport.try_recv(me) {
                 Some(env) => {
                     handle_msg(&shared, slot, env, &mut bufs);
@@ -296,13 +386,42 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
                 None => break,
             }
         }
-        for _ in 0..32 {
-            match shared.shards[slot].ready.pop() {
-                Some(li) => {
-                    execute(&shared, slot, li, &mut bufs);
-                    progress = true;
+        match shaker.as_mut() {
+            Some(rng) => {
+                // Shaken pop: grab a small batch, start it at a random
+                // offset — adjacent ready vertices execute in an order a
+                // plain FIFO/LIFO queue would never produce.
+                let mut popped = 0;
+                while popped < ready_budget {
+                    let mut batch: Vec<u32> = Vec::with_capacity(4);
+                    for _ in 0..1 + rng.below(3) {
+                        match shared.shards[slot].ready.pop() {
+                            Some(li) => batch.push(li),
+                            None => break,
+                        }
+                    }
+                    if batch.is_empty() {
+                        break;
+                    }
+                    let r = rng.below(batch.len() as u64) as usize;
+                    batch.rotate_left(r);
+                    for li in batch {
+                        execute(&shared, slot, li, &mut bufs);
+                        popped += 1;
+                        progress = true;
+                    }
                 }
-                None => break,
+            }
+            None => {
+                for _ in 0..ready_budget {
+                    match shared.shards[slot].ready.pop() {
+                        Some(li) => {
+                            execute(&shared, slot, li, &mut bufs);
+                            progress = true;
+                        }
+                        None => break,
+                    }
+                }
             }
         }
         if !progress && shared.schedule == ScheduleStrategy::WorkStealing {
@@ -644,9 +763,9 @@ fn publish<A: DpApp>(
     if g >= shared.total {
         shared.done.store(true, Ordering::Release);
     }
-    if let Some((victim, threshold)) = shared.fault_plan {
-        if g >= threshold && !shared.fault_fired.swap(true, Ordering::AcqRel) {
-            shared.liveness.kill(victim);
+    for trig in &shared.fault_plan {
+        if g >= trig.threshold && !trig.fired.swap(true, Ordering::AcqRel) {
+            shared.liveness.kill(trig.victim);
             shared.fault.store(true, Ordering::Release);
         }
     }

@@ -40,7 +40,8 @@ use std::time::{Duration, Instant};
 use dpx10_apgas::codec::{decode_exact, encode_to_vec};
 use dpx10_apgas::mailbox::Envelope;
 use dpx10_apgas::{
-    Codec, DeadPlaceError, LivenessBoard, PlaceId, SocketConfig, SocketNode, Transport,
+    ChaosRng, Codec, DeadPlaceError, KillTrigger, LivenessBoard, PlaceId, SocketConfig, SocketNode,
+    Transport,
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
@@ -63,6 +64,14 @@ const SNAPSHOT_DEADLINE: Duration = Duration::from_secs(60);
 /// How often a worker place re-sends its progress even when the count has
 /// not moved (keeps the coordinator's view fresh without flooding).
 const PROGRESS_INTERVAL: Duration = Duration::from_millis(50);
+
+macro_rules! chaos_trace {
+    ($($arg:tt)*) => {
+        if std::env::var_os("DPX10_SOCKET_TRACE").is_some() {
+            eprintln!($($arg)*);
+        }
+    };
+}
 
 /// Everything that crosses a socket during a run: vertex traffic
 /// ([`Wire::App`]) and the control protocol, all epoch-tagged.
@@ -219,14 +228,44 @@ impl<V: Codec> Codec for Wire<V> {
 }
 
 /// The vertex-traffic half of the demultiplexed socket: implements
-/// [`Transport`] for the worker loop, filtering out messages from other
-/// epochs *at consumption time* (so a message that raced past an epoch
-/// change in the demux thread is still discarded).
+/// [`Transport`] for the worker loop, filtering out messages from *past*
+/// epochs at consumption time (so a message that raced past an epoch
+/// change in the demux thread is still discarded). Messages from a
+/// *future* epoch are parked, not dropped: after a recovery the places
+/// enter the new epoch at different moments, and a fast peer's vertex
+/// traffic can arrive while this place is still resuming — discarding it
+/// would starve this place's share of the DAG and stall the run.
 struct AppPlane<V> {
     node: Arc<SocketNode>,
     epoch: AtomicU32,
     app_rx: Receiver<(u32, Envelope<Msg<V>>)>,
+    early: dpx10_sync::Mutex<Vec<(u32, Envelope<Msg<V>>)>>,
     liveness: LivenessBoard,
+}
+
+impl<V: VertexValue> AppPlane<V> {
+    /// Classifies one demuxed frame against `current`: deliver, park for
+    /// a later epoch, or drop as stale.
+    fn admit(&self, epoch: u32, env: Envelope<Msg<V>>, current: u32) -> Option<Envelope<Msg<V>>> {
+        use std::cmp::Ordering as O;
+        match epoch.cmp(&current) {
+            O::Equal => Some(env),
+            O::Greater => {
+                self.early.lock().push((epoch, env));
+                None
+            }
+            O::Less => None, // stale epoch: state was recovered, drop
+        }
+    }
+
+    /// Pops one parked message of the current epoch, pruning any that
+    /// went stale since they were parked.
+    fn pop_early(&self, current: u32) -> Option<Envelope<Msg<V>>> {
+        let mut early = self.early.lock();
+        early.retain(|(e, _)| *e >= current);
+        let k = early.iter().position(|(e, _)| *e == current)?;
+        Some(early.swap_remove(k).1)
+    }
 }
 
 impl<V: VertexValue> Transport<Msg<V>> for AppPlane<V> {
@@ -252,10 +291,16 @@ impl<V: VertexValue> Transport<Msg<V>> for AppPlane<V> {
 
     fn try_recv(&self, _at: PlaceId) -> Option<Envelope<Msg<V>>> {
         let current = self.epoch.load(Ordering::Acquire);
+        if let Some(env) = self.pop_early(current) {
+            return Some(env);
+        }
         loop {
             match self.app_rx.try_recv() {
-                Ok((epoch, env)) if epoch == current => return Some(env),
-                Ok(_) => continue, // stale epoch: state was recovered, drop
+                Ok((epoch, env)) => {
+                    if let Some(env) = self.admit(epoch, env, current) {
+                        return Some(env);
+                    }
+                }
                 Err(_) => return None,
             }
         }
@@ -273,7 +318,8 @@ impl<V: VertexValue> Transport<Msg<V>> for AppPlane<V> {
             }
             // Wait for anything to arrive, then re-filter.
             let (epoch, env) = self.app_rx.recv_timeout(deadline - now).ok()?;
-            if epoch == self.epoch.load(Ordering::Acquire) {
+            let current = self.epoch.load(Ordering::Acquire);
+            if let Some(env) = self.admit(epoch, env, current) {
                 return Some(env);
             }
         }
@@ -328,6 +374,9 @@ enum Flow<V> {
         /// The restored array's finished cells.
         cells: Vec<(u64, V)>,
     },
+    /// Worker: a planned `Die` arrived in soft-die mode; the node has
+    /// already crashed its sockets.
+    Died,
 }
 
 /// The multi-process engine. Construct identically in every place
@@ -338,6 +387,7 @@ pub struct SocketEngine<A: DpApp> {
     pattern: Arc<dyn DagPattern>,
     config: EngineConfig,
     init: Option<InitOverride<A::Value>>,
+    soft_die: bool,
 }
 
 impl<A: DpApp + 'static> SocketEngine<A> {
@@ -357,12 +407,24 @@ impl<A: DpApp + 'static> SocketEngine<A> {
             pattern: Arc::new(pattern),
             config,
             init: None,
+            soft_die: false,
         }
     }
 
     /// Installs a §VI-E initialisation override (pre-finish cells).
     pub fn with_init(mut self, init: InitOverride<A::Value>) -> Self {
         self.init = Some(init);
+        self
+    }
+
+    /// Makes a planned `Die` crash the *sockets* instead of the whole
+    /// process: every connection closes without a goodbye (peers detect
+    /// the death exactly as after a SIGKILL) and `run` returns
+    /// `Ok(None)`. Required when places are threads of one process — the
+    /// chaos harness — where `std::process::abort` would take the whole
+    /// differential run down with the victim.
+    pub fn with_soft_die(mut self) -> Self {
+        self.soft_die = true;
         self
     }
 
@@ -389,11 +451,15 @@ impl<A: DpApp + 'static> SocketEngine<A> {
                 self.config.topology.num_places()
             )));
         }
-        if let Some(plan) = &self.config.fault {
-            if plan.place == PlaceId::ZERO || plan.place.index() >= places as usize {
+        for victim in self.config.fault.iter().map(|p| p.place).chain(
+            self.config
+                .chaos
+                .iter()
+                .flat_map(|p| p.kills.iter().map(|k| k.place)),
+        ) {
+            if victim == PlaceId::ZERO || victim.index() >= places as usize {
                 return Err(EngineError::BadFaultPlan(format!(
-                    "{} is not a killable place",
-                    plan.place
+                    "{victim} is not a killable place"
                 )));
             }
         }
@@ -413,6 +479,7 @@ impl<A: DpApp + 'static> SocketEngine<A> {
             node: node.clone(),
             epoch: AtomicU32::new(0),
             app_rx,
+            early: dpx10_sync::Mutex::new(Vec::new()),
             liveness: node.liveness().clone(),
         });
 
@@ -469,7 +536,8 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         let mut prior: Option<DistArray<A::Value>> = None;
         let mut pending_cells: Option<Vec<(u64, A::Value)>> = None;
         let mut peer_stats: Vec<[u64; 6]> = vec![[0; 6]; self.places as usize];
-        let mut fault_fired = false;
+        // Victims whose planned `Die` has been sent — one-shot per run.
+        let mut kills_fired: Vec<PlaceId> = Vec::new();
         let mut epoch: u32 = 0;
 
         let final_array = loop {
@@ -497,6 +565,10 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 self.engine.init.as_ref(),
                 cfg.cache_capacity,
             );
+            chaos_trace!(
+                "[p{}] epoch {epoch} alive={alive:?} prefinished={prefinished}/{total}",
+                self.me.0
+            );
             if prefinished == total {
                 // Deterministic on every place: all exit without a word.
                 break collect_array(&shards, &dist);
@@ -520,8 +592,18 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 done: AtomicBool::new(false),
                 fault: AtomicBool::new(false),
                 stalled: AtomicBool::new(false),
-                fault_plan: None, // planned faults go through `Wire::Die`
-                fault_fired: AtomicBool::new(false),
+                // Planned faults go through `Wire::Die` from place 0.
+                fault_plan: Vec::new(),
+                time_kills: Vec::new(),
+                run_started: started,
+                // The schedule shaker works on this backend too; each
+                // place derives its own substream so its workers don't
+                // mirror another place's decisions.
+                shake: cfg.chaos.as_ref().filter(|p| p.shake).map(|p| {
+                    let mut rng = ChaosRng::new(p.seed).fork(u64::from(self.me.0));
+                    rng.next_u64()
+                }),
+                worker_seq: AtomicU64::new(0),
                 checkpoint: None,
             });
 
@@ -536,7 +618,15 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             }
 
             let outcome = if self.me == PlaceId::ZERO {
-                self.coordinate(&shared, epoch, &alive, my_slot, total, &mut fault_fired)
+                self.coordinate(
+                    &shared,
+                    epoch,
+                    &alive,
+                    my_slot,
+                    total,
+                    started,
+                    &mut kills_fired,
+                )
             } else {
                 self.follow(&shared, epoch, my_slot)
             };
@@ -596,6 +686,8 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     );
                     let mut all_dead = dead;
                     all_dead.extend(lost);
+                    all_dead.sort_unstable();
+                    all_dead.dedup();
                     let restored = self.recover_from(&arr, &all_dead, &mut report);
                     self.resume_epoch(epoch, &mut alive, &restored)?;
                     prior = Some(restored);
@@ -605,6 +697,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     return Err(EngineError::Stalled { finished, total });
                 }
                 Flow::WorkerExit => return Ok(None),
+                Flow::Died => return Ok(None),
                 Flow::WorkerResume {
                     alive: new_alive,
                     cells,
@@ -648,7 +741,8 @@ impl<A: DpApp + 'static> Driver<'_, A> {
     }
 
     /// Place 0's mid-epoch loop: fold progress reports into the finished
-    /// table, fire any planned fault, and decide the epoch's fate.
+    /// table, fire any planned kills, and decide the epoch's fate.
+    #[allow(clippy::too_many_arguments)]
     fn coordinate(
         &self,
         shared: &Arc<Shared<A>>,
@@ -656,17 +750,31 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         alive: &[PlaceId],
         my_slot: usize,
         total: u64,
-        fault_fired: &mut bool,
+        started: Instant,
+        kills_fired: &mut Vec<PlaceId>,
     ) -> Result<Flow<A::Value>, EngineError> {
         // Seeded from our own deterministic copy of every shard, so the
         // table starts at each slot's prefinished count.
         let mut table: Vec<u64> = (0..alive.len())
             .map(|s| shared.shards[s].finished_local.load(Ordering::Relaxed))
             .collect();
-        let plan = self.engine.config.fault.as_ref().map(|p| {
-            let threshold = ((p.after_fraction * total as f64).ceil() as u64).clamp(1, total);
-            (p.place, threshold)
-        });
+        // Every planned kill, as (victim, progress threshold) or
+        // (victim, wall-clock delay): the legacy single fault plus the
+        // chaos plan's kills. All fire as `Wire::Die` to the victim.
+        let to_threshold = |frac: f64| ((frac * total as f64).ceil() as u64).clamp(1, total);
+        let cfg = &self.engine.config;
+        let mut progress_kills: Vec<(PlaceId, u64)> = cfg
+            .fault
+            .iter()
+            .map(|p| (p.place, to_threshold(p.after_fraction)))
+            .collect();
+        let mut time_kills: Vec<(PlaceId, Duration)> = Vec::new();
+        for k in cfg.chaos.iter().flat_map(|p| p.kills.iter()) {
+            match k.trigger {
+                KillTrigger::Progress(f) => progress_kills.push((k.place, to_threshold(f))),
+                KillTrigger::After(t) => time_kills.push((k.place, t)),
+            }
+        }
         let mut last_sum = u64::MAX;
         let mut last_change = Instant::now();
 
@@ -684,9 +792,22 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 .load(Ordering::Relaxed);
             let sum: u64 = table.iter().sum();
 
-            if let Some((victim, threshold)) = plan {
-                if !*fault_fired && sum >= threshold && self.node.liveness().is_alive(victim) {
-                    *fault_fired = true;
+            for &(victim, threshold) in &progress_kills {
+                if sum >= threshold
+                    && !kills_fired.contains(&victim)
+                    && self.node.liveness().is_alive(victim)
+                {
+                    kills_fired.push(victim);
+                    chaos_trace!("[p0] firing Die at p{} (sum={sum})", victim.0);
+                    let _ = self.send_ctl(victim, &Wire::Die);
+                }
+            }
+            for &(victim, after) in &time_kills {
+                if started.elapsed() >= after
+                    && !kills_fired.contains(&victim)
+                    && self.node.liveness().is_alive(victim)
+                {
+                    kills_fired.push(victim);
                     let _ = self.send_ctl(victim, &Wire::Die);
                 }
             }
@@ -694,10 +815,12 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             let someone_died = alive.iter().any(|p| !self.node.liveness().is_alive(*p));
             if someone_died || shared.fault.load(Ordering::Acquire) {
                 shared.fault.store(true, Ordering::Release);
+                chaos_trace!("[p0] epoch {epoch} fault (table={table:?})");
                 return Ok(Flow::Fault);
             }
             if sum >= total {
                 shared.done.store(true, Ordering::Release);
+                chaos_trace!("[p0] epoch {epoch} finished (table={table:?})");
                 return Ok(Flow::Finished);
             }
 
@@ -705,6 +828,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 last_sum = sum;
                 last_change = Instant::now();
             } else if last_change.elapsed() > shared.stall_limit {
+                chaos_trace!("[p0] epoch {epoch} STALLED (table={table:?})");
                 shared.stalled.store(true, Ordering::Release);
                 shared.done.store(true, Ordering::Release);
                 return Ok(Flow::Stalled { finished: sum });
@@ -743,11 +867,13 @@ impl<A: DpApp + 'static> Driver<'_, A> {
 
             match self.ctl_rx.recv_timeout(Duration::from_millis(5)) {
                 Ok((_, Wire::Stop { epoch: e })) if e == epoch => {
+                    chaos_trace!("[p{}] epoch {epoch} got Stop", self.me.0);
                     shared.done.store(true, Ordering::Release);
                     self.send_snapshot(shared, epoch, my_slot)?;
                     awaiting_release = Some(Instant::now());
                 }
                 Ok((_, Wire::Abort { epoch: e, dead })) if e == epoch => {
+                    chaos_trace!("[p{}] epoch {epoch} got Abort dead={dead:?}", self.me.0);
                     for d in dead {
                         self.node.liveness().mark_dead(PlaceId(d));
                     }
@@ -763,11 +889,20 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                         cells,
                     },
                 )) if e == epoch + 1 => {
+                    chaos_trace!("[p{}] epoch {epoch} got Resume alive={alive:?}", self.me.0);
                     return Ok(Flow::WorkerResume { alive, cells });
                 }
                 Ok((_, Wire::Die)) => {
+                    chaos_trace!("[p{}] epoch {epoch} got Die", self.me.0);
                     // Planned fault: die the way a crashed process dies —
-                    // no goodbye frame, so the peers must *detect* it.
+                    // no goodbye frame, so the peers must *detect* it. In
+                    // soft-die mode only the sockets die (the place is a
+                    // thread of a test process that must survive).
+                    if self.engine.soft_die {
+                        self.node.crash();
+                        shared.fault.store(true, Ordering::Release);
+                        return Ok(Flow::Died);
+                    }
                     std::process::abort();
                 }
                 Ok((_, Wire::Done)) => return Ok(Flow::WorkerExit),
@@ -834,7 +969,12 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         peer_stats: &mut [[u64; 6]],
         report: &mut RunReport,
     ) -> Vec<PlaceId> {
-        let mut pending = self.survivors(alive);
+        // Start from every peer of the epoch, not just the currently
+        // live ones: a place whose death was already detected (e.g. a
+        // kill landing right at the end of the epoch, before its
+        // snapshot) must still be reported as lost so its values get
+        // recovered rather than silently dropped.
+        let mut pending: Vec<PlaceId> = alive.iter().copied().filter(|p| *p != self.me).collect();
         let mut lost = Vec::new();
         let deadline = Instant::now() + SNAPSHOT_DEADLINE;
         loop {
@@ -886,6 +1026,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 }
             }
         }
+        chaos_trace!("[p0] epoch {epoch} snapshots collected, lost={lost:?}");
         lost
     }
 
@@ -918,6 +1059,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         restored: &DistArray<A::Value>,
     ) -> Result<(), EngineError> {
         alive.retain(|p| self.node.liveness().is_alive(*p));
+        chaos_trace!("[p0] resume into epoch {} alive={alive:?}", epoch + 1);
         let mut cells = Vec::new();
         let rdist = restored.dist();
         for s in 0..rdist.num_slots() {

@@ -1,11 +1,73 @@
 //! Property-based tests of the `DagPattern` contract across the whole
 //! shipped library, at randomised sizes and parameters.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use dpx10_dag::{
     builtin::*, critical_path_len, topological_order, validate_pattern, wavefront_profile,
-    BuiltinKind, KnapsackDag,
+    BuiltinKind, CustomDag, KnapsackDag, VertexId,
 };
 use proptest::prelude::*;
+
+/// A random acyclic edge table: every vertex draws up to `max_deg`
+/// dependencies uniformly from the row-major-earlier vertices, so the
+/// table is acyclic by construction. Returns the forward and inverse
+/// adjacency maps — mutual inverses by construction.
+type EdgeTable = (
+    HashMap<(u32, u32), Vec<VertexId>>,
+    HashMap<(u32, u32), Vec<VertexId>>,
+);
+
+fn random_edge_table(h: u32, w: u32, seed: u64, max_deg: u64) -> EdgeTable {
+    // Small splitmix so the table is a pure function of the inputs.
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut deps: HashMap<(u32, u32), Vec<VertexId>> = HashMap::new();
+    let mut anti: HashMap<(u32, u32), Vec<VertexId>> = HashMap::new();
+    for i in 0..h {
+        for j in 0..w {
+            let rank = u64::from(i) * u64::from(w) + u64::from(j);
+            let entry = deps.entry((i, j)).or_default();
+            if rank == 0 {
+                continue;
+            }
+            for _ in 0..(next() % (max_deg + 1)) {
+                let pick = next() % rank;
+                let src = VertexId::new((pick / u64::from(w)) as u32, (pick % u64::from(w)) as u32);
+                if !entry.contains(&src) {
+                    entry.push(src);
+                    anti.entry((src.i, src.j))
+                        .or_default()
+                        .push(VertexId::new(i, j));
+                }
+            }
+        }
+    }
+    (deps, anti)
+}
+
+/// Wraps an edge table in the paper's custom-pattern API.
+fn custom_from_table(h: u32, w: u32, table: EdgeTable) -> CustomDag {
+    let (deps, anti) = (Arc::new(table.0), Arc::new(table.1));
+    CustomDag::new(h, w)
+        .with_dependencies(move |i, j, out| {
+            if let Some(ds) = deps.get(&(i, j)) {
+                out.extend(ds.iter().copied());
+            }
+        })
+        .with_anti_dependencies(move |i, j, out, _hw| {
+            if let Some(ans) = anti.get(&(i, j)) {
+                out.extend(ans.iter().copied());
+            }
+        })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -80,5 +142,49 @@ proptest! {
         let rows = weights.len() as u64 + 1;
         let pattern = KnapsackDag::new(weights, capacity);
         prop_assert_eq!(critical_path_len(&pattern), rows);
+    }
+
+    /// Arbitrary random edge tables wrapped in `CustomDag` satisfy the
+    /// full pattern contract: containment, deps/anti-deps mutual
+    /// inversion, acyclicity — custom patterns a user might write, not
+    /// just the shipped library.
+    #[test]
+    fn random_custom_tables_validate(
+        h in 1u32..10,
+        w in 1u32..10,
+        seed in 0u64..1_000_000,
+        max_deg in 0u64..4,
+    ) {
+        let pattern = custom_from_table(h, w, random_edge_table(h, w, seed, max_deg));
+        prop_assert!(validate_pattern(&pattern).is_ok(), "{h}x{w} seed={seed}");
+        let order = topological_order(&pattern).expect("acyclic by construction");
+        prop_assert_eq!(order.len() as u64, u64::from(h) * u64::from(w));
+    }
+
+    /// Breaking the inversion — dropping one anti-dependency edge from
+    /// an otherwise-valid table — must be caught by `validate_pattern`:
+    /// the validator is only trustworthy if it rejects bad tables.
+    #[test]
+    fn broken_inversion_is_rejected(
+        h in 2u32..8,
+        w in 2u32..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let (deps, mut anti) = random_edge_table(h, w, seed, 3);
+        let total_edges: usize = deps.values().map(Vec::len).sum();
+        if total_edges == 0 {
+            return Ok(()); // nothing to break; vacuously fine
+        }
+        // Drop the first anti edge in deterministic key order.
+        let mut keys: Vec<(u32, u32)> = anti
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        keys.sort_unstable();
+        let broken = keys[0];
+        anti.get_mut(&broken).expect("chosen nonempty").pop();
+        let pattern = custom_from_table(h, w, (deps, anti));
+        prop_assert!(validate_pattern(&pattern).is_err(), "{h}x{w} seed={seed}");
     }
 }

@@ -1,0 +1,96 @@
+//! Recovery edge cases the mid-run experiments never hit: several
+//! places dying in one pass, and snapshots taken at 0 % and 100 %
+//! progress.
+
+use std::sync::Arc;
+
+use dpx10_apgas::{NetworkModel, PlaceId, Topology};
+use dpx10_distarray::{
+    recover, Dist, DistArray, DistKind, RecoveryCostModel, Region2D, ResilientDistArray,
+    RestoreManner,
+};
+
+fn dist(places: u16) -> Arc<Dist> {
+    Arc::new(Dist::new(
+        Region2D::new(6, 6),
+        DistKind::BlockRow,
+        (0..places).map(PlaceId).collect(),
+    ))
+}
+
+#[test]
+fn two_places_dying_in_one_pass_lose_exactly_their_cells() {
+    let d = dist(4);
+    let mut array: DistArray<i64> = DistArray::new(d.clone());
+    for i in 0..6 {
+        for j in 0..6 {
+            array.set(i, j, i64::from(i * 10 + j));
+        }
+    }
+    let dead = [PlaceId(1), PlaceId(3)];
+    let (fresh, report) = recover(
+        &array,
+        &dead,
+        RestoreManner::RecomputeRemote,
+        &Topology::flat(4),
+        &NetworkModel::free(),
+        &RecoveryCostModel::default(),
+    );
+    // Every finished cell is accounted for exactly once.
+    assert_eq!(report.kept + report.dropped + report.lost, 36);
+    // Both dead places' cells are lost in the same pass.
+    let expected_lost: u64 = (0..6u32)
+        .flat_map(|i| (0..6u32).map(move |j| (i, j)))
+        .filter(|&(i, j)| dead.contains(&d.place_of(i, j)))
+        .count() as u64;
+    assert_eq!(report.lost, expected_lost);
+    assert!(report.lost > 0, "both victims owned cells");
+    // The survivors' dist no longer contains either victim.
+    for p in dead {
+        assert!(!fresh.dist().places().contains(&p));
+    }
+    // Kept cells survive with their values intact.
+    assert_eq!(fresh.finished_count(), report.kept + report.migrated);
+}
+
+#[test]
+fn snapshot_at_zero_progress_is_empty_and_restores_to_nothing() {
+    let mut ra: ResilientDistArray<i64> = ResilientDistArray::new(dist(3));
+    let (topo, net) = (Topology::flat(3), NetworkModel::free());
+    // Failure at 0 % progress: the snapshot happens before any work.
+    let snap = ra.snapshot(&topo, &net);
+    assert_eq!(snap.values, 0);
+    assert_eq!(snap.bytes, 0);
+    // Work lands after the snapshot, then a place dies.
+    ra.array_mut().set(0, 0, 7);
+    ra.array_mut().set(5, 5, 9);
+    let restore = ra.restore(&[PlaceId(1)], &topo, &net);
+    assert_eq!(restore.values, 0, "post-snapshot work is lost");
+    assert_eq!(ra.array().finished_count(), 0);
+}
+
+#[test]
+fn snapshot_at_full_progress_restores_every_cell_even_with_two_dead() {
+    let mut ra: ResilientDistArray<i64> = ResilientDistArray::new(dist(4));
+    let (topo, net) = (Topology::flat(4), NetworkModel::free());
+    for i in 0..6 {
+        for j in 0..6 {
+            ra.array_mut().set(i, j, i64::from(i * 10 + j));
+        }
+    }
+    // Failure at 100 % progress: snapshot covers the whole array.
+    let snap = ra.snapshot(&topo, &net);
+    assert_eq!(snap.values, 36);
+    let restore = ra.restore(&[PlaceId(1), PlaceId(2)], &topo, &net);
+    assert_eq!(restore.values, 36);
+    assert_eq!(ra.array().finished_count(), 36);
+    for i in 0..6 {
+        for j in 0..6 {
+            assert_eq!(
+                ra.array().get_finished(i, j),
+                Some(&i64::from(i * 10 + j)),
+                "({i},{j})"
+            );
+        }
+    }
+}

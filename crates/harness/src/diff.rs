@@ -1,0 +1,385 @@
+//! The differential runner: one seed, four backends, one verdict.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use dpx10_apgas::{ChaosPlan, KillTrigger, PlaceId, SocketChaos, SocketConfig};
+use dpx10_core::{DagResult, EngineConfig, FaultPlan, RunReport, SocketEngine, ThreadedEngine};
+use dpx10_dag::topological_order;
+use dpx10_sim::{SimConfig, SimEngine, SimFaultPlan};
+
+use crate::app::{oracle, MixApp};
+use crate::scenario::Scenario;
+
+/// What the runner executes per seed.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosOptions {
+    /// Run the in-process socket mesh (the slowest backend: planned
+    /// kills are detected by heartbeat timeout, so each kill costs real
+    /// wall-clock time).
+    pub sockets: bool,
+    /// On failure, shrink the chaos plan to a locally minimal
+    /// counterexample before reporting.
+    pub shrink: bool,
+    /// Simulator trace capacity for the fingerprint check.
+    pub trace_capacity: usize,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            sockets: true,
+            shrink: true,
+            trace_capacity: 4096,
+        }
+    }
+}
+
+/// A verified divergence: which backend broke the contract and how.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The backend that diverged (`"sim"`, `"threads"`, `"sockets"`).
+    pub backend: &'static str,
+    /// What went wrong, deterministically rendered (no wall times).
+    pub reason: String,
+    /// The shrunk plan that still reproduces the failure, when
+    /// shrinking was requested and found a simpler one. Boxed to keep
+    /// `Failure` (and the `Result`s carrying it) small.
+    pub minimal: Option<Box<ChaosPlan>>,
+}
+
+/// The outcome of one seed.
+#[derive(Clone, Debug)]
+pub struct SeedReport {
+    /// The seed.
+    pub seed: u64,
+    /// Human-readable scenario description (pattern, shape, plan).
+    pub scenario: String,
+    /// The chaos plan the scenario expanded to.
+    pub plan: ChaosPlan,
+    /// `None` when every backend agreed and every invariant held.
+    pub failure: Option<Failure>,
+}
+
+impl SeedReport {
+    /// Whether the seed passed.
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// One deterministic report line: identical across re-runs of the
+    /// same seed (no timestamps, no wall-clock content).
+    pub fn render(&self) -> String {
+        match &self.failure {
+            None => format!("seed={:#018x} PASS {}", self.seed, self.scenario),
+            Some(f) => {
+                let mut line = format!(
+                    "seed={:#018x} FAIL [{}] {} | scenario: {}",
+                    self.seed, f.backend, f.reason, self.scenario
+                );
+                if let Some(min) = &f.minimal {
+                    line.push_str(&format!(" | minimal: {min}"));
+                }
+                line
+            }
+        }
+    }
+}
+
+fn fail(backend: &'static str, reason: impl Into<String>) -> Failure {
+    Failure {
+        backend,
+        reason: reason.into(),
+        minimal: None,
+    }
+}
+
+/// Compares a finished run against the oracle, cell by cell in
+/// topological order (deterministic first-mismatch reporting).
+fn check_values(
+    backend: &'static str,
+    sc: &Scenario,
+    expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
+    result: &DagResult<u64>,
+) -> Result<(), Failure> {
+    let order = topological_order(sc.pattern.as_ref()).expect("validated");
+    for id in order {
+        let got = result.try_get(id.i, id.j);
+        let want = expect.get(&id).copied();
+        if got != want {
+            return Err(fail(
+                backend,
+                format!("value mismatch at {id}: got {got:?}, want {want:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The recovery invariants every backend must uphold:
+/// * a run with no armed failure finishes in one epoch with zero
+///   recomputation, and
+/// * recomputation never exceeds the cells actually lost to failures —
+///   surviving cells are never recomputed. The simulator counts
+///   computation at publish time, so its recomputation is exactly the
+///   dropped + lost sum; the threaded and socket backends can strand up
+///   to one mid-execute vertex per worker slot when an epoch aborts, so
+///   each recovery earns `slots` cells of slack on top of that sum.
+fn check_recovery(
+    backend: &'static str,
+    plan: &ChaosPlan,
+    report: &RunReport,
+    slots: u64,
+) -> Result<(), Failure> {
+    if plan.kills.is_empty() {
+        if report.epochs != 1 {
+            return Err(fail(
+                backend,
+                format!("{} epochs without any planned failure", report.epochs),
+            ));
+        }
+        if report.recomputed() != 0 {
+            return Err(fail(
+                backend,
+                format!(
+                    "{} cells recomputed without any planned failure",
+                    report.recomputed()
+                ),
+            ));
+        }
+    }
+    let lost: u64 = report.recoveries.iter().map(|r| r.dropped + r.lost).sum();
+    let budget = lost + report.recoveries.len() as u64 * slots;
+    if report.recomputed() > budget {
+        return Err(fail(
+            backend,
+            format!(
+                "surviving cells recomputed: {} recomputations but only {} cells lost \
+                 (+{} in-flight slack)",
+                report.recomputed(),
+                lost,
+                budget - lost
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// The first progress-triggered kill, as the legacy single-fault plans
+/// the simulator understands.
+fn first_progress_kill(plan: &ChaosPlan) -> Option<(PlaceId, f64)> {
+    plan.kills.iter().find_map(|k| match k.trigger {
+        KillTrigger::Progress(f) => Some((k.place, f)),
+        KillTrigger::After(_) => None,
+    })
+}
+
+fn check_sim(
+    sc: &Scenario,
+    plan: &ChaosPlan,
+    expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
+    trace_capacity: usize,
+) -> Result<(), Failure> {
+    let mut config = SimConfig::flat(sc.places)
+        .with_dist(sc.dist.clone())
+        .with_schedule(sc.schedule)
+        .with_cache(sc.cache);
+    if let Some((place, frac)) = first_progress_kill(plan) {
+        config = config.with_fault(SimFaultPlan {
+            place,
+            after_fraction: frac,
+        });
+    }
+    let engine = SimEngine::new(MixApp, sc.pattern.clone(), config);
+    let (result, trace) = engine
+        .run_traced(trace_capacity.max(1))
+        .map_err(|e| fail("sim", format!("run failed: {e}")))?;
+    check_values("sim", sc, expect, &result)?;
+    check_recovery("sim", plan, result.report(), u64::from(sc.places))?;
+    // The virtual clock makes the whole schedule deterministic: a
+    // second run must replay the exact same event trace.
+    let (_, trace2) = engine
+        .run_traced(trace_capacity.max(1))
+        .map_err(|e| fail("sim", format!("rerun failed: {e}")))?;
+    if trace.fingerprint() != trace2.fingerprint() {
+        return Err(fail(
+            "sim",
+            format!(
+                "trace fingerprint not reproducible: {:#018x} vs {:#018x}",
+                trace.fingerprint(),
+                trace2.fingerprint()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn engine_config(sc: &Scenario, plan: &ChaosPlan) -> EngineConfig {
+    let mut config = EngineConfig::flat(sc.places)
+        .with_dist(sc.dist.clone())
+        .with_schedule(sc.schedule)
+        .with_cache(sc.cache)
+        .with_chaos(plan.clone());
+    config.stall_limit = Duration::from_secs(20);
+    config
+}
+
+fn check_threads(
+    sc: &Scenario,
+    plan: &ChaosPlan,
+    expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
+) -> Result<(), Failure> {
+    let config = engine_config(sc, plan);
+    let result = ThreadedEngine::new(MixApp, sc.pattern.clone(), config)
+        .run()
+        .map_err(|e| fail("threads", format!("run failed: {e}")))?;
+    check_values("threads", sc, expect, &result)?;
+    check_recovery("threads", plan, result.report(), u64::from(sc.places))
+}
+
+fn check_sockets(
+    sc: &Scenario,
+    plan: &ChaosPlan,
+    expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
+) -> Result<(), Failure> {
+    // The socket mesh gets the plan's kills (delivered as `Wire::Die`,
+    // absorbed as soft crashes so every place stays a thread of this
+    // process) and its delay chaos. Frame duplication/drop stays off —
+    // the control plane counts frames — and heartbeat flapping is
+    // covered by its own targeted transport test, not the differential
+    // suite, because a long flap legitimately diverges the epoch count.
+    let net = if plan.net.is_off() {
+        None
+    } else {
+        Some(SocketChaos::delay_only(
+            plan.seed,
+            plan.net.delay_prob,
+            Duration::from_millis(plan.net.max_delay_ticks.clamp(1, 8)),
+        ))
+    };
+    // Keep kills+shake, strip transport/flap chaos handled above.
+    let mut engine_plan = plan.clone();
+    engine_plan.net = dpx10_apgas::NetChaos::off();
+    engine_plan.flap = None;
+    let config = engine_config(sc, &engine_plan);
+
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| fail("sockets", format!("bind failed: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| fail("sockets", format!("no local addr: {e}")))?
+        .to_string();
+    let tighten = |mut cfg: SocketConfig, chaos: Option<SocketChaos>| {
+        cfg.heartbeat = Duration::from_millis(25);
+        cfg.peer_timeout = Duration::from_millis(600);
+        cfg.chaos = chaos;
+        cfg
+    };
+
+    let mut workers = Vec::new();
+    for p in 1..sc.places {
+        let addr = addr.clone();
+        let pattern = sc.pattern.clone();
+        let config = config.clone();
+        let places = sc.places;
+        workers.push(std::thread::spawn(move || {
+            SocketEngine::new(MixApp, pattern, config)
+                .with_soft_die()
+                .run(tighten(SocketConfig::worker(PlaceId(p), places, addr), net))
+        }));
+    }
+    let outcome = SocketEngine::new(MixApp, sc.pattern.clone(), config.clone())
+        .with_soft_die()
+        .run(tighten(SocketConfig::coordinator(listener, sc.places), net));
+
+    let mut worker_failure = None;
+    for (idx, w) in workers.into_iter().enumerate() {
+        match w.join() {
+            Ok(Ok(None)) => {}
+            Ok(other) => {
+                worker_failure.get_or_insert(fail(
+                    "sockets",
+                    format!(
+                        "worker place {} did not shut down cleanly: {:?}",
+                        idx + 1,
+                        other.map(|r| r.map(|_| "unexpected result"))
+                    ),
+                ));
+            }
+            Err(_) => {
+                worker_failure.get_or_insert(fail(
+                    "sockets",
+                    format!("worker place {} panicked", idx + 1),
+                ));
+            }
+        }
+    }
+    let result = outcome
+        .map_err(|e| fail("sockets", format!("coordinator failed: {e}")))?
+        .ok_or_else(|| fail("sockets", "coordinator returned no result"))?;
+    if let Some(f) = worker_failure {
+        return Err(f);
+    }
+    check_values("sockets", sc, expect, &result)?;
+    check_recovery("sockets", plan, result.report(), u64::from(sc.places))
+}
+
+/// Runs `plan` over the scenario's pattern on every requested backend
+/// and returns the first broken invariant, if any.
+pub fn check_plan(sc: &Scenario, plan: &ChaosPlan, opts: &ChaosOptions) -> Result<(), Failure> {
+    let expect = oracle(sc.pattern.as_ref());
+    check_sim(sc, plan, &expect, opts.trace_capacity)?;
+    check_threads(sc, plan, &expect)?;
+    if opts.sockets {
+        check_sockets(sc, plan, &expect)?;
+    }
+    Ok(())
+}
+
+/// Shrinks a failing plan: repeatedly tries one-step-simpler candidate
+/// plans (most aggressive simplification first) and recurses into the
+/// first that still fails, stopping at a locally minimal plan.
+pub fn shrink_failure(sc: &Scenario, plan: &ChaosPlan, opts: &ChaosOptions) -> ChaosPlan {
+    let mut current = plan.clone();
+    'outer: loop {
+        for cand in current.shrink() {
+            if check_plan(sc, &cand, opts).is_err() {
+                current = cand;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+/// Expands `seed` into a scenario, runs it differentially on every
+/// backend, and reports — shrinking the chaos plan on failure when
+/// requested.
+pub fn run_seed(seed: u64, opts: &ChaosOptions) -> SeedReport {
+    let sc = Scenario::generate(seed);
+    let mut failure = check_plan(&sc, &sc.plan, opts).err();
+    if let Some(f) = &mut failure {
+        if opts.shrink {
+            let minimal = shrink_failure(&sc, &sc.plan, opts);
+            if minimal != sc.plan {
+                f.minimal = Some(Box::new(minimal));
+            }
+        }
+    }
+    SeedReport {
+        seed,
+        scenario: sc.to_string(),
+        plan: sc.plan,
+        failure,
+    }
+}
+
+/// The legacy single-fault plan equivalent of a chaos kill — used by
+/// targeted tests that want the paper's §VIII-C mid-run failure shape
+/// on a specific scenario.
+pub fn fault_plan_of(plan: &ChaosPlan) -> Option<FaultPlan> {
+    first_progress_kill(plan).map(|(place, after_fraction)| FaultPlan {
+        place,
+        after_fraction,
+    })
+}

@@ -1,0 +1,38 @@
+//! Seeded chaos harness with cross-backend differential oracles.
+//!
+//! Every engine in this workspace claims to compute the same thing: the
+//! fixpoint of a [`DpApp`](dpx10_core::DpApp) kernel over a
+//! [`DagPattern`](dpx10_dag::DagPattern). This crate turns that claim
+//! into a machine-checkable property. One `u64` seed deterministically
+//! expands into a full **scenario** — a random pattern, cluster shape,
+//! distribution, scheduler, cache size and a
+//! [`ChaosPlan`](dpx10_apgas::ChaosPlan) of place kills, transport
+//! perturbation and schedule shaking — and the [`diff`] runner executes
+//! it on every backend:
+//!
+//! * the **serial oracle** (a topological-order interpreter),
+//! * the **simulator** (`dpx10-sim`, deterministic virtual clock),
+//! * the **threaded engine** (`dpx10-core`, kills + chaos transport +
+//!   schedule shaker),
+//! * the **socket engine** (in-process TCP mesh with soft-crashed
+//!   places and frame-delay chaos).
+//!
+//! All four must agree bit-for-bit on every vertex value, and each run
+//! must satisfy the recovery invariants (no recomputation without a
+//! preceding failure; surviving cells never recomputed; clean worker
+//! shutdown). A failing seed reproduces exactly — same seed, same fault
+//! schedule, same verdict — and the runner shrinks its chaos plan to a
+//! locally minimal counterexample before reporting.
+//!
+//! The `dpx10 chaos` CLI subcommand drives this crate over seed ranges;
+//! the crate's own tests pin a small set of seeds into tier-1.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod diff;
+pub mod scenario;
+
+pub use app::{oracle, MixApp};
+pub use diff::{run_seed, shrink_failure, ChaosOptions, Failure, SeedReport};
+pub use scenario::{RandomWindowDag, Scenario};

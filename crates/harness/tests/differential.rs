@@ -1,0 +1,49 @@
+//! Pinned-seed differential suite — the tier-1 slice of the chaos
+//! harness. The wide random sweep lives in `dpx10 chaos`; these seeds
+//! are pinned so a regression fails the same way on every machine.
+
+use dpx10_harness::{run_seed, ChaosOptions};
+
+/// Fast options: serial + sim + threads. Socket runs pay real
+/// wall-clock for death detection, so they get their own smaller set.
+fn fast() -> ChaosOptions {
+    ChaosOptions {
+        sockets: false,
+        shrink: false,
+        trace_capacity: 2048,
+    }
+}
+
+#[test]
+fn pinned_seeds_pass_on_sim_and_threads() {
+    let failures: Vec<String> = (0..24u64)
+        .map(|seed| run_seed(seed, &fast()))
+        .filter(|r| !r.passed())
+        .map(|r| r.render())
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn pinned_seeds_pass_on_the_socket_mesh() {
+    let opts = ChaosOptions {
+        sockets: true,
+        shrink: false,
+        trace_capacity: 2048,
+    };
+    let failures: Vec<String> = (0..6u64)
+        .map(|seed| run_seed(seed, &opts))
+        .filter(|r| !r.passed())
+        .map(|r| r.render())
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn seed_reports_render_bit_for_bit_identically() {
+    for seed in [3u64, 7, 11] {
+        let a = run_seed(seed, &fast()).render();
+        let b = run_seed(seed, &fast()).render();
+        assert_eq!(a, b, "seed {seed} must reproduce exactly");
+    }
+}

@@ -403,7 +403,6 @@ impl<A: DpApp + 'static> SimEngine<A> {
             if let Some((id, dep_ids, dep_values)) = ep.exec_queue[slot].pop_front() {
                 let view = DepView::new(&dep_ids, &dep_values);
                 let value = self.app.compute(id, &view);
-                ep.computed += 1;
                 let owner = ep.dist.place_of(id.i, id.j);
                 ep.busy[slot] += 1;
                 ep.busy_ns[slot] += step;
@@ -464,7 +463,6 @@ impl<A: DpApp + 'static> SimEngine<A> {
             }
             let view = DepView::new(&dep_ids, &values);
             let value = self.app.compute(id, &view);
-            ep.computed += 1;
             ep.busy[slot] += 1;
             ep.busy_ns[slot] += step;
             trace_event(ep, t, me, Some(id), TraceKind::Dispatch);
@@ -575,6 +573,10 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 return;
             }
         }
+        // Computation is counted at publish, not dispatch: work stranded
+        // in flight by an epoch abort was never visible to anyone, so it
+        // must not inflate the recomputation count recovery is judged by.
+        ep.computed += 1;
         ep.finished += 1;
         ep.last_publish = t;
         let me_place = ep.dist.places()[slot];

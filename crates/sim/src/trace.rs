@@ -147,6 +147,42 @@ impl TraceBuffer {
         out
     }
 
+    /// A deterministic FNV-1a digest of every recorded event (including
+    /// the dropped-event count). Two simulated runs of the same seed and
+    /// configuration must produce the same fingerprint — the chaos
+    /// harness uses this to assert bit-for-bit trace reproducibility.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for e in &self.events {
+            mix(e.at.as_nanos() as u64);
+            mix(u64::from(e.place.0));
+            match e.vertex {
+                Some(v) => mix(v.pack()),
+                None => mix(u64::MAX),
+            }
+            match e.kind {
+                TraceKind::Dispatch => mix(1),
+                TraceKind::Finish => mix(2),
+                TraceKind::Send { dst, bytes } => {
+                    mix(3);
+                    mix(u64::from(dst.0));
+                    mix(u64::from(bytes));
+                }
+                TraceKind::Recovery => mix(4),
+            }
+        }
+        mix(self.dropped);
+        h
+    }
+
     /// Per-place finished-vertex counts — a quick balance check.
     pub fn finishes_per_place(&self) -> Vec<(PlaceId, u64)> {
         let mut counts: std::collections::BTreeMap<u16, u64> = Default::default();
@@ -203,6 +239,27 @@ mod tests {
     fn empty_timeline_is_graceful() {
         let t = TraceBuffer::new(8);
         assert_eq!(t.render_timeline(5), "(no finish events recorded)\n");
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let mut a = TraceBuffer::new(16);
+        a.record(ev(1, 0, TraceKind::Finish));
+        a.record(ev(2, 1, TraceKind::Dispatch));
+        let mut b = TraceBuffer::new(16);
+        b.record(ev(1, 0, TraceKind::Finish));
+        b.record(ev(2, 1, TraceKind::Dispatch));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let mut c = TraceBuffer::new(16);
+        c.record(ev(2, 1, TraceKind::Dispatch));
+        c.record(ev(1, 0, TraceKind::Finish));
+        assert_ne!(a.fingerprint(), c.fingerprint(), "order must matter");
+
+        let mut d = TraceBuffer::new(16);
+        d.record(ev(1, 0, TraceKind::Finish));
+        d.record(ev(2, 2, TraceKind::Dispatch));
+        assert_ne!(a.fingerprint(), d.fingerprint(), "content must matter");
     }
 
     #[test]
