@@ -46,6 +46,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dpx10_obs::{EventKind, Recorder, RUNTIME_WORKER};
 use dpx10_sync::channel::{self, Receiver, RecvTimeoutError, Sender};
 use dpx10_sync::Mutex;
 
@@ -140,6 +141,9 @@ pub struct SocketConfig {
     pub connect_timeout: Duration,
     /// Frame-level chaos injection, off by default.
     pub chaos: Option<SocketChaos>,
+    /// Flight recorder for frame-level events ([`EventKind::FrameSend`]
+    /// / [`EventKind::FrameRecv`]); disabled by default.
+    pub recorder: Recorder,
 }
 
 fn env_ms(name: &str, default: u64) -> Duration {
@@ -165,6 +169,7 @@ impl SocketConfig {
             peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
             connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
             chaos: chaos_from_env(),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -181,6 +186,7 @@ impl SocketConfig {
             peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
             connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
             chaos: chaos_from_env(),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -239,6 +245,7 @@ impl SocketConfig {
             peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
             connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
             chaos: chaos_from_env(),
+            recorder: Recorder::disabled(),
         }))
     }
 }
@@ -294,6 +301,7 @@ pub struct SocketNode {
     /// can tear the sockets down underneath the reader/writer threads.
     streams: Mutex<Vec<Option<TcpStream>>>,
     writer_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    recorder: Recorder,
 }
 
 impl SocketNode {
@@ -355,12 +363,18 @@ impl SocketNode {
                 let liveness = liveness.clone();
                 let shutting = shutting_down.clone();
                 let inbound = inbound_tx.clone();
+                let recorder = cfg.recorder.clone();
+                let me = cfg.place;
                 // Readers are detached: on shutdown they exit on the
                 // peer's `Bye` or its closed socket, and must not delay
                 // process teardown by a full peer timeout.
                 std::thread::Builder::new()
                     .name(format!("sock-r{}-{}", cfg.place.0, peer_idx))
-                    .spawn(move || reader_loop(stream, peer, places, inbound, liveness, shutting))
+                    .spawn(move || {
+                        reader_loop(
+                            stream, me, peer, places, inbound, liveness, shutting, recorder,
+                        )
+                    })
                     .expect("spawn reader");
             }
         }
@@ -377,6 +391,7 @@ impl SocketNode {
             crashed,
             streams: Mutex::new(streams),
             writer_handles: Mutex::new(writers),
+            recorder: cfg.recorder,
         })
     }
 
@@ -429,6 +444,8 @@ impl SocketNode {
         // hanging on a dead peer.
         tx.send(wire).map_err(|_| DeadPlaceError { place: dst })?;
         self.stats.place(self.me).on_send(n, Duration::ZERO);
+        self.recorder
+            .instant_now(self.me.0, RUNTIME_WORKER, EventKind::FrameSend, n as u64);
         Ok(n)
     }
 
@@ -596,17 +613,26 @@ fn writer_loop(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn reader_loop(
     mut stream: TcpStream,
+    me: PlaceId,
     peer: PlaceId,
     places: u16,
     inbound: Sender<(PlaceId, Vec<u8>)>,
     liveness: LivenessBoard,
     shutting: Arc<AtomicBool>,
+    recorder: Recorder,
 ) {
     loop {
         match frame::read_frame(&mut stream) {
             Ok(Frame::Data { src, payload }) if src < places => {
+                recorder.instant_now(
+                    me.0,
+                    RUNTIME_WORKER,
+                    EventKind::FrameRecv,
+                    payload.len() as u64,
+                );
                 let _ = inbound.send((PlaceId(src), payload));
             }
             Ok(Frame::Heartbeat) => {}

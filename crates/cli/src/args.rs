@@ -99,6 +99,10 @@ pub struct RunArgs {
     pub seed: u64,
     /// Print an activity timeline (sim engine).
     pub timeline: bool,
+    /// Write a Chrome `trace_event` JSON timeline here (all engines).
+    pub trace_out: Option<String>,
+    /// Write Prometheus text-format metrics here (all engines).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for RunArgs {
@@ -116,6 +120,8 @@ impl Default for RunArgs {
             restore: RestoreManner::RecomputeRemote,
             seed: 1,
             timeline: false,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -162,6 +168,12 @@ pub enum Command {
         height: u32,
         /// Analysis size.
         width: u32,
+    },
+    /// `dpx10 trace summarize <file>`: validate an exported Chrome
+    /// trace and print its per-place phase summary.
+    TraceSummarize {
+        /// Path of the Chrome `trace_event` JSON file.
+        file: String,
     },
     /// `dpx10 help` (or no args).
     Help,
@@ -221,6 +233,22 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Patterns { height, width })
         }
+        Some("trace") => match it.next() {
+            Some("summarize") => {
+                let file = it
+                    .next()
+                    .ok_or(ParseError("trace summarize needs a file".into()))?
+                    .to_string();
+                if it.next().is_some() {
+                    return err("trace summarize takes exactly one file");
+                }
+                Ok(Command::TraceSummarize { file })
+            }
+            other => err(format!(
+                "unknown trace subcommand {}; try `dpx10 trace summarize <file>`",
+                other.unwrap_or("(none)")
+            )),
+        },
         Some("chaos") => {
             let mut chaos = ChaosArgs::default();
             while let Some(flag) = it.next() {
@@ -344,6 +372,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .map_err(|_| ParseError("bad --seed".into()))?
                     }
                     "--timeline" => run.timeline = true,
+                    "--trace-out" => run.trace_out = Some(value("--trace-out")?),
+                    "--metrics-out" => run.metrics_out = Some(value("--metrics-out")?),
                     other => return err(format!("unknown run flag {other}")),
                 }
             }
@@ -364,6 +394,7 @@ pub fn usage() -> String {
          \x20 dpx10 chaos [flags]          seeded differential chaos testing\n\
          \x20 dpx10 apps                   list applications\n\
          \x20 dpx10 patterns [--size HxW]  analyse the built-in DAG patterns\n\
+         \x20 dpx10 trace summarize FILE   validate + summarise an exported trace\n\
          \x20 dpx10 help                   this text\n\
          \n\
          APPS: {}\n\
@@ -382,6 +413,9 @@ pub fn usage() -> String {
          \x20 --restore M             recompute|copy (default recompute)\n\
          \x20 --seed N                workload seed (default 1)\n\
          \x20 --timeline              print an activity timeline (sim engine)\n\
+         \x20 --trace-out FILE        write a Chrome trace_event JSON timeline\n\
+         \x20                         (Perfetto-loadable; sockets workers write FILE.p<N>)\n\
+         \x20 --metrics-out FILE      write Prometheus text-format metrics\n\
          \n\
          CHAOS FLAGS:\n\
          \x20 --seed S                run exactly one seed (decimal or 0x… hex)\n\
@@ -507,6 +541,30 @@ mod tests {
             .contains("[0, 1]"));
         assert!(parse_err(&["frobnicate"]).0.contains("unknown command"));
         assert!(parse_err(&["patterns", "--size", "8"]).0.contains("HxW"));
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let Command::Run(run) = parse_ok(&[
+            "run",
+            "swlag",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.prom",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(run.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(run.metrics_out.as_deref(), Some("m.prom"));
+        let Command::TraceSummarize { file } = parse_ok(&["trace", "summarize", "t.json"]) else {
+            panic!()
+        };
+        assert_eq!(file, "t.json");
+        assert!(parse_err(&["trace"]).0.contains("trace subcommand"));
+        assert!(parse_err(&["trace", "summarize"])
+            .0
+            .contains("needs a file"));
     }
 
     #[test]

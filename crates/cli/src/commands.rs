@@ -11,6 +11,7 @@ use dpx10_core::{
     DagResult, DpApp, EngineConfig, FaultPlan, RunReport, SocketEngine, ThreadedEngine, VertexValue,
 };
 use dpx10_dag::{critical_path_len, wavefront_profile, BuiltinKind, DagPattern};
+use dpx10_obs::{chrome, summary as obs_summary, EventKind, Recorder, Registry, Trace};
 use dpx10_sim::{CostModel, SimConfig, SimEngine, SimFaultPlan, TraceBuffer};
 
 use crate::args::{AppChoice, EngineChoice, RunArgs};
@@ -191,6 +192,16 @@ where
     F: FnOnce(&DagResult<A::Value>) -> String,
     A::Value: VertexValue,
 {
+    // Observability is opt-in: the recorder stays disabled (a no-op on
+    // every hot path) unless an export file was requested.
+    let want_obs = args.trace_out.is_some() || args.metrics_out.is_some();
+    let make_recorder = |places: u16| {
+        if want_obs {
+            Recorder::with_capacity(places as usize, 1 << 20)
+        } else {
+            Recorder::disabled()
+        }
+    };
     match args.engine {
         EngineChoice::Sim => {
             let mut config = SimConfig::paper(args.nodes)
@@ -208,13 +219,15 @@ where
                 });
             }
             let workers = config.topology.threads_per_place;
-            let engine = SimEngine::new(app, pattern, config);
+            let recorder = make_recorder(config.topology.num_places());
+            let engine = SimEngine::new(app, pattern, config).with_recorder(recorder.clone());
             let (result, trace): (DagResult<A::Value>, Option<TraceBuffer>) = if args.timeline {
                 let (r, t) = engine.run_traced(2_000_000).map_err(|e| e.to_string())?;
                 (r, Some(t))
             } else {
                 (engine.run().map_err(|e| e.to_string())?, None)
             };
+            write_observability(&recorder, result.report(), args)?;
             Ok(RunSummary {
                 answer: answer(&result),
                 report: result.report().clone(),
@@ -224,9 +237,12 @@ where
         }
         EngineChoice::Threaded => {
             let config = places_config(args);
+            let recorder = make_recorder(args.places);
             let result = ThreadedEngine::new(app, pattern, config)
+                .with_recorder(recorder.clone())
                 .run()
                 .map_err(|e| e.to_string())?;
+            write_observability(&recorder, result.report(), args)?;
             Ok(RunSummary {
                 answer: answer(&result),
                 report: result.report().clone(),
@@ -236,14 +252,29 @@ where
         }
         EngineChoice::Sockets => {
             let config = places_config(args);
-            let engine = SocketEngine::new(app, pattern, config);
+            let recorder = make_recorder(args.places);
+            let engine = SocketEngine::new(app, pattern, config).with_recorder(recorder.clone());
             match SocketConfig::from_env().map_err(|e| e.to_string())? {
                 Some(worker_cfg) => {
                     // We are a spawned place process: join the mesh, do
                     // our share, and exit without printing a summary —
-                    // the coordinator owns the result.
+                    // the coordinator owns the result. A worker's trace
+                    // goes to its own `<file>.p<N>` (each process has its
+                    // own recorder and clock).
+                    let my_place = worker_cfg.place;
                     match engine.run(worker_cfg) {
-                        Ok(_) => std::process::exit(0),
+                        Ok(_) => {
+                            if let Some(path) = &args.trace_out {
+                                let trace = recorder.drain();
+                                let worker_path = format!("{path}.p{}", my_place.0);
+                                if let Err(e) =
+                                    chrome::write(std::path::Path::new(&worker_path), &trace)
+                                {
+                                    eprintln!("dpx10: place trace write failed: {e}");
+                                }
+                            }
+                            std::process::exit(0)
+                        }
                         Err(e) => {
                             eprintln!("dpx10: place error: {e}");
                             std::process::exit(1);
@@ -257,6 +288,7 @@ where
                         Ok(result) => {
                             let _ = children.wait_all();
                             let result = result.ok_or("coordinator finished without a result")?;
+                            write_observability(&recorder, result.report(), args)?;
                             Ok(RunSummary {
                                 answer: answer(&result),
                                 report: result.report().clone(),
@@ -273,6 +305,100 @@ where
             }
         }
     }
+}
+
+/// Drains the recorder and writes the requested trace/metrics exports.
+fn write_observability(
+    recorder: &Recorder,
+    report: &RunReport,
+    args: &RunArgs,
+) -> Result<(), String> {
+    if !recorder.enabled() {
+        return Ok(());
+    }
+    let trace = recorder.drain();
+    if let Some(path) = &args.trace_out {
+        chrome::write(std::path::Path::new(path), &trace)
+            .map_err(|e| format!("write trace {path}: {e}"))?;
+    }
+    if let Some(path) = &args.metrics_out {
+        let registry = build_registry(report, &trace);
+        std::fs::write(path, registry.render_prometheus())
+            .map_err(|e| format!("write metrics {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Builds the metrics registry a finished run exports: run-level counters
+/// from the report plus a per-place compute-time histogram from the
+/// recorded vertex spans.
+fn build_registry(report: &RunReport, trace: &Trace) -> Registry {
+    let reg = Registry::new();
+    reg.counter("dpx10_vertices_total", "DAG vertices in the pattern", &[])
+        .add(report.vertices_total);
+    reg.counter(
+        "dpx10_vertices_computed_total",
+        "vertices computed, recomputation included",
+        &[],
+    )
+    .add(report.vertices_computed);
+    reg.counter("dpx10_epochs_total", "execution epochs run", &[])
+        .add(u64::from(report.epochs));
+    reg.counter("dpx10_recoveries_total", "recoveries performed", &[])
+        .add(report.recoveries.len() as u64);
+    reg.counter("dpx10_messages_sent_total", "remote messages sent", &[])
+        .add(report.comm.messages_sent);
+    reg.counter("dpx10_bytes_sent_total", "remote bytes sent", &[])
+        .add(report.comm.bytes_sent);
+    reg.counter("dpx10_cache_hits_total", "remote-value cache hits", &[])
+        .add(report.comm.cache_hits);
+    reg.counter("dpx10_cache_misses_total", "remote-value cache misses", &[])
+        .add(report.comm.cache_misses);
+    reg.counter(
+        "dpx10_trace_events_dropped_total",
+        "flight-recorder events dropped at full rings",
+        &[],
+    )
+    .add(trace.dropped);
+    reg.gauge("dpx10_wall_seconds", "wall-clock run time", &[])
+        .set(report.wall_time.as_secs_f64());
+    if report.sim_time > Duration::ZERO {
+        reg.gauge("dpx10_sim_seconds", "virtual makespan (simulator)", &[])
+            .set(report.sim_time.as_secs_f64());
+    }
+    for (slot, busy) in report.place_busy.iter().enumerate() {
+        reg.gauge(
+            "dpx10_place_busy_seconds",
+            "per-place compute time, final epoch slot order",
+            &[("slot", slot.to_string())],
+        )
+        .set(busy.as_secs_f64());
+    }
+    for ev in &trace.events {
+        if ev.kind == EventKind::VertexCompute {
+            reg.histogram_ns(
+                "dpx10_compute_ns",
+                "vertex compute span durations",
+                &[("place", ev.place.to_string())],
+            )
+            .observe(ev.dur_ns);
+        }
+    }
+    reg
+}
+
+/// `dpx10 trace summarize <file>`: parses an exported Chrome trace,
+/// checks the span-nesting invariant, and renders the per-place phase
+/// summary. An invalid or ill-nested trace is an `Err` (exit code 1), so
+/// CI can use this as its trace validator.
+pub fn trace_summarize(file: &str) -> Result<String, String> {
+    let json = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+    let events = chrome::parse(&json).map_err(|e| format!("{file}: {e}"))?;
+    chrome::check_nesting(&events).map_err(|e| format!("{file}: span nesting: {e}"))?;
+    let rows = obs_summary::rows_from_chrome(&events);
+    let mut out = format!("{file}: {} events, spans nest correctly\n\n", events.len());
+    out.push_str(&obs_summary::render(&rows, 0));
+    Ok(out)
 }
 
 /// The per-place engine configuration shared by the threaded and socket
@@ -333,6 +459,12 @@ pub fn run_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
         out.push_str(&format!(
             "reproduce with: dpx10 chaos --seed {seed:#018x}\n"
         ));
+        if let Some(path) = dpx10_harness::write_failure_trace(*seed) {
+            out.push_str(&format!(
+                "failure trace: {} (inspect with `dpx10 trace summarize`)\n",
+                path.display()
+            ));
+        }
     }
     (out, failed.is_empty())
 }

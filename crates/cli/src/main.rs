@@ -26,6 +26,16 @@ fn main() {
             print!("{}", commands::list_patterns(height, width));
             0
         }
+        Ok(Command::TraceSummarize { file }) => match commands::trace_summarize(&file) {
+            Ok(summary) => {
+                print!("{summary}");
+                0
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                1
+            }
+        },
         Ok(Command::Chaos(chaos_args)) => {
             let (report, all_passed) = commands::run_chaos(&chaos_args);
             print!("{report}");

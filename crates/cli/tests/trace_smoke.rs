@@ -1,0 +1,155 @@
+//! Traced-run smoke tests: every backend must emit a Perfetto-loadable
+//! Chrome trace and a Prometheus metrics file, and `dpx10 trace
+//! summarize` must accept the trace (parse + span-nesting oracle).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use dpx10_obs::chrome;
+
+fn dpx10(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dpx10"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Unique temp path per test so parallel test threads don't collide.
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dpx10-trace-smoke-{}-{name}", std::process::id()))
+}
+
+/// Runs swlag on `engine_args` with observability on, then checks the
+/// trace parses, spans nest, `trace summarize` accepts it, and the
+/// metrics file carries the core series.
+fn traced_run(label: &str, engine_args: &[&str]) {
+    let trace = tmp(&format!("{label}.json"));
+    let prom = tmp(&format!("{label}.prom"));
+    let trace_s = trace.to_str().unwrap().to_string();
+    let prom_s = prom.to_str().unwrap().to_string();
+
+    let mut args = vec!["run", "swlag", "--vertices", "4000"];
+    args.extend_from_slice(engine_args);
+    args.extend_from_slice(&["--trace-out", &trace_s, "--metrics-out", &prom_s]);
+    let (code, stdout, stderr) = dpx10(&args);
+    assert_eq!(code, 0, "{label}: stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("answer:"), "{label}: {stdout}");
+
+    // The Chrome JSON must parse and its spans must nest.
+    let json = std::fs::read_to_string(&trace).expect("trace file written");
+    let events = chrome::parse(&json).unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert!(
+        events.iter().any(|e| e.name == "vertex-compute"),
+        "{label}: no vertex-compute events"
+    );
+    chrome::check_nesting(&events).unwrap_or_else(|e| panic!("{label}: {e}"));
+
+    // `dpx10 trace summarize` agrees and prints the phase table.
+    let (code, summary, stderr) = dpx10(&["trace", "summarize", &trace_s]);
+    assert_eq!(code, 0, "{label}: {stderr}");
+    assert!(
+        summary.contains("spans nest correctly"),
+        "{label}: {summary}"
+    );
+    assert!(summary.contains("vertex-compute"), "{label}: {summary}");
+
+    // The Prometheus file carries the core series.
+    let metrics = std::fs::read_to_string(&prom).expect("metrics file written");
+    for series in [
+        "dpx10_vertices_computed_total",
+        "dpx10_epochs_total",
+        "dpx10_place_busy_seconds{slot=\"0\"}",
+        "dpx10_compute_ns_bucket",
+        "# TYPE dpx10_compute_ns histogram",
+    ] {
+        assert!(
+            metrics.contains(series),
+            "{label}: missing {series}:\n{metrics}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&prom);
+}
+
+#[test]
+fn sim_traced_run_smokes() {
+    traced_run("sim", &["--nodes", "2"]);
+}
+
+#[test]
+fn threaded_traced_run_smokes() {
+    traced_run("thr", &["--engine", "threaded", "--places", "2"]);
+}
+
+#[test]
+fn sockets_traced_run_smokes() {
+    let label = "sock";
+    let trace = tmp(&format!("{label}.json"));
+    let prom = tmp(&format!("{label}.prom"));
+    let trace_s = trace.to_str().unwrap().to_string();
+    let prom_s = prom.to_str().unwrap().to_string();
+
+    let (code, stdout, stderr) = dpx10(&[
+        "run",
+        "swlag",
+        "--vertices",
+        "4000",
+        "--engine",
+        "sockets",
+        "--places",
+        "2",
+        "--trace-out",
+        &trace_s,
+        "--metrics-out",
+        &prom_s,
+    ]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+
+    // Coordinator writes `trace`; the spawned worker writes `trace.p1`.
+    let worker = PathBuf::from(format!("{trace_s}.p1"));
+    for (who, path) in [("coordinator", &trace), ("worker", &worker)] {
+        let json =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{who} trace missing: {e}"));
+        let events = chrome::parse(&json).unwrap_or_else(|e| panic!("{who}: {e}"));
+        chrome::check_nesting(&events).unwrap_or_else(|e| panic!("{who}: {e}"));
+        assert!(
+            events.iter().any(|e| e.name == "vertex-compute"),
+            "{who}: no vertex-compute events"
+        );
+    }
+
+    // Both places contribute busy time to the coordinator's metrics.
+    let metrics = std::fs::read_to_string(&prom).expect("metrics file written");
+    assert!(
+        metrics.contains("dpx10_place_busy_seconds{slot=\"0\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("dpx10_place_busy_seconds{slot=\"1\"}"),
+        "{metrics}"
+    );
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&worker);
+    let _ = std::fs::remove_file(&prom);
+}
+
+#[test]
+fn summarize_rejects_malformed_files() {
+    let path = tmp("garbage.json");
+    std::fs::write(&path, "this is not json").unwrap();
+    let (code, _, stderr) = dpx10(&["trace", "summarize", path.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("error"), "{stderr}");
+    let _ = std::fs::remove_file(&path);
+
+    let (code, _, stderr) = dpx10(&["trace", "summarize", "/nonexistent/trace.json"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("read"), "{stderr}");
+}

@@ -20,6 +20,7 @@ use dpx10_apgas::{
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
+use dpx10_obs::{EventKind, Recorder, RUNTIME_WORKER};
 
 use crate::app::{DagResult, DepView, DpApp};
 use crate::checkpoint::CheckpointWriters;
@@ -36,6 +37,7 @@ pub struct ThreadedEngine<A: DpApp> {
     pattern: Arc<dyn DagPattern>,
     config: EngineConfig,
     init: Option<InitOverride<A::Value>>,
+    recorder: Recorder,
 }
 
 impl<A: DpApp + 'static> ThreadedEngine<A> {
@@ -46,12 +48,20 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
             pattern: Arc::new(pattern),
             config,
             init: None,
+            recorder: Recorder::disabled(),
         }
     }
 
     /// Installs a §VI-E initialisation override (pre-finish cells).
     pub fn with_init(mut self, init: InitOverride<A::Value>) -> Self {
         self.init = Some(init);
+        self
+    }
+
+    /// Attaches a flight recorder; compute spans, cache traffic, pull
+    /// round-trips and epoch/recovery events are recorded into it.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -106,9 +116,16 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
         };
         let mut prior: Option<DistArray<A::Value>> = None;
         let mut alive: Vec<PlaceId> = rt.places().collect();
+        let mut busy_by_place = vec![0u64; topo.num_places() as usize];
 
         let final_array = loop {
             report.epochs += 1;
+            self.recorder.instant_now(
+                0,
+                RUNTIME_WORKER,
+                EventKind::EpochStart,
+                u64::from(report.epochs),
+            );
             let dist = Arc::new(Dist::new(
                 region,
                 self.config.dist_kind.clone(),
@@ -205,11 +222,16 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                     .map(|p| p.seed),
                 worker_seq: AtomicU64::new(0),
                 checkpoint: checkpoint.clone(),
+                recorder: self.recorder.clone(),
             });
 
             run_epoch(&rt, &shared);
 
             report.vertices_computed += shared.computed.load(Ordering::Relaxed);
+            for (slot, shard) in shared.shards.iter().enumerate() {
+                busy_by_place[shared.dist.places()[slot].index()] +=
+                    shard.busy_ns.load(Ordering::Relaxed);
+            }
 
             if shared.stalled.load(Ordering::Acquire) {
                 return Err(EngineError::Stalled {
@@ -230,6 +252,7 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 .filter(|&p| !rt.liveness().is_alive(p))
                 .collect();
             let snapshot = collect_array(&shared.shards, &dist);
+            let rec_start = self.recorder.now_ns();
             let (restored, rec) = recover(
                 &snapshot,
                 &dead,
@@ -238,6 +261,14 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 &self.config.network,
                 &RecoveryCostModel::default(),
             );
+            self.recorder.span(
+                0,
+                RUNTIME_WORKER,
+                EventKind::Recovery,
+                rec_start,
+                self.recorder.now_ns(),
+                u64::from(report.epochs),
+            );
             report.recovery_time += rec.sim_time;
             report.recoveries.push(rec);
             prior = Some(restored);
@@ -245,6 +276,12 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
         };
 
         report.wall_time = started.elapsed();
+        // Per-place busy time from the measured compute intervals, in
+        // the final epoch's slot order (matching the simulator).
+        report.place_busy = alive
+            .iter()
+            .map(|p| Duration::from_nanos(busy_by_place[p.index()]))
+            .collect();
         report.comm = rt.stats_snapshot();
         let result = DagResult::new(final_array, report);
         self.app.app_finished(&result);
@@ -279,9 +316,10 @@ pub(crate) struct Shared<A: DpApp> {
     pub(crate) run_started: Instant,
     /// Schedule-shaker seed; `Some` randomizes the worker loops.
     pub(crate) shake: Option<u64>,
-    /// Hands each worker a distinct shaker substream.
+    /// Hands each worker a distinct id (trace track + shaker substream).
     pub(crate) worker_seq: AtomicU64,
     pub(crate) checkpoint: Option<Arc<CheckpointWriters<A::Value>>>,
+    pub(crate) recorder: Recorder,
 }
 
 /// One armed progress-triggered kill.
@@ -299,6 +337,8 @@ impl<A: DpApp> Shared<A> {
 
     pub(crate) fn send(&self, src: PlaceId, dst: PlaceId, msg: Msg<A::Value>) {
         let bytes = msg.wire_size();
+        self.recorder
+            .instant_now(src.0, RUNTIME_WORKER, EventKind::MsgSend, bytes as u64);
         if self.transport.send(src, dst, msg, bytes).is_err() {
             self.fault.store(true, Ordering::Release);
         }
@@ -355,14 +395,17 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
     let me = shared.dist.places()[slot];
     let mut bufs = WorkerBufs::default();
     let mut idle_rounds = 0u32;
+    // Process-wide worker id: the trace track this thread records onto,
+    // and the shaker substream selector.
+    let wid = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
     // The schedule shaker: a per-worker substream of the chaos seed that
     // randomizes drain budgets, ready-pop order and yield points. Any
     // interleaving it produces is one the engine must tolerate anyway —
     // the shaker just reaches them on purpose.
-    let mut shaker = shared.shake.map(|seed| {
-        let wid = shared.worker_seq.fetch_add(1, Ordering::Relaxed);
-        ChaosRng::new(seed).fork(0x5748_4B52).fork(wid) // "WHKR"
-    });
+    let mut shaker = shared
+        .shake
+        .map(|seed| ChaosRng::new(seed).fork(0x5748_4B52).fork(wid)); // "WHKR"
+    let wid = wid as u16;
     loop {
         if shared.should_stop() || !shared.liveness.is_alive(me) {
             break;
@@ -380,7 +423,7 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
         for _ in 0..drain_budget {
             match shared.transport.try_recv(me) {
                 Some(env) => {
-                    handle_msg(&shared, slot, env, &mut bufs);
+                    handle_msg(&shared, slot, wid, env, &mut bufs);
                     progress = true;
                 }
                 None => break,
@@ -396,7 +439,15 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
                     let mut batch: Vec<u32> = Vec::with_capacity(4);
                     for _ in 0..1 + rng.below(3) {
                         match shared.shards[slot].ready.pop() {
-                            Some(li) => batch.push(li),
+                            Some(li) => {
+                                shared.recorder.instant_now(
+                                    me.0,
+                                    wid,
+                                    EventKind::ReadyPop,
+                                    u64::from(li),
+                                );
+                                batch.push(li);
+                            }
                             None => break,
                         }
                     }
@@ -406,7 +457,7 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
                     let r = rng.below(batch.len() as u64) as usize;
                     batch.rotate_left(r);
                     for li in batch {
-                        execute(&shared, slot, li, &mut bufs);
+                        execute(&shared, slot, wid, li, &mut bufs);
                         popped += 1;
                         progress = true;
                     }
@@ -416,7 +467,13 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
                 for _ in 0..ready_budget {
                     match shared.shards[slot].ready.pop() {
                         Some(li) => {
-                            execute(&shared, slot, li, &mut bufs);
+                            shared.recorder.instant_now(
+                                me.0,
+                                wid,
+                                EventKind::ReadyPop,
+                                u64::from(li),
+                            );
+                            execute(&shared, slot, wid, li, &mut bufs);
                             progress = true;
                         }
                         None => break,
@@ -425,7 +482,7 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
             }
         }
         if !progress && shared.schedule == ScheduleStrategy::WorkStealing {
-            progress = try_steal(&shared, slot, &mut bufs);
+            progress = try_steal(&shared, slot, wid, &mut bufs);
         }
         if progress {
             idle_rounds = 0;
@@ -438,7 +495,7 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
             .transport
             .recv_timeout(me, Duration::from_micros(500))
         {
-            handle_msg(&shared, slot, env, &mut bufs);
+            handle_msg(&shared, slot, wid, env, &mut bufs);
             idle_rounds = 0;
         }
     }
@@ -465,7 +522,12 @@ impl Default for WorkerBufs {
 /// Work stealing (extension strategy): pop a ready vertex from the most
 /// loaded other shard and run its full owner-side path here, charging a
 /// task-ship round-trip to the network stats.
-fn try_steal<A: DpApp>(shared: &Arc<Shared<A>>, thief_slot: usize, bufs: &mut WorkerBufs) -> bool {
+fn try_steal<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    thief_slot: usize,
+    wid: u16,
+    bufs: &mut WorkerBufs,
+) -> bool {
     let victim = (0..shared.shards.len())
         .filter(|&s| s != thief_slot)
         .max_by_key(|&s| shared.shards[s].ready.len());
@@ -483,7 +545,7 @@ fn try_steal<A: DpApp>(shared: &Arc<Shared<A>>, thief_slot: usize, bufs: &mut Wo
     shared.stats.place(owner).on_send(16, over);
     let back = shared.net.transfer_time(&shared.topo, thief, owner, 16);
     shared.stats.place(thief).on_send(16, back);
-    execute(shared, victim, li, bufs);
+    execute(shared, victim, wid, li, bufs);
     true
 }
 
@@ -491,6 +553,7 @@ fn try_steal<A: DpApp>(shared: &Arc<Shared<A>>, thief_slot: usize, bufs: &mut Wo
 fn handle_msg<A: DpApp>(
     shared: &Arc<Shared<A>>,
     slot: usize,
+    wid: u16,
     env: Envelope<Msg<A::Value>>,
     bufs: &mut WorkerBufs,
 ) {
@@ -517,6 +580,9 @@ fn handle_msg<A: DpApp>(
             shared.send(me, env.src, Msg::PullVal { id, value });
         }
         Msg::PullVal { id, value } => {
+            shared
+                .recorder
+                .instant_now(me.0, wid, EventKind::PullFill, id.pack());
             shard.cache.lock().insert(id.pack(), value.clone());
             let mut pending = shard.pending.lock();
             if let Some(waiters) = pending.waiters.remove(&id.pack()) {
@@ -541,7 +607,7 @@ fn handle_msg<A: DpApp>(
             dep_values,
         } => {
             let view = DepView::new(&dep_ids, &dep_values);
-            let value = shared.app.compute(id, &view);
+            let value = compute_timed(shared, slot, wid, id, &view);
             shared.send(me, env.src, Msg::ExecResult { id, value });
         }
         Msg::ExecResult { id, value } => {
@@ -570,9 +636,56 @@ fn decrement<A: DpApp>(shared: &Shared<A>, slot: usize, t: VertexId) {
     }
 }
 
+/// Runs the app's `compute`, charging the elapsed wall time to the
+/// slot's busy counter and (when recording) emitting the vertex-compute
+/// span.
+fn compute_timed<A: DpApp>(
+    shared: &Shared<A>,
+    slot: usize,
+    wid: u16,
+    id: VertexId,
+    view: &DepView<'_, A::Value>,
+) -> A::Value {
+    let started = Instant::now();
+    let rec_start = self_rec_start(shared);
+    let value = shared.app.compute(id, view);
+    let elapsed = started.elapsed().as_nanos() as u64;
+    shared.shards[slot]
+        .busy_ns
+        .fetch_add(elapsed, Ordering::Relaxed);
+    if let Some(start_ns) = rec_start {
+        // End on the recorder clock, not `start_ns + elapsed`: the two
+        // clocks are read at slightly different moments, and an
+        // extrapolated end can overshoot past the next span's start on
+        // the same worker, breaking the nesting oracle.
+        shared.recorder.span(
+            shared.dist.places()[slot].0,
+            wid,
+            EventKind::VertexCompute,
+            start_ns,
+            shared.recorder.now_ns(),
+            id.pack(),
+        );
+    }
+    value
+}
+
+/// Recorder start timestamp, taken only when recording is on (keeps the
+/// disabled path at one branch).
+#[inline]
+fn self_rec_start<A: DpApp>(shared: &Shared<A>) -> Option<u64> {
+    shared.recorder.enabled().then(|| shared.recorder.now_ns())
+}
+
 /// Executes one owned ready vertex: gather → (maybe ship) → compute →
 /// publish.
-fn execute<A: DpApp>(shared: &Arc<Shared<A>>, slot: usize, li: u32, bufs: &mut WorkerBufs) {
+fn execute<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    wid: u16,
+    li: u32,
+    bufs: &mut WorkerBufs,
+) {
     let shard = &shared.shards[slot];
     let (i, j) = shard.points[li as usize];
     let id = VertexId::new(i, j);
@@ -584,7 +697,7 @@ fn execute<A: DpApp>(shared: &Arc<Shared<A>>, slot: usize, li: u32, bufs: &mut W
     bufs.deps.clear();
     shared.pattern.dependencies(i, j, &mut bufs.deps);
 
-    let Some(values) = gather(shared, slot, li, &bufs.deps) else {
+    let Some(values) = gather(shared, slot, wid, li, &bufs.deps) else {
         return; // parked awaiting pulls
     };
 
@@ -623,7 +736,7 @@ fn execute<A: DpApp>(shared: &Arc<Shared<A>>, slot: usize, li: u32, bufs: &mut W
     }
 
     let view = DepView::new(&bufs.deps, &values);
-    let value = shared.app.compute(id, &view);
+    let value = compute_timed(shared, slot, wid, id, &view);
     publish(shared, slot, li, id, value, bufs);
 }
 
@@ -632,6 +745,7 @@ fn execute<A: DpApp>(shared: &Arc<Shared<A>>, slot: usize, li: u32, bufs: &mut W
 fn gather<A: DpApp>(
     shared: &Arc<Shared<A>>,
     slot: usize,
+    wid: u16,
     li: u32,
     deps: &[VertexId],
 ) -> Option<Vec<A::Value>> {
@@ -650,6 +764,9 @@ fn gather<A: DpApp>(
                 vals.push(Some(shard.value(dli).clone()));
             } else if let Some(v) = cache.get(d.pack()) {
                 shared.stats.place(me).on_cache_hit();
+                shared
+                    .recorder
+                    .instant_now(me.0, wid, EventKind::CacheHit, d.pack());
                 vals.push(Some(v.clone()));
             } else {
                 vals.push(None);
@@ -707,6 +824,12 @@ fn gather<A: DpApp>(
 
     for d in &to_pull {
         shared.stats.place(me).on_cache_miss();
+        shared
+            .recorder
+            .instant_now(me.0, wid, EventKind::CacheMiss, d.pack());
+        shared
+            .recorder
+            .instant_now(me.0, wid, EventKind::PullIssue, d.pack());
         let owner = shared.dist.place_of(d.i, d.j);
         shared.send(me, owner, Msg::Pull { id: *d });
     }

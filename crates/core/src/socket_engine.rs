@@ -45,6 +45,7 @@ use dpx10_apgas::{
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
+use dpx10_obs::{EventKind, Recorder, RUNTIME_WORKER};
 use dpx10_sync::channel::{unbounded, Receiver, Sender};
 
 use crate::app::{DagResult, DpApp, VertexValue};
@@ -64,14 +65,6 @@ const SNAPSHOT_DEADLINE: Duration = Duration::from_secs(60);
 /// How often a worker place re-sends its progress even when the count has
 /// not moved (keeps the coordinator's view fresh without flooding).
 const PROGRESS_INTERVAL: Duration = Duration::from_millis(50);
-
-macro_rules! chaos_trace {
-    ($($arg:tt)*) => {
-        if std::env::var_os("DPX10_SOCKET_TRACE").is_some() {
-            eprintln!($($arg)*);
-        }
-    };
-}
 
 /// Everything that crosses a socket during a run: vertex traffic
 /// ([`Wire::App`]) and the control protocol, all epoch-tagged.
@@ -106,7 +99,8 @@ enum Wire<V> {
         /// Vertices this place computed during the epoch.
         computed: u64,
         /// Cumulative place counters: `[tasks, msgs, bytes, net_ns,
-        /// cache_hits, cache_misses]`.
+        /// cache_hits, cache_misses, busy_ns]`. Decoders accept the
+        /// older six-counter form and leave `busy_ns` at zero.
         stats: Vec<u64>,
     },
     /// Place 0 → survivors: recovery done, start the next epoch.
@@ -388,6 +382,7 @@ pub struct SocketEngine<A: DpApp> {
     config: EngineConfig,
     init: Option<InitOverride<A::Value>>,
     soft_die: bool,
+    recorder: Recorder,
 }
 
 impl<A: DpApp + 'static> SocketEngine<A> {
@@ -408,7 +403,15 @@ impl<A: DpApp + 'static> SocketEngine<A> {
             config,
             init: None,
             soft_die: false,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a flight recorder; this place's epoch, control-protocol,
+    /// snapshot and vertex events land in its per-place ring.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Installs a §VI-E initialisation override (pre-finish cells).
@@ -437,6 +440,22 @@ impl<A: DpApp + 'static> SocketEngine<A> {
         let total = self.pattern.vertex_count();
         if self.config.validate_pattern && total <= self.config.validate_limit {
             validate_pattern(self.pattern.as_ref())?;
+        }
+
+        // `DPX10_SOCKET_TRACE=1` is an alias for "record and echo every
+        // event to stderr" — the recorder's echo subscriber replaces the
+        // old ad-hoc eprintln tracing.
+        let mut recorder = self.recorder.clone();
+        if std::env::var_os("DPX10_SOCKET_TRACE").is_some() {
+            if !recorder.enabled() {
+                recorder =
+                    Recorder::with_capacity(self.config.topology.num_places() as usize, 1 << 12);
+            }
+            recorder.set_echo(true);
+        }
+        let mut socket = socket;
+        if !socket.recorder.enabled() {
+            socket.recorder = recorder.clone();
         }
 
         let node = Arc::new(
@@ -490,6 +509,7 @@ impl<A: DpApp + 'static> SocketEngine<A> {
             ctl_rx,
             me,
             places,
+            recorder,
         };
         let result = driver.drive(total);
 
@@ -516,6 +536,7 @@ struct Driver<'a, A: DpApp> {
     ctl_rx: Receiver<(PlaceId, Wire<A::Value>)>,
     me: PlaceId,
     places: u16,
+    recorder: Recorder,
 }
 
 impl<A: DpApp + 'static> Driver<'_, A> {
@@ -535,7 +556,10 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         let mut alive: Vec<PlaceId> = (0..self.places).map(PlaceId).collect();
         let mut prior: Option<DistArray<A::Value>> = None;
         let mut pending_cells: Option<Vec<(u64, A::Value)>> = None;
-        let mut peer_stats: Vec<[u64; 6]> = vec![[0; 6]; self.places as usize];
+        let mut peer_stats: Vec<[u64; 7]> = vec![[0; 7]; self.places as usize];
+        // This place's compute time, summed across epochs (the shards —
+        // and their busy counters — are rebuilt every epoch).
+        let mut busy_total: u64 = 0;
         // Victims whose planned `Die` has been sent — one-shot per run.
         let mut kills_fired: Vec<PlaceId> = Vec::new();
         let mut epoch: u32 = 0;
@@ -565,9 +589,11 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 self.engine.init.as_ref(),
                 cfg.cache_capacity,
             );
-            chaos_trace!(
-                "[p{}] epoch {epoch} alive={alive:?} prefinished={prefinished}/{total}",
-                self.me.0
+            self.recorder.instant_now(
+                self.me.0,
+                RUNTIME_WORKER,
+                EventKind::EpochStart,
+                u64::from(epoch),
             );
             if prefinished == total {
                 // Deterministic on every place: all exit without a word.
@@ -605,6 +631,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 }),
                 worker_seq: AtomicU64::new(0),
                 checkpoint: None,
+                recorder: self.recorder.clone(),
             });
 
             let mut handles = Vec::new();
@@ -628,13 +655,14 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     &mut kills_fired,
                 )
             } else {
-                self.follow(&shared, epoch, my_slot)
+                self.follow(&shared, epoch, my_slot, busy_total)
             };
             shared.done.store(true, Ordering::Release); // belt and braces
             for h in handles {
                 let _ = h.join();
             }
             report.vertices_computed += shared.computed.load(Ordering::Relaxed);
+            busy_total += shared.shards[my_slot].busy_ns.load(Ordering::Relaxed);
 
             match outcome? {
                 Flow::Finished => {
@@ -726,6 +754,19 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             comm.cache_misses += stats[5];
         }
         report.comm = comm;
+        // In the final epoch's slot order (matching the simulator): our
+        // own accumulator for place 0, the last snapshot's busy counter
+        // for every peer.
+        report.place_busy = alive
+            .iter()
+            .map(|p| {
+                if *p == self.me {
+                    Duration::from_nanos(busy_total)
+                } else {
+                    Duration::from_nanos(peer_stats[p.index()][6])
+                }
+            })
+            .collect();
         let result = DagResult::new(final_array, report);
         self.engine.app.app_finished(&result);
         Ok(Some(result))
@@ -798,7 +839,12 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     && self.node.liveness().is_alive(victim)
                 {
                     kills_fired.push(victim);
-                    chaos_trace!("[p0] firing Die at p{} (sum={sum})", victim.0);
+                    self.recorder.instant_now(
+                        self.me.0,
+                        RUNTIME_WORKER,
+                        EventKind::CtlDie,
+                        u64::from(victim.0),
+                    );
                     let _ = self.send_ctl(victim, &Wire::Die);
                 }
             }
@@ -808,6 +854,12 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     && self.node.liveness().is_alive(victim)
                 {
                     kills_fired.push(victim);
+                    self.recorder.instant_now(
+                        self.me.0,
+                        RUNTIME_WORKER,
+                        EventKind::CtlDie,
+                        u64::from(victim.0),
+                    );
                     let _ = self.send_ctl(victim, &Wire::Die);
                 }
             }
@@ -815,12 +867,22 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             let someone_died = alive.iter().any(|p| !self.node.liveness().is_alive(*p));
             if someone_died || shared.fault.load(Ordering::Acquire) {
                 shared.fault.store(true, Ordering::Release);
-                chaos_trace!("[p0] epoch {epoch} fault (table={table:?})");
+                self.recorder.instant_now(
+                    self.me.0,
+                    RUNTIME_WORKER,
+                    EventKind::Fault,
+                    u64::from(epoch),
+                );
                 return Ok(Flow::Fault);
             }
             if sum >= total {
                 shared.done.store(true, Ordering::Release);
-                chaos_trace!("[p0] epoch {epoch} finished (table={table:?})");
+                self.recorder.instant_now(
+                    self.me.0,
+                    RUNTIME_WORKER,
+                    EventKind::CtlStop,
+                    u64::from(epoch),
+                );
                 return Ok(Flow::Finished);
             }
 
@@ -828,7 +890,8 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 last_sum = sum;
                 last_change = Instant::now();
             } else if last_change.elapsed() > shared.stall_limit {
-                chaos_trace!("[p0] epoch {epoch} STALLED (table={table:?})");
+                self.recorder
+                    .instant_now(self.me.0, RUNTIME_WORKER, EventKind::Stalled, sum);
                 shared.stalled.store(true, Ordering::Release);
                 shared.done.store(true, Ordering::Release);
                 return Ok(Flow::Stalled { finished: sum });
@@ -843,6 +906,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         shared: &Arc<Shared<A>>,
         epoch: u32,
         my_slot: usize,
+        busy_before: u64,
     ) -> Result<Flow<A::Value>, EngineError> {
         let mut last_reported = u64::MAX;
         let mut last_progress = Instant::now();
@@ -867,18 +931,28 @@ impl<A: DpApp + 'static> Driver<'_, A> {
 
             match self.ctl_rx.recv_timeout(Duration::from_millis(5)) {
                 Ok((_, Wire::Stop { epoch: e })) if e == epoch => {
-                    chaos_trace!("[p{}] epoch {epoch} got Stop", self.me.0);
+                    self.recorder.instant_now(
+                        self.me.0,
+                        RUNTIME_WORKER,
+                        EventKind::CtlStop,
+                        u64::from(epoch),
+                    );
                     shared.done.store(true, Ordering::Release);
-                    self.send_snapshot(shared, epoch, my_slot)?;
+                    self.send_snapshot(shared, epoch, my_slot, busy_before)?;
                     awaiting_release = Some(Instant::now());
                 }
                 Ok((_, Wire::Abort { epoch: e, dead })) if e == epoch => {
-                    chaos_trace!("[p{}] epoch {epoch} got Abort dead={dead:?}", self.me.0);
+                    self.recorder.instant_now(
+                        self.me.0,
+                        RUNTIME_WORKER,
+                        EventKind::CtlAbort,
+                        u64::from(epoch),
+                    );
                     for d in dead {
                         self.node.liveness().mark_dead(PlaceId(d));
                     }
                     shared.fault.store(true, Ordering::Release);
-                    self.send_snapshot(shared, epoch, my_slot)?;
+                    self.send_snapshot(shared, epoch, my_slot, busy_before)?;
                     awaiting_release = Some(Instant::now());
                 }
                 Ok((
@@ -889,11 +963,21 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                         cells,
                     },
                 )) if e == epoch + 1 => {
-                    chaos_trace!("[p{}] epoch {epoch} got Resume alive={alive:?}", self.me.0);
+                    self.recorder.instant_now(
+                        self.me.0,
+                        RUNTIME_WORKER,
+                        EventKind::CtlResume,
+                        u64::from(epoch + 1),
+                    );
                     return Ok(Flow::WorkerResume { alive, cells });
                 }
                 Ok((_, Wire::Die)) => {
-                    chaos_trace!("[p{}] epoch {epoch} got Die", self.me.0);
+                    self.recorder.instant_now(
+                        self.me.0,
+                        RUNTIME_WORKER,
+                        EventKind::CtlDie,
+                        u64::from(epoch),
+                    );
                     // Planned fault: die the way a crashed process dies —
                     // no goodbye frame, so the peers must *detect* it. In
                     // soft-die mode only the sockets die (the place is a
@@ -905,7 +989,15 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     }
                     std::process::abort();
                 }
-                Ok((_, Wire::Done)) => return Ok(Flow::WorkerExit),
+                Ok((_, Wire::Done)) => {
+                    self.recorder.instant_now(
+                        self.me.0,
+                        RUNTIME_WORKER,
+                        EventKind::CtlDone,
+                        u64::from(epoch),
+                    );
+                    return Ok(Flow::WorkerExit);
+                }
                 Ok(_) | Err(_) => {}
             }
 
@@ -928,7 +1020,9 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         shared: &Arc<Shared<A>>,
         epoch: u32,
         my_slot: usize,
+        busy_before: u64,
     ) -> Result<(), EngineError> {
+        let rec_start = self.recorder.enabled().then(|| self.recorder.now_ns());
         let shard = &shared.shards[my_slot];
         let mut cells = Vec::new();
         for (li, &(i, j)) in shard.points.iter().enumerate() {
@@ -945,17 +1039,31 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             mine.net_time_ns.load(Ordering::Relaxed),
             mine.cache_hits.load(Ordering::Relaxed),
             mine.cache_misses.load(Ordering::Relaxed),
+            busy_before + shard.busy_ns.load(Ordering::Relaxed),
         ];
-        self.send_ctl(
-            PlaceId::ZERO,
-            &Wire::Snapshot {
-                epoch,
-                cells,
-                computed: shared.computed.load(Ordering::Relaxed),
-                stats,
-            },
-        )
-        .map_err(|e| EngineError::Socket(format!("snapshot delivery failed: {e}")))
+        let sent = cells.len() as u64;
+        let result = self
+            .send_ctl(
+                PlaceId::ZERO,
+                &Wire::Snapshot {
+                    epoch,
+                    cells,
+                    computed: shared.computed.load(Ordering::Relaxed),
+                    stats,
+                },
+            )
+            .map_err(|e| EngineError::Socket(format!("snapshot delivery failed: {e}")));
+        if let Some(start) = rec_start {
+            self.recorder.span(
+                self.me.0,
+                RUNTIME_WORKER,
+                EventKind::Snapshot,
+                start,
+                self.recorder.now_ns(),
+                sent,
+            );
+        }
+        result
     }
 
     /// Place 0: waits for every live peer's snapshot, folding cells into
@@ -966,9 +1074,10 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         epoch: u32,
         alive: &[PlaceId],
         arr: &mut DistArray<A::Value>,
-        peer_stats: &mut [[u64; 6]],
+        peer_stats: &mut [[u64; 7]],
         report: &mut RunReport,
     ) -> Vec<PlaceId> {
+        let rec_start = self.recorder.enabled().then(|| self.recorder.now_ns());
         // Start from every peer of the epoch, not just the currently
         // live ones: a place whose death was already detected (e.g. a
         // kill landing right at the end of the epoch, before its
@@ -1018,7 +1127,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     arr.set(id.i, id.j, v);
                 }
                 report.vertices_computed += computed;
-                if stats.len() == 6 {
+                if stats.len() >= 6 {
                     let row = &mut peer_stats[src.index()];
                     for (dst, s) in row.iter_mut().zip(stats) {
                         *dst = s;
@@ -1026,7 +1135,16 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 }
             }
         }
-        chaos_trace!("[p0] epoch {epoch} snapshots collected, lost={lost:?}");
+        if let Some(start) = rec_start {
+            self.recorder.span(
+                self.me.0,
+                RUNTIME_WORKER,
+                EventKind::Snapshot,
+                start,
+                self.recorder.now_ns(),
+                lost.len() as u64,
+            );
+        }
         lost
     }
 
@@ -1037,6 +1155,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         dead: &[PlaceId],
         report: &mut RunReport,
     ) -> DistArray<A::Value> {
+        let rec_start = self.recorder.enabled().then(|| self.recorder.now_ns());
         let (restored, rec) = recover(
             snapshot,
             dead,
@@ -1047,6 +1166,16 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         );
         report.recovery_time += rec.sim_time;
         report.recoveries.push(rec);
+        if let Some(start) = rec_start {
+            self.recorder.span(
+                self.me.0,
+                RUNTIME_WORKER,
+                EventKind::Recovery,
+                start,
+                self.recorder.now_ns(),
+                u64::from(report.epochs),
+            );
+        }
         restored
     }
 
@@ -1059,7 +1188,12 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         restored: &DistArray<A::Value>,
     ) -> Result<(), EngineError> {
         alive.retain(|p| self.node.liveness().is_alive(*p));
-        chaos_trace!("[p0] resume into epoch {} alive={alive:?}", epoch + 1);
+        self.recorder.instant_now(
+            self.me.0,
+            RUNTIME_WORKER,
+            EventKind::CtlResume,
+            u64::from(epoch + 1),
+        );
         let mut cells = Vec::new();
         let rdist = restored.dist();
         for s in 0..rdist.num_slots() {
@@ -1113,7 +1247,7 @@ mod tests {
                 epoch: 1,
                 cells: vec![(VertexId::new(0, 0).pack(), 9)],
                 computed: 5,
-                stats: vec![1, 2, 3, 4, 5, 6],
+                stats: vec![1, 2, 3, 4, 5, 6, 7],
             },
             Wire::Resume {
                 epoch: 2,

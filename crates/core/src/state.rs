@@ -68,6 +68,10 @@ pub struct Shard<V> {
     pub finished_local: AtomicU64,
     /// Number of DAG vertices owned by this shard.
     pub total_local: u64,
+    /// Nanoseconds this shard's workers spent inside `compute` (summed
+    /// across threads); feeds `RunReport::place_busy` on the real
+    /// backends.
+    pub busy_ns: AtomicU64,
 }
 
 impl<V: VertexValue> Shard<V> {
@@ -125,6 +129,7 @@ pub fn build_shards<V: VertexValue>(
                 pending: Mutex::new(Pending::default()),
                 finished_local: AtomicU64::new(0),
                 total_local: 0,
+                busy_ns: AtomicU64::new(0),
             };
             for (li, (i, j)) in dist.iter_slot(slot).enumerate() {
                 shard.points.push((i, j));

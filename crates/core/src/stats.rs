@@ -26,8 +26,10 @@ pub struct RunReport {
     pub recovery_time: Duration,
     /// Number of epochs (1 + number of faults survived).
     pub epochs: u32,
-    /// Per-place busy time (worker-seconds of compute), simulator runs
-    /// only; indexed by the final epoch's slot order.
+    /// Per-place busy time (worker-seconds of compute), populated by
+    /// every backend — virtual time on the simulator, measured wall
+    /// time on the threaded and socket engines; indexed by the final
+    /// epoch's slot order.
     pub place_busy: Vec<Duration>,
 }
 
@@ -39,7 +41,8 @@ impl RunReport {
 
     /// Mean worker utilisation of a simulated run: total busy time over
     /// `places × workers × makespan`. `None` when the run recorded no
-    /// busy time (threaded engine) or no makespan.
+    /// busy time or no makespan (real-time backends have no virtual
+    /// makespan, so this stays simulator-only).
     pub fn utilization(&self, workers_per_place: u16) -> Option<f64> {
         if self.place_busy.is_empty() || self.sim_time.is_zero() {
             return None;

@@ -6,6 +6,7 @@ use std::time::Duration;
 use dpx10_apgas::{ChaosPlan, KillTrigger, PlaceId, SocketChaos, SocketConfig};
 use dpx10_core::{DagResult, EngineConfig, FaultPlan, RunReport, SocketEngine, ThreadedEngine};
 use dpx10_dag::topological_order;
+use dpx10_obs::{oracle as trace_oracle, Recorder, Trace};
 use dpx10_sim::{SimConfig, SimEngine, SimFaultPlan};
 
 use crate::app::{oracle, MixApp};
@@ -165,6 +166,19 @@ fn check_recovery(
     Ok(())
 }
 
+/// The flight-recorder oracle: spans must nest per worker track and the
+/// recovery-span count must match the report. Only judged on complete
+/// traces — a ring that dropped events can legitimately miss a span.
+fn check_trace(backend: &'static str, trace: &Trace, report: &RunReport) -> Result<(), Failure> {
+    if trace.dropped > 0 {
+        return Ok(());
+    }
+    trace_oracle::check_span_nesting(&trace.events)
+        .map_err(|e| fail(backend, format!("trace oracle: {e}")))?;
+    trace_oracle::check_recovery_count(&trace.events, report.recoveries.len())
+        .map_err(|e| fail(backend, format!("trace oracle: {e}")))
+}
+
 /// The first progress-triggered kill, as the legacy single-fault plans
 /// the simulator understands.
 fn first_progress_kill(plan: &ChaosPlan) -> Option<(PlaceId, f64)> {
@@ -190,12 +204,17 @@ fn check_sim(
             after_fraction: frac,
         });
     }
-    let engine = SimEngine::new(MixApp, sc.pattern.clone(), config);
+    let recorder = Recorder::new(sc.places as usize);
+    let engine = SimEngine::new(MixApp, sc.pattern.clone(), config).with_recorder(recorder.clone());
     let (result, trace) = engine
         .run_traced(trace_capacity.max(1))
         .map_err(|e| fail("sim", format!("run failed: {e}")))?;
+    // Drain before the fingerprint rerun so its duplicate events don't
+    // pollute the recorded timeline.
+    let recorded = recorder.drain();
     check_values("sim", sc, expect, &result)?;
     check_recovery("sim", plan, result.report(), u64::from(sc.places))?;
+    check_trace("sim", &recorded, result.report())?;
     // The virtual clock makes the whole schedule deterministic: a
     // second run must replay the exact same event trace.
     let (_, trace2) = engine
@@ -230,11 +249,15 @@ fn check_threads(
     expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
 ) -> Result<(), Failure> {
     let config = engine_config(sc, plan);
+    let recorder = Recorder::new(sc.places as usize);
     let result = ThreadedEngine::new(MixApp, sc.pattern.clone(), config)
+        .with_recorder(recorder.clone())
         .run()
         .map_err(|e| fail("threads", format!("run failed: {e}")))?;
+    let recorded = recorder.drain();
     check_values("threads", sc, expect, &result)?;
-    check_recovery("threads", plan, result.report(), u64::from(sc.places))
+    check_recovery("threads", plan, result.report(), u64::from(sc.places))?;
+    check_trace("threads", &recorded, result.report())
 }
 
 fn check_sockets(
@@ -372,6 +395,33 @@ pub fn run_seed(seed: u64, opts: &ChaosOptions) -> SeedReport {
         plan: sc.plan,
         failure,
     }
+}
+
+/// Re-runs a failing seed's scenario on the simulator with a flight
+/// recorder attached and writes the resulting Chrome trace next to the
+/// temp dir, returning the path. The run's outcome is irrelevant here —
+/// whatever events were recorded before a failure are exactly what a
+/// human debugging the seed wants to look at.
+pub fn write_failure_trace(seed: u64) -> Option<std::path::PathBuf> {
+    let sc = Scenario::generate(seed);
+    let mut config = SimConfig::flat(sc.places)
+        .with_dist(sc.dist.clone())
+        .with_schedule(sc.schedule)
+        .with_cache(sc.cache);
+    if let Some((place, frac)) = first_progress_kill(&sc.plan) {
+        config = config.with_fault(SimFaultPlan {
+            place,
+            after_fraction: frac,
+        });
+    }
+    let recorder = Recorder::new(sc.places as usize);
+    let _ = SimEngine::new(MixApp, sc.pattern.clone(), config)
+        .with_recorder(recorder.clone())
+        .run();
+    let trace = recorder.drain();
+    let path = std::env::temp_dir().join(format!("dpx10-chaos-{seed:016x}.trace.json"));
+    dpx10_obs::chrome::write(&path, &trace).ok()?;
+    Some(path)
 }
 
 /// The legacy single-fault plan equivalent of a chaos kill — used by

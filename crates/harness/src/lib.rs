@@ -34,5 +34,5 @@ pub mod diff;
 pub mod scenario;
 
 pub use app::{oracle, MixApp};
-pub use diff::{run_seed, shrink_failure, ChaosOptions, Failure, SeedReport};
+pub use diff::{run_seed, shrink_failure, write_failure_trace, ChaosOptions, Failure, SeedReport};
 pub use scenario::{RandomWindowDag, Scenario};

@@ -47,3 +47,15 @@ fn seed_reports_render_bit_for_bit_identically() {
         assert_eq!(a, b, "seed {seed} must reproduce exactly");
     }
 }
+
+#[test]
+fn failure_trace_is_written_and_parses() {
+    // Any seed works: the writer records whatever the scenario does,
+    // pass or fail, and must always produce a valid Chrome trace.
+    let path = dpx10_harness::write_failure_trace(5).expect("trace written");
+    let json = std::fs::read_to_string(&path).expect("trace readable");
+    let events = dpx10_obs::chrome::parse(&json).expect("trace parses");
+    assert!(!events.is_empty());
+    dpx10_obs::chrome::check_nesting(&events).expect("spans nest");
+    let _ = std::fs::remove_file(&path);
+}

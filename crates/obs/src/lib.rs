@@ -1,0 +1,39 @@
+//! Flight-recorder observability for DPX10.
+//!
+//! The paper's evaluation is timing-and-communication evidence; this
+//! crate is how the reproduction produces the same kind of evidence
+//! from its own runs. It provides:
+//!
+//! - an [`Event`] model shared by every backend — spans (vertex
+//!   compute, snapshot, recovery) and instants (ready-list pops, cache
+//!   hits/misses, pull round-trips, frames on the wire, control
+//!   protocol), stamped in nanoseconds on whichever clock the producer
+//!   has (monotonic for real engines, the virtual clock for the
+//!   simulator);
+//! - a wait-free bounded [`ring`] per place with drop accounting, so
+//!   recording never blocks the hot path and lost history is reported,
+//!   not silent;
+//! - a [`Recorder`] handle that is off by default (a disabled recorder
+//!   is one branch per call site);
+//! - a [`metrics`] [`Registry`] (counters, gauges, nanosecond
+//!   histograms) with Prometheus text export;
+//! - exporters: [`chrome`] `trace_event` JSON (loads in
+//!   `chrome://tracing` / Perfetto, with a validating parser for CI),
+//!   and a per-place phase [`summary`];
+//! - trace-backed [`oracle`] checks (span nesting, recovery counts)
+//!   for the chaos harness.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod oracle;
+pub mod recorder;
+pub mod ring;
+pub mod summary;
+
+pub use event::{Event, EventKind, RUNTIME_WORKER};
+pub use metrics::{Counter, Gauge, HistogramNs, Registry};
+pub use recorder::{Recorder, Trace, DEFAULT_CAPACITY};
+pub use ring::Ring;

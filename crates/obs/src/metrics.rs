@@ -1,0 +1,289 @@
+//! A small metrics registry with Prometheus text export.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`HistogramNs`]) are cheap atomics
+//! that callers clone and bump from anywhere; the [`Registry`] only
+//! takes its lock at registration and render time, never on the update
+//! path. Rendering is deterministic: families sort by name, series by
+//! label value, so diffs of two exports are meaningful.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64`.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Exponential nanosecond bucket upper bounds: 1µs, 4µs, … ~1.07s.
+/// Covers a fast vertex compute up to a slow recovery pass.
+pub const NS_BUCKETS: [u64; 11] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_073_741_824,
+];
+
+/// A histogram of durations in nanoseconds over [`NS_BUCKETS`].
+#[derive(Clone, Debug)]
+pub struct HistogramNs {
+    counts: Arc<[AtomicU64; NS_BUCKETS.len() + 1]>,
+    sum: Arc<AtomicU64>,
+}
+
+impl Default for HistogramNs {
+    fn default() -> HistogramNs {
+        HistogramNs {
+            counts: Arc::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            sum: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl HistogramNs {
+    /// Records one duration.
+    pub fn observe(&self, ns: u64) {
+        let idx = NS_BUCKETS
+            .iter()
+            .position(|&b| ns <= b)
+            .unwrap_or(NS_BUCKETS.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed durations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(HistogramNs),
+}
+
+struct Family {
+    help: String,
+    /// Rendered label string (e.g. `place="0"`) → the series.
+    series: BTreeMap<String, Metric>,
+}
+
+/// A registry of named metric families. Clone freely; all clones share
+/// the same families.
+#[derive(Clone, Default)]
+pub struct Registry {
+    families: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+fn label_key(labels: &[(&str, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn series(&self, name: &str, help: &str, labels: &[(&str, String)], fresh: Metric) -> Metric {
+        let mut fams = self.families.lock().unwrap();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        match fam.series.entry(label_key(labels)).or_insert(fresh) {
+            Metric::Counter(c) => Metric::Counter(c.clone()),
+            Metric::Gauge(g) => Metric::Gauge(g.clone()),
+            Metric::Histogram(h) => Metric::Histogram(h.clone()),
+        }
+    }
+
+    /// Registers (or finds) a counter series. Panics if `name` was
+    /// registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, String)]) -> Counter {
+        match self.series(name, help, labels, Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Registers (or finds) a gauge series. Panics if `name` was
+    /// registered as a different metric type.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, String)]) -> Gauge {
+        match self.series(name, help, labels, Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Registers (or finds) a nanosecond histogram series. Panics if
+    /// `name` was registered as a different metric type.
+    pub fn histogram_ns(&self, name: &str, help: &str, labels: &[(&str, String)]) -> HistogramNs {
+        match self.series(
+            name,
+            help,
+            labels,
+            Metric::Histogram(HistogramNs::default()),
+        ) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format, deterministically ordered.
+    pub fn render_prometheus(&self) -> String {
+        let fams = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, fam) in fams.iter() {
+            let kind = match fam.series.values().next() {
+                Some(Metric::Counter(_)) => "counter",
+                Some(Metric::Gauge(_)) => "gauge",
+                Some(Metric::Histogram(_)) => "histogram",
+                None => continue,
+            };
+            out.push_str(&format!("# HELP {name} {}\n", fam.help));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (labels, metric) in fam.series.iter() {
+                let braced = |extra: &str| -> String {
+                    match (labels.is_empty(), extra.is_empty()) {
+                        (true, true) => String::new(),
+                        (true, false) => format!("{{{extra}}}"),
+                        (false, true) => format!("{{{labels}}}"),
+                        (false, false) => format!("{{{labels},{extra}}}"),
+                    }
+                };
+                match metric {
+                    Metric::Counter(c) => {
+                        out.push_str(&format!("{name}{} {}\n", braced(""), c.get()));
+                    }
+                    Metric::Gauge(g) => {
+                        out.push_str(&format!("{name}{} {}\n", braced(""), g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (i, bound) in NS_BUCKETS.iter().enumerate() {
+                            cumulative += h.counts[i].load(Ordering::Relaxed);
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cumulative}\n",
+                                braced(&format!("le=\"{bound}\""))
+                            ));
+                        }
+                        cumulative += h.counts[NS_BUCKETS.len()].load(Ordering::Relaxed);
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cumulative}\n",
+                            braced("le=\"+Inf\"")
+                        ));
+                        out.push_str(&format!("{name}_sum{} {}\n", braced(""), h.sum_ns()));
+                        out.push_str(&format!("{name}_count{} {cumulative}\n", braced("")));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let reg = Registry::new();
+        let c = reg.counter("dpx10_vertices_total", "vertices", &[]);
+        c.add(41);
+        c.inc();
+        let g = reg.gauge("dpx10_wall_seconds", "wall", &[]);
+        g.set(1.5);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE dpx10_vertices_total counter"));
+        assert!(text.contains("dpx10_vertices_total 42\n"));
+        assert!(text.contains("# TYPE dpx10_wall_seconds gauge"));
+        assert!(text.contains("dpx10_wall_seconds 1.5\n"));
+    }
+
+    #[test]
+    fn registering_twice_returns_same_series() {
+        let reg = Registry::new();
+        reg.counter("c", "h", &[]).add(1);
+        reg.counter("c", "h", &[]).add(2);
+        assert!(reg.render_prometheus().contains("c 3\n"));
+    }
+
+    #[test]
+    fn labeled_series_sort_deterministically() {
+        let reg = Registry::new();
+        reg.counter("hits", "h", &[("place", "1".into())]).add(1);
+        reg.counter("hits", "h", &[("place", "0".into())]).add(2);
+        let text = reg.render_prometheus();
+        let p0 = text.find("hits{place=\"0\"} 2").unwrap();
+        let p1 = text.find("hits{place=\"1\"} 1").unwrap();
+        assert!(p0 < p1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram_ns("compute_ns", "compute", &[]);
+        h.observe(500); // le 1000
+        h.observe(2_000); // le 4000
+        h.observe(10_000_000_000); // +Inf overflow
+        let text = reg.render_prometheus();
+        assert!(text.contains("compute_ns_bucket{le=\"1000\"} 1\n"));
+        assert!(text.contains("compute_ns_bucket{le=\"4000\"} 2\n"));
+        assert!(text.contains("compute_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("compute_ns_count 3\n"));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 10_000_002_500);
+    }
+}

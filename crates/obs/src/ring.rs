@@ -1,0 +1,170 @@
+//! Lock-free bounded event rings.
+//!
+//! One [`Ring`] per place. Writers are the place's worker threads plus
+//! the runtime threads (transport writers/readers, the driver); any
+//! number may push concurrently. A push is one `fetch_add` to claim a
+//! slot plus five relaxed/release stores — it never blocks, never
+//! allocates, and never spins. When the ring is full, new events
+//! overwrite the oldest (the recorder keeps the *latest* window) and
+//! the overwritten ones are counted as dropped, so exporters can state
+//! exactly how much history was lost.
+//!
+//! Draining is a read-only scan done at quiesce time (end of run),
+//! when writers have stopped. A slot is live iff its sequence word
+//! equals the claim that last wrote it; a slot caught mid-write (seq
+//! zeroed or stale) reads as dropped rather than as a torn event.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::Event;
+
+/// The number of `u64` payload words per slot (see [`Event::to_words`]).
+const WORDS: usize = 4;
+
+struct Slot {
+    /// 0 while a write is in flight; `claim + 1` once the payload for
+    /// ring claim `claim` is fully published.
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// A multi-producer bounded ring of [`Event`]s with drop accounting.
+pub struct Ring {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Total claims ever made; `head % capacity` is the next slot.
+    head: AtomicU64,
+}
+
+impl Ring {
+    /// Creates a ring holding `capacity` events, rounded up to a power
+    /// of two (minimum 8).
+    pub fn new(capacity: usize) -> Ring {
+        let cap = capacity.next_power_of_two().max(8);
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::new()).collect();
+        Ring {
+            slots: slots.into_boxed_slice(),
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of event slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one event. Wait-free: one atomic claim, then plain
+    /// stores into the claimed slot.
+    pub fn push(&self, ev: Event) {
+        let claim = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(claim & self.mask) as usize];
+        // Invalidate first so a concurrent drain of a lapped slot sees
+        // "in flight", not a hybrid of old and new payload words.
+        slot.seq.store(0, Ordering::Release);
+        let words = ev.to_words();
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        // claim + 1 so a fully-published claim 0 is distinct from the
+        // in-flight marker.
+        slot.seq.store(claim + 1, Ordering::Release);
+    }
+
+    /// Total events ever pushed (including ones later overwritten).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Reads out the surviving window of events, oldest first, plus the
+    /// count of events lost to wrap-around or torn by in-flight writes.
+    /// Intended for quiesce time; concurrent pushes are safe but land
+    /// in `dropped`, never as corrupt events.
+    pub fn drain(&self) -> (Vec<Event>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let live = head.min(cap);
+        let mut out = Vec::with_capacity(live as usize);
+        for claim in (head - live)..head {
+            let slot = &self.slots[(claim & self.mask) as usize];
+            if slot.seq.load(Ordering::Acquire) != claim + 1 {
+                continue; // lapped or mid-write: counted as dropped below
+            }
+            let mut words = [0u64; WORDS];
+            for (v, w) in words.iter_mut().zip(slot.words.iter()) {
+                *v = w.load(Ordering::Relaxed);
+            }
+            // Re-check: if a writer lapped us between the seq read and
+            // the payload reads, the words may be torn — discard.
+            if slot.seq.load(Ordering::Acquire) != claim + 1 {
+                continue;
+            }
+            if let Some(ev) = Event::from_words(words) {
+                out.push(ev);
+            }
+        }
+        let dropped = head - out.len() as u64;
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(i: u64) -> Event {
+        Event {
+            ts_ns: i,
+            dur_ns: 0,
+            place: 0,
+            worker: 0,
+            kind: EventKind::ReadyPop,
+            arg: i,
+        }
+    }
+
+    #[test]
+    fn keeps_latest_window_and_counts_drops() {
+        let ring = Ring::new(8);
+        for i in 0..20 {
+            ring.push(ev(i));
+        }
+        let (events, dropped) = ring.drain();
+        assert_eq!(events.len(), 8);
+        assert_eq!(dropped, 12);
+        let args: Vec<u64> = events.iter().map(|e| e.arg).collect();
+        assert_eq!(args, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let ring = Ring::new(16);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        let (events, dropped) = ring.drain();
+        assert_eq!(events.len(), 5);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(Ring::new(1000).capacity(), 1024);
+        assert_eq!(Ring::new(1).capacity(), 8);
+    }
+}

@@ -1,0 +1,95 @@
+//! Satellite: property test that Chrome-trace JSON serialization
+//! round-trips — random events render to JSON, parse back, and match
+//! on every exported field.
+
+use proptest::prelude::*;
+
+use dpx10_obs::chrome;
+use dpx10_obs::{Event, EventKind, Trace};
+
+fn kind_of(sel: u8) -> EventKind {
+    EventKind::ALL[sel as usize % EventKind::ALL.len()]
+}
+
+proptest! {
+    #[test]
+    fn render_parse_round_trip(
+        raw in proptest::collection::vec(
+            ((any::<u32>(), 0u32..1_000_000), (0u16..8, 0u16..16), (any::<u8>(), any::<u64>())),
+            0..64,
+        )
+    ) {
+        let events: Vec<Event> = raw
+            .iter()
+            .map(|&((ts, dur), (place, worker), (sel, arg))| {
+                let kind = kind_of(sel);
+                Event {
+                    ts_ns: u64::from(ts),
+                    dur_ns: if kind.is_span() { u64::from(dur) } else { 0 },
+                    place,
+                    worker,
+                    kind,
+                    arg,
+                }
+            })
+            .collect();
+        let trace = Trace { events: events.clone(), dropped: 0 };
+
+        let json = chrome::render(&trace);
+        let parsed = chrome::parse(&json).unwrap();
+
+        let body: Vec<_> = parsed.iter().filter(|e| e.ph != "M").collect();
+        prop_assert_eq!(body.len(), events.len());
+        for (orig, got) in events.iter().zip(body) {
+            prop_assert_eq!(got.name.as_str(), orig.kind.name());
+            prop_assert_eq!(got.kind(), Some(orig.kind));
+            prop_assert_eq!(got.ph.as_str(), if orig.kind.is_span() { "X" } else { "i" });
+            prop_assert_eq!(got.ts_ns, orig.ts_ns);
+            prop_assert_eq!(got.dur_ns, orig.dur_ns);
+            prop_assert_eq!(got.pid, orig.place);
+            prop_assert_eq!(got.tid, orig.worker);
+        }
+
+        // One process_name metadata record per distinct place.
+        let distinct_places = events
+            .iter()
+            .map(|e| e.place)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        prop_assert_eq!(parsed.len() - body_len(&parsed), distinct_places);
+    }
+}
+
+fn body_len(parsed: &[chrome::ChromeEvent]) -> usize {
+    parsed.iter().filter(|e| e.ph != "M").count()
+}
+
+proptest! {
+    #[test]
+    fn nesting_check_accepts_recorder_shaped_traces(
+        spans in proptest::collection::vec((0u64..1_000, 1u64..50, 0u16..4), 0..32)
+    ) {
+        // Serialize spans per track so they are disjoint by construction,
+        // mimicking what a correct engine records.
+        let mut cursor = std::collections::BTreeMap::new();
+        let events: Vec<Event> = spans
+            .iter()
+            .map(|&(gap, dur, worker)| {
+                let t = cursor.entry(worker).or_insert(0u64);
+                let start = *t + gap;
+                *t = start + dur;
+                Event {
+                    ts_ns: start,
+                    dur_ns: dur,
+                    place: 0,
+                    worker,
+                    kind: EventKind::VertexCompute,
+                    arg: 0,
+                }
+            })
+            .collect();
+        let trace = Trace { events, dropped: 0 };
+        let parsed = chrome::parse(&chrome::render(&trace)).unwrap();
+        prop_assert!(chrome::check_nesting(&parsed).is_ok());
+    }
+}

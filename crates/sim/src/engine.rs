@@ -20,6 +20,7 @@ use dpx10_core::{
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, Region2D};
+use dpx10_obs::{EventKind, Recorder, RUNTIME_WORKER};
 
 use crate::cost::SimConfig;
 use crate::event::{EventQueue, SimTime};
@@ -32,17 +33,25 @@ pub struct SimEngine<A: DpApp> {
     pattern: Arc<dyn DagPattern>,
     config: SimConfig,
     init: Option<InitOverride<A::Value>>,
+    recorder: Recorder,
 }
 
 enum Ev<V> {
-    /// A locally dispatched vertex finishes computing.
-    Done { slot: usize, li: u32, value: V },
-    /// A remotely shipped vertex finishes computing at `slot`.
+    /// A locally dispatched vertex finishes computing on worker `tid`.
+    Done {
+        slot: usize,
+        li: u32,
+        value: V,
+        tid: u16,
+    },
+    /// A remotely shipped vertex finishes computing at `slot`, worker
+    /// `tid`.
     ExecDone {
         slot: usize,
         owner: PlaceId,
         id: VertexId,
         value: V,
+        tid: u16,
     },
     /// A message arrives at `dst`.
     Arrive {
@@ -82,6 +91,12 @@ struct Epoch<V> {
     busy_ns: Vec<u64>,
     /// Optional event trace.
     trace: Option<TraceBuffer>,
+    /// Flight recorder (virtual-clock timestamps, shared schema with the
+    /// real backends).
+    rec: Recorder,
+    /// Free worker ids per slot, so concurrent virtual workers land on
+    /// distinct timeline tracks. Leased at dispatch, returned on `Done`.
+    free_tids: Vec<Vec<u16>>,
 }
 
 impl<A: DpApp + 'static> SimEngine<A> {
@@ -92,12 +107,20 @@ impl<A: DpApp + 'static> SimEngine<A> {
             pattern: Arc::new(pattern),
             config,
             init: None,
+            recorder: Recorder::disabled(),
         }
     }
 
     /// Installs a §VI-E initialisation override.
     pub fn with_init(mut self, init: InitOverride<A::Value>) -> Self {
         self.init = Some(init);
+        self
+    }
+
+    /// Attaches a flight recorder. Simulated runs stamp events with the
+    /// *virtual* clock, so exported timelines show simulated time.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -196,7 +219,18 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 last_publish: base,
                 busy_ns: vec![0; nslots],
                 trace: full_trace.take(),
+                rec: self.recorder.clone(),
+                free_tids: (0..nslots)
+                    .map(|_| (0..self.config.topology.threads_per_place).rev().collect())
+                    .collect(),
             };
+            self.recorder.instant(
+                0,
+                RUNTIME_WORKER,
+                EventKind::EpochStart,
+                base,
+                u64::from(report.epochs - 1),
+            );
 
             if prefinished == total {
                 full_trace = ep.trace.take();
@@ -227,8 +261,14 @@ impl<A: DpApp + 'static> SimEngine<A> {
                     break EpochEnd::Stalled;
                 };
                 match ev {
-                    Ev::Done { slot, li, value } => {
+                    Ev::Done {
+                        slot,
+                        li,
+                        value,
+                        tid,
+                    } => {
                         ep.busy[slot] -= 1;
+                        ep.free_tids[slot].push(tid);
                         let (i, j) = ep.shards[slot].points[li as usize];
                         self.publish(&mut ep, slot, li, VertexId::new(i, j), value, t, threshold);
                         self.dispatch(&mut ep, slot, t, threshold);
@@ -238,8 +278,10 @@ impl<A: DpApp + 'static> SimEngine<A> {
                         owner,
                         id,
                         value,
+                        tid,
                     } => {
                         ep.busy[slot] -= 1;
+                        ep.free_tids[slot].push(tid);
                         let src = ep.dist.places()[slot];
                         self.send(&mut ep, t, src, owner, Msg::ExecResult { id, value });
                         self.dispatch(&mut ep, slot, t, threshold);
@@ -290,6 +332,21 @@ impl<A: DpApp + 'static> SimEngine<A> {
                         &self.config.cost.recovery,
                     );
                     base = fault_time + rec.sim_time.as_nanos() as SimTime;
+                    self.recorder.instant(
+                        victim.0,
+                        RUNTIME_WORKER,
+                        EventKind::Fault,
+                        fault_time,
+                        u64::from(report.epochs - 1),
+                    );
+                    self.recorder.span(
+                        0,
+                        RUNTIME_WORKER,
+                        EventKind::Recovery,
+                        fault_time,
+                        base,
+                        u64::from(report.epochs - 1),
+                    );
                     if let Some(buf) = &mut full_trace {
                         buf.record(TraceEvent {
                             at: Duration::from_nanos(fault_time),
@@ -365,6 +422,8 @@ impl<A: DpApp + 'static> SimEngine<A> {
             ep.msgs += 1;
             ep.bytes += bytes as u64;
             ep.net_time += cost;
+            ep.rec
+                .instant(src.0, RUNTIME_WORKER, EventKind::MsgSend, t, bytes as u64);
             trace_event(
                 ep,
                 t,
@@ -406,6 +465,9 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 let owner = ep.dist.place_of(id.i, id.j);
                 ep.busy[slot] += 1;
                 ep.busy_ns[slot] += step;
+                let tid = ep.free_tids[slot].pop().unwrap_or(0);
+                ep.rec
+                    .span(me.0, tid, EventKind::VertexCompute, t, t + step, id.pack());
                 ep.queue.push(
                     t + step,
                     Ev::ExecDone {
@@ -413,6 +475,7 @@ impl<A: DpApp + 'static> SimEngine<A> {
                         owner,
                         id,
                         value,
+                        tid,
                     },
                 );
                 continue;
@@ -465,8 +528,19 @@ impl<A: DpApp + 'static> SimEngine<A> {
             let value = self.app.compute(id, &view);
             ep.busy[slot] += 1;
             ep.busy_ns[slot] += step;
+            let tid = ep.free_tids[slot].pop().unwrap_or(0);
+            ep.rec
+                .span(me.0, tid, EventKind::VertexCompute, t, t + step, id.pack());
             trace_event(ep, t, me, Some(id), TraceKind::Dispatch);
-            ep.queue.push(t + step, Ev::Done { slot, li, value });
+            ep.queue.push(
+                t + step,
+                Ev::Done {
+                    slot,
+                    li,
+                    value,
+                    tid,
+                },
+            );
         }
         let _ = threshold;
     }
@@ -495,6 +569,8 @@ impl<A: DpApp + 'static> SimEngine<A> {
                     vals.push(Some(shard.value(dli).clone()));
                 } else if let Some(v) = cache.get(d.pack()) {
                     ep.cache_hits += 1;
+                    ep.rec
+                        .instant(me.0, RUNTIME_WORKER, EventKind::CacheHit, t, d.pack());
                     vals.push(Some(v.clone()));
                 } else {
                     vals.push(None);
@@ -547,6 +623,10 @@ impl<A: DpApp + 'static> SimEngine<A> {
         }
         for d in &to_pull {
             ep.cache_misses += 1;
+            ep.rec
+                .instant(me.0, RUNTIME_WORKER, EventKind::CacheMiss, t, d.pack());
+            ep.rec
+                .instant(me.0, RUNTIME_WORKER, EventKind::PullIssue, t, d.pack());
             let owner = ep.dist.place_of(d.i, d.j);
             self.send(ep, t, me, owner, Msg::Pull { id: *d });
         }
@@ -639,6 +719,8 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 self.send(ep, t, me, src, Msg::PullVal { id, value });
             }
             Msg::PullVal { id, value } => {
+                ep.rec
+                    .instant(me.0, RUNTIME_WORKER, EventKind::PullFill, t, id.pack());
                 let mut refill: Vec<u32> = Vec::new();
                 let shard = &ep.shards[slot];
                 shard.cache.lock().insert(id.pack(), value.clone());
