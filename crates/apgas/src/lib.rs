@@ -39,6 +39,7 @@
 
 pub mod activity;
 pub mod chaos;
+pub mod coalesce;
 pub mod codec;
 pub mod collective;
 pub mod fault;
@@ -55,6 +56,7 @@ pub use chaos::{
     ChaosCounters, ChaosPlan, ChaosRng, ChaosTransport, HeartbeatFlap, KillSpec, KillTrigger,
     NetChaos,
 };
+pub use coalesce::{CoalesceConfig, Coalescible, CoalescingTransport};
 pub use codec::Codec;
 pub use fault::{DeadPlaceError, LivenessBoard};
 pub use mailbox::{Mailbox, MailboxSender};

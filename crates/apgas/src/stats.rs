@@ -27,6 +27,10 @@ pub struct PlaceStats {
     pub cache_hits: AtomicU64,
     /// Remote-value cache misses that forced a pull round-trip.
     pub cache_misses: AtomicU64,
+    /// Coalesced batches flushed to the transport from this place.
+    pub batches_sent: AtomicU64,
+    /// Individual protocol messages carried inside those batches.
+    pub batched_msgs: AtomicU64,
 }
 
 impl PlaceStats {
@@ -55,6 +59,14 @@ impl PlaceStats {
     #[inline]
     pub fn on_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one flushed coalescing batch carrying `entries` messages.
+    #[inline]
+    pub fn on_batch(&self, entries: usize) {
+        self.batches_sent.fetch_add(1, Ordering::Relaxed);
+        self.batched_msgs
+            .fetch_add(entries as u64, Ordering::Relaxed);
     }
 }
 
@@ -87,6 +99,8 @@ impl StatsBoard {
             s.net_time += Duration::from_nanos(p.net_time_ns.load(Ordering::Relaxed));
             s.cache_hits += p.cache_hits.load(Ordering::Relaxed);
             s.cache_misses += p.cache_misses.load(Ordering::Relaxed);
+            s.batches_sent += p.batches_sent.load(Ordering::Relaxed);
+            s.batched_msgs += p.batched_msgs.load(Ordering::Relaxed);
         }
         s
     }
@@ -107,6 +121,10 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Remote-value cache misses.
     pub cache_misses: u64,
+    /// Coalesced batches flushed to the transport.
+    pub batches_sent: u64,
+    /// Individual protocol messages carried inside those batches.
+    pub batched_msgs: u64,
 }
 
 impl StatsSnapshot {
@@ -145,6 +163,16 @@ mod tests {
         board.place(PlaceId(0)).on_cache_miss();
         let rate = board.snapshot().cache_hit_rate().unwrap();
         assert!((rate - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_counters_aggregate() {
+        let board = StatsBoard::new(2);
+        board.place(PlaceId(0)).on_batch(3);
+        board.place(PlaceId(1)).on_batch(5);
+        let snap = board.snapshot();
+        assert_eq!(snap.batches_sent, 2);
+        assert_eq!(snap.batched_msgs, 8);
     }
 
     #[test]

@@ -54,6 +54,14 @@ pub trait Transport<M: Send>: Send + Sync {
     /// Blocking receive on `at`'s inbox; `None` on timeout.
     fn recv_timeout(&self, at: PlaceId, timeout: Duration) -> Option<Envelope<M>>;
 
+    /// Pushes any buffered outbound traffic of `at` to the wire. Only
+    /// aggregating layers ([`crate::coalesce::CoalescingTransport`]) hold
+    /// traffic back, so the default is a no-op. Engines call this when a
+    /// worker goes idle and before snapshot barriers.
+    fn flush(&self, at: PlaceId) {
+        let _ = at;
+    }
+
     /// Tears the transport down (flush, close connections). Idempotent;
     /// the default does nothing, which is right for in-process channels.
     fn shutdown(&self) {}

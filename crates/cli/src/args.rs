@@ -103,6 +103,8 @@ pub struct RunArgs {
     pub trace_out: Option<String>,
     /// Write Prometheus text-format metrics here (all engines).
     pub metrics_out: Option<String>,
+    /// Message-coalescing byte budget (`None` = off, the default).
+    pub coalesce: Option<usize>,
 }
 
 impl Default for RunArgs {
@@ -122,6 +124,7 @@ impl Default for RunArgs {
             timeline: false,
             trace_out: None,
             metrics_out: None,
+            coalesce: None,
         }
     }
 }
@@ -139,6 +142,9 @@ pub struct ChaosArgs {
     pub sockets: bool,
     /// Shrink failing plans to minimal counterexamples.
     pub shrink: bool,
+    /// Run the whole suite with message coalescing at this byte budget
+    /// (`None` = the classic one-message-per-event plane).
+    pub coalesce: Option<usize>,
 }
 
 impl Default for ChaosArgs {
@@ -149,6 +155,35 @@ impl Default for ChaosArgs {
             count: 16,
             sockets: true,
             shrink: true,
+            coalesce: None,
+        }
+    }
+}
+
+/// A parsed `dpx10 bench` invocation: the comms-plane baseline, one run
+/// with coalescing off and one with it on, written as JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchArgs {
+    /// Problem scale as a vertex count.
+    pub vertices: u64,
+    /// Socket-mesh places.
+    pub places: u16,
+    /// Byte budget of the coalescing-on run.
+    pub coalesce: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Output JSON path.
+    pub out: String,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            vertices: 250_000,
+            places: 3,
+            coalesce: 4096,
+            seed: 1,
+            out: "BENCH_comms.json".into(),
         }
     }
 }
@@ -160,6 +195,8 @@ pub enum Command {
     Run(Box<RunArgs>),
     /// `dpx10 chaos [...]`.
     Chaos(ChaosArgs),
+    /// `dpx10 bench [...]`.
+    Bench(BenchArgs),
     /// `dpx10 apps`.
     Apps,
     /// `dpx10 patterns [--size HxW]`.
@@ -203,6 +240,20 @@ fn parse_seed(s: &str) -> Result<u64, ParseError> {
         None => s.parse(),
     };
     parsed.map_err(|_| ParseError(format!("bad seed {s}")))
+}
+
+/// Parses a `--coalesce` value: a byte budget, or `off`/`0` for the
+/// classic one-message-per-event comms plane.
+fn parse_coalesce(v: &str) -> Result<Option<usize>, ParseError> {
+    if v == "off" {
+        return Ok(None);
+    }
+    let n: usize = v.parse().map_err(|_| {
+        ParseError(format!(
+            "bad --coalesce {v}, expected a byte budget or `off`"
+        ))
+    })?;
+    Ok((n > 0).then_some(n))
 }
 
 /// Parses a full argument list (without the program name).
@@ -267,6 +318,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     }
                     "--no-sockets" => chaos.sockets = false,
                     "--no-shrink" => chaos.shrink = false,
+                    "--coalesce" => chaos.coalesce = parse_coalesce(&value("--coalesce")?)?,
                     other => return err(format!("unknown chaos flag {other}")),
                 }
             }
@@ -274,6 +326,41 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 return err("--count must be at least 1");
             }
             Ok(Command::Chaos(chaos))
+        }
+        Some("bench") => {
+            let mut bench = BenchArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .map(str::to_string)
+                        .ok_or(ParseError(format!("{name} needs a value")))
+                };
+                match flag {
+                    "--vertices" => {
+                        bench.vertices = value("--vertices")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --vertices".into()))?
+                    }
+                    "--places" => {
+                        bench.places = value("--places")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --places".into()))?
+                    }
+                    "--coalesce" => {
+                        bench.coalesce = match parse_coalesce(&value("--coalesce")?)? {
+                            Some(n) => n,
+                            None => return err("bench needs a non-zero coalescing budget"),
+                        }
+                    }
+                    "--seed" => bench.seed = parse_seed(&value("--seed")?)?,
+                    "--out" => bench.out = value("--out")?,
+                    other => return err(format!("unknown bench flag {other}")),
+                }
+            }
+            if bench.places < 2 {
+                return err("bench needs at least 2 places (it measures inter-place frames)");
+            }
+            Ok(Command::Bench(bench))
         }
         Some("run") => {
             let app_name = it
@@ -374,6 +461,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--timeline" => run.timeline = true,
                     "--trace-out" => run.trace_out = Some(value("--trace-out")?),
                     "--metrics-out" => run.metrics_out = Some(value("--metrics-out")?),
+                    "--coalesce" => run.coalesce = parse_coalesce(&value("--coalesce")?)?,
                     other => return err(format!("unknown run flag {other}")),
                 }
             }
@@ -392,6 +480,7 @@ pub fn usage() -> String {
          USAGE:\n\
          \x20 dpx10 run <app> [flags]      run an application\n\
          \x20 dpx10 chaos [flags]          seeded differential chaos testing\n\
+         \x20 dpx10 bench [flags]          comms-plane baseline: coalescing off vs on\n\
          \x20 dpx10 apps                   list applications\n\
          \x20 dpx10 patterns [--size HxW]  analyse the built-in DAG patterns\n\
          \x20 dpx10 trace summarize FILE   validate + summarise an exported trace\n\
@@ -416,12 +505,23 @@ pub fn usage() -> String {
          \x20 --trace-out FILE        write a Chrome trace_event JSON timeline\n\
          \x20                         (Perfetto-loadable; sockets workers write FILE.p<N>)\n\
          \x20 --metrics-out FILE      write Prometheus text-format metrics\n\
+         \x20 --coalesce BYTES|off    batch protocol messages per destination, flushing\n\
+         \x20                         at BYTES (plus entry-count and idle-drain triggers;\n\
+         \x20                         default off = one message per protocol event)\n\
          \n\
          CHAOS FLAGS:\n\
          \x20 --seed S                run exactly one seed (decimal or 0x… hex)\n\
          \x20 --start S --count N     run the seed range S..S+N (default 0..16)\n\
          \x20 --no-sockets            skip the in-process TCP mesh backend\n\
          \x20 --no-shrink             report failures without minimising the plan\n\
+         \x20 --coalesce BYTES|off    run the whole suite with message coalescing\n\
+         \n\
+         BENCH FLAGS:\n\
+         \x20 --vertices N            problem scale (default 250000)\n\
+         \x20 --places N              socket-mesh places (default 3)\n\
+         \x20 --coalesce BYTES        budget of the coalescing-on run (default 4096)\n\
+         \x20 --seed N                workload seed (default 1)\n\
+         \x20 --out FILE              JSON output path (default BENCH_comms.json)\n\
          \n\
          Each chaos seed expands into a random pattern, cluster shape and\n\
          fault plan, runs it on the serial, simulated, threaded and socket\n\
@@ -565,6 +665,62 @@ mod tests {
         assert!(parse_err(&["trace", "summarize"])
             .0
             .contains("needs a file"));
+    }
+
+    #[test]
+    fn coalesce_flag_parses() {
+        let Command::Run(run) = parse_ok(&["run", "swlag", "--coalesce", "4096"]) else {
+            panic!()
+        };
+        assert_eq!(run.coalesce, Some(4096));
+        for spelling in ["off", "0"] {
+            let Command::Run(run) = parse_ok(&["run", "swlag", "--coalesce", spelling]) else {
+                panic!()
+            };
+            assert_eq!(run.coalesce, None, "--coalesce {spelling}");
+        }
+        let Command::Chaos(chaos) = parse_ok(&["chaos", "--count", "2", "--coalesce", "512"])
+        else {
+            panic!()
+        };
+        assert_eq!(chaos.coalesce, Some(512));
+        assert!(parse_err(&["run", "swlag", "--coalesce", "many"])
+            .0
+            .contains("bad --coalesce"));
+    }
+
+    #[test]
+    fn bench_flags_parse() {
+        let Command::Bench(bench) = parse_ok(&["bench"]) else {
+            panic!()
+        };
+        assert_eq!(bench, BenchArgs::default());
+        let Command::Bench(bench) = parse_ok(&[
+            "bench",
+            "--vertices",
+            "10000",
+            "--places",
+            "2",
+            "--coalesce",
+            "8192",
+            "--seed",
+            "0x2a",
+            "--out",
+            "results/b.json",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(bench.vertices, 10_000);
+        assert_eq!(bench.places, 2);
+        assert_eq!(bench.coalesce, 8192);
+        assert_eq!(bench.seed, 42);
+        assert_eq!(bench.out, "results/b.json");
+        assert!(parse_err(&["bench", "--places", "1"])
+            .0
+            .contains("at least 2"));
+        assert!(parse_err(&["bench", "--coalesce", "off"])
+            .0
+            .contains("non-zero"));
     }
 
     #[test]

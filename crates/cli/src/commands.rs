@@ -1,14 +1,16 @@
 //! Command implementations.
 
+use std::net::TcpListener;
 use std::time::Duration;
 
-use dpx10_apgas::{launch_places, SocketConfig, Topology};
+use dpx10_apgas::{launch_places, PlaceId, SocketConfig, Topology};
 use dpx10_apps::{
     workload, EditDistanceApp, KnapsackApp, LcsApp, LpsApp, MtpApp, NeedlemanWunschApp,
     NussinovApp, SwLinearApp, SwlagApp,
 };
 use dpx10_core::{
-    DagResult, DpApp, EngineConfig, FaultPlan, RunReport, SocketEngine, ThreadedEngine, VertexValue,
+    DagResult, DistKind, DpApp, EngineConfig, FaultPlan, RunReport, SocketEngine, ThreadedEngine,
+    VertexValue,
 };
 use dpx10_dag::{critical_path_len, wavefront_profile, BuiltinKind, DagPattern};
 use dpx10_obs::{chrome, summary as obs_summary, EventKind, Recorder, Registry, Trace};
@@ -53,6 +55,14 @@ impl RunSummary {
             out.push_str(&format!(", cache hit rate {:.1}%", rate * 100.0));
         }
         out.push('\n');
+        if r.comm.batches_sent > 0 {
+            out.push_str(&format!(
+                "coalescing: {} batches carrying {} messages ({:.1} per flush)\n",
+                r.comm.batches_sent,
+                r.comm.batched_msgs,
+                r.comm.batched_msgs as f64 / r.comm.batches_sent as f64
+            ));
+        }
         for (k, rec) in r.recoveries.iter().enumerate() {
             out.push_str(&format!(
                 "recovery #{k}: kept {}, dropped {}, lost {}, migrated {} ({:?})\n",
@@ -355,6 +365,18 @@ fn build_registry(report: &RunReport, trace: &Trace) -> Registry {
     reg.counter("dpx10_cache_misses_total", "remote-value cache misses", &[])
         .add(report.comm.cache_misses);
     reg.counter(
+        "dpx10_batches_sent_total",
+        "coalesced batches flushed to the transport",
+        &[],
+    )
+    .add(report.comm.batches_sent);
+    reg.counter(
+        "dpx10_batched_messages_total",
+        "protocol messages carried inside coalesced batches",
+        &[],
+    )
+    .add(report.comm.batched_msgs);
+    reg.counter(
         "dpx10_trace_events_dropped_total",
         "flight-recorder events dropped at full rings",
         &[],
@@ -420,6 +442,7 @@ fn places_config(args: &RunArgs) -> EngineConfig {
             after_fraction: fraction,
         });
     }
+    config.coalesce = args.coalesce;
     config
 }
 
@@ -431,6 +454,7 @@ pub fn run_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
     let opts = dpx10_harness::ChaosOptions {
         sockets: args.sockets,
         shrink: args.shrink,
+        coalesce: args.coalesce,
         ..dpx10_harness::ChaosOptions::default()
     };
     let seeds: Vec<u64> = match args.seed {
@@ -467,6 +491,132 @@ pub fn run_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
         }
     }
     (out, failed.is_empty())
+}
+
+/// `dpx10 bench`: the comms-plane baseline. Runs SWLAG twice over an
+/// in-process socket mesh — coalescing off, then on at the requested
+/// byte budget — and writes the frame/byte/wall-time comparison to a
+/// JSON file. The cyclic-column distribution puts every column boundary
+/// across a place boundary, so the uncoalesced run pays one transport
+/// frame per remote `Done` and the comparison measures the comms plane
+/// rather than the distribution's boundary traffic.
+///
+/// Errs if the two runs' result fingerprints differ: a coalesced run
+/// must be byte-for-byte the same computation.
+pub fn run_bench(args: &crate::args::BenchArgs) -> Result<String, String> {
+    let n = workload::side_for_vertices(args.vertices) as usize;
+    let off = bench_swlag_sockets(n, args.seed, args.places, None)?;
+    let on = bench_swlag_sockets(n, args.seed, args.places, Some(args.coalesce))?;
+    if off.0 != on.0 {
+        return Err(format!(
+            "coalescing changed the result: fingerprint {:#018x} (off) vs {:#018x} (on)",
+            off.0, on.0
+        ));
+    }
+    let (fingerprint, off) = (off.0, off.1);
+    let on = on.1;
+    let ratio = off.comm.messages_sent as f64 / on.comm.messages_sent.max(1) as f64;
+    let json = format!(
+        "{{\n  \"app\": \"swlag\",\n  \"vertices\": {},\n  \"side\": {n},\n  \"places\": {},\n  \"dist\": \"cyclic-col\",\n  \"seed\": {},\n  \"coalesce_bytes\": {},\n  \"fingerprint\": \"{fingerprint:#018x}\",\n  \"off\": {},\n  \"on\": {},\n  \"frame_reduction\": {ratio:.2}\n}}\n",
+        args.vertices,
+        args.places,
+        args.seed,
+        args.coalesce,
+        bench_mode_json(&off),
+        bench_mode_json(&on),
+    );
+    std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out))?;
+    let mut out = format!(
+        "bench: swlag, {} vertices ({n}x{n}), {} places, cyclic-col, seed {}\n",
+        args.vertices, args.places, args.seed
+    );
+    out.push_str(&format!(
+        "coalesce off:  {:>9} frames, {:>11} bytes, {:?}\n",
+        off.comm.messages_sent, off.comm.bytes_sent, off.wall_time
+    ));
+    out.push_str(&format!(
+        "coalesce {:>4}: {:>9} frames, {:>11} bytes, {:?} ({} batches carrying {} messages)\n",
+        args.coalesce,
+        on.comm.messages_sent,
+        on.comm.bytes_sent,
+        on.wall_time,
+        on.comm.batches_sent,
+        on.comm.batched_msgs
+    ));
+    out.push_str(&format!(
+        "frame reduction: {ratio:.1}x, fingerprints match ({fingerprint:#018x})\n"
+    ));
+    out.push_str(&format!("wrote {}\n", args.out));
+    Ok(out)
+}
+
+/// One bench mode as a JSON object string.
+fn bench_mode_json(r: &RunReport) -> String {
+    format!(
+        "{{ \"frames\": {}, \"bytes\": {}, \"wall_ms\": {}, \"batches\": {}, \"batched_messages\": {} }}",
+        r.comm.messages_sent,
+        r.comm.bytes_sent,
+        r.wall_time.as_millis(),
+        r.comm.batches_sent,
+        r.comm.batched_msgs
+    )
+}
+
+/// Runs SWLAG at side `n` over an in-process socket mesh (every place a
+/// thread of this process, same idiom as the chaos harness) and returns
+/// the result fingerprint plus the coordinator's report.
+fn bench_swlag_sockets(
+    n: usize,
+    seed: u64,
+    places: u16,
+    coalesce: Option<usize>,
+) -> Result<(u64, RunReport), String> {
+    let config = EngineConfig {
+        topology: Topology::flat(places),
+        ..EngineConfig::paper(1)
+    }
+    .with_dist(DistKind::CyclicCol)
+    .with_coalesce(coalesce);
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("no local addr: {e}"))?
+        .to_string();
+    let mut workers = Vec::new();
+    for p in 1..places {
+        let addr = addr.clone();
+        let config = config.clone();
+        workers.push(std::thread::spawn(move || {
+            let app = SwlagApp::new(workload::dna(n, seed), workload::dna(n, seed + 1));
+            let pattern = app.pattern();
+            SocketEngine::new(app, pattern, config).run(SocketConfig::worker(
+                PlaceId(p),
+                places,
+                addr,
+            ))
+        }));
+    }
+    let app = SwlagApp::new(workload::dna(n, seed), workload::dna(n, seed + 1));
+    let pattern = app.pattern();
+    let outcome =
+        SocketEngine::new(app, pattern, config).run(SocketConfig::coordinator(listener, places));
+    for (idx, w) in workers.into_iter().enumerate() {
+        match w.join() {
+            Ok(Ok(None)) => {}
+            Ok(other) => {
+                return Err(format!(
+                    "worker place {} did not shut down cleanly: {:?}",
+                    idx + 1,
+                    other.map(|r| r.map(|_| "unexpected result"))
+                ));
+            }
+            Err(_) => return Err(format!("worker place {} panicked", idx + 1)),
+        }
+    }
+    let result = outcome
+        .map_err(|e| format!("coordinator failed: {e}"))?
+        .ok_or("coordinator returned no result")?;
+    Ok((result.fingerprint(), result.report().clone()))
 }
 
 /// `dpx10 apps`: one line per application.

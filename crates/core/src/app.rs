@@ -135,6 +135,44 @@ impl<V: Clone + Default> DagResult<V> {
     }
 }
 
+impl<V: VertexValue> DagResult<V> {
+    /// A 64-bit digest of every finished cell — position and encoded
+    /// value — in canonical (packed-id) order, so two results fingerprint
+    /// identically exactly when they hold the same values at the same
+    /// coordinates, regardless of distribution, backend, or message
+    /// coalescing. The differential harness compares these across
+    /// engines and comms-plane modes.
+    pub fn fingerprint(&self) -> u64 {
+        let mut cells: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut buf = Vec::new();
+        for s in 0..self.array.dist().num_slots() {
+            for (i, j, v, finished) in self.array.iter_slot(s) {
+                if finished {
+                    buf.clear();
+                    v.encode(&mut buf);
+                    cells.push((VertexId::new(i, j).pack(), buf.clone()));
+                }
+            }
+        }
+        cells.sort_unstable_by_key(|(id, _)| *id);
+        // FNV-1a over the sorted (id, value-bytes) stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (id, bytes) in &cells {
+            for b in id.to_le_bytes() {
+                eat(b);
+            }
+            for &b in bytes {
+                eat(b);
+            }
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

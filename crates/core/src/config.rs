@@ -70,6 +70,12 @@ pub struct EngineConfig {
     ///
     /// [`fault`]: EngineConfig::fault
     pub chaos: Option<ChaosPlan>,
+    /// Message coalescing: `Some(bytes)` wraps the transport in a
+    /// [`dpx10_apgas::CoalescingTransport`] flushing per-destination
+    /// buffers at that byte budget (plus entry-count and idle-drain
+    /// triggers); `None` ships one message per protocol event, the
+    /// paper's §VI-C behaviour.
+    pub coalesce: Option<usize>,
 }
 
 impl EngineConfig {
@@ -88,6 +94,7 @@ impl EngineConfig {
             stall_limit: std::time::Duration::from_secs(30),
             checkpoint: None,
             chaos: None,
+            coalesce: None,
         }
     }
 
@@ -132,6 +139,12 @@ impl EngineConfig {
     /// Arms a seeded chaos plan.
     pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Sets the coalescing byte budget (`None` disables coalescing).
+    pub fn with_coalesce(mut self, bytes: Option<usize>) -> Self {
+        self.coalesce = bytes;
         self
     }
 }

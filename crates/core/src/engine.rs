@@ -15,8 +15,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dpx10_apgas::{
-    mailbox::Envelope, ChaosRng, ChaosTransport, Codec, FinishScope, KillTrigger, LocalTransport,
-    NetworkModel, PlaceId, Runtime, RuntimeConfig, Topology, Transport,
+    mailbox::Envelope, ChaosRng, ChaosTransport, CoalesceConfig, CoalescingTransport, Codec,
+    FinishScope, KillTrigger, LocalTransport, NetworkModel, PlaceId, Runtime, RuntimeConfig,
+    Topology, Transport,
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
@@ -154,11 +155,22 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                     // `Done` carries indegree decrements, which are not
                     // idempotent — everything else on this plane is.
                     let dup_safe: dpx10_apgas::chaos::DupSafe<Msg<A::Value>> =
-                        Arc::new(|m| !matches!(m, Msg::Done { .. }));
+                        Arc::new(|m| !matches!(m, Msg::Done { .. } | Msg::DoneBatch { .. }));
                     transport = Arc::new(ChaosTransport::new(
                         transport, plan.net, plan.seed, dup_safe,
                     ));
                 }
+            }
+            if let Some(max_bytes) = self.config.coalesce {
+                // Built fresh each epoch (outside the chaos layer so
+                // flushed batches still face injected delay/dup):
+                // buffered traffic of an abandoned epoch dies here.
+                transport = Arc::new(CoalescingTransport::new(
+                    transport,
+                    CoalesceConfig::bytes(max_bytes),
+                    rt.stats().clone(),
+                    self.recorder.clone(),
+                ));
             }
 
             // Progress-triggered kills, one-shot across epochs: don't
@@ -489,14 +501,24 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
             continue;
         }
         idle_rounds += 1;
+        if idle_rounds == 1 {
+            // Idle drain of the coalescing layer (no-op otherwise):
+            // buffered decrements must flow once we run out of local
+            // work, or the cluster deadlocks waiting on a batch that
+            // never fills its byte budget.
+            shared.transport.flush(me);
+        }
         if idle_rounds < 8 {
             std::thread::yield_now();
-        } else if let Some(env) = shared
-            .transport
-            .recv_timeout(me, Duration::from_micros(500))
-        {
-            handle_msg(&shared, slot, wid, env, &mut bufs);
-            idle_rounds = 0;
+        } else {
+            shared.transport.flush(me);
+            if let Some(env) = shared
+                .transport
+                .recv_timeout(me, Duration::from_micros(500))
+            {
+                handle_msg(&shared, slot, wid, env, &mut bufs);
+                idle_rounds = 0;
+            }
         }
     }
 }
@@ -558,49 +580,14 @@ fn handle_msg<A: DpApp>(
     bufs: &mut WorkerBufs,
 ) {
     let me = shared.dist.places()[slot];
-    let shard = &shared.shards[slot];
     match env.msg {
         Msg::Done {
             from,
             value,
             targets,
-        } => {
-            shard.cache.lock().insert(from.pack(), value);
-            for t in targets {
-                decrement(shared, slot, t);
-            }
-        }
-        Msg::Pull { id } => {
-            let li = local_index(&shared.dist, id);
-            debug_assert!(
-                shard.finished[li as usize].load(Ordering::Acquire),
-                "pull of unfinished vertex {id}"
-            );
-            let value = shard.value(li).clone();
-            shared.send(me, env.src, Msg::PullVal { id, value });
-        }
-        Msg::PullVal { id, value } => {
-            shared
-                .recorder
-                .instant_now(me.0, wid, EventKind::PullFill, id.pack());
-            shard.cache.lock().insert(id.pack(), value.clone());
-            let mut pending = shard.pending.lock();
-            if let Some(waiters) = pending.waiters.remove(&id.pack()) {
-                for wli in waiters {
-                    if let Some(p) = pending.parked.get_mut(&wli) {
-                        if let Some(slot_val) = p.fills.get_mut(&id.pack()) {
-                            if slot_val.is_none() {
-                                *slot_val = Some(value.clone());
-                                p.remaining -= 1;
-                                if p.remaining == 0 {
-                                    shard.ready.push(wli);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        } => handle_done(shared, slot, from, value, targets),
+        Msg::Pull { id } => handle_pull(shared, slot, me, env.src, id),
+        Msg::PullVal { id, value } => handle_pull_val(shared, slot, wid, me, id, value),
         Msg::Exec {
             id,
             dep_ids,
@@ -613,6 +600,90 @@ fn handle_msg<A: DpApp>(
         Msg::ExecResult { id, value } => {
             let li = local_index(&shared.dist, id);
             publish(shared, slot, li, id, value, bufs);
+        }
+        // The batch variants replay the per-message handlers in send
+        // order, so a coalesced run takes exactly the uncoalesced code
+        // paths (the equivalence the differential oracle checks).
+        Msg::DoneBatch { entries } => {
+            for (from, value, targets) in entries {
+                handle_done(shared, slot, from, value, targets);
+            }
+        }
+        Msg::PullBatch { ids } => {
+            for id in ids {
+                handle_pull(shared, slot, me, env.src, id);
+            }
+        }
+        Msg::PullValBatch { entries } => {
+            for (id, value) in entries {
+                handle_pull_val(shared, slot, wid, me, id, value);
+            }
+        }
+    }
+}
+
+/// [`Msg::Done`]: land the value in the consumer cache, decrement the
+/// receiver-owned dependents.
+fn handle_done<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    from: VertexId,
+    value: A::Value,
+    targets: Vec<VertexId>,
+) {
+    let shard = &shared.shards[slot];
+    shard.cache.lock().insert(from.pack(), value);
+    for t in targets {
+        decrement(shared, slot, t);
+    }
+}
+
+/// [`Msg::Pull`]: reply with the finished value of `id`.
+fn handle_pull<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    me: PlaceId,
+    src: PlaceId,
+    id: VertexId,
+) {
+    let shard = &shared.shards[slot];
+    let li = local_index(&shared.dist, id);
+    debug_assert!(
+        shard.finished[li as usize].load(Ordering::Acquire),
+        "pull of unfinished vertex {id}"
+    );
+    let value = shard.value(li).clone();
+    shared.send(me, src, Msg::PullVal { id, value });
+}
+
+/// [`Msg::PullVal`]: cache the value and fill every parked waiter.
+fn handle_pull_val<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    wid: u16,
+    me: PlaceId,
+    id: VertexId,
+    value: A::Value,
+) {
+    let shard = &shared.shards[slot];
+    shared
+        .recorder
+        .instant_now(me.0, wid, EventKind::PullFill, id.pack());
+    shard.cache.lock().insert(id.pack(), value.clone());
+    let mut pending = shard.pending.lock();
+    if let Some(waiters) = pending.waiters.remove(&id.pack()) {
+        for wli in waiters {
+            if let Some(p) = pending.parked.get_mut(&wli) {
+                if let Some(slot_val) = p.fills.get_mut(&id.pack()) {
+                    if slot_val.is_none() {
+                        *slot_val = Some(value.clone());
+                        p.remaining -= 1;
+                        if p.remaining == 0 {
+                            shard.ready.push(wli);
+                        }
+                    }
+                }
+            }
         }
     }
 }

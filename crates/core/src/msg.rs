@@ -1,6 +1,6 @@
 //! Inter-place protocol of the threaded engine.
 
-use dpx10_apgas::Codec;
+use dpx10_apgas::{Coalescible, Codec};
 use dpx10_dag::VertexId;
 
 /// Messages exchanged between places while executing a DAG.
@@ -52,6 +52,22 @@ pub enum Msg<V> {
         /// Its result.
         value: V,
     },
+    /// Several [`Msg::Done`]s to the same place, coalesced into one
+    /// message (and one wire frame on the socket backend).
+    DoneBatch {
+        /// `(from, value, targets)` of each folded `Done`, in send order.
+        entries: Vec<(VertexId, V, Vec<VertexId>)>,
+    },
+    /// Several [`Msg::Pull`]s to the same owner, coalesced.
+    PullBatch {
+        /// The wanted vertices, in send order.
+        ids: Vec<VertexId>,
+    },
+    /// Several [`Msg::PullVal`]s to the same consumer, coalesced.
+    PullValBatch {
+        /// `(id, value)` of each folded reply, in send order.
+        entries: Vec<(VertexId, V)>,
+    },
 }
 
 impl<V: Codec> Msg<V> {
@@ -68,7 +84,105 @@ impl<V: Codec> Msg<V> {
                 ..
             } => 8 + 8 * dep_ids.len() + dep_values.iter().map(Codec::wire_size).sum::<usize>(),
             Msg::ExecResult { value, .. } => 8 + value.wire_size(),
+            // Batches are priced as the sum of the messages they carry,
+            // so coalescing never changes modelled byte totals.
+            Msg::DoneBatch { entries } => entries
+                .iter()
+                .map(|(_, v, ts)| 8 + v.wire_size() + 8 * ts.len())
+                .sum(),
+            Msg::PullBatch { ids } => 8 * ids.len(),
+            Msg::PullValBatch { entries } => entries.iter().map(|(_, v)| 8 + v.wire_size()).sum(),
         }
+    }
+}
+
+/// Per-destination aggregation buffer of [`Msg`]s, used by
+/// [`dpx10_apgas::CoalescingTransport`]. Keeps the three batchable
+/// families apart so a drain emits at most one batch message per family.
+pub struct MsgBatch<V> {
+    done: Vec<(VertexId, V, Vec<VertexId>)>,
+    pulls: Vec<VertexId>,
+    pull_vals: Vec<(VertexId, V)>,
+    /// Priced bytes of everything absorbed (sum of the folded messages'
+    /// inherent [`Msg::wire_size`]s).
+    bytes: usize,
+}
+
+impl<V> Default for MsgBatch<V> {
+    fn default() -> Self {
+        MsgBatch {
+            done: Vec::new(),
+            pulls: Vec::new(),
+            pull_vals: Vec::new(),
+            bytes: 0,
+        }
+    }
+}
+
+impl<V: Codec + Send> Coalescible for Msg<V> {
+    type Batch = MsgBatch<V>;
+
+    fn absorb(self, batch: &mut MsgBatch<V>) -> Result<(), Self> {
+        batch.bytes += self.wire_size();
+        match self {
+            Msg::Done {
+                from,
+                value,
+                targets,
+            } => {
+                batch.done.push((from, value, targets));
+                Ok(())
+            }
+            Msg::Pull { id } => {
+                batch.pulls.push(id);
+                Ok(())
+            }
+            Msg::PullVal { id, value } => {
+                batch.pull_vals.push((id, value));
+                Ok(())
+            }
+            // Exec verbs pair requests with replies and the batch
+            // variants themselves never re-fold: all travel alone.
+            other => {
+                batch.bytes -= other.wire_size();
+                Err(other)
+            }
+        }
+    }
+
+    fn batch_entries(batch: &MsgBatch<V>) -> usize {
+        batch.done.len() + batch.pulls.len() + batch.pull_vals.len()
+    }
+
+    fn batch_bytes(batch: &MsgBatch<V>) -> usize {
+        batch.bytes
+    }
+
+    fn drain(batch: &mut MsgBatch<V>) -> Vec<(Self, usize)> {
+        let mut out = Vec::new();
+        if !batch.done.is_empty() {
+            let msg = Msg::DoneBatch {
+                entries: std::mem::take(&mut batch.done),
+            };
+            let bytes = msg.wire_size();
+            out.push((msg, bytes));
+        }
+        if !batch.pulls.is_empty() {
+            let msg = Msg::PullBatch {
+                ids: std::mem::take(&mut batch.pulls),
+            };
+            let bytes = msg.wire_size();
+            out.push((msg, bytes));
+        }
+        if !batch.pull_vals.is_empty() {
+            let msg = Msg::PullValBatch {
+                entries: std::mem::take(&mut batch.pull_vals),
+            };
+            let bytes = msg.wire_size();
+            out.push((msg, bytes));
+        }
+        batch.bytes = 0;
+        out
     }
 }
 
@@ -136,6 +250,27 @@ impl<V: Codec> Codec for Msg<V> {
                 id.pack().encode(buf);
                 value.encode(buf);
             }
+            Msg::DoneBatch { entries } => {
+                buf.push(5);
+                (entries.len() as u64).encode(buf);
+                for (from, value, targets) in entries {
+                    from.pack().encode(buf);
+                    value.encode(buf);
+                    encode_ids(targets, buf);
+                }
+            }
+            Msg::PullBatch { ids } => {
+                buf.push(6);
+                encode_ids(ids, buf);
+            }
+            Msg::PullValBatch { entries } => {
+                buf.push(7);
+                (entries.len() as u64).encode(buf);
+                for (id, value) in entries {
+                    id.pack().encode(buf);
+                    value.encode(buf);
+                }
+            }
         }
     }
 
@@ -162,6 +297,37 @@ impl<V: Codec> Codec for Msg<V> {
                 id: VertexId::unpack(u64::decode(src)?),
                 value: V::decode(src)?,
             }),
+            5 => {
+                let n = u64::decode(src)?;
+                // Hostile-length guard: every entry costs at least 16
+                // bytes (packed id + target count) beyond this point.
+                if n > (src.len() as u64) {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    entries.push((
+                        VertexId::unpack(u64::decode(src)?),
+                        V::decode(src)?,
+                        decode_ids(src)?,
+                    ));
+                }
+                Some(Msg::DoneBatch { entries })
+            }
+            6 => Some(Msg::PullBatch {
+                ids: decode_ids(src)?,
+            }),
+            7 => {
+                let n = u64::decode(src)?;
+                if n > (src.len() as u64) {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    entries.push((VertexId::unpack(u64::decode(src)?), V::decode(src)?));
+                }
+                Some(Msg::PullValBatch { entries })
+            }
             _ => None,
         }
     }
@@ -177,6 +343,19 @@ impl<V: Codec> Codec for Msg<V> {
                 ..
             } => 8 + 8 + 8 * dep_ids.len() + Codec::wire_size(dep_values),
             Msg::ExecResult { value, .. } => 8 + Codec::wire_size(value),
+            Msg::DoneBatch { entries } => {
+                8 + entries
+                    .iter()
+                    .map(|(_, v, ts)| 8 + Codec::wire_size(v) + 8 + 8 * ts.len())
+                    .sum::<usize>()
+            }
+            Msg::PullBatch { ids } => 8 + 8 * ids.len(),
+            Msg::PullValBatch { entries } => {
+                8 + entries
+                    .iter()
+                    .map(|(_, v)| 8 + Codec::wire_size(v))
+                    .sum::<usize>()
+            }
         }
     }
 }
@@ -285,5 +464,105 @@ mod tests {
             value: 5i64,
         });
         assert!(decode_exact::<Msg<i64>>(&buf[..buf.len() - 1]).is_none());
+    }
+
+    fn assert_batch_round_trip(msg: &Msg<i64>) {
+        let buf = encode_to_vec(msg);
+        assert_eq!(buf.len(), Codec::wire_size(msg), "{msg:?}");
+        let back: Msg<i64> = decode_exact(&buf).expect("decodes");
+        match (msg, &back) {
+            (Msg::DoneBatch { entries: a }, Msg::DoneBatch { entries: b }) => assert_eq!(a, b),
+            (Msg::PullBatch { ids: a }, Msg::PullBatch { ids: b }) => assert_eq!(a, b),
+            (Msg::PullValBatch { entries: a }, Msg::PullValBatch { entries: b }) => {
+                assert_eq!(a, b)
+            }
+            (a, b) => panic!("variant changed in flight: {a:?} -> {b:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_codec_round_trips_including_empty() {
+        assert_batch_round_trip(&Msg::DoneBatch {
+            entries: vec![
+                (VertexId::new(0, 1), -3, vec![VertexId::new(1, 1)]),
+                (VertexId::new(2, 2), 9, vec![]),
+            ],
+        });
+        assert_batch_round_trip(&Msg::DoneBatch { entries: vec![] });
+        assert_batch_round_trip(&Msg::PullBatch {
+            ids: vec![VertexId::new(0, u32::MAX), VertexId::new(5, 0)],
+        });
+        assert_batch_round_trip(&Msg::PullBatch { ids: vec![] });
+        assert_batch_round_trip(&Msg::PullValBatch {
+            entries: vec![(VertexId::new(3, 3), i64::MIN)],
+        });
+        assert_batch_round_trip(&Msg::PullValBatch { entries: vec![] });
+    }
+
+    #[test]
+    fn batch_codec_rejects_hostile_length_and_truncation() {
+        // A DoneBatch claiming u64::MAX entries with no payload.
+        let mut buf = vec![5u8];
+        u64::MAX.encode(&mut buf);
+        assert!(decode_exact::<Msg<i64>>(&buf).is_none());
+        let full = encode_to_vec(&Msg::PullValBatch {
+            entries: vec![(VertexId::new(1, 2), 7i64), (VertexId::new(3, 4), 8)],
+        });
+        assert!(decode_exact::<Msg<i64>>(&full[..full.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn priced_size_is_invariant_under_batching() {
+        let singles: Vec<Msg<i64>> = vec![
+            Msg::Done {
+                from: VertexId::new(0, 0),
+                value: 1,
+                targets: vec![VertexId::new(0, 1), VertexId::new(1, 0)],
+            },
+            Msg::Done {
+                from: VertexId::new(2, 0),
+                value: 2,
+                targets: vec![VertexId::new(2, 1)],
+            },
+            Msg::Pull {
+                id: VertexId::new(4, 4),
+            },
+            Msg::PullVal {
+                id: VertexId::new(5, 5),
+                value: 3,
+            },
+        ];
+        let priced: usize = singles.iter().map(Msg::wire_size).sum();
+        let mut batch = MsgBatch::default();
+        for m in singles {
+            m.absorb(&mut batch).expect("all batchable");
+        }
+        assert_eq!(Msg::<i64>::batch_bytes(&batch), priced);
+        assert_eq!(Msg::<i64>::batch_entries(&batch), 4);
+        let drained = Msg::<i64>::drain(&mut batch);
+        assert_eq!(drained.len(), 3, "one message per non-empty family");
+        assert_eq!(drained.iter().map(|(_, b)| b).sum::<usize>(), priced);
+        assert_eq!(Msg::<i64>::batch_entries(&batch), 0);
+        assert_eq!(Msg::<i64>::batch_bytes(&batch), 0);
+    }
+
+    #[test]
+    fn exec_and_batch_variants_refuse_to_fold() {
+        let mut batch = MsgBatch::<i64>::default();
+        let exec = Msg::Exec {
+            id: VertexId::new(1, 1),
+            dep_ids: vec![],
+            dep_values: vec![],
+        };
+        assert!(exec.absorb(&mut batch).is_err());
+        let nested = Msg::PullBatch {
+            ids: vec![VertexId::new(0, 0)],
+        };
+        assert!(nested.absorb(&mut batch).is_err());
+        assert_eq!(
+            Msg::<i64>::batch_bytes(&batch),
+            0,
+            "rejects leave no residue"
+        );
     }
 }

@@ -40,8 +40,8 @@ use std::time::{Duration, Instant};
 use dpx10_apgas::codec::{decode_exact, encode_to_vec};
 use dpx10_apgas::mailbox::Envelope;
 use dpx10_apgas::{
-    ChaosRng, Codec, DeadPlaceError, KillTrigger, LivenessBoard, PlaceId, SocketConfig, SocketNode,
-    Transport,
+    ChaosRng, CoalesceConfig, CoalescingTransport, Codec, DeadPlaceError, KillTrigger,
+    LivenessBoard, PlaceId, SocketConfig, SocketNode, Transport,
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
@@ -99,8 +99,9 @@ enum Wire<V> {
         /// Vertices this place computed during the epoch.
         computed: u64,
         /// Cumulative place counters: `[tasks, msgs, bytes, net_ns,
-        /// cache_hits, cache_misses, busy_ns]`. Decoders accept the
-        /// older six-counter form and leave `busy_ns` at zero.
+        /// cache_hits, cache_misses, busy_ns, batches_sent,
+        /// batched_msgs]`. Decoders accept the older six- and
+        /// seven-counter forms and leave the missing tail at zero.
         stats: Vec<u64>,
     },
     /// Place 0 → survivors: recovery done, start the next epoch.
@@ -556,7 +557,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         let mut alive: Vec<PlaceId> = (0..self.places).map(PlaceId).collect();
         let mut prior: Option<DistArray<A::Value>> = None;
         let mut pending_cells: Option<Vec<(u64, A::Value)>> = None;
-        let mut peer_stats: Vec<[u64; 7]> = vec![[0; 7]; self.places as usize];
+        let mut peer_stats: Vec<[u64; 9]> = vec![[0; 9]; self.places as usize];
         // This place's compute time, summed across epochs (the shards —
         // and their busy counters — are rebuilt every epoch).
         let mut busy_total: u64 = 0;
@@ -606,7 +607,22 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 pattern: pattern.clone(),
                 dist: dist.clone(),
                 shards,
-                transport: self.plane.clone() as Arc<dyn Transport<Msg<A::Value>>>,
+                transport: {
+                    let base = self.plane.clone() as Arc<dyn Transport<Msg<A::Value>>>;
+                    match cfg.coalesce {
+                        // A fresh wrapper each epoch: buffered traffic of
+                        // an abandoned epoch dies with it, and flushes
+                        // always carry the current epoch tag (workers are
+                        // joined before `plane.epoch` advances).
+                        Some(bytes) => Arc::new(CoalescingTransport::new(
+                            base,
+                            CoalesceConfig::bytes(bytes),
+                            self.node.stats().clone(),
+                            self.recorder.clone(),
+                        )),
+                        None => base,
+                    }
+                },
                 topo: cfg.topology,
                 net: cfg.network,
                 schedule: cfg.schedule,
@@ -752,6 +768,8 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             comm.net_time += Duration::from_nanos(stats[3]);
             comm.cache_hits += stats[4];
             comm.cache_misses += stats[5];
+            comm.batches_sent += stats[7];
+            comm.batched_msgs += stats[8];
         }
         report.comm = comm;
         // In the final epoch's slot order (matching the simulator): our
@@ -1022,6 +1040,11 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         my_slot: usize,
         busy_before: u64,
     ) -> Result<(), EngineError> {
+        // Flush-before-snapshot barrier: anything still buffered in the
+        // coalescing layer goes to the wire (or dies with a dead lane)
+        // before this epoch's counters and cells are reported, so the
+        // snapshot never precedes traffic it already counted.
+        shared.transport.flush(self.me);
         let rec_start = self.recorder.enabled().then(|| self.recorder.now_ns());
         let shard = &shared.shards[my_slot];
         let mut cells = Vec::new();
@@ -1040,6 +1063,8 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             mine.cache_hits.load(Ordering::Relaxed),
             mine.cache_misses.load(Ordering::Relaxed),
             busy_before + shard.busy_ns.load(Ordering::Relaxed),
+            mine.batches_sent.load(Ordering::Relaxed),
+            mine.batched_msgs.load(Ordering::Relaxed),
         ];
         let sent = cells.len() as u64;
         let result = self
@@ -1074,7 +1099,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         epoch: u32,
         alive: &[PlaceId],
         arr: &mut DistArray<A::Value>,
-        peer_stats: &mut [[u64; 7]],
+        peer_stats: &mut [[u64; 9]],
         report: &mut RunReport,
     ) -> Vec<PlaceId> {
         let rec_start = self.recorder.enabled().then(|| self.recorder.now_ns());

@@ -379,3 +379,54 @@ fn checkpointed_run_survives_fault_and_resumes() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn concurrent_pulls_of_one_vertex_fold_into_a_single_request() {
+    // A "hub" DAG: place 1 owns 40 vertices that all depend on the one
+    // cell (0, 0) owned by place 0. With a zero-capacity cache the
+    // pushed `Done` value is evicted instantly, so each dependent's
+    // gather misses and wants a pull — but `gather` folds waiters on
+    // the same remote cell into one in-flight `Pull` (the waiter list
+    // in `pending.waiters`), and `cache_misses` counts only the pulls
+    // actually issued. Without dedup this run would issue ~40 pulls.
+    use dpx10_dag::CustomDag;
+    let w = 40u32;
+    let pattern = CustomDag::new(2, w)
+        .with_dependencies(|i, _j, out| {
+            if i == 1 {
+                out.push(VertexId::new(0, 0));
+            }
+        })
+        .with_anti_dependencies(move |i, j, out, (_h, w)| {
+            if i == 0 && j == 0 {
+                out.extend((0..w).map(|k| VertexId::new(1, k)));
+            }
+        });
+    let expect = oracle(&pattern, &MixApp);
+    let config = EngineConfig::flat(2)
+        .with_dist(DistKind::BlockRow)
+        .with_cache(0);
+    let pattern = CustomDag::new(2, w)
+        .with_dependencies(|i, _j, out| {
+            if i == 1 {
+                out.push(VertexId::new(0, 0));
+            }
+        })
+        .with_anti_dependencies(move |i, j, out, (_h, w)| {
+            if i == 0 && j == 0 {
+                out.extend((0..w).map(|k| VertexId::new(1, k)));
+            }
+        });
+    let result = ThreadedEngine::new(MixApp, pattern, config)
+        .run()
+        .expect("engine completes");
+    for (id, v) in &expect {
+        assert_eq!(result.try_get(id.i, id.j).as_ref(), Some(v), "{id}");
+    }
+    let misses = result.report().comm.cache_misses;
+    assert!(misses >= 1, "the pull path must have run");
+    assert!(
+        misses < u64::from(w) / 2,
+        "{misses} pulls for {w} dependents of one cell — dedup is not folding"
+    );
+}

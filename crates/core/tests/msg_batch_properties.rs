@@ -1,0 +1,111 @@
+//! Property tests of the coalesced batch wire variants
+//! (`DoneBatch`/`PullBatch`/`PullValBatch`): round-trips at every size
+//! from empty to the flush-policy entry cap, codec size contracts, and
+//! decoder totality on arbitrary bytes — mirroring the frame-fuzz tests
+//! of the base protocol in `dpx10-apgas`.
+
+use dpx10_apgas::codec::{decode_exact, encode_to_vec};
+use dpx10_apgas::{CoalesceConfig, Codec};
+use dpx10_core::msg::Msg;
+use dpx10_dag::VertexId;
+use proptest::prelude::*;
+
+/// Round-trips one message: exact codec size, decodes, and the decoded
+/// value re-encodes to identical bytes (`Msg` has no `PartialEq`, so
+/// byte equality is the comparison).
+fn round_trip(msg: &Msg<u64>) -> Result<(), TestCaseError> {
+    let buf = encode_to_vec(msg);
+    prop_assert_eq!(buf.len(), Codec::wire_size(msg), "codec size contract");
+    let back: Msg<u64> = decode_exact(&buf).expect("well-formed bytes decode");
+    prop_assert_eq!(encode_to_vec(&back), buf, "decode/encode is stable");
+    Ok(())
+}
+
+fn vids(coords: &[(u32, u32)]) -> Vec<VertexId> {
+    coords.iter().map(|&(i, j)| VertexId::new(i, j)).collect()
+}
+
+proptest! {
+    #[test]
+    fn done_batches_round_trip(
+        entries in proptest::collection::vec(
+            ((any::<u32>(), any::<u32>()), any::<u64>()), 0..24),
+        targets in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..6),
+    ) {
+        let targets = vids(&targets);
+        let entries: Vec<(VertexId, u64, Vec<VertexId>)> = entries
+            .into_iter()
+            .map(|((i, j), v)| (VertexId::new(i, j), v, targets.clone()))
+            .collect();
+        round_trip(&Msg::DoneBatch { entries })?;
+    }
+
+    #[test]
+    fn pull_batches_round_trip(
+        ids in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..64),
+    ) {
+        round_trip(&Msg::PullBatch { ids: vids(&ids) })?;
+    }
+
+    #[test]
+    fn pull_val_batches_round_trip(
+        entries in proptest::collection::vec(
+            ((any::<u32>(), any::<u32>()), any::<u64>()), 0..64),
+    ) {
+        let entries: Vec<(VertexId, u64)> = entries
+            .into_iter()
+            .map(|((i, j), v)| (VertexId::new(i, j), v))
+            .collect();
+        round_trip(&Msg::PullValBatch { entries })?;
+    }
+
+    /// Arbitrary bytes never panic the protocol decoder, and anything
+    /// that does decode re-encodes to exactly the consumed prefix.
+    #[test]
+    fn batch_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let mut src = bytes.as_slice();
+        if let Some(msg) = Msg::<u64>::decode(&mut src) {
+            let consumed = bytes.len() - src.len();
+            let again = encode_to_vec(&msg);
+            prop_assert_eq!(again.as_slice(), &bytes[..consumed]);
+        }
+    }
+}
+
+/// Boundary sizes the flush policy actually produces: the empty batch
+/// (legal on the wire even though the coalescer never sends one) and a
+/// batch at exactly `CoalesceConfig::MAX_ENTRIES`, the entry-cap
+/// trigger.
+#[test]
+fn empty_and_entry_cap_boundaries_round_trip() {
+    let empty_ok = |m: &Msg<u64>| {
+        let buf = encode_to_vec(m);
+        assert_eq!(buf.len(), Codec::wire_size(m));
+        let back: Msg<u64> = decode_exact(&buf).expect("decodes");
+        assert_eq!(encode_to_vec(&back), buf);
+    };
+    empty_ok(&Msg::DoneBatch { entries: vec![] });
+    empty_ok(&Msg::PullBatch { ids: vec![] });
+    empty_ok(&Msg::PullValBatch { entries: vec![] });
+
+    let cap = CoalesceConfig::MAX_ENTRIES;
+    empty_ok(&Msg::DoneBatch {
+        entries: (0..cap as u32)
+            .map(|k| {
+                (
+                    VertexId::new(k, k + 1),
+                    u64::from(k) << 17,
+                    vec![VertexId::new(k + 1, k)],
+                )
+            })
+            .collect(),
+    });
+    empty_ok(&Msg::PullBatch {
+        ids: (0..cap as u32).map(|k| VertexId::new(k, !k)).collect(),
+    });
+    empty_ok(&Msg::PullValBatch {
+        entries: (0..cap as u32)
+            .map(|k| (VertexId::new(!k, k), u64::MAX - u64::from(k)))
+            .collect(),
+    });
+}

@@ -24,6 +24,11 @@ pub struct ChaosOptions {
     pub shrink: bool,
     /// Simulator trace capacity for the fingerprint check.
     pub trace_capacity: usize,
+    /// Message-coalescing byte budget for the threaded and socket
+    /// backends (`None` = the classic one-message-per-event plane). The
+    /// serial oracle and the simulator never coalesce, so a coalesced
+    /// sweep still compares against uncoalesced references cell by cell.
+    pub coalesce: Option<usize>,
 }
 
 impl Default for ChaosOptions {
@@ -32,6 +37,7 @@ impl Default for ChaosOptions {
             sockets: true,
             shrink: true,
             trace_capacity: 4096,
+            coalesce: None,
         }
     }
 }
@@ -233,12 +239,13 @@ fn check_sim(
     Ok(())
 }
 
-fn engine_config(sc: &Scenario, plan: &ChaosPlan) -> EngineConfig {
+fn engine_config(sc: &Scenario, plan: &ChaosPlan, coalesce: Option<usize>) -> EngineConfig {
     let mut config = EngineConfig::flat(sc.places)
         .with_dist(sc.dist.clone())
         .with_schedule(sc.schedule)
         .with_cache(sc.cache)
-        .with_chaos(plan.clone());
+        .with_chaos(plan.clone())
+        .with_coalesce(coalesce);
     config.stall_limit = Duration::from_secs(20);
     config
 }
@@ -247,8 +254,9 @@ fn check_threads(
     sc: &Scenario,
     plan: &ChaosPlan,
     expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
+    coalesce: Option<usize>,
 ) -> Result<(), Failure> {
-    let config = engine_config(sc, plan);
+    let config = engine_config(sc, plan, coalesce);
     let recorder = Recorder::new(sc.places as usize);
     let result = ThreadedEngine::new(MixApp, sc.pattern.clone(), config)
         .with_recorder(recorder.clone())
@@ -264,6 +272,7 @@ fn check_sockets(
     sc: &Scenario,
     plan: &ChaosPlan,
     expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
+    coalesce: Option<usize>,
 ) -> Result<(), Failure> {
     // The socket mesh gets the plan's kills (delivered as `Wire::Die`,
     // absorbed as soft crashes so every place stays a thread of this
@@ -284,7 +293,7 @@ fn check_sockets(
     let mut engine_plan = plan.clone();
     engine_plan.net = dpx10_apgas::NetChaos::off();
     engine_plan.flap = None;
-    let config = engine_config(sc, &engine_plan);
+    let config = engine_config(sc, &engine_plan, coalesce);
 
     let listener = TcpListener::bind("127.0.0.1:0")
         .map_err(|e| fail("sockets", format!("bind failed: {e}")))?;
@@ -352,9 +361,9 @@ fn check_sockets(
 pub fn check_plan(sc: &Scenario, plan: &ChaosPlan, opts: &ChaosOptions) -> Result<(), Failure> {
     let expect = oracle(sc.pattern.as_ref());
     check_sim(sc, plan, &expect, opts.trace_capacity)?;
-    check_threads(sc, plan, &expect)?;
+    check_threads(sc, plan, &expect, opts.coalesce)?;
     if opts.sockets {
-        check_sockets(sc, plan, &expect)?;
+        check_sockets(sc, plan, &expect, opts.coalesce)?;
     }
     Ok(())
 }

@@ -11,6 +11,7 @@ fn fast() -> ChaosOptions {
         sockets: false,
         shrink: false,
         trace_capacity: 2048,
+        coalesce: None,
     }
 }
 
@@ -30,6 +31,7 @@ fn pinned_seeds_pass_on_the_socket_mesh() {
         sockets: true,
         shrink: false,
         trace_capacity: 2048,
+        coalesce: None,
     };
     let failures: Vec<String> = (0..6u64)
         .map(|seed| run_seed(seed, &opts))

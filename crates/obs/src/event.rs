@@ -68,11 +68,14 @@ pub enum EventKind {
     /// The progress watchdog declared a stall (instant; arg = finished
     /// count).
     Stalled = 19,
+    /// A coalescing buffer flushed a batch to the transport (instant;
+    /// arg = entries carried, i.e. the batch occupancy at flush time).
+    BatchFlush = 20,
 }
 
 impl EventKind {
     /// Every kind, for exporters and tests.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::VertexCompute,
         EventKind::ReadyPop,
         EventKind::CacheHit,
@@ -92,6 +95,7 @@ impl EventKind {
         EventKind::CtlDone,
         EventKind::Fault,
         EventKind::Stalled,
+        EventKind::BatchFlush,
     ];
 
     /// Whether events of this kind carry a meaningful duration.
@@ -124,6 +128,7 @@ impl EventKind {
             EventKind::CtlDone => "ctl-done",
             EventKind::Fault => "fault",
             EventKind::Stalled => "stalled",
+            EventKind::BatchFlush => "batch-flush",
         }
     }
 

@@ -757,6 +757,29 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 let li = local_index(&ep.dist, id);
                 self.publish(ep, slot, li, id, value, t, threshold);
             }
+            // The simulator never coalesces (it models each event's
+            // latency individually), but batches share the wire enum:
+            // replay the carried messages through the same handlers.
+            Msg::DoneBatch { entries } => {
+                for (from, value, targets) in entries {
+                    let unbatched = Msg::Done {
+                        from,
+                        value,
+                        targets,
+                    };
+                    self.handle_msg(ep, slot, src, unbatched, t, threshold);
+                }
+            }
+            Msg::PullBatch { ids } => {
+                for id in ids {
+                    self.handle_msg(ep, slot, src, Msg::Pull { id }, t, threshold);
+                }
+            }
+            Msg::PullValBatch { entries } => {
+                for (id, value) in entries {
+                    self.handle_msg(ep, slot, src, Msg::PullVal { id, value }, t, threshold);
+                }
+            }
         }
     }
 }
