@@ -29,6 +29,13 @@
 //! flush that hits a [`DeadPlaceError`] simply drops the drained batch —
 //! the epoch is being torn down and recovery recomputes the unacked
 //! vertices (DESIGN.md, comms plane).
+//!
+//! Multi-job interaction: the job server builds one wrapper per job per
+//! epoch around that job's namespaced send path, so coalescing lanes
+//! are effectively keyed by `(job, destination)` — one job's batches
+//! never mix frames with another's, a job's abort drops only its own
+//! buffered traffic, and the per-epoch lifetime argument above holds
+//! per job unchanged.
 
 use std::sync::Arc;
 use std::time::Duration;

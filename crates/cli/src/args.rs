@@ -188,11 +188,57 @@ impl Default for BenchArgs {
     }
 }
 
+/// A parsed `dpx10 serve` invocation: several DP jobs multiplexed over
+/// one shared in-process socket mesh.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeArgs {
+    /// Job list file (`<app> <vertices> <seed> [priority]` per line);
+    /// `None` means the `--jobs`/`--app` sweep.
+    pub jobfile: Option<String>,
+    /// Sweep size when no jobfile is given.
+    pub jobs: u32,
+    /// Sweep application (must share the serve value type).
+    pub app: AppChoice,
+    /// Sweep problem scale as a vertex count.
+    pub vertices: u64,
+    /// Mesh places.
+    pub places: u16,
+    /// Concurrent-job admission cap.
+    pub max_in_flight: usize,
+    /// First sweep seed (job k uses `seed + k`).
+    pub seed: u64,
+    /// Re-run every job solo and compare fingerprints.
+    pub verify: bool,
+    /// Write Prometheus text-format job metrics here.
+    pub metrics_out: Option<String>,
+    /// Write a Chrome `trace_event` JSON timeline here.
+    pub trace_out: Option<String>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            jobfile: None,
+            jobs: 4,
+            app: AppChoice::Lcs,
+            vertices: 2_500,
+            places: 3,
+            max_in_flight: 4,
+            seed: 1,
+            verify: false,
+            metrics_out: None,
+            trace_out: None,
+        }
+    }
+}
+
 /// The parsed command.
 #[derive(Clone, Debug)]
 pub enum Command {
     /// `dpx10 run <app> [...]`.
     Run(Box<RunArgs>),
+    /// `dpx10 serve [...]`.
+    Serve(ServeArgs),
     /// `dpx10 chaos [...]`.
     Chaos(ChaosArgs),
     /// `dpx10 bench [...]`.
@@ -300,6 +346,59 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 other.unwrap_or("(none)")
             )),
         },
+        Some("serve") => {
+            let mut serve = ServeArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .map(str::to_string)
+                        .ok_or(ParseError(format!("{name} needs a value")))
+                };
+                match flag {
+                    "--jobfile" => serve.jobfile = Some(value("--jobfile")?),
+                    "--jobs" => {
+                        serve.jobs = value("--jobs")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --jobs".into()))?
+                    }
+                    "--app" => {
+                        let name = value("--app")?;
+                        serve.app = AppChoice::parse(&name)
+                            .ok_or(ParseError(format!("unknown app {name}; try `dpx10 apps`")))?
+                    }
+                    "--vertices" => {
+                        serve.vertices = value("--vertices")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --vertices".into()))?
+                    }
+                    "--places" => {
+                        serve.places = value("--places")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --places".into()))?
+                    }
+                    "--max-in-flight" => {
+                        serve.max_in_flight = value("--max-in-flight")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --max-in-flight".into()))?
+                    }
+                    "--seed" => serve.seed = parse_seed(&value("--seed")?)?,
+                    "--verify" => serve.verify = true,
+                    "--metrics-out" => serve.metrics_out = Some(value("--metrics-out")?),
+                    "--trace-out" => serve.trace_out = Some(value("--trace-out")?),
+                    other => return err(format!("unknown serve flag {other}")),
+                }
+            }
+            if serve.jobs == 0 {
+                return err("--jobs must be at least 1");
+            }
+            if serve.places < 2 {
+                return err("serve needs at least 2 places (one mesh, many jobs)");
+            }
+            if serve.max_in_flight == 0 {
+                return err("--max-in-flight must be at least 1");
+            }
+            Ok(Command::Serve(serve))
+        }
         Some("chaos") => {
             let mut chaos = ChaosArgs::default();
             while let Some(flag) = it.next() {
@@ -479,6 +578,7 @@ pub fn usage() -> String {
          \n\
          USAGE:\n\
          \x20 dpx10 run <app> [flags]      run an application\n\
+         \x20 dpx10 serve [flags]          run concurrent jobs on one shared place mesh\n\
          \x20 dpx10 chaos [flags]          seeded differential chaos testing\n\
          \x20 dpx10 bench [flags]          comms-plane baseline: coalescing off vs on\n\
          \x20 dpx10 apps                   list applications\n\
@@ -508,6 +608,20 @@ pub fn usage() -> String {
          \x20 --coalesce BYTES|off    batch protocol messages per destination, flushing\n\
          \x20                         at BYTES (plus entry-count and idle-drain triggers;\n\
          \x20                         default off = one message per protocol event)\n\
+         \n\
+         SERVE FLAGS:\n\
+         \x20 --jobfile FILE          one job per line: <app> <vertices> <seed> [priority];\n\
+         \x20                         `#` comments and blank lines are skipped\n\
+         \x20 --jobs N --app A        without a jobfile: N copies of app A at seeds\n\
+         \x20                         seed..seed+N (default 4 x lcs)\n\
+         \x20                         serve apps: lcs, edit-distance, lps, nussinov\n\
+         \x20 --vertices N            sweep problem scale per job (default 2500)\n\
+         \x20 --places N              mesh places, every job shares them (default 3)\n\
+         \x20 --max-in-flight M       concurrent-job admission cap (default 4)\n\
+         \x20 --seed S                first sweep seed (default 1)\n\
+         \x20 --verify                re-run each job solo, compare fingerprints\n\
+         \x20 --metrics-out FILE      write Prometheus job metrics\n\
+         \x20 --trace-out FILE        write a Chrome trace_event JSON timeline\n\
          \n\
          CHAOS FLAGS:\n\
          \x20 --seed S                run exactly one seed (decimal or 0x… hex)\n\
@@ -721,6 +835,58 @@ mod tests {
         assert!(parse_err(&["bench", "--coalesce", "off"])
             .0
             .contains("non-zero"));
+    }
+
+    #[test]
+    fn serve_defaults_and_flags_parse() {
+        let Command::Serve(serve) = parse_ok(&["serve"]) else {
+            panic!()
+        };
+        assert_eq!(serve, ServeArgs::default());
+        let Command::Serve(serve) = parse_ok(&[
+            "serve",
+            "--jobs",
+            "6",
+            "--app",
+            "edit-distance",
+            "--vertices",
+            "900",
+            "--places",
+            "4",
+            "--max-in-flight",
+            "2",
+            "--seed",
+            "0x10",
+            "--verify",
+            "--metrics-out",
+            "jobs.prom",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(serve.jobs, 6);
+        assert_eq!(serve.app, AppChoice::EditDistance);
+        assert_eq!(serve.vertices, 900);
+        assert_eq!(serve.places, 4);
+        assert_eq!(serve.max_in_flight, 2);
+        assert_eq!(serve.seed, 16);
+        assert!(serve.verify);
+        assert_eq!(serve.metrics_out.as_deref(), Some("jobs.prom"));
+        let Command::Serve(serve) = parse_ok(&["serve", "--jobfile", "jobs.txt"]) else {
+            panic!()
+        };
+        assert_eq!(serve.jobfile.as_deref(), Some("jobs.txt"));
+        assert!(parse_err(&["serve", "--jobs", "0"])
+            .0
+            .contains("at least 1"));
+        assert!(parse_err(&["serve", "--places", "1"])
+            .0
+            .contains("at least 2"));
+        assert!(parse_err(&["serve", "--app", "gpu"])
+            .0
+            .contains("unknown app"));
+        assert!(parse_err(&["serve", "--frobnicate"])
+            .0
+            .contains("unknown serve flag"));
     }
 
     #[test]

@@ -9,10 +9,10 @@ use dpx10_apps::{
     NussinovApp, SwLinearApp, SwlagApp,
 };
 use dpx10_core::{
-    DagResult, DistKind, DpApp, EngineConfig, FaultPlan, RunReport, SocketEngine, ThreadedEngine,
-    VertexValue,
+    DagResult, DepView, DistKind, DpApp, EngineConfig, FaultPlan, RunReport, ServeReport,
+    SocketEngine, ThreadedEngine, VertexValue,
 };
-use dpx10_dag::{critical_path_len, wavefront_profile, BuiltinKind, DagPattern};
+use dpx10_dag::{critical_path_len, wavefront_profile, BuiltinKind, DagPattern, VertexId};
 use dpx10_obs::{chrome, summary as obs_summary, EventKind, Recorder, Registry, Trace};
 use dpx10_sim::{CostModel, SimConfig, SimEngine, SimFaultPlan, TraceBuffer};
 
@@ -617,6 +617,332 @@ fn bench_swlag_sockets(
         .map_err(|e| format!("coordinator failed: {e}"))?
         .ok_or("coordinator returned no result")?;
     Ok((result.fingerprint(), result.report().clone()))
+}
+
+/// The applications `dpx10 serve` can multiplex: a [`JobServer`] runs
+/// one value type per mesh, so serve offers the builtin apps that share
+/// `Value = u32` and dispatches per job.
+enum ServeJobApp {
+    Lcs(LcsApp),
+    EditDistance(EditDistanceApp),
+    Lps(LpsApp),
+    Nussinov(NussinovApp),
+}
+
+impl DpApp for ServeJobApp {
+    type Value = u32;
+    fn compute(&self, id: VertexId, deps: &DepView<'_, u32>) -> u32 {
+        match self {
+            ServeJobApp::Lcs(app) => app.compute(id, deps),
+            ServeJobApp::EditDistance(app) => app.compute(id, deps),
+            ServeJobApp::Lps(app) => app.compute(id, deps),
+            ServeJobApp::Nussinov(app) => app.compute(id, deps),
+        }
+    }
+}
+
+/// One job to serve, as plain data so every place rebuilds it
+/// identically (the serve contract).
+#[derive(Clone)]
+struct ServeJobDef {
+    name: String,
+    app: AppChoice,
+    vertices: u64,
+    seed: u64,
+    priority: u8,
+}
+
+/// Builds the app + pattern a job definition describes.
+fn serve_app_for(def: &ServeJobDef) -> Result<(ServeJobApp, Box<dyn DagPattern>), String> {
+    match def.app {
+        AppChoice::Lcs => {
+            let n = workload::side_for_vertices(def.vertices) as usize;
+            let app = LcsApp::new(
+                workload::letters(n, def.seed),
+                workload::letters(n, def.seed + 1),
+            );
+            let pattern = app.pattern();
+            Ok((ServeJobApp::Lcs(app), Box::new(pattern)))
+        }
+        AppChoice::EditDistance => {
+            let n = workload::side_for_vertices(def.vertices) as usize;
+            let app = EditDistanceApp::new(
+                workload::letters(n, def.seed),
+                workload::letters(n, def.seed + 1),
+            );
+            let pattern = app.pattern();
+            Ok((ServeJobApp::EditDistance(app), Box::new(pattern)))
+        }
+        AppChoice::Lps => {
+            let n = ((def.vertices as f64 * 2.0).sqrt() as usize).max(2);
+            let app = LpsApp::new(workload::letters(n, def.seed));
+            let pattern = app.pattern();
+            Ok((ServeJobApp::Lps(app), Box::new(pattern)))
+        }
+        AppChoice::Nussinov => {
+            let n = ((def.vertices as f64 * 2.0).sqrt() as usize).clamp(2, 512);
+            let rna: Vec<u8> = workload::dna(n, def.seed)
+                .into_iter()
+                .map(|c| if c == b'T' { b'U' } else { c })
+                .collect();
+            let app = NussinovApp::new(rna);
+            let pattern = app.pattern();
+            Ok((ServeJobApp::Nussinov(app), Box::new(pattern)))
+        }
+        other => Err(format!(
+            "app {} cannot be served (serve apps share one value type: lcs, edit-distance, lps, nussinov)",
+            AppChoice::name(other)
+        )),
+    }
+}
+
+/// The job's solo oracle: the same app on a single-place threaded
+/// engine, fingerprinted.
+fn serve_solo_fingerprint(def: &ServeJobDef) -> Result<u64, String> {
+    let (app, pattern) = serve_app_for(def)?;
+    let result = ThreadedEngine::new(app, pattern, EngineConfig::flat(1))
+        .run()
+        .map_err(|e| format!("solo run of {}: {e}", def.name))?;
+    Ok(result.fingerprint())
+}
+
+/// Parses a serve jobfile: `<app> <vertices> <seed> [priority]` per
+/// line, `#` comments and blank lines skipped.
+fn parse_jobfile(text: &str) -> Result<Vec<ServeJobDef>, String> {
+    let mut defs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 3 || fields.len() > 4 {
+            return Err(format!(
+                "jobfile line {}: expected `<app> <vertices> <seed> [priority]`, got `{line}`",
+                lineno + 1
+            ));
+        }
+        let app = AppChoice::ALL
+            .iter()
+            .find(|(name, _)| *name == fields[0])
+            .map(|&(_, app)| app)
+            .ok_or(format!(
+                "jobfile line {}: unknown app {}",
+                lineno + 1,
+                fields[0]
+            ))?;
+        let vertices: u64 = fields[1]
+            .parse()
+            .map_err(|_| format!("jobfile line {}: bad vertices {}", lineno + 1, fields[1]))?;
+        let seed: u64 = fields[2]
+            .parse()
+            .map_err(|_| format!("jobfile line {}: bad seed {}", lineno + 1, fields[2]))?;
+        let priority: u8 = match fields.get(3) {
+            Some(p) => p
+                .parse()
+                .map_err(|_| format!("jobfile line {}: bad priority {p}", lineno + 1))?,
+            None => 0,
+        };
+        defs.push(ServeJobDef {
+            name: format!("{}:{}", fields[0], defs.len()),
+            app,
+            vertices,
+            seed,
+            priority,
+        });
+    }
+    if defs.is_empty() {
+        return Err("jobfile has no jobs".into());
+    }
+    Ok(defs)
+}
+
+/// Job-level metrics of a finished serve, Prometheus-renderable.
+fn build_serve_registry(report: &ServeReport<u32>) -> Registry {
+    let reg = Registry::new();
+    reg.counter(
+        "dpx10_jobs_done_total",
+        "jobs that completed with a result",
+        &[],
+    )
+    .add(report.succeeded() as u64);
+    reg.counter(
+        "dpx10_jobs_failed_total",
+        "jobs that ended in an error",
+        &[],
+    )
+    .add((report.jobs.len() - report.succeeded()) as u64);
+    reg.gauge(
+        "dpx10_jobs_active_peak",
+        "most jobs concurrently admitted on the shared mesh",
+        &[],
+    )
+    .set(report.peak_in_flight as f64);
+    for job in &report.jobs {
+        reg.histogram_ns("dpx10_job_wait_ns", "submit-to-admission wait per job", &[])
+            .observe(job.wait.as_nanos() as u64);
+    }
+    reg
+}
+
+/// `dpx10 serve`: several DP jobs on one shared in-process socket mesh
+/// (every place a thread, same idiom as `bench`). Jobs come from a
+/// jobfile or a `--jobs N --app A` sweep; `--verify` re-runs every job
+/// solo and errs on any fingerprint divergence.
+pub fn run_serve(args: &crate::args::ServeArgs) -> Result<String, String> {
+    let defs: Vec<ServeJobDef> = match &args.jobfile {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            parse_jobfile(&text)?
+        }
+        None => (0..args.jobs)
+            .map(|k| ServeJobDef {
+                name: format!("{}:{k}", args.app.name()),
+                app: args.app,
+                vertices: args.vertices,
+                seed: args.seed.wrapping_add(u64::from(k)),
+                priority: 0,
+            })
+            .collect(),
+    };
+    // Fail fast on un-servable apps before any thread spawns.
+    for def in &defs {
+        serve_app_for(def)?;
+    }
+
+    let recorder = if args.trace_out.is_some() {
+        Recorder::with_capacity(args.places as usize, 1 << 20)
+    } else {
+        Recorder::disabled()
+    };
+    let places = args.places;
+    let max_in_flight = args.max_in_flight;
+    let build = {
+        let defs = defs.clone();
+        let recorder = recorder.clone();
+        move || -> Result<dpx10_core::JobServer<ServeJobApp>, String> {
+            let mut server = dpx10_core::JobServer::new()
+                .with_max_in_flight(max_in_flight)
+                .with_recorder(recorder.clone());
+            for def in &defs {
+                let (app, pattern) = serve_app_for(def)?;
+                let config = EngineConfig {
+                    topology: Topology::flat(places),
+                    ..EngineConfig::paper(1)
+                };
+                server
+                    .submit(
+                        dpx10_core::JobSpec::new(def.name.clone(), app, pattern, config)
+                            .with_priority(def.priority),
+                    )
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(server)
+        }
+    };
+
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("no local addr: {e}"))?
+        .to_string();
+    let build = std::sync::Arc::new(build);
+    let mut workers = Vec::new();
+    for p in 1..places {
+        let addr = addr.clone();
+        let build = build.clone();
+        workers.push(std::thread::spawn(move || -> Result<(), String> {
+            match build()?.serve(SocketConfig::worker(PlaceId(p), places, addr)) {
+                Ok(None) => Ok(()),
+                Ok(Some(_)) => Err(format!("worker place {p} returned a report")),
+                Err(e) => Err(format!("worker place {p}: {e}")),
+            }
+        }));
+    }
+    let outcome = build()
+        .map_err(|e| e.to_string())?
+        .serve(SocketConfig::coordinator(listener, places));
+    for (idx, w) in workers.into_iter().enumerate() {
+        w.join()
+            .map_err(|_| format!("worker place {} panicked", idx + 1))??;
+    }
+    let report = outcome
+        .map_err(|e| format!("coordinator failed: {e}"))?
+        .ok_or("coordinator returned no report")?;
+
+    let mut out = format!(
+        "serve: {} job(s), {} places, admission cap {}\n",
+        defs.len(),
+        places,
+        max_in_flight
+    );
+    let mut failures = Vec::new();
+    for (job, def) in report.jobs.iter().zip(&defs) {
+        match &job.result {
+            Ok(result) => {
+                let r = result.report();
+                out.push_str(&format!(
+                    "  {:<20} prio {}  wait {:>9?}  epochs {}  recoveries {}  fingerprint {:#018x}",
+                    job.name,
+                    job.priority,
+                    job.wait,
+                    r.epochs,
+                    r.recoveries.len(),
+                    result.fingerprint()
+                ));
+                if let Some(d) = &r.schedule_downgrade {
+                    out.push_str(&format!(
+                        "  [schedule {:?} -> {:?}]",
+                        d.requested, d.effective
+                    ));
+                }
+                if args.verify {
+                    let solo = serve_solo_fingerprint(def)?;
+                    if solo == result.fingerprint() {
+                        out.push_str("  verified");
+                    } else {
+                        failures.push(format!(
+                            "job {} fingerprint {:#018x} != solo {:#018x}",
+                            job.name,
+                            result.fingerprint(),
+                            solo
+                        ));
+                        out.push_str("  MISMATCH");
+                    }
+                }
+                out.push('\n');
+            }
+            Err(e) => {
+                failures.push(format!("job {} failed: {e}", job.name));
+                out.push_str(&format!(
+                    "  {:<20} prio {}  FAILED: {e}\n",
+                    job.name, job.priority
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "done: {}/{} succeeded, peak {} in flight\n",
+        report.succeeded(),
+        report.jobs.len(),
+        report.peak_in_flight
+    ));
+    if let Some(path) = &args.trace_out {
+        let trace = recorder.drain();
+        chrome::write(std::path::Path::new(path), &trace)
+            .map_err(|e| format!("write trace {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if let Some(path) = &args.metrics_out {
+        let registry = build_serve_registry(&report);
+        std::fs::write(path, registry.render_prometheus())
+            .map_err(|e| format!("write metrics {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    Ok(out)
 }
 
 /// `dpx10 apps`: one line per application.

@@ -45,6 +45,16 @@ fn main() {
                 1
             }
         }
+        Ok(Command::Serve(serve_args)) => match commands::run_serve(&serve_args) {
+            Ok(summary) => {
+                print!("{summary}");
+                0
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                1
+            }
+        },
         Ok(Command::Bench(bench_args)) => match commands::run_bench(&bench_args) {
             Ok(summary) => {
                 print!("{summary}");

@@ -422,80 +422,7 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
         if shared.should_stop() || !shared.liveness.is_alive(me) {
             break;
         }
-        let (drain_budget, ready_budget) = match shaker.as_mut() {
-            Some(rng) => {
-                if rng.chance(0.05) {
-                    std::thread::yield_now();
-                }
-                (1 + rng.below(128), 1 + rng.below(32))
-            }
-            None => (128, 32),
-        };
-        let mut progress = false;
-        for _ in 0..drain_budget {
-            match shared.transport.try_recv(me) {
-                Some(env) => {
-                    handle_msg(&shared, slot, wid, env, &mut bufs);
-                    progress = true;
-                }
-                None => break,
-            }
-        }
-        match shaker.as_mut() {
-            Some(rng) => {
-                // Shaken pop: grab a small batch, start it at a random
-                // offset — adjacent ready vertices execute in an order a
-                // plain FIFO/LIFO queue would never produce.
-                let mut popped = 0;
-                while popped < ready_budget {
-                    let mut batch: Vec<u32> = Vec::with_capacity(4);
-                    for _ in 0..1 + rng.below(3) {
-                        match shared.shards[slot].ready.pop() {
-                            Some(li) => {
-                                shared.recorder.instant_now(
-                                    me.0,
-                                    wid,
-                                    EventKind::ReadyPop,
-                                    u64::from(li),
-                                );
-                                batch.push(li);
-                            }
-                            None => break,
-                        }
-                    }
-                    if batch.is_empty() {
-                        break;
-                    }
-                    let r = rng.below(batch.len() as u64) as usize;
-                    batch.rotate_left(r);
-                    for li in batch {
-                        execute(&shared, slot, wid, li, &mut bufs);
-                        popped += 1;
-                        progress = true;
-                    }
-                }
-            }
-            None => {
-                for _ in 0..ready_budget {
-                    match shared.shards[slot].ready.pop() {
-                        Some(li) => {
-                            shared.recorder.instant_now(
-                                me.0,
-                                wid,
-                                EventKind::ReadyPop,
-                                u64::from(li),
-                            );
-                            execute(&shared, slot, wid, li, &mut bufs);
-                            progress = true;
-                        }
-                        None => break,
-                    }
-                }
-            }
-        }
-        if !progress && shared.schedule == ScheduleStrategy::WorkStealing {
-            progress = try_steal(&shared, slot, wid, &mut bufs);
-        }
+        let progress = worker_rounds(&shared, slot, wid, &mut bufs, &mut shaker);
         if progress {
             idle_rounds = 0;
             continue;
@@ -523,9 +450,99 @@ pub(crate) fn worker_loop<A: DpApp>(shared: Arc<Shared<A>>, slot: usize) {
     }
 }
 
+/// One budgeted round of a worker's duty cycle: drain up to a budget of
+/// inbound messages, execute up to a budget of ready vertices, and (when
+/// configured) steal once from the most loaded shard. Returns whether
+/// anything at all got done, so the caller can decide how to idle.
+///
+/// Extracted from [`worker_loop`] so it can also drive the multi-job
+/// pool in [`crate::jobs`], where one thread services many jobs and must
+/// never block on any single one of them.
+pub(crate) fn worker_rounds<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    wid: u16,
+    bufs: &mut WorkerBufs,
+    shaker: &mut Option<ChaosRng>,
+) -> bool {
+    let me = shared.dist.places()[slot];
+    let (drain_budget, ready_budget) = match shaker.as_mut() {
+        Some(rng) => {
+            if rng.chance(0.05) {
+                std::thread::yield_now();
+            }
+            (1 + rng.below(128), 1 + rng.below(32))
+        }
+        None => (128, 32),
+    };
+    let mut progress = false;
+    for _ in 0..drain_budget {
+        match shared.transport.try_recv(me) {
+            Some(env) => {
+                handle_msg(shared, slot, wid, env, bufs);
+                progress = true;
+            }
+            None => break,
+        }
+    }
+    match shaker.as_mut() {
+        Some(rng) => {
+            // Shaken pop: grab a small batch, start it at a random
+            // offset — adjacent ready vertices execute in an order a
+            // plain FIFO/LIFO queue would never produce.
+            let mut popped = 0;
+            while popped < ready_budget {
+                let mut batch: Vec<u32> = Vec::with_capacity(4);
+                for _ in 0..1 + rng.below(3) {
+                    match shared.shards[slot].ready.pop() {
+                        Some(li) => {
+                            shared.recorder.instant_now(
+                                me.0,
+                                wid,
+                                EventKind::ReadyPop,
+                                u64::from(li),
+                            );
+                            batch.push(li);
+                        }
+                        None => break,
+                    }
+                }
+                if batch.is_empty() {
+                    break;
+                }
+                let r = rng.below(batch.len() as u64) as usize;
+                batch.rotate_left(r);
+                for li in batch {
+                    execute(shared, slot, wid, li, bufs);
+                    popped += 1;
+                    progress = true;
+                }
+            }
+        }
+        None => {
+            for _ in 0..ready_budget {
+                match shared.shards[slot].ready.pop() {
+                    Some(li) => {
+                        shared
+                            .recorder
+                            .instant_now(me.0, wid, EventKind::ReadyPop, u64::from(li));
+                        execute(shared, slot, wid, li, bufs);
+                        progress = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+    if !progress && shared.schedule == ScheduleStrategy::WorkStealing {
+        progress = try_steal(shared, slot, wid, bufs);
+    }
+    progress
+}
+
 /// Reusable per-worker scratch buffers (hot path: no fresh allocations
 /// per vertex).
-struct WorkerBufs {
+pub(crate) struct WorkerBufs {
     deps: Vec<VertexId>,
     anti: Vec<VertexId>,
     groups: HashMap<u16, Vec<VertexId>>,

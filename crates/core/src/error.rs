@@ -27,6 +27,11 @@ pub enum EngineError {
     /// mesh formation, an unrecoverable peer loss (place 0), or an I/O
     /// error on the coordinator itself.
     Socket(String),
+    /// The multi-job server rejected a submission or a serve
+    /// configuration — a full admission queue (backpressure), a job
+    /// pinned to places outside the mesh, or a placement missing the
+    /// coordinator place 0.
+    Job(String),
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +44,7 @@ impl fmt::Display for EngineError {
             EngineError::BadFaultPlan(msg) => write!(f, "bad fault plan: {msg}"),
             EngineError::Untileable(e) => write!(f, "{e}"),
             EngineError::Socket(msg) => write!(f, "socket backend: {msg}"),
+            EngineError::Job(msg) => write!(f, "job server: {msg}"),
         }
     }
 }

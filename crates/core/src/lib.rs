@@ -53,6 +53,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod jobs;
 pub mod msg;
 pub mod schedule;
 pub mod socket_engine;
@@ -68,9 +69,10 @@ pub use checkpoint::{load_checkpoint, CheckpointConfig};
 pub use config::{EngineConfig, FaultPlan, InitOverride};
 pub use engine::ThreadedEngine;
 pub use error::EngineError;
+pub use jobs::{JobOutcome, JobServer, JobSpec, ServeKill, ServeReport};
 pub use schedule::ScheduleStrategy;
 pub use socket_engine::SocketEngine;
-pub use stats::RunReport;
+pub use stats::{RunReport, ScheduleDowngrade};
 pub use tiled::{run_tiled_threaded, TileValue, TiledApp, TiledRun};
 
 // Re-export the pieces applications touch, so `dpx10_core` is

@@ -55,7 +55,23 @@ use crate::error::EngineError;
 use crate::msg::Msg;
 use crate::schedule::ScheduleStrategy;
 use crate::state::{build_shards, collect_array};
-use crate::stats::RunReport;
+use crate::stats::{RunReport, ScheduleDowngrade};
+
+/// Applies the socket backend's scheduling restrictions to `config` and
+/// returns a record of what changed (shared with the multi-job server,
+/// whose per-job engines run under the same restriction).
+pub(crate) fn downgrade_schedule(config: &mut EngineConfig) -> Option<ScheduleDowngrade> {
+    if config.schedule == ScheduleStrategy::WorkStealing {
+        config.schedule = ScheduleStrategy::Local;
+        return Some(ScheduleDowngrade {
+            requested: ScheduleStrategy::WorkStealing,
+            effective: ScheduleStrategy::Local,
+            reason: "work stealing needs shared-memory ready lists, \
+                     which do not exist across socket places",
+        });
+    }
+    None
+}
 
 /// How long place 0 waits for a survivor's snapshot before writing the
 /// place off as dead (generous: the transport's own heartbeat timeout
@@ -68,7 +84,10 @@ const PROGRESS_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Everything that crosses a socket during a run: vertex traffic
 /// ([`Wire::App`]) and the control protocol, all epoch-tagged.
-enum Wire<V> {
+///
+/// `pub(crate)` because the multi-job server ([`crate::jobs`]) speaks
+/// the same protocol, namespaced per job by the [`Wire::Job`] wrapper.
+pub(crate) enum Wire<V> {
     /// A vertex-protocol message of the given epoch.
     App(u32, Msg<V>),
     /// Worker → place 0: my slot has `finished` vertices done.
@@ -118,6 +137,12 @@ enum Wire<V> {
     Die,
     /// Place 0 → workers: the run is over, exit cleanly.
     Done,
+    /// A frame belonging to one job of a multi-job serve: the `job_id`
+    /// namespace joins the epoch already carried by the inner frame.
+    /// Decode is tolerant in both directions: old single-job peers never
+    /// emit tag 8 and ignore nothing, while a serve demux treats a bare
+    /// (unwrapped) legacy frame as belonging to job 0.
+    Job(u32, Box<Wire<V>>),
 }
 
 impl<V: Codec> Codec for Wire<V> {
@@ -166,6 +191,11 @@ impl<V: Codec> Codec for Wire<V> {
             }
             Wire::Die => buf.push(6),
             Wire::Done => buf.push(7),
+            Wire::Job(job, inner) => {
+                buf.push(8);
+                job.encode(buf);
+                inner.encode(buf);
+            }
         }
     }
 
@@ -196,6 +226,7 @@ impl<V: Codec> Codec for Wire<V> {
             }),
             6 => Some(Wire::Die),
             7 => Some(Wire::Done),
+            8 => Some(Wire::Job(u32::decode(src)?, Box::new(Wire::decode(src)?))),
             _ => None,
         }
     }
@@ -218,6 +249,7 @@ impl<V: Codec> Codec for Wire<V> {
                 cells,
             } => epoch.wire_size() + alive.wire_size() + cells.wire_size(),
             Wire::Die | Wire::Done => 0,
+            Wire::Job(job, inner) => job.wire_size() + Codec::wire_size(inner.as_ref()),
         }
     }
 }
@@ -230,15 +262,44 @@ impl<V: Codec> Codec for Wire<V> {
 /// enter the new epoch at different moments, and a fast peer's vertex
 /// traffic can arrive while this place is still resuming — discarding it
 /// would starve this place's share of the DAG and stall the run.
-struct AppPlane<V> {
+pub(crate) struct AppPlane<V> {
     node: Arc<SocketNode>,
     epoch: AtomicU32,
     app_rx: Receiver<(u32, Envelope<Msg<V>>)>,
     early: dpx10_sync::Mutex<Vec<(u32, Envelope<Msg<V>>)>>,
     liveness: LivenessBoard,
+    /// `Some(job_id)` when this plane carries one job of a multi-job
+    /// serve: outbound frames get wrapped in [`Wire::Job`] so the remote
+    /// demux can route them to the right job's channels. `None` is the
+    /// classic single-job engine (bare frames, fully wire-compatible
+    /// with pre-job peers).
+    job: Option<u32>,
 }
 
 impl<V: VertexValue> AppPlane<V> {
+    /// Builds the plane over `node`, consuming the demux's app frames
+    /// from `app_rx`. `job` namespaces outbound frames (see the field).
+    pub(crate) fn new(
+        node: Arc<SocketNode>,
+        app_rx: Receiver<(u32, Envelope<Msg<V>>)>,
+        job: Option<u32>,
+    ) -> Self {
+        AppPlane {
+            liveness: node.liveness().clone(),
+            node,
+            epoch: AtomicU32::new(0),
+            app_rx,
+            early: dpx10_sync::Mutex::new(Vec::new()),
+            job,
+        }
+    }
+
+    /// Advances the plane to `epoch` (done between epochs, with the
+    /// workers quiesced).
+    pub(crate) fn set_epoch(&self, epoch: u32) {
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
     /// Classifies one demuxed frame against `current`: deliver, park for
     /// a later epoch, or drop as stale.
     fn admit(&self, epoch: u32, env: Envelope<Msg<V>>, current: u32) -> Option<Envelope<Msg<V>>> {
@@ -281,7 +342,11 @@ impl<V: VertexValue> Transport<Msg<V>> for AppPlane<V> {
     ) -> Result<(), DeadPlaceError> {
         debug_assert_eq!(src, self.node.me(), "socket places only send as themselves");
         let wire = Wire::App(self.epoch.load(Ordering::Acquire), msg);
-        self.node.send_bytes(dst, encode_to_vec(&wire)).map(|_| ())
+        let bytes = match self.job {
+            Some(job) => encode_to_vec(&Wire::Job(job, Box::new(wire))),
+            None => encode_to_vec(&wire),
+        };
+        self.node.send_bytes(dst, bytes).map(|_| ())
     }
 
     fn try_recv(&self, _at: PlaceId) -> Option<Envelope<Msg<V>>> {
@@ -384,6 +449,7 @@ pub struct SocketEngine<A: DpApp> {
     init: Option<InitOverride<A::Value>>,
     soft_die: bool,
     recorder: Recorder,
+    downgrade: Option<ScheduleDowngrade>,
 }
 
 impl<A: DpApp + 'static> SocketEngine<A> {
@@ -391,11 +457,11 @@ impl<A: DpApp + 'static> SocketEngine<A> {
     ///
     /// Work stealing degrades to local scheduling here: stealing pops
     /// from another slot's ready list through shared memory, which only
-    /// exists inside one process.
+    /// exists inside one process. The swap is recorded in the run
+    /// report's [`RunReport::schedule_downgrade`] rather than applied
+    /// silently.
     pub fn new(app: A, pattern: impl DagPattern + 'static, mut config: EngineConfig) -> Self {
-        if config.schedule == ScheduleStrategy::WorkStealing {
-            config.schedule = ScheduleStrategy::Local;
-        }
+        let downgrade = downgrade_schedule(&mut config);
         // Checkpoint writers assume one process owns all places' files.
         config.checkpoint = None;
         SocketEngine {
@@ -405,6 +471,7 @@ impl<A: DpApp + 'static> SocketEngine<A> {
             init: None,
             soft_die: false,
             recorder: Recorder::disabled(),
+            downgrade,
         }
     }
 
@@ -495,13 +562,7 @@ impl<A: DpApp + 'static> SocketEngine<A> {
                 .spawn(move || demux_loop(node, app_tx, ctl_tx, stop))
                 .map_err(|e| EngineError::Socket(format!("spawn demux: {e}")))?
         };
-        let plane = Arc::new(AppPlane {
-            node: node.clone(),
-            epoch: AtomicU32::new(0),
-            app_rx,
-            early: dpx10_sync::Mutex::new(Vec::new()),
-            liveness: node.liveness().clone(),
-        });
+        let plane = Arc::new(AppPlane::new(node.clone(), app_rx, None));
 
         let driver = Driver {
             engine: self,
@@ -552,6 +613,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         let started = Instant::now();
         let mut report = RunReport {
             vertices_total: total,
+            schedule_downgrade: self.engine.downgrade.clone(),
             ..RunReport::default()
         };
         let mut alive: Vec<PlaceId> = (0..self.places).map(PlaceId).collect();
@@ -1281,6 +1343,16 @@ mod tests {
             },
             Wire::Die,
             Wire::Done,
+            Wire::Job(
+                7,
+                Box::new(Wire::App(
+                    2,
+                    Msg::Pull {
+                        id: VertexId::new(4, 4),
+                    },
+                )),
+            ),
+            Wire::Job(0, Box::new(Wire::Stop { epoch: 3 })),
         ];
         for wire in wires {
             let buf = encode_to_vec(&wire);

@@ -272,4 +272,37 @@ mod reopen_tests {
         );
         std::fs::remove_file(&path).ok();
     }
+
+    #[test]
+    fn reopen_drops_record_truncated_inside_its_value() {
+        // A crash can cut a record anywhere, not just in the header:
+        // here the last record's header landed on disk but its value
+        // bytes did not all make it. The reopen scan must index only
+        // the intact prefix, shed the torn record without panicking,
+        // and leave the store appendable.
+        let mut path = std::env::temp_dir();
+        path.push(format!("dpx10-spill-{}-torn-value", std::process::id()));
+        {
+            let mut store: SpillStore<u64> = SpillStore::create(&path).unwrap();
+            store.spill(VertexId::new(0, 1), &10).unwrap();
+            store.spill(VertexId::new(0, 2), &20).unwrap();
+        }
+        let full = std::fs::metadata(&path).unwrap().len();
+        {
+            let f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_len(full - 3).unwrap(); // cut into record 2's value
+        }
+        let mut store: SpillStore<u64> = SpillStore::open_readonly(&path).unwrap();
+        assert_eq!(store.len(), 1, "only the intact prefix is indexed");
+        assert_eq!(store.fetch(VertexId::new(0, 1)).unwrap(), Some(10));
+        assert_eq!(store.fetch(VertexId::new(0, 2)).unwrap(), None);
+        // The torn tail was trimmed, so appends land on a clean offset.
+        store.spill(VertexId::new(0, 3), &30).unwrap();
+        let replayed = store.replay().unwrap();
+        assert_eq!(
+            replayed,
+            vec![(VertexId::new(0, 1), 10), (VertexId::new(0, 3), 30)]
+        );
+        std::fs::remove_file(&path).ok();
+    }
 }

@@ -71,11 +71,17 @@ pub enum EventKind {
     /// A coalescing buffer flushed a batch to the transport (instant;
     /// arg = entries carried, i.e. the batch occupancy at flush time).
     BatchFlush = 20,
+    /// Multi-job scheduler: a job's driver was admitted on this place
+    /// (instant; arg = job id).
+    JobAdmit = 21,
+    /// Multi-job scheduler: a job's driver completed on this place
+    /// (instant; arg = job id).
+    JobDone = 22,
 }
 
 impl EventKind {
     /// Every kind, for exporters and tests.
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 22] = [
         EventKind::VertexCompute,
         EventKind::ReadyPop,
         EventKind::CacheHit,
@@ -96,6 +102,8 @@ impl EventKind {
         EventKind::Fault,
         EventKind::Stalled,
         EventKind::BatchFlush,
+        EventKind::JobAdmit,
+        EventKind::JobDone,
     ];
 
     /// Whether events of this kind carry a meaningful duration.
@@ -129,6 +137,8 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Stalled => "stalled",
             EventKind::BatchFlush => "batch-flush",
+            EventKind::JobAdmit => "job-admit",
+            EventKind::JobDone => "job-done",
         }
     }
 
