@@ -273,6 +273,160 @@ impl ChaosPlan {
     }
 }
 
+/// One elastic-mesh verb, fired at a progress fraction of the run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ElasticVerb {
+    /// A new place joins the mesh (lowest vacant slot; ignored at
+    /// capacity).
+    Join,
+    /// `place` drains gracefully: relocates every chunk it holds, then
+    /// leaves. Never place 0.
+    Drain {
+        /// The draining place.
+        place: PlaceId,
+    },
+    /// One chunk relocates to the least-loaded member. `slot` is taken
+    /// modulo the engine's slot count, so plans are portable across
+    /// shapes.
+    Relocate {
+        /// The slot to move (modulo the slot count).
+        slot: u16,
+    },
+    /// `place` dies abruptly — no drain, no relocation: the recovery
+    /// (recompute) path. Never place 0.
+    Kill {
+        /// The victim.
+        place: PlaceId,
+    },
+}
+
+/// An [`ElasticVerb`] with its trigger point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ElasticEvent {
+    /// Progress fraction (finished vertices / total) at which the verb
+    /// fires, in `[0, 1]`.
+    pub at: f64,
+    /// What happens.
+    pub verb: ElasticVerb,
+}
+
+/// A seeded schedule of membership churn for an elastic-mesh run:
+/// joins, graceful drains, chunk relocations and abrupt kills, each
+/// pinned to a progress fraction. The elastic differential oracle runs
+/// the same workload with and without the plan and demands identical
+/// results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ElasticPlan {
+    /// Root seed the plan was generated from.
+    pub seed: u64,
+    /// Events in firing order (ascending `at`).
+    pub events: Vec<ElasticEvent>,
+}
+
+impl ElasticPlan {
+    /// A plan with no membership churn at all.
+    pub fn quiet(seed: u64) -> Self {
+        ElasticPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Derives a random elastic plan for a mesh founded with `founding`
+    /// places and capped at `capacity` slots, deterministically from
+    /// `seed`. The generator tracks simulated membership so every drain
+    /// and kill names a place that is actually a member when the event
+    /// fires, the mesh never shrinks below two members, and place 0 is
+    /// never drained or killed.
+    pub fn generate(seed: u64, founding: u16, capacity: u16) -> Self {
+        let capacity = capacity.max(founding);
+        let mut rng = ChaosRng::new(seed).fork(0x454C_5354); // "ELST"
+        let mut members: Vec<u16> = (0..founding).collect();
+        let mut next_id = founding;
+        let mut events = Vec::new();
+        let n_events = rng.below(6);
+        for k in 0..n_events {
+            // Events fire in generated order: quantized, strictly
+            // increasing fractions.
+            let at = ((k + 1) as f64) * 0.9 / (n_events + 1) as f64;
+            let at = (at * 20.0).round() / 20.0;
+            let can_join = next_id < capacity;
+            let removable: Vec<u16> = members.iter().copied().filter(|p| *p != 0).collect();
+            let can_remove = members.len() > 2 && !removable.is_empty();
+            let verb = match rng.below(4) {
+                0 if can_join => {
+                    members.push(next_id);
+                    next_id += 1;
+                    ElasticVerb::Join
+                }
+                1 if can_remove => {
+                    let victim = removable[rng.below(removable.len() as u64) as usize];
+                    members.retain(|p| *p != victim);
+                    ElasticVerb::Drain {
+                        place: PlaceId(victim),
+                    }
+                }
+                2 if can_remove => {
+                    let victim = removable[rng.below(removable.len() as u64) as usize];
+                    members.retain(|p| *p != victim);
+                    ElasticVerb::Kill {
+                        place: PlaceId(victim),
+                    }
+                }
+                _ => ElasticVerb::Relocate {
+                    slot: rng.below(64) as u16,
+                },
+            };
+            events.push(ElasticEvent { at, verb });
+        }
+        ElasticPlan { seed, events }
+    }
+
+    /// Whether the plan does nothing.
+    pub fn is_quiet(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// One-step-simpler candidates: each drops one event (later events
+    /// first). Dropping a `Join` can leave a later drain or kill naming
+    /// a place that never joins; elastic engines treat verbs naming
+    /// non-members as no-ops, so every candidate stays runnable.
+    pub fn shrink(&self) -> Vec<ElasticPlan> {
+        (0..self.events.len())
+            .rev()
+            .map(|k| {
+                let mut p = self.clone();
+                p.events.remove(k);
+                p
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ElasticPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={:#018x}", self.seed)?;
+        for ev in &self.events {
+            match ev.verb {
+                ElasticVerb::Join => write!(f, " join@{:.0}%", ev.at * 100.0)?,
+                ElasticVerb::Drain { place } => {
+                    write!(f, " drain(p{}@{:.0}%)", place.0, ev.at * 100.0)?
+                }
+                ElasticVerb::Relocate { slot } => {
+                    write!(f, " relocate(s{slot}@{:.0}%)", ev.at * 100.0)?
+                }
+                ElasticVerb::Kill { place } => {
+                    write!(f, " kill(p{}@{:.0}%)", place.0, ev.at * 100.0)?
+                }
+            }
+        }
+        if self.is_quiet() {
+            write!(f, " quiet")?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for ChaosPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "seed={:#018x}", self.seed)?;
@@ -708,6 +862,95 @@ mod tests {
         let (b, cb) = run(&make());
         assert_eq!(a, b, "same seed + same order = same perturbations");
         assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn elastic_plans_reproduce_and_stay_well_formed() {
+        for seed in 0..200u64 {
+            let p1 = ElasticPlan::generate(seed, 3, 5);
+            let p2 = ElasticPlan::generate(seed, 3, 5);
+            assert_eq!(p1, p2, "seed {seed} must reproduce");
+            // Replay the membership the generator claims to track.
+            let mut members: Vec<u16> = vec![0, 1, 2];
+            let mut next_id = 3u16;
+            let mut last_at = 0.0f64;
+            for ev in &p1.events {
+                assert!((0.0..=1.0).contains(&ev.at), "seed {seed}");
+                assert!(ev.at >= last_at, "seed {seed}: events fire in order");
+                last_at = ev.at;
+                match ev.verb {
+                    ElasticVerb::Join => {
+                        assert!(next_id < 5, "seed {seed}: join past capacity");
+                        members.push(next_id);
+                        next_id += 1;
+                    }
+                    ElasticVerb::Drain { place } | ElasticVerb::Kill { place } => {
+                        assert_ne!(place.0, 0, "seed {seed}: never remove place 0");
+                        assert!(members.contains(&place.0), "seed {seed}: non-member");
+                        assert!(members.len() > 2, "seed {seed}: mesh too small");
+                        members.retain(|p| *p != place.0);
+                    }
+                    ElasticVerb::Relocate { .. } => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_seed_space_covers_every_verb() {
+        let mut join = 0;
+        let mut drain = 0;
+        let mut relocate = 0;
+        let mut kill = 0;
+        for seed in 0..300u64 {
+            for ev in ElasticPlan::generate(seed, 3, 6).events {
+                match ev.verb {
+                    ElasticVerb::Join => join += 1,
+                    ElasticVerb::Drain { .. } => drain += 1,
+                    ElasticVerb::Relocate { .. } => relocate += 1,
+                    ElasticVerb::Kill { .. } => kill += 1,
+                }
+            }
+        }
+        assert!(
+            join > 0 && drain > 0 && relocate > 0 && kill > 0,
+            "verb mix too narrow: join={join} drain={drain} relocate={relocate} kill={kill}"
+        );
+    }
+
+    #[test]
+    fn elastic_shrink_strictly_simplifies_and_displays() {
+        let plan = ElasticPlan {
+            seed: 0xEE,
+            events: vec![
+                ElasticEvent {
+                    at: 0.15,
+                    verb: ElasticVerb::Join,
+                },
+                ElasticEvent {
+                    at: 0.4,
+                    verb: ElasticVerb::Relocate { slot: 3 },
+                },
+                ElasticEvent {
+                    at: 0.6,
+                    verb: ElasticVerb::Drain { place: PlaceId(2) },
+                },
+                ElasticEvent {
+                    at: 0.8,
+                    verb: ElasticVerb::Kill { place: PlaceId(1) },
+                },
+            ],
+        };
+        for simpler in plan.shrink() {
+            assert_eq!(simpler.events.len(), plan.events.len() - 1);
+            assert_eq!(simpler.seed, plan.seed);
+        }
+        assert_eq!(
+            plan.to_string(),
+            "seed=0x00000000000000ee join@15% relocate(s3@40%) drain(p2@60%) kill(p1@80%)"
+        );
+        assert!(ElasticPlan::quiet(1).shrink().is_empty());
+        assert!(ElasticPlan::quiet(1).to_string().ends_with("quiet"));
     }
 
     #[test]

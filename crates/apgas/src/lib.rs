@@ -44,6 +44,7 @@ pub mod codec;
 pub mod collective;
 pub mod fault;
 pub mod mailbox;
+pub mod membership;
 pub mod network;
 pub mod place;
 pub mod runtime;
@@ -53,17 +54,18 @@ pub mod transport;
 
 pub use activity::{ActivityPool, FinishScope};
 pub use chaos::{
-    ChaosCounters, ChaosPlan, ChaosRng, ChaosTransport, HeartbeatFlap, KillSpec, KillTrigger,
-    NetChaos,
+    ChaosCounters, ChaosPlan, ChaosRng, ChaosTransport, ElasticEvent, ElasticPlan, ElasticVerb,
+    HeartbeatFlap, KillSpec, KillTrigger, NetChaos,
 };
 pub use coalesce::{CoalesceConfig, Coalescible, CoalescingTransport};
 pub use codec::Codec;
 pub use fault::{DeadPlaceError, LivenessBoard};
 pub use mailbox::{Mailbox, MailboxSender};
+pub use membership::{MemberState, MembershipError, RosterBoard};
 pub use network::NetworkModel;
 pub use place::{PlaceId, Topology};
 pub use runtime::{Runtime, RuntimeConfig};
 pub use socket::launch::{launch_places, PlaceChildren};
-pub use socket::{SocketChaos, SocketConfig, SocketNode, SocketTransport};
+pub use socket::{JoinConfig, SocketChaos, SocketConfig, SocketNode, SocketTransport};
 pub use stats::{PlaceStats, StatsBoard, StatsSnapshot};
 pub use transport::{LocalTransport, Transport};

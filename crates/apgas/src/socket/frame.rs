@@ -124,6 +124,43 @@ pub enum Frame {
     /// Graceful goodbye; the reader exits without declaring the peer
     /// dead.
     Bye,
+    /// Joiner → coordinator: ask to be admitted into a *running* mesh.
+    /// Carries the joiner's own listen address so existing members can
+    /// be told where to find it.
+    JoinReq {
+        /// The joiner's listen address.
+        addr: String,
+    },
+    /// Coordinator → joiner: admission granted. Carries the assigned
+    /// place id, the mesh capacity (so the joiner sizes its tables
+    /// identically), and the listen address of every current member
+    /// (empty string for vacant or address-less slots).
+    JoinAccept {
+        /// The joiner's assigned place id.
+        place: u16,
+        /// Total place capacity of the mesh.
+        capacity: u16,
+        /// `addrs[p]` is member `p`'s listen address ("" if vacant).
+        addrs: Vec<String>,
+    },
+    /// Coordinator → joiner: admission denied (mesh at capacity).
+    JoinReject {
+        /// Why the join was refused.
+        reason: String,
+    },
+    /// Joiner → existing member: first frame on a post-startup dial-in,
+    /// identifying the assigned place joining the roster.
+    JoinHello {
+        /// The joiner's coordinator-assigned place id.
+        place: u16,
+    },
+    /// A draining place's sign-off: it relocated its state and is
+    /// leaving the roster *voluntarily*. Readers remove it from the
+    /// roster without marking it dead — the opposite of a crash.
+    Leave {
+        /// The departing place.
+        place: u16,
+    },
 }
 
 const KIND_HELLO: u8 = 0;
@@ -133,6 +170,11 @@ const KIND_GO: u8 = 3;
 const KIND_DATA: u8 = 4;
 const KIND_HEARTBEAT: u8 = 5;
 const KIND_BYE: u8 = 6;
+const KIND_JOIN_REQ: u8 = 7;
+const KIND_JOIN_ACCEPT: u8 = 8;
+const KIND_JOIN_REJECT: u8 = 9;
+const KIND_JOIN_HELLO: u8 = 10;
+const KIND_LEAVE: u8 = 11;
 
 impl Frame {
     /// Encodes the frame to its full wire representation, length prefix
@@ -164,6 +206,34 @@ impl Frame {
             }
             Frame::Heartbeat => buf.push(KIND_HEARTBEAT),
             Frame::Bye => buf.push(KIND_BYE),
+            Frame::JoinReq { addr } => {
+                buf.push(KIND_JOIN_REQ);
+                HELLO_MAGIC.encode(&mut buf);
+                addr.encode(&mut buf);
+            }
+            Frame::JoinAccept {
+                place,
+                capacity,
+                addrs,
+            } => {
+                buf.push(KIND_JOIN_ACCEPT);
+                place.encode(&mut buf);
+                capacity.encode(&mut buf);
+                addrs.encode(&mut buf);
+            }
+            Frame::JoinReject { reason } => {
+                buf.push(KIND_JOIN_REJECT);
+                reason.encode(&mut buf);
+            }
+            Frame::JoinHello { place } => {
+                buf.push(KIND_JOIN_HELLO);
+                HELLO_MAGIC.encode(&mut buf);
+                place.encode(&mut buf);
+            }
+            Frame::Leave { place } => {
+                buf.push(KIND_LEAVE);
+                place.encode(&mut buf);
+            }
         }
         let body_len = (buf.len() - 4) as u32;
         buf[..4].copy_from_slice(&body_len.to_le_bytes());
@@ -208,6 +278,46 @@ impl Frame {
             }
             KIND_HEARTBEAT => empty(rest, Frame::Heartbeat, "heartbeat"),
             KIND_BYE => empty(rest, Frame::Bye, "bye"),
+            KIND_JOIN_REQ => {
+                let magic = u32::decode(&mut rest)
+                    .ok_or(FrameError::Malformed("join req: truncated magic"))?;
+                if magic != HELLO_MAGIC {
+                    return Err(FrameError::Malformed("join req: bad magic"));
+                }
+                let addr: String =
+                    decode_exact(rest).ok_or(FrameError::Malformed("join req: bad addr"))?;
+                Ok(Frame::JoinReq { addr })
+            }
+            KIND_JOIN_ACCEPT => {
+                let rec: (u16, u16, Vec<String>) =
+                    decode_exact(rest).ok_or(FrameError::Malformed("join accept: bad fields"))?;
+                let (place, capacity, addrs) = rec;
+                Ok(Frame::JoinAccept {
+                    place,
+                    capacity,
+                    addrs,
+                })
+            }
+            KIND_JOIN_REJECT => {
+                let reason: String =
+                    decode_exact(rest).ok_or(FrameError::Malformed("join reject: bad reason"))?;
+                Ok(Frame::JoinReject { reason })
+            }
+            KIND_JOIN_HELLO => {
+                let magic = u32::decode(&mut rest)
+                    .ok_or(FrameError::Malformed("join hello: truncated magic"))?;
+                if magic != HELLO_MAGIC {
+                    return Err(FrameError::Malformed("join hello: bad magic"));
+                }
+                let place: u16 =
+                    decode_exact(rest).ok_or(FrameError::Malformed("join hello: bad place"))?;
+                Ok(Frame::JoinHello { place })
+            }
+            KIND_LEAVE => {
+                let place: u16 =
+                    decode_exact(rest).ok_or(FrameError::Malformed("leave: bad place"))?;
+                Ok(Frame::Leave { place })
+            }
             other => Err(FrameError::BadKind(other)),
         }
     }
@@ -294,6 +404,46 @@ mod tests {
         });
         round_trip(&Frame::Heartbeat);
         round_trip(&Frame::Bye);
+        round_trip(&Frame::JoinReq {
+            addr: "127.0.0.1:9000".into(),
+        });
+        round_trip(&Frame::JoinAccept {
+            place: 4,
+            capacity: 6,
+            addrs: vec!["127.0.0.1:1".into(), String::new(), "127.0.0.1:3".into()],
+        });
+        round_trip(&Frame::JoinReject {
+            reason: "mesh at capacity".into(),
+        });
+        round_trip(&Frame::JoinHello { place: 4 });
+        round_trip(&Frame::Leave { place: 4 });
+    }
+
+    #[test]
+    fn join_frames_reject_bad_magic_and_truncation() {
+        let mut body = vec![KIND_JOIN_REQ];
+        0xdead_beefu32.encode(&mut body);
+        String::from("x").encode(&mut body);
+        assert!(matches!(
+            Frame::decode_body(&body),
+            Err(FrameError::Malformed("join req: bad magic"))
+        ));
+        let wire = Frame::JoinAccept {
+            place: 1,
+            capacity: 2,
+            addrs: vec!["a".into()],
+        }
+        .to_wire();
+        // Truncate inside the address vector: the body decode must fail
+        // cleanly rather than panic.
+        assert!(matches!(
+            Frame::decode_body(&wire[5..wire.len() - 1]),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(matches!(
+            Frame::decode_body(&[KIND_LEAVE]),
+            Err(FrameError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -51,6 +51,12 @@ impl PlaceChildren {
 /// Each child's pid is announced on stderr as
 /// `dpx10: place <p> pid <pid>` — fault-injection harnesses parse these
 /// lines to aim their `SIGKILL`.
+///
+/// `DPX10_MAX_PLACES` (when greater than `places`) raises the mesh
+/// capacity: the coordinator keeps its listener open after the
+/// handshake and announces its address on stderr so `dpx10 join` can
+/// dial into the running mesh. Children inherit the variable and size
+/// their peer tables to match.
 pub fn launch_places(places: u16, args: &[String]) -> io::Result<(SocketConfig, PlaceChildren)> {
     if places == 0 {
         return Err(io::Error::new(
@@ -60,6 +66,14 @@ pub fn launch_places(places: u16, args: &[String]) -> io::Result<(SocketConfig, 
     }
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let coord_addr = listener.local_addr()?.to_string();
+    let max_places = std::env::var("DPX10_MAX_PLACES")
+        .ok()
+        .and_then(|v| v.parse::<u16>().ok())
+        .unwrap_or(places)
+        .max(places);
+    if max_places > places {
+        eprintln!("dpx10: coordinator {coord_addr} accepting joins (capacity {max_places})");
+    }
     let exe = std::env::current_exe()?;
     let mut children = Vec::with_capacity(places.saturating_sub(1) as usize);
     for place in 1..places {
@@ -83,8 +97,7 @@ pub fn launch_places(places: u16, args: &[String]) -> io::Result<(SocketConfig, 
             }
         }
     }
-    Ok((
-        SocketConfig::coordinator(listener, places),
-        PlaceChildren { children },
-    ))
+    let mut cfg = SocketConfig::coordinator(listener, places);
+    cfg.max_places = max_places;
+    Ok((cfg, PlaceChildren { children }))
 }

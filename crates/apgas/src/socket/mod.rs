@@ -54,6 +54,7 @@ use crate::chaos::ChaosRng;
 use crate::codec::{decode_exact, Codec};
 use crate::fault::{DeadPlaceError, LivenessBoard};
 use crate::mailbox::Envelope;
+use crate::membership::{MemberState, RosterBoard};
 use crate::place::PlaceId;
 use crate::stats::StatsBoard;
 use crate::transport::Transport;
@@ -130,6 +131,12 @@ pub struct SocketConfig {
     pub place: PlaceId,
     /// Total places in the computation.
     pub places: u16,
+    /// Mesh capacity: the maximum place count this mesh may ever grow
+    /// to (`DPX10_MAX_PLACES`, default `places`). Every per-peer table
+    /// is sized to this, and a listener is kept open after the
+    /// handshake — only when `max_places > places` — so joiners can
+    /// dial into the running mesh.
+    pub max_places: u16,
     /// Handshake role.
     pub mode: ConnectMode,
     /// Idle-writer keep-alive interval (`DPX10_HB_MS`, default 250 ms).
@@ -164,6 +171,7 @@ impl SocketConfig {
         SocketConfig {
             place: PlaceId::ZERO,
             places,
+            max_places: places,
             mode: ConnectMode::Coordinator(listener),
             heartbeat: env_ms("DPX10_HB_MS", 250),
             peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
@@ -178,6 +186,7 @@ impl SocketConfig {
         SocketConfig {
             place,
             places,
+            max_places: places,
             mode: ConnectMode::Worker {
                 coordinator,
                 bind: None,
@@ -237,9 +246,15 @@ impl SocketConfig {
                 bind: None,
             }
         };
+        let max_places = std::env::var("DPX10_MAX_PLACES")
+            .ok()
+            .and_then(|v| v.parse::<u16>().ok())
+            .unwrap_or(places)
+            .max(places);
         Ok(Some(SocketConfig {
             place: PlaceId(place),
             places,
+            max_places,
             mode,
             heartbeat: env_ms("DPX10_HB_MS", 250),
             peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
@@ -283,131 +298,277 @@ pub fn parse_chaos(raw: &str) -> Option<SocketChaos> {
     Some(chaos)
 }
 
-/// One place's end of the byte-level socket mesh.
+/// State shared by every per-link thread, the acceptor thread, and the
+/// node facade: the per-peer tables a link registers itself into, plus
+/// the knobs readers and writers run with.
 ///
-/// Typed use goes through [`SocketTransport`]; this level moves opaque
-/// payload bytes and owns the liveness/stats boards of the process.
-pub struct SocketNode {
+/// All tables are sized to `capacity` (not the founding place count) so
+/// [`register_link`] can attach a joiner's link to a *running* mesh
+/// without resizing anything — the heartbeat/writer table is driven by
+/// link registration, not by a `0..places` loop at startup.
+struct LinkFabric {
     me: PlaceId,
-    places: u16,
+    capacity: u16,
     liveness: LivenessBoard,
-    stats: StatsBoard,
+    roster: RosterBoard,
     outboxes: Mutex<Vec<Option<Sender<Vec<u8>>>>>,
-    inbound_tx: Sender<(PlaceId, Vec<u8>)>,
-    inbound_rx: Receiver<(PlaceId, Vec<u8>)>,
-    shutting_down: Arc<AtomicBool>,
-    crashed: Arc<AtomicBool>,
     /// One extra clone of each peer stream, kept so [`SocketNode::crash`]
     /// can tear the sockets down underneath the reader/writer threads.
     streams: Mutex<Vec<Option<TcpStream>>>,
     writer_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    inbound_tx: Sender<(PlaceId, Vec<u8>)>,
+    shutting_down: AtomicBool,
+    crashed: AtomicBool,
+    heartbeat: Duration,
+    peer_timeout: Duration,
+    connect_timeout: Duration,
+    chaos: Option<SocketChaos>,
     recorder: Recorder,
+}
+
+/// Sets up one live peer link on the fabric: stores the stream, creates
+/// the bounded outbox, and spawns the writer/reader thread pair. Safe to
+/// call at any time — this is how both the startup handshake and a
+/// mid-run join attach links.
+fn register_link(fabric: &Arc<LinkFabric>, peer: PlaceId, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(fabric.peer_timeout))?;
+    stream.set_nodelay(true)?;
+    let wstream = stream.try_clone()?;
+    fabric.streams.lock()[peer.index()] = Some(stream.try_clone()?);
+    let (tx, rx) = channel::bounded(OUTBOX_CAP);
+    let chaos = fabric.chaos.map(|ch| LinkChaos::new(ch, fabric.me, peer));
+    let writer = {
+        let fab = fabric.clone();
+        std::thread::Builder::new()
+            .name(format!("sock-w{}-{}", fabric.me.0, peer.0))
+            .spawn(move || writer_loop(wstream, peer, rx, fab, chaos))?
+    };
+    // Readers are detached: on shutdown they exit on the peer's `Bye` or
+    // its closed socket, and must not delay process teardown by a full
+    // peer timeout.
+    {
+        let fab = fabric.clone();
+        std::thread::Builder::new()
+            .name(format!("sock-r{}-{}", fabric.me.0, peer.0))
+            .spawn(move || reader_loop(stream, peer, fab))?;
+    }
+    fabric.writer_handles.lock().push(writer);
+    // Publish the outbox last: once `send_bytes` can see it, the link's
+    // threads are already running.
+    fabric.outboxes.lock()[peer.index()] = Some(tx);
+    Ok(())
+}
+
+/// One place's end of the byte-level socket mesh.
+///
+/// Typed use goes through [`SocketTransport`]; this level moves opaque
+/// payload bytes and owns the liveness/stats/roster boards of the
+/// process.
+pub struct SocketNode {
+    fabric: Arc<LinkFabric>,
+    places: u16,
+    stats: StatsBoard,
+    inbound_rx: Receiver<(PlaceId, Vec<u8>)>,
 }
 
 impl SocketNode {
     /// Performs the handshake of `cfg` and starts the per-peer reader and
     /// writer threads. Blocks until the whole mesh is up (`Go` received /
     /// sent) or the connect timeout expires.
+    ///
+    /// When `cfg.max_places > cfg.places` the node keeps its listener
+    /// open after the handshake and spawns an *acceptor* thread, so the
+    /// mesh can grow: joiners dial the coordinator with a `JoinReq` and
+    /// every existing member with a `JoinHello` (see [`SocketNode::join`]).
     pub fn connect(cfg: SocketConfig) -> io::Result<SocketNode> {
         let places = cfg.places;
+        let capacity = cfg.max_places.max(places);
         if cfg.place.index() >= places as usize {
             return bad_input(format!("place {} out of range 0..{places}", cfg.place.0));
         }
-        let links = match &cfg.mode {
+        let me = cfg.place;
+        let (links, listener, mut addrs) = match cfg.mode {
             ConnectMode::Coordinator(listener) => {
-                handshake_coordinator(listener, places, cfg.connect_timeout)?
+                let (links, mut addrs) =
+                    handshake_coordinator(&listener, places, cfg.connect_timeout)?;
+                addrs[0] = listener.local_addr()?.to_string();
+                (links, listener, addrs)
             }
-            ConnectMode::Worker { coordinator, bind } => handshake_worker(
-                cfg.place,
-                places,
-                coordinator,
-                bind.as_deref(),
-                cfg.connect_timeout,
-            )?,
+            ConnectMode::Worker { coordinator, bind } => {
+                let (links, listener, mut addrs) = handshake_worker(
+                    me,
+                    places,
+                    &coordinator,
+                    bind.as_deref(),
+                    cfg.connect_timeout,
+                )?;
+                addrs[0] = coordinator;
+                (links, listener, addrs)
+            }
         };
+        addrs.resize(capacity as usize, String::new());
 
-        let liveness = LivenessBoard::new(places);
-        let stats = StatsBoard::new(places);
-        let (inbound_tx, inbound_rx) = channel::unbounded();
-        let shutting_down = Arc::new(AtomicBool::new(false));
-        let crashed = Arc::new(AtomicBool::new(false));
-        let mut outboxes: Vec<Option<Sender<Vec<u8>>>> = (0..places).map(|_| None).collect();
-        let mut streams: Vec<Option<TcpStream>> = (0..places).map(|_| None).collect();
-        let mut writers = Vec::new();
-
-        for (peer_idx, link) in links.into_iter().enumerate() {
-            let Some(stream) = link else { continue };
-            let peer = PlaceId(peer_idx as u16);
-            stream.set_read_timeout(Some(cfg.peer_timeout))?;
-            stream.set_nodelay(true)?;
-            let wstream = stream.try_clone()?;
-            streams[peer_idx] = Some(stream.try_clone()?);
-            let (tx, rx) = channel::bounded(OUTBOX_CAP);
-            outboxes[peer_idx] = Some(tx);
-            {
-                let liveness = liveness.clone();
-                let shutting = shutting_down.clone();
-                let crashed = crashed.clone();
-                let hb = cfg.heartbeat;
-                let chaos = cfg.chaos.map(|ch| LinkChaos::new(ch, cfg.place, peer));
-                writers.push(
-                    std::thread::Builder::new()
-                        .name(format!("sock-w{}-{}", cfg.place.0, peer_idx))
-                        .spawn(move || {
-                            writer_loop(wstream, peer, rx, liveness, hb, shutting, crashed, chaos)
-                        })
-                        .expect("spawn writer"),
-                );
-            }
-            {
-                let liveness = liveness.clone();
-                let shutting = shutting_down.clone();
-                let inbound = inbound_tx.clone();
-                let recorder = cfg.recorder.clone();
-                let me = cfg.place;
-                // Readers are detached: on shutdown they exit on the
-                // peer's `Bye` or its closed socket, and must not delay
-                // process teardown by a full peer timeout.
-                std::thread::Builder::new()
-                    .name(format!("sock-r{}-{}", cfg.place.0, peer_idx))
-                    .spawn(move || {
-                        reader_loop(
-                            stream, me, peer, places, inbound, liveness, shutting, recorder,
-                        )
-                    })
-                    .expect("spawn reader");
+        let roster = RosterBoard::new(places, capacity);
+        for (i, a) in addrs.iter().enumerate() {
+            if !a.is_empty() {
+                roster.set_addr(PlaceId(i as u16), a.clone());
             }
         }
-
-        Ok(SocketNode {
-            me: cfg.place,
-            places,
-            liveness,
-            stats,
-            outboxes: Mutex::new(outboxes),
+        let (inbound_tx, inbound_rx) = channel::unbounded();
+        let fabric = Arc::new(LinkFabric {
+            me,
+            capacity,
+            liveness: LivenessBoard::new(capacity),
+            roster,
+            outboxes: Mutex::new((0..capacity).map(|_| None).collect()),
+            streams: Mutex::new((0..capacity).map(|_| None).collect()),
+            writer_handles: Mutex::new(Vec::new()),
             inbound_tx,
-            inbound_rx,
-            shutting_down,
-            crashed,
-            streams: Mutex::new(streams),
-            writer_handles: Mutex::new(writers),
+            shutting_down: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            heartbeat: cfg.heartbeat,
+            peer_timeout: cfg.peer_timeout,
+            connect_timeout: cfg.connect_timeout,
+            chaos: cfg.chaos,
             recorder: cfg.recorder,
+        });
+        for (peer_idx, link) in links.into_iter().enumerate() {
+            let Some(stream) = link else { continue };
+            register_link(&fabric, PlaceId(peer_idx as u16), stream)?;
+        }
+        if capacity > places {
+            let fab = fabric.clone();
+            std::thread::Builder::new()
+                .name(format!("sock-a{}", me.0))
+                .spawn(move || acceptor_loop(listener, fab))
+                .expect("spawn acceptor");
+        }
+        Ok(SocketNode {
+            fabric,
+            places,
+            stats: StatsBoard::new(capacity),
+            inbound_rx,
+        })
+    }
+
+    /// Joins a *running* elastic mesh post-launch: dials the coordinator
+    /// with a `JoinReq`, receives the assigned place id, mesh capacity
+    /// and member address map in the `JoinAccept`, dials every member
+    /// with a `JoinHello`, and starts its own acceptor so later joiners
+    /// can reach it. Fails with an error containing the coordinator's
+    /// reason if the mesh is at capacity.
+    pub fn join(cfg: JoinConfig) -> io::Result<SocketNode> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let my_addr = listener.local_addr()?.to_string();
+        let mut coord =
+            TcpStream::connect_timeout(&resolve(&cfg.coordinator)?, cfg.connect_timeout)?;
+        prepare(&coord, cfg.connect_timeout)?;
+        frame::write_frame(
+            &mut coord,
+            &Frame::JoinReq {
+                addr: my_addr.clone(),
+            },
+        )?;
+        let (place, capacity, addrs) = match read_hs(&mut coord)? {
+            Frame::JoinAccept {
+                place,
+                capacity,
+                addrs,
+            } => (place, capacity, addrs),
+            Frame::JoinReject { reason } => {
+                return Err(io::Error::other(format!("join rejected: {reason}")))
+            }
+            other => return hs_err(format!("expected join-accept, got {other:?}")),
+        };
+        if place >= capacity || addrs.len() != capacity as usize {
+            return hs_err(format!(
+                "malformed join-accept: place {place} of {capacity} with {} addrs",
+                addrs.len()
+            ));
+        }
+        let me = PlaceId(place);
+        let roster = RosterBoard::new(0, capacity);
+        for (i, a) in addrs.iter().enumerate() {
+            if a.is_empty() {
+                continue;
+            }
+            let p = PlaceId(i as u16);
+            let _ = roster.observe_join(p);
+            roster.set_addr(p, a.clone());
+        }
+        let _ = roster.observe_join(me);
+        roster.set_addr(me, my_addr);
+        let (inbound_tx, inbound_rx) = channel::unbounded();
+        let fabric = Arc::new(LinkFabric {
+            me,
+            capacity,
+            liveness: LivenessBoard::new(capacity),
+            roster,
+            outboxes: Mutex::new((0..capacity).map(|_| None).collect()),
+            streams: Mutex::new((0..capacity).map(|_| None).collect()),
+            writer_handles: Mutex::new(Vec::new()),
+            inbound_tx,
+            shutting_down: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            heartbeat: cfg.heartbeat,
+            peer_timeout: cfg.peer_timeout,
+            connect_timeout: cfg.connect_timeout,
+            chaos: cfg.chaos,
+            recorder: cfg.recorder,
+        });
+        register_link(&fabric, PlaceId(0), coord)?;
+        for (i, a) in addrs.iter().enumerate() {
+            let p = PlaceId(i as u16);
+            if p == me || i == 0 || a.is_empty() {
+                continue;
+            }
+            let mut stream = TcpStream::connect_timeout(&resolve(a)?, cfg.connect_timeout)?;
+            prepare(&stream, cfg.connect_timeout)?;
+            frame::write_frame(&mut stream, &Frame::JoinHello { place: me.0 })?;
+            register_link(&fabric, p, stream)?;
+        }
+        {
+            let fab = fabric.clone();
+            std::thread::Builder::new()
+                .name(format!("sock-a{}", me.0))
+                .spawn(move || acceptor_loop(listener, fab))
+                .expect("spawn acceptor");
+        }
+        Ok(SocketNode {
+            fabric,
+            places: capacity,
+            stats: StatsBoard::new(capacity),
+            inbound_rx,
         })
     }
 
     /// This process's place.
     pub fn me(&self) -> PlaceId {
-        self.me
+        self.fabric.me
     }
 
-    /// Total places in the mesh.
+    /// Founding place count of the mesh (for a node that joined
+    /// post-launch, the mesh capacity). The *live* place set is on
+    /// [`roster`](SocketNode::roster).
     pub fn places(&self) -> u16 {
         self.places
     }
 
+    /// Maximum place count this mesh may grow to; every table is sized
+    /// to it.
+    pub fn capacity(&self) -> u16 {
+        self.fabric.capacity
+    }
+
+    /// The membership roster: which slots are active, joining, draining,
+    /// left, or dead — and at which version.
+    pub fn roster(&self) -> &RosterBoard {
+        &self.fabric.roster
+    }
+
     /// The liveness board fed by the reader threads.
     pub fn liveness(&self) -> &LivenessBoard {
-        &self.liveness
+        &self.fabric.liveness
     }
 
     /// The stats board; `place(me)` carries this process's real framed
@@ -421,19 +582,22 @@ impl SocketNode {
     /// touches a socket and is not accounted — matching the in-process
     /// transport, where local sends are free).
     pub fn send_bytes(&self, dst: PlaceId, payload: Vec<u8>) -> Result<usize, DeadPlaceError> {
-        self.liveness.check(dst)?;
-        if dst == self.me {
-            let _ = self.inbound_tx.send((self.me, payload));
+        if dst.index() >= self.fabric.capacity as usize {
+            return Err(DeadPlaceError { place: dst });
+        }
+        self.fabric.liveness.check(dst)?;
+        if dst == self.fabric.me {
+            let _ = self.fabric.inbound_tx.send((self.fabric.me, payload));
             return Ok(0);
         }
         let wire = Frame::Data {
-            src: self.me.0,
+            src: self.fabric.me.0,
             payload,
         }
         .to_wire();
         let n = wire.len();
         let tx = {
-            let outboxes = self.outboxes.lock();
+            let outboxes = self.fabric.outboxes.lock();
             match &outboxes[dst.index()] {
                 Some(tx) => tx.clone(),
                 None => return Err(DeadPlaceError { place: dst }),
@@ -443,9 +607,13 @@ impl SocketNode {
         // blocked (outbox-full) send unblocks with an error instead of
         // hanging on a dead peer.
         tx.send(wire).map_err(|_| DeadPlaceError { place: dst })?;
-        self.stats.place(self.me).on_send(n, Duration::ZERO);
-        self.recorder
-            .instant_now(self.me.0, RUNTIME_WORKER, EventKind::FrameSend, n as u64);
+        self.stats.place(self.fabric.me).on_send(n, Duration::ZERO);
+        self.fabric.recorder.instant_now(
+            self.fabric.me.0,
+            RUNTIME_WORKER,
+            EventKind::FrameSend,
+            n as u64,
+        );
         Ok(n)
     }
 
@@ -459,14 +627,36 @@ impl SocketNode {
         self.inbound_rx.recv_timeout(timeout).ok()
     }
 
+    /// Gracefully *drains out of the mesh*: announces `Leave` on every
+    /// live link (peers move this place to `Left` on their rosters —
+    /// not `Dead`; no recovery fires), then performs an ordinary
+    /// [`shutdown`](SocketNode::shutdown). The engine above must have
+    /// relocated any chunks this place owns first — the socket layer
+    /// moves bytes, not state.
+    pub fn drain(&self) {
+        let _ = self.fabric.roster.start_drain(self.fabric.me);
+        let leave = Frame::Leave {
+            place: self.fabric.me.0,
+        }
+        .to_wire();
+        {
+            let outboxes = self.fabric.outboxes.lock();
+            for tx in outboxes.iter().flatten() {
+                let _ = tx.send(leave.clone());
+            }
+        }
+        let _ = self.fabric.roster.leave(self.fabric.me);
+        self.shutdown();
+    }
+
     /// Flushes and closes every connection: queued frames drain, each
     /// writer signs off with `Bye`, writers are joined. Idempotent.
     pub fn shutdown(&self) {
-        self.shutting_down.store(true, Ordering::Release);
-        self.outboxes.lock().iter_mut().for_each(|tx| {
+        self.fabric.shutting_down.store(true, Ordering::Release);
+        self.fabric.outboxes.lock().iter_mut().for_each(|tx| {
             tx.take();
         });
-        let handles: Vec<_> = self.writer_handles.lock().drain(..).collect();
+        let handles: Vec<_> = self.fabric.writer_handles.lock().drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -480,12 +670,12 @@ impl SocketNode {
     ///
     /// [`shutdown`]: SocketNode::shutdown
     pub fn crash(&self) {
-        self.crashed.store(true, Ordering::Release);
-        self.shutting_down.store(true, Ordering::Release);
+        self.fabric.crashed.store(true, Ordering::Release);
+        self.fabric.shutting_down.store(true, Ordering::Release);
         // Tear the sockets down under every thread cloned onto them —
         // readers (ours and the peers') see EOF immediately, like the
         // kernel closing a killed process's descriptors.
-        for stream in self.streams.lock().iter().flatten() {
+        for stream in self.fabric.streams.lock().iter().flatten() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         self.shutdown();
@@ -501,16 +691,60 @@ impl Drop for SocketNode {
 impl std::fmt::Debug for SocketNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SocketNode")
-            .field("me", &self.me)
+            .field("me", &self.fabric.me)
             .field("places", &self.places)
+            .field("capacity", &self.fabric.capacity)
             .finish_non_exhaustive()
     }
 }
 
-fn mark_peer(liveness: &LivenessBoard, peer: PlaceId, shutting: &AtomicBool) {
-    if !shutting.load(Ordering::Acquire) {
-        liveness.mark_dead(peer);
+/// Everything needed to dial into a *running* elastic mesh (contrast
+/// [`SocketConfig`], which describes a founding member of the startup
+/// handshake). The timing knobs read the same environment variables.
+#[derive(Debug)]
+pub struct JoinConfig {
+    /// The coordinator's (place 0's) listen address.
+    pub coordinator: String,
+    /// Idle-writer keep-alive interval (`DPX10_HB_MS`, default 250 ms).
+    pub heartbeat: Duration,
+    /// Silence after which a peer is declared dead (`DPX10_TIMEOUT_MS`,
+    /// default 5 s).
+    pub peer_timeout: Duration,
+    /// Budget for the whole join handshake (`DPX10_CONNECT_MS`,
+    /// default 30 s).
+    pub connect_timeout: Duration,
+    /// Frame-level chaos injection, off by default.
+    pub chaos: Option<SocketChaos>,
+    /// Flight recorder for frame-level events; disabled by default.
+    pub recorder: Recorder,
+}
+
+impl JoinConfig {
+    /// A join config with environment-default timing, dialing
+    /// `coordinator`.
+    pub fn new(coordinator: impl Into<String>) -> Self {
+        JoinConfig {
+            coordinator: coordinator.into(),
+            heartbeat: env_ms("DPX10_HB_MS", 250),
+            peer_timeout: env_ms("DPX10_TIMEOUT_MS", 5_000),
+            connect_timeout: env_ms("DPX10_CONNECT_MS", 30_000),
+            chaos: chaos_from_env(),
+            recorder: Recorder::disabled(),
+        }
     }
+}
+
+fn mark_peer(fabric: &LinkFabric, peer: PlaceId) {
+    if fabric.shutting_down.load(Ordering::Acquire) {
+        return;
+    }
+    // A drained place signed off through the roster; its links closing
+    // afterwards is a goodbye, not a death.
+    if fabric.roster.state(peer) == MemberState::Left {
+        return;
+    }
+    fabric.roster.mark_dead(peer);
+    fabric.liveness.mark_dead(peer);
 }
 
 /// Per-link chaos state for one writer thread: a decision stream forked
@@ -556,20 +790,16 @@ impl LinkChaos {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn writer_loop(
     mut stream: TcpStream,
     peer: PlaceId,
     rx: Receiver<Vec<u8>>,
-    liveness: LivenessBoard,
-    heartbeat: Duration,
-    shutting: Arc<AtomicBool>,
-    crashed: Arc<AtomicBool>,
+    fabric: Arc<LinkFabric>,
     mut chaos: Option<LinkChaos>,
 ) {
     let hb = Frame::Heartbeat.to_wire();
     loop {
-        match rx.recv_timeout(heartbeat) {
+        match rx.recv_timeout(fabric.heartbeat) {
             Ok(bytes) => {
                 let mut dup = false;
                 if let Some(ch) = chaos.as_mut() {
@@ -586,7 +816,7 @@ fn writer_loop(
                 let ok =
                     stream.write_all(&bytes).is_ok() && (!dup || stream.write_all(&bytes).is_ok());
                 if !ok {
-                    mark_peer(&liveness, peer, &shutting);
+                    mark_peer(&fabric, peer);
                     return; // dropping rx unblocks senders with an error
                 }
             }
@@ -595,7 +825,7 @@ fn writer_loop(
                     continue;
                 }
                 if stream.write_all(&hb).is_err() {
-                    mark_peer(&liveness, peer, &shutting);
+                    mark_peer(&fabric, peer);
                     return;
                 }
             }
@@ -603,7 +833,7 @@ fn writer_loop(
                 // A crashed node dies silently: no Bye, just the FIN the
                 // kernel sends when the stream drops — peers must detect
                 // the death, exactly as after a SIGKILL.
-                if !crashed.load(Ordering::Acquire) {
+                if !fabric.crashed.load(Ordering::Acquire) {
                     let _ = frame::write_frame(&mut stream, &Frame::Bye);
                     let _ = stream.flush();
                 }
@@ -613,38 +843,131 @@ fn writer_loop(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn reader_loop(
-    mut stream: TcpStream,
-    me: PlaceId,
-    peer: PlaceId,
-    places: u16,
-    inbound: Sender<(PlaceId, Vec<u8>)>,
-    liveness: LivenessBoard,
-    shutting: Arc<AtomicBool>,
-    recorder: Recorder,
-) {
+fn reader_loop(mut stream: TcpStream, peer: PlaceId, fabric: Arc<LinkFabric>) {
     loop {
         match frame::read_frame(&mut stream) {
-            Ok(Frame::Data { src, payload }) if src < places => {
-                recorder.instant_now(
-                    me.0,
+            Ok(Frame::Data { src, payload }) if src < fabric.capacity => {
+                fabric.recorder.instant_now(
+                    fabric.me.0,
                     RUNTIME_WORKER,
                     EventKind::FrameRecv,
                     payload.len() as u64,
                 );
-                let _ = inbound.send((PlaceId(src), payload));
+                let _ = fabric.inbound_tx.send((PlaceId(src), payload));
             }
             Ok(Frame::Heartbeat) => {}
+            // A graceful departure: the peer drained its chunks and is
+            // leaving. Move it to `Left` (so the EOF that follows is not
+            // read as a death) and retire our outbox toward it — the
+            // writer sees the dropped channel and signs off with `Bye`.
+            Ok(Frame::Leave { place }) if place == peer.0 => {
+                let _ = fabric.roster.leave(peer);
+                fabric.outboxes.lock()[peer.index()].take();
+            }
             Ok(Frame::Bye) => return,
             // A handshake frame (or out-of-range src) after `Go`, EOF,
             // a read timeout, or any decode error: the peer is gone or
             // talking garbage either way.
             Ok(_) | Err(_) => {
-                mark_peer(&liveness, peer, &shutting);
+                mark_peer(&fabric, peer);
                 return;
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Elastic membership: the acceptor
+// ---------------------------------------------------------------------
+
+/// Post-handshake listener thread of an elastic mesh member. Dial-ins
+/// are either a `JoinReq` (a fresh place asking the *coordinator* for
+/// admission) or a `JoinHello` (an admitted joiner introducing itself
+/// to an existing member). Anything else is dropped on the floor.
+fn acceptor_loop(listener: TcpListener, fabric: Arc<LinkFabric>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
+        if fabric.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_dial_in(stream, &fabric),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// The address map a `JoinAccept` carries: one entry per slot, blank
+/// unless the slot holds a member (or an in-flight joiner) whose listen
+/// address the coordinator knows — exactly the places the new joiner
+/// must dial.
+fn join_addrs(roster: &RosterBoard, capacity: u16) -> Vec<String> {
+    (0..capacity)
+        .map(PlaceId)
+        .map(|p| match roster.state(p) {
+            MemberState::Joining | MemberState::Active | MemberState::Draining => roster.addr(p),
+            _ => String::new(),
+        })
+        .collect()
+}
+
+fn handle_dial_in(stream: TcpStream, fabric: &Arc<LinkFabric>) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    if prepare(&stream, fabric.connect_timeout).is_err() {
+        return;
+    }
+    let mut stream = stream;
+    match frame::read_frame(&mut stream) {
+        // An admitted joiner introducing itself. Register the link
+        // *before* flipping the roster, so a poller that sees the new
+        // member can immediately send to it.
+        Ok(Frame::JoinHello { place })
+            if place < fabric.capacity && PlaceId(place) != fabric.me =>
+        {
+            let peer = PlaceId(place);
+            if register_link(fabric, peer, stream).is_ok() {
+                let _ = fabric.roster.observe_join(peer);
+            }
+        }
+        // Admission: coordinator only. Grant the lowest vacant slot,
+        // hand back the roster snapshot, and bring the link up.
+        Ok(Frame::JoinReq { addr }) if fabric.me == PlaceId::ZERO => {
+            match fabric.roster.admit(addr) {
+                Some(place) => {
+                    let accept = Frame::JoinAccept {
+                        place: place.0,
+                        capacity: fabric.capacity,
+                        addrs: join_addrs(&fabric.roster, fabric.capacity),
+                    };
+                    if frame::write_frame(&mut stream, &accept).is_err() {
+                        fabric.roster.mark_dead(place);
+                        return;
+                    }
+                    if register_link(fabric, place, stream).is_ok() {
+                        let _ = fabric.roster.activate(place);
+                    } else {
+                        fabric.roster.mark_dead(place);
+                    }
+                }
+                None => {
+                    let _ = frame::write_frame(
+                        &mut stream,
+                        &Frame::JoinReject {
+                            reason: "mesh at capacity".into(),
+                        },
+                    );
+                }
+            }
+        }
+        _ => {} // garbage dial-in: drop the stream
     }
 }
 
@@ -693,12 +1016,14 @@ fn prepare(stream: &TcpStream, timeout: Duration) -> io::Result<()> {
 }
 
 /// Coordinator side: collect hellos, publish the peer map, collect
-/// readies, fire `Go`. Returns `links[p] = Some(stream)` for `p >= 1`.
+/// readies, fire `Go`. Returns `links[p] = Some(stream)` for `p >= 1`
+/// plus the collected listen addresses (slot 0 left blank — the caller
+/// knows its own listener).
 fn handshake_coordinator(
     listener: &TcpListener,
     places: u16,
     timeout: Duration,
-) -> io::Result<Vec<Option<TcpStream>>> {
+) -> io::Result<(Vec<Option<TcpStream>>, Vec<String>)> {
     let deadline = Instant::now() + timeout;
     let mut links: Vec<Option<TcpStream>> = (0..places).map(|_| None).collect();
     let mut addrs = vec![String::new(); places as usize];
@@ -731,7 +1056,9 @@ fn handshake_coordinator(
             other => return hs_err(format!("expected hello, got {other:?}")),
         }
     }
-    let map = Frame::PeerMap { addrs };
+    let map = Frame::PeerMap {
+        addrs: addrs.clone(),
+    };
     for stream in links.iter_mut().flatten() {
         frame::write_frame(stream, &map)?;
     }
@@ -745,7 +1072,7 @@ fn handshake_coordinator(
     for stream in links.iter_mut().flatten() {
         frame::write_frame(stream, &Frame::Go)?;
     }
-    Ok(links)
+    Ok((links, addrs))
 }
 
 fn resolve(addr: &str) -> io::Result<SocketAddr> {
@@ -755,13 +1082,16 @@ fn resolve(addr: &str) -> io::Result<SocketAddr> {
 }
 
 /// Worker side of the handshake; see the module docs for the sequence.
+/// Returns the links, this worker's (still-bound) listener — kept so an
+/// elastic mesh can accept joiner dial-ins after the handshake — and
+/// the peer address map (slot 0 left blank).
 fn handshake_worker(
     me: PlaceId,
     places: u16,
     coordinator: &str,
     bind: Option<&str>,
     timeout: Duration,
-) -> io::Result<Vec<Option<TcpStream>>> {
+) -> io::Result<(Vec<Option<TcpStream>>, TcpListener, Vec<String>)> {
     let deadline = Instant::now() + timeout;
     let listener = match bind {
         Some(addr) => TcpListener::bind(addr)?,
@@ -776,7 +1106,7 @@ fn handshake_worker(
         &Frame::Hello {
             place: me.0,
             places,
-            addr: my_addr,
+            addr: my_addr.clone(),
         },
     )?;
     let addrs = match read_hs(&mut coord)? {
@@ -827,7 +1157,10 @@ fn handshake_worker(
         other => return hs_err(format!("expected go, got {other:?}")),
     }
     links[0] = Some(coord);
-    Ok(links)
+    let mut addrs = addrs;
+    addrs[0] = String::new();
+    addrs[me.index()] = my_addr;
+    Ok((links, listener, addrs))
 }
 
 // ---------------------------------------------------------------------
@@ -863,8 +1196,8 @@ impl<M> SocketTransport<M> {
         match decode_exact::<M>(bytes) {
             Some(msg) => Some(msg),
             None => {
-                if src != self.node.me {
-                    self.node.liveness.mark_dead(src);
+                if src != self.node.me() {
+                    mark_peer(&self.node.fabric, src);
                 }
                 None
             }
@@ -888,14 +1221,14 @@ impl<M: Codec + Send> Transport<M> for SocketTransport<M> {
         msg: M,
         _wire_bytes: usize,
     ) -> Result<(), DeadPlaceError> {
-        debug_assert_eq!(src, self.node.me, "socket sends originate locally");
+        debug_assert_eq!(src, self.node.me(), "socket sends originate locally");
         let mut buf = Vec::with_capacity(msg.wire_size().saturating_add(8));
         msg.encode(&mut buf);
         self.node.send_bytes(dst, buf).map(|_| ())
     }
 
     fn try_recv(&self, at: PlaceId) -> Option<Envelope<M>> {
-        debug_assert_eq!(at, self.node.me, "socket receives are local");
+        debug_assert_eq!(at, self.node.me(), "socket receives are local");
         loop {
             let (src, bytes) = self.node.try_recv_bytes()?;
             if let Some(msg) = self.decode_or_mark(src, &bytes) {
@@ -905,7 +1238,7 @@ impl<M: Codec + Send> Transport<M> for SocketTransport<M> {
     }
 
     fn recv_timeout(&self, at: PlaceId, timeout: Duration) -> Option<Envelope<M>> {
-        debug_assert_eq!(at, self.node.me, "socket receives are local");
+        debug_assert_eq!(at, self.node.me(), "socket receives are local");
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -1129,6 +1462,115 @@ mod tests {
         nodes[0].send_bytes(PlaceId(1), vec![3]).unwrap();
         let (src, payload) = nodes[1].recv_bytes_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!((src, payload), (PlaceId(0), vec![3]));
+    }
+
+    fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Tentpole: a place joins a *running* mesh (no relaunch), talks in
+    /// both directions, then drains back out — and the departure is a
+    /// `Left`, never a death.
+    #[test]
+    fn join_grows_a_live_mesh_and_drain_leaves_without_death() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let elastic = |mut cfg: SocketConfig| {
+            cfg.max_places = 4;
+            cfg
+        };
+        let worker = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                SocketNode::connect(elastic(SocketConfig::worker(PlaceId(1), 2, addr))).unwrap()
+            })
+        };
+        let n0 = SocketNode::connect(elastic(SocketConfig::coordinator(listener, 2))).unwrap();
+        let n1 = worker.join().unwrap();
+        assert_eq!(n0.capacity(), 4);
+        assert_eq!(n0.roster().member_count(), 2);
+
+        let n2 = SocketNode::join(JoinConfig::new(addr)).unwrap();
+        assert_eq!(n2.me(), PlaceId(2));
+        assert_eq!(n2.capacity(), 4);
+        assert_eq!(n2.roster().member_count(), 3);
+
+        // The joiner reaches both founders immediately...
+        n2.send_bytes(PlaceId(0), vec![20]).unwrap();
+        n2.send_bytes(PlaceId(1), vec![21]).unwrap();
+        let (src, payload) = n0.recv_bytes_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((src, payload), (PlaceId(2), vec![20]));
+        let (src, payload) = n1.recv_bytes_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((src, payload), (PlaceId(2), vec![21]));
+        // ...and the founders learn of it (place 0 from the JoinReq,
+        // place 1 from the JoinHello dial-in) and reach it back.
+        wait_for("founders to see the joiner", || {
+            n0.roster().is_member(PlaceId(2)) && n1.roster().is_member(PlaceId(2))
+        });
+        n0.send_bytes(PlaceId(2), vec![2]).unwrap();
+        n1.send_bytes(PlaceId(2), vec![12]).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..2 {
+            let (src, payload) = n2.recv_bytes_timeout(Duration::from_secs(5)).unwrap();
+            got.push((src, payload));
+        }
+        got.sort();
+        assert_eq!(got, vec![(PlaceId(0), vec![2]), (PlaceId(1), vec![12])]);
+
+        // Drain back out: peers see `Left`, not `Dead` — no recovery.
+        n2.drain();
+        wait_for("drain to propagate", || {
+            n0.roster().state(PlaceId(2)) == MemberState::Left
+                && n1.roster().state(PlaceId(2)) == MemberState::Left
+        });
+        assert!(n0.liveness().is_alive(PlaceId(2)), "a drain is not a death");
+        assert!(n1.liveness().is_alive(PlaceId(2)), "a drain is not a death");
+        assert_eq!(n0.roster().member_count(), 2);
+        // The surviving mesh keeps working.
+        n0.send_bytes(PlaceId(1), vec![9]).unwrap();
+        let (src, payload) = n1.recv_bytes_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((src, payload), (PlaceId(0), vec![9]));
+    }
+
+    #[test]
+    fn join_is_rejected_at_capacity_and_ids_are_not_reused() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let worker = {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut cfg = SocketConfig::worker(PlaceId(1), 2, addr);
+                cfg.max_places = 3;
+                SocketNode::connect(cfg).unwrap()
+            })
+        };
+        let mut cfg = SocketConfig::coordinator(listener, 2);
+        cfg.max_places = 3;
+        let n0 = SocketNode::connect(cfg).unwrap();
+        let n1 = worker.join().unwrap();
+        let n2 = SocketNode::join(JoinConfig::new(addr.clone())).unwrap();
+        assert_eq!(n2.me(), PlaceId(2));
+        // Slot 3 does not exist: the mesh is full.
+        let err = SocketNode::join(JoinConfig::new(addr.clone())).unwrap_err();
+        assert!(
+            err.to_string().contains("mesh at capacity"),
+            "unexpected error: {err}"
+        );
+        // Even after place 2 drains, its id is never handed out again —
+        // the roster guarantees id freshness for the epoch fence.
+        n2.drain();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while n0.roster().state(PlaceId(2)) != MemberState::Left {
+            assert!(Instant::now() < deadline, "drain never propagated");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let err = SocketNode::join(JoinConfig::new(addr)).unwrap_err();
+        assert!(err.to_string().contains("mesh at capacity"));
+        drop(n1);
     }
 
     fn chaos_mesh(n: u16, chaos: SocketChaos) -> Vec<SocketNode> {

@@ -145,6 +145,9 @@ pub struct ChaosArgs {
     /// Run the whole suite with message coalescing at this byte budget
     /// (`None` = the classic one-message-per-event plane).
     pub coalesce: Option<usize>,
+    /// Sweep elastic-mesh churn plans (join/drain/relocate/kill verbs)
+    /// instead of the classic fault plans.
+    pub elastic: bool,
 }
 
 impl Default for ChaosArgs {
@@ -156,6 +159,7 @@ impl Default for ChaosArgs {
             sockets: true,
             shrink: true,
             coalesce: None,
+            elastic: false,
         }
     }
 }
@@ -213,6 +217,14 @@ pub struct ServeArgs {
     pub metrics_out: Option<String>,
     /// Write a Chrome `trace_event` JSON timeline here.
     pub trace_out: Option<String>,
+    /// Serve on the elastic mesh: places join and drain mid-sweep,
+    /// chunks relocate live instead of recomputing.
+    pub elastic: bool,
+    /// Elastic-mesh place capacity (joins are refused beyond it).
+    pub capacity: u16,
+    /// Write the drain-vs-kill relocation benchmark JSON here
+    /// (elastic mode only).
+    pub bench_out: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -228,6 +240,9 @@ impl Default for ServeArgs {
             verify: false,
             metrics_out: None,
             trace_out: None,
+            elastic: false,
+            capacity: 6,
+            bench_out: None,
         }
     }
 }
@@ -257,6 +272,12 @@ pub enum Command {
     TraceSummarize {
         /// Path of the Chrome `trace_event` JSON file.
         file: String,
+    },
+    /// `dpx10 join --coordinator HOST:PORT`: join a running socket
+    /// mesh as a new place.
+    Join {
+        /// Coordinator address to dial.
+        coordinator: String,
     },
     /// `dpx10 help` (or no args).
     Help,
@@ -385,6 +406,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--verify" => serve.verify = true,
                     "--metrics-out" => serve.metrics_out = Some(value("--metrics-out")?),
                     "--trace-out" => serve.trace_out = Some(value("--trace-out")?),
+                    "--elastic" => serve.elastic = true,
+                    "--capacity" => {
+                        serve.capacity = value("--capacity")?
+                            .parse()
+                            .map_err(|_| ParseError("bad --capacity".into()))?
+                    }
+                    "--bench-out" => serve.bench_out = Some(value("--bench-out")?),
                     other => return err(format!("unknown serve flag {other}")),
                 }
             }
@@ -397,7 +425,33 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             if serve.max_in_flight == 0 {
                 return err("--max-in-flight must be at least 1");
             }
+            if serve.capacity < serve.places {
+                return err("--capacity must be at least --places (joins only add)");
+            }
+            if serve.bench_out.is_some() && !serve.elastic {
+                return err("--bench-out needs --elastic (it benchmarks relocation)");
+            }
             Ok(Command::Serve(serve))
+        }
+        Some("join") => {
+            let mut coordinator = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--coordinator" => {
+                        coordinator = Some(
+                            it.next()
+                                .ok_or(ParseError("--coordinator needs HOST:PORT".into()))?
+                                .to_string(),
+                        )
+                    }
+                    other => return err(format!("unknown join flag {other}")),
+                }
+            }
+            match coordinator {
+                Some(coordinator) if coordinator.contains(':') => Ok(Command::Join { coordinator }),
+                Some(bad) => err(format!("bad --coordinator {bad}, expected HOST:PORT")),
+                None => err("join needs --coordinator HOST:PORT"),
+            }
         }
         Some("chaos") => {
             let mut chaos = ChaosArgs::default();
@@ -418,6 +472,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--no-sockets" => chaos.sockets = false,
                     "--no-shrink" => chaos.shrink = false,
                     "--coalesce" => chaos.coalesce = parse_coalesce(&value("--coalesce")?)?,
+                    "--elastic" => chaos.elastic = true,
                     other => return err(format!("unknown chaos flag {other}")),
                 }
             }
@@ -579,6 +634,7 @@ pub fn usage() -> String {
          USAGE:\n\
          \x20 dpx10 run <app> [flags]      run an application\n\
          \x20 dpx10 serve [flags]          run concurrent jobs on one shared place mesh\n\
+         \x20 dpx10 join --coordinator A   join a running socket mesh as a new place\n\
          \x20 dpx10 chaos [flags]          seeded differential chaos testing\n\
          \x20 dpx10 bench [flags]          comms-plane baseline: coalescing off vs on\n\
          \x20 dpx10 apps                   list applications\n\
@@ -622,6 +678,16 @@ pub fn usage() -> String {
          \x20 --verify                re-run each job solo, compare fingerprints\n\
          \x20 --metrics-out FILE      write Prometheus job metrics\n\
          \x20 --trace-out FILE        write a Chrome trace_event JSON timeline\n\
+         \x20 --elastic               serve on the elastic mesh: places join and\n\
+         \x20                         drain mid-sweep, chunks relocate live\n\
+         \x20 --capacity N            elastic place capacity, joins refused beyond\n\
+         \x20                         it (default 6)\n\
+         \x20 --bench-out FILE        write the drain-and-rebalance vs kill-and-\n\
+         \x20                         recompute benchmark JSON (needs --elastic)\n\
+         \n\
+         JOIN FLAGS:\n\
+         \x20 --coordinator H:P       dial the mesh coordinator at HOST:PORT and\n\
+         \x20                         enter the roster as a fresh place\n\
          \n\
          CHAOS FLAGS:\n\
          \x20 --seed S                run exactly one seed (decimal or 0x… hex)\n\
@@ -629,6 +695,9 @@ pub fn usage() -> String {
          \x20 --no-sockets            skip the in-process TCP mesh backend\n\
          \x20 --no-shrink             report failures without minimising the plan\n\
          \x20 --coalesce BYTES|off    run the whole suite with message coalescing\n\
+         \x20 --elastic               sweep elastic-mesh churn plans instead:\n\
+         \x20                         joins, drains, live relocations and kills,\n\
+         \x20                         every run fingerprint-checked against solo\n\
          \n\
          BENCH FLAGS:\n\
          \x20 --vertices N            problem scale (default 250000)\n\
@@ -798,6 +867,11 @@ mod tests {
             panic!()
         };
         assert_eq!(chaos.coalesce, Some(512));
+        assert!(!chaos.elastic);
+        let Command::Chaos(chaos) = parse_ok(&["chaos", "--elastic", "--count", "4"]) else {
+            panic!()
+        };
+        assert!(chaos.elastic);
         assert!(parse_err(&["run", "swlag", "--coalesce", "many"])
             .0
             .contains("bad --coalesce"));
@@ -887,6 +961,50 @@ mod tests {
         assert!(parse_err(&["serve", "--frobnicate"])
             .0
             .contains("unknown serve flag"));
+    }
+
+    #[test]
+    fn elastic_serve_flags_parse() {
+        let Command::Serve(serve) = parse_ok(&[
+            "serve",
+            "--elastic",
+            "--capacity",
+            "8",
+            "--bench-out",
+            "results/BENCH_elastic.json",
+        ]) else {
+            panic!()
+        };
+        assert!(serve.elastic);
+        assert_eq!(serve.capacity, 8);
+        assert_eq!(
+            serve.bench_out.as_deref(),
+            Some("results/BENCH_elastic.json")
+        );
+        assert!(
+            parse_err(&["serve", "--elastic", "--places", "4", "--capacity", "3"])
+                .0
+                .contains("--capacity")
+        );
+        assert!(parse_err(&["serve", "--bench-out", "b.json"])
+            .0
+            .contains("--elastic"));
+    }
+
+    #[test]
+    fn join_flags_parse() {
+        let Command::Join { coordinator } = parse_ok(&["join", "--coordinator", "127.0.0.1:4100"])
+        else {
+            panic!()
+        };
+        assert_eq!(coordinator, "127.0.0.1:4100");
+        assert!(parse_err(&["join"]).0.contains("--coordinator"));
+        assert!(parse_err(&["join", "--coordinator", "nocolon"])
+            .0
+            .contains("HOST:PORT"));
+        assert!(parse_err(&["join", "--port", "9"])
+            .0
+            .contains("unknown join flag"));
     }
 
     #[test]

@@ -3,14 +3,18 @@
 use std::net::TcpListener;
 use std::time::Duration;
 
-use dpx10_apgas::{launch_places, PlaceId, SocketConfig, Topology};
+use dpx10_apgas::{
+    launch_places, ElasticEvent, ElasticPlan, ElasticVerb, JoinConfig, PlaceId, SocketConfig,
+    SocketNode, Topology,
+};
 use dpx10_apps::{
     workload, EditDistanceApp, KnapsackApp, LcsApp, LpsApp, MtpApp, NeedlemanWunschApp,
     NussinovApp, SwLinearApp, SwlagApp,
 };
 use dpx10_core::{
-    DagResult, DepView, DistKind, DpApp, EngineConfig, FaultPlan, RunReport, ServeReport,
-    SocketEngine, ThreadedEngine, VertexValue,
+    DagResult, DepView, DistKind, DpApp, ElasticConfig, ElasticEngine, ElasticReport,
+    ElasticServer, EngineConfig, FaultPlan, RunReport, ServeReport, SocketEngine, ThreadedEngine,
+    VertexValue,
 };
 use dpx10_dag::{critical_path_len, wavefront_profile, BuiltinKind, DagPattern, VertexId};
 use dpx10_obs::{chrome, summary as obs_summary, EventKind, Recorder, Registry, Trace};
@@ -420,6 +424,20 @@ pub fn trace_summarize(file: &str) -> Result<String, String> {
     let rows = obs_summary::rows_from_chrome(&events);
     let mut out = format!("{file}: {} events, spans nest correctly\n\n", events.len());
     out.push_str(&obs_summary::render(&rows, 0));
+    let reloc: Vec<u64> = events
+        .iter()
+        .filter(|e| e.name == "relocate" && e.ph == "X")
+        .map(|e| e.dur_ns)
+        .collect();
+    if !reloc.is_empty() {
+        let total: u64 = reloc.iter().sum();
+        out.push_str(&format!(
+            "\nrelocations: {} chunk(s), {:.1} us per chunk ({:.1} us total)\n",
+            reloc.len(),
+            total as f64 / reloc.len() as f64 / 1_000.0,
+            total as f64 / 1_000.0
+        ));
+    }
     Ok(out)
 }
 
@@ -451,6 +469,9 @@ fn places_config(args: &RunArgs) -> EngineConfig {
 /// deterministic — no wall-clock content — so the same invocation is
 /// bit-for-bit reproducible.
 pub fn run_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
+    if args.elastic {
+        return run_elastic_chaos(args);
+    }
     let opts = dpx10_harness::ChaosOptions {
         sockets: args.sockets,
         shrink: args.shrink,
@@ -489,6 +510,109 @@ pub fn run_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
                 path.display()
             ));
         }
+    }
+    (out, failed.is_empty())
+}
+
+/// One elastic churn plan run on the 12×12 reference workload (the
+/// chaos harness's non-commutative mixing kernel, so any dropped,
+/// duplicated or reordered dependency value changes the fingerprint).
+fn elastic_plan_run(
+    founding: u16,
+    capacity: u16,
+    plan: ElasticPlan,
+) -> Result<dpx10_core::ElasticRun<u64>, String> {
+    ElasticEngine::new(
+        dpx10_harness::MixApp,
+        dpx10_dag::builtin::Grid3::new(12, 12),
+        ElasticConfig::new(founding, capacity),
+    )
+    .with_plan(plan)
+    .run()
+    .map_err(|e| e.to_string())
+}
+
+/// Checks one elastic plan against the solo fingerprint, the serial
+/// oracle and the compute-conservation invariant; `Ok` carries the
+/// run's report for the summary line.
+fn elastic_plan_check(plan: &ElasticPlan, solo: u64) -> Result<ElasticReport, String> {
+    let run = elastic_plan_run(3, 5, plan.clone())?;
+    if run.fingerprint() != solo {
+        return Err(format!(
+            "fingerprint {:#018x} != solo {solo:#018x}",
+            run.fingerprint()
+        ));
+    }
+    for (id, want) in dpx10_harness::oracle(&dpx10_dag::builtin::Grid3::new(12, 12)) {
+        if run.try_get(id.i, id.j) != Some(want) {
+            return Err(format!("value mismatch at {id}"));
+        }
+    }
+    let r = run.report().clone();
+    if r.computed - r.recomputed != r.total {
+        return Err(format!(
+            "computed {} - recomputed {} != total {}",
+            r.computed, r.recomputed, r.total
+        ));
+    }
+    Ok(r)
+}
+
+/// `dpx10 chaos --elastic`: the membership-churn sweep. Every seed
+/// expands into an [`ElasticPlan`] of joins, drains, live relocations
+/// and kills; the run must match the solo fingerprint, the serial
+/// oracle, and conserve compute. Deterministic like the classic sweep.
+fn run_elastic_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
+    let seeds: Vec<u64> = match args.seed {
+        Some(s) => vec![s],
+        None => (0..args.count)
+            .map(|k| args.start.wrapping_add(k))
+            .collect(),
+    };
+    let solo = match elastic_plan_run(1, 1, ElasticPlan::quiet(0)) {
+        Ok(run) => run.fingerprint(),
+        Err(e) => return (format!("elastic chaos: solo oracle failed: {e}\n"), false),
+    };
+    let mut out = String::new();
+    let mut failed = Vec::new();
+    for &seed in &seeds {
+        let plan = ElasticPlan::generate(seed, 3, 5);
+        match elastic_plan_check(&plan, solo) {
+            Ok(r) => out.push_str(&format!(
+                "elastic seed {seed:#018x}: ok    {plan} (joins {}, drains {}, kills {}, relocated {}, recomputed {})\n",
+                r.joins, r.drains, r.kills, r.chunks_relocated, r.recomputed
+            )),
+            Err(e) => {
+                out.push_str(&format!("elastic seed {seed:#018x}: FAIL  {plan}: {e}\n"));
+                if args.shrink {
+                    // Greedy minimisation: keep dropping one event at a
+                    // time while the plan still fails.
+                    let mut minimal = plan.clone();
+                    'minimise: loop {
+                        for cand in minimal.shrink() {
+                            if elastic_plan_check(&cand, solo).is_err() {
+                                minimal = cand;
+                                continue 'minimise;
+                            }
+                        }
+                        break;
+                    }
+                    out.push_str(&format!("  minimal failing plan: {minimal}\n"));
+                }
+                failed.push(seed);
+            }
+        }
+    }
+    out.push_str(&format!(
+        "elastic chaos: {} seed(s), {} passed, {} failed\n",
+        seeds.len(),
+        seeds.len() - failed.len(),
+        failed.len()
+    ));
+    for seed in &failed {
+        out.push_str(&format!(
+            "reproduce with: dpx10 chaos --elastic --seed {seed:#018x}\n"
+        ));
     }
     (out, failed.is_empty())
 }
@@ -785,11 +909,9 @@ fn build_serve_registry(report: &ServeReport<u32>) -> Registry {
     reg
 }
 
-/// `dpx10 serve`: several DP jobs on one shared in-process socket mesh
-/// (every place a thread, same idiom as `bench`). Jobs come from a
-/// jobfile or a `--jobs N --app A` sweep; `--verify` re-runs every job
-/// solo and errs on any fingerprint divergence.
-pub fn run_serve(args: &crate::args::ServeArgs) -> Result<String, String> {
+/// The job list a serve invocation describes (jobfile or sweep), with
+/// every app checked servable before any work starts.
+fn serve_defs(args: &crate::args::ServeArgs) -> Result<Vec<ServeJobDef>, String> {
     let defs: Vec<ServeJobDef> = match &args.jobfile {
         Some(path) => {
             let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -809,6 +931,18 @@ pub fn run_serve(args: &crate::args::ServeArgs) -> Result<String, String> {
     for def in &defs {
         serve_app_for(def)?;
     }
+    Ok(defs)
+}
+
+/// `dpx10 serve`: several DP jobs on one shared in-process socket mesh
+/// (every place a thread, same idiom as `bench`). Jobs come from a
+/// jobfile or a `--jobs N --app A` sweep; `--verify` re-runs every job
+/// solo and errs on any fingerprint divergence.
+pub fn run_serve(args: &crate::args::ServeArgs) -> Result<String, String> {
+    if args.elastic {
+        return run_serve_elastic(args);
+    }
+    let defs = serve_defs(args)?;
 
     let recorder = if args.trace_out.is_some() {
         Recorder::with_capacity(args.places as usize, 1 << 20)
@@ -942,6 +1076,267 @@ pub fn run_serve(args: &crate::args::ServeArgs) -> Result<String, String> {
     if !failures.is_empty() {
         return Err(failures.join("; "));
     }
+    Ok(out)
+}
+
+/// Renders a mesh-size timeline (`3 -> 4 -> 5 -> 4 -> 3`) from the
+/// report's membership-change samples.
+fn mesh_timeline(founding: u16, sizes: &[(u64, u16)]) -> String {
+    let mut out = founding.to_string();
+    for &(_, n) in sizes {
+        out.push_str(&format!(" -> {n}"));
+    }
+    out
+}
+
+/// `dpx10 serve --elastic`: the same job sweep, but on the elastic mesh.
+/// Every job runs under a grow-and-drain churn plan — two places join
+/// mid-sweep and drain back out before the job ends — with the chunks
+/// they briefly owned shipped live, never recomputed. Every job's
+/// fingerprint is compared against its solo run, so the membership
+/// churn is proven invisible to the results.
+fn run_serve_elastic(args: &crate::args::ServeArgs) -> Result<String, String> {
+    if args.capacity < args.places + 2 {
+        return Err(format!(
+            "--elastic grows the mesh by 2 places mid-sweep: --capacity {} leaves no room above --places {}",
+            args.capacity, args.places
+        ));
+    }
+    let defs = serve_defs(args)?;
+    let recorder = if args.trace_out.is_some() {
+        Recorder::with_capacity(args.capacity as usize, 1 << 20)
+    } else {
+        Recorder::disabled()
+    };
+    let mut server = ElasticServer::new(args.places, args.capacity).with_recorder(recorder.clone());
+
+    // Each job's plan: grow by two joiners early, drain them late. The
+    // mesh returns to its founders between jobs, so the joiners always
+    // receive the same two fresh place ids.
+    let joiner_a = args.places;
+    let joiner_b = args.places + 1;
+    let ev = |at: f64, verb: ElasticVerb| ElasticEvent { at, verb };
+
+    let mut out = format!(
+        "serve (elastic): {} job(s), {} founding places, capacity {}\n",
+        defs.len(),
+        args.places,
+        args.capacity
+    );
+    let mut failures = Vec::new();
+    let mut totals = ElasticReport::default();
+    for def in &defs {
+        let plan = ElasticPlan {
+            seed: def.seed,
+            events: vec![
+                ev(0.10, ElasticVerb::Join),
+                ev(0.18, ElasticVerb::Join),
+                ev(
+                    0.55,
+                    ElasticVerb::Drain {
+                        place: PlaceId(joiner_a),
+                    },
+                ),
+                ev(
+                    0.70,
+                    ElasticVerb::Drain {
+                        place: PlaceId(joiner_b),
+                    },
+                ),
+            ],
+        };
+        let (app, pattern) = serve_app_for(def)?;
+        let run = server
+            .run_job(app, pattern, plan)
+            .map_err(|e| format!("job {}: {e}", def.name))?;
+        let solo = serve_solo_fingerprint(def)?;
+        let r = run.report();
+        out.push_str(&format!(
+            "  {:<20} fingerprint {:#018x}  mesh {}  relocated {} chunk(s) carrying {} cell(s)",
+            def.name,
+            run.fingerprint(),
+            mesh_timeline(args.places, &r.mesh_sizes),
+            r.chunks_relocated,
+            r.cells_moved
+        ));
+        if run.fingerprint() == solo {
+            out.push_str("  verified");
+        } else {
+            failures.push(format!(
+                "job {} fingerprint {:#018x} != solo {:#018x}",
+                def.name,
+                run.fingerprint(),
+                solo
+            ));
+            out.push_str("  MISMATCH");
+        }
+        out.push('\n');
+        if r.chunks_relocated == 0 {
+            failures.push(format!("job {} never relocated a chunk", def.name));
+        }
+        if r.recomputed > 0 {
+            failures.push(format!(
+                "job {} recomputed {} cell(s) under graceful churn",
+                def.name, r.recomputed
+            ));
+        }
+        if r.final_members.len() != args.places as usize {
+            failures.push(format!(
+                "job {} ended with members {:?}, expected the {} founders",
+                def.name, r.final_members, args.places
+            ));
+        }
+        totals.joins += r.joins;
+        totals.drains += r.drains;
+        totals.chunks_relocated += r.chunks_relocated;
+        totals.cells_moved += r.cells_moved;
+        totals.chunk_bytes += r.chunk_bytes;
+        totals.recomputed += r.recomputed;
+    }
+    out.push_str(&format!(
+        "done: {} job(s), {} joins, {} drains, {} chunks relocated ({} cells, {} bytes), {} recomputed\n",
+        server.jobs_run(),
+        totals.joins,
+        totals.drains,
+        totals.chunks_relocated,
+        totals.cells_moved,
+        totals.chunk_bytes,
+        totals.recomputed
+    ));
+    if let Some(path) = &args.trace_out {
+        let trace = recorder.drain();
+        chrome::write(std::path::Path::new(path), &trace)
+            .map_err(|e| format!("write trace {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if let Some(path) = &args.metrics_out {
+        let reg = Registry::new();
+        reg.gauge(
+            "dpx10_mesh_size",
+            "current member count of the elastic mesh",
+            &[],
+        )
+        .set(server.members().len() as f64);
+        reg.counter(
+            "dpx10_chunks_relocated",
+            "chunks shipped whole via live relocation",
+            &[],
+        )
+        .add(totals.chunks_relocated);
+        reg.counter(
+            "dpx10_cells_moved_total",
+            "finished cells carried inside relocated chunks",
+            &[],
+        )
+        .add(totals.cells_moved);
+        reg.counter(
+            "dpx10_chunk_bytes_total",
+            "encoded ChunkData payload bytes shipped",
+            &[],
+        )
+        .add(totals.chunk_bytes);
+        reg.counter("dpx10_joins_total", "places that joined mid-run", &[])
+            .add(totals.joins);
+        reg.counter("dpx10_drains_total", "graceful departures", &[])
+            .add(totals.drains);
+        reg.counter(
+            "dpx10_jobs_done_total",
+            "jobs that completed with a result",
+            &[],
+        )
+        .add(server.jobs_run());
+        std::fs::write(path, reg.render_prometheus())
+            .map_err(|e| format!("write metrics {path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    if let Some(path) = &args.bench_out {
+        out.push_str(&elastic_bench(&defs[0], args.places, args.capacity, path)?);
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    Ok(out)
+}
+
+/// One elastic-bench mode as a JSON object string.
+fn elastic_mode_json(r: &ElasticReport) -> String {
+    format!(
+        "{{ \"chunks_relocated\": {}, \"cells_moved\": {}, \"chunk_bytes\": {}, \"computed\": {}, \"recomputed\": {} }}",
+        r.chunks_relocated, r.cells_moved, r.chunk_bytes, r.computed, r.recomputed
+    )
+}
+
+/// The relocation benchmark: the same job loses place 1 at half
+/// progress, once as a graceful drain (chunks relocate live) and once
+/// as an abrupt kill (the paper's §VI-D recompute path). Both must
+/// produce the solo fingerprint; the JSON records what relocation
+/// saved.
+fn elastic_bench(
+    def: &ServeJobDef,
+    places: u16,
+    capacity: u16,
+    path: &str,
+) -> Result<String, String> {
+    let ev = |at: f64, verb: ElasticVerb| ElasticEvent { at, verb };
+    let run_mode = |verb: ElasticVerb| -> Result<ElasticReport, String> {
+        let (app, pattern) = serve_app_for(def)?;
+        let plan = ElasticPlan {
+            seed: def.seed,
+            events: vec![ev(0.50, verb)],
+        };
+        let run = ElasticEngine::new(app, pattern, ElasticConfig::new(places, capacity))
+            .with_plan(plan)
+            .run()
+            .map_err(|e| format!("bench {}: {e}", def.name))?;
+        let solo = serve_solo_fingerprint(def)?;
+        if run.fingerprint() != solo {
+            return Err(format!(
+                "bench {} fingerprint {:#018x} != solo {:#018x}",
+                def.name,
+                run.fingerprint(),
+                solo
+            ));
+        }
+        Ok(run.report().clone())
+    };
+    let drain = run_mode(ElasticVerb::Drain { place: PlaceId(1) })?;
+    let kill = run_mode(ElasticVerb::Kill { place: PlaceId(1) })?;
+    let cells_saved = kill.recomputed.saturating_sub(drain.recomputed);
+    let json = format!(
+        "{{\n  \"app\": \"{}\",\n  \"vertices\": {},\n  \"seed\": {},\n  \"places\": {places},\n  \"capacity\": {capacity},\n  \"scenario\": \"place 1 leaves at 50% progress\",\n  \"drain_and_rebalance\": {},\n  \"kill_and_recompute\": {},\n  \"cells_saved_by_relocation\": {cells_saved}\n}}\n",
+        def.app.name(),
+        def.vertices,
+        def.seed,
+        elastic_mode_json(&drain),
+        elastic_mode_json(&kill),
+    );
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(format!(
+        "bench: drain relocated {} chunk(s) ({} cells, 0 recomputed); kill recomputed {} cell(s); relocation saved {cells_saved} cell(s)\nwrote {path}\n",
+        drain.chunks_relocated, drain.cells_moved, kill.recomputed
+    ))
+}
+
+/// `dpx10 join`: dials a running socket mesh's coordinator, completes
+/// the join handshake, reports the assigned place and live roster, then
+/// drains back out gracefully.
+pub fn run_join(coordinator: &str) -> Result<String, String> {
+    let node = SocketNode::join(JoinConfig::new(coordinator))
+        .map_err(|e| format!("join {coordinator}: {e}"))?;
+    let roster = node.roster();
+    let members: Vec<String> = roster.members().iter().map(|p| p.0.to_string()).collect();
+    let out = format!(
+        "joined mesh at {coordinator} as place {}\n\
+         mesh: {} live member(s) of capacity {} (roster v{})\n\
+         members: {}\n\
+         draining back out (this probe holds no chunks)\n",
+        node.me().0,
+        members.len(),
+        node.capacity(),
+        roster.version(),
+        members.join(" ")
+    );
+    node.drain();
     Ok(out)
 }
 

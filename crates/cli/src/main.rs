@@ -55,6 +55,16 @@ fn main() {
                 1
             }
         },
+        Ok(Command::Join { coordinator }) => match commands::run_join(&coordinator) {
+            Ok(summary) => {
+                print!("{summary}");
+                0
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                1
+            }
+        },
         Ok(Command::Bench(bench_args)) => match commands::run_bench(&bench_args) {
             Ok(summary) => {
                 print!("{summary}");

@@ -1,0 +1,2046 @@
+//! The elastic mesh engine: dynamic place membership, live chunk
+//! relocation, and an autoscaling job server.
+//!
+//! The paper's deployment model (§II) fixes the place set at launch;
+//! its recovery method (§VI-D) *recomputes* a dead place's cells. This
+//! module adds the third option real clusters want: places that join a
+//! running computation, drain out of it gracefully, and hand their
+//! chunks over *live* — relocation, not recompute.
+//!
+//! The engine here is a deterministic single-threaded machine: every
+//! place is a [`Member`] with a byte-encoded inbox, and the main loop
+//! gives each member one round-robin turn (process one message, or
+//! compute one ready cell). All inter-place traffic travels as real
+//! [`Msg`] codec bytes, so the protocol exercised is exactly what the
+//! socket backend would put on a wire. Determinism is what makes the
+//! differential oracle possible: the same workload with and without a
+//! churn plan must produce identical fingerprints.
+//!
+//! # The relocation protocol
+//!
+//! One relocation is in flight at a time (they serialize the epoch
+//! fence):
+//!
+//! ```text
+//!  holder ──ChunkOffer{slot,e}──▶ target          (announce)
+//!  holder ◀──ChunkAck{slot,e}──── target          (accept)
+//!  holder ──ChunkData{slot,e}──▶ target           (ship; holder's map → e+1)
+//!  target ──ChunkAck{slot,e+1}─▶ every member     (commit broadcast)
+//! ```
+//!
+//! The shipped [`ChunkState`] carries finished values, ready-counters,
+//! the ready queue and the relevant cache residents, so the new owner
+//! resumes exactly where the old one stopped. Between ship and commit,
+//! messages fence on the [`ChunkMap`] epoch: future-stamped traffic
+//! parks and replays, past-stamped `Done`s forward to the new owner,
+//! past-stamped `Pull`s drop and are re-issued by the requester when
+//! its own fence advances (the commit broadcast guarantees it does).
+//!
+//! # Membership verbs
+//!
+//! * **Join** — a fresh place id activates, adopts the highest-epoch
+//!   chunk map in the mesh, and receives its fair share of chunks via
+//!   ordinary relocations.
+//! * **Drain** — the place stops computing, relocates every chunk it
+//!   holds, and leaves once the mesh has acknowledged all of them.
+//!   Nothing is recomputed.
+//! * **Kill** — abrupt death: the victim's chunks are rebuilt from the
+//!   DAG pattern at new owners (the paper's recompute path), crediting
+//!   dependencies whose values survive elsewhere.
+//!
+//! An optional [`ElasticPolicy`] watches the ready backlog and fires
+//! joins/drains automatically — the autoscaler of the job server.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use dpx10_apgas::codec::{decode_exact, encode_to_vec};
+use dpx10_apgas::{Codec, ElasticPlan, ElasticVerb, PlaceId, RosterBoard};
+use dpx10_dag::{validate_pattern, DagPattern, VertexId};
+use dpx10_distarray::{ChunkMap, ChunkState, EpochVerdict};
+use dpx10_obs::{Counter, EventKind, Gauge, Recorder, Registry, RUNTIME_WORKER};
+
+use crate::app::{DepView, DpApp};
+use crate::error::EngineError;
+use crate::msg::Msg;
+
+/// Patterns above this vertex count skip the O(V·E) contract check.
+const VALIDATE_LIMIT: u64 = 65_536;
+
+/// Consecutive all-idle rounds before the engine declares a stall.
+const IDLE_LIMIT: u32 = 64;
+
+/// Configuration of an elastic run.
+#[derive(Clone, Debug)]
+pub struct ElasticConfig {
+    /// Founding members (places `0..founding`). Ignored when
+    /// `initial_members` is set.
+    pub founding: u16,
+    /// Maximum places the mesh may ever grow to (roster capacity).
+    pub capacity: u16,
+    /// Distribution slots (chunks). `0` = auto: `2 * capacity`.
+    pub slots: u16,
+    /// Autoscaling policy; `None` = membership changes only by plan.
+    pub policy: Option<ElasticPolicy>,
+    /// Explicit member set (possibly non-contiguous, after earlier
+    /// drains) — how [`ElasticServer`] resumes a mesh between jobs.
+    pub initial_members: Option<Vec<u16>>,
+}
+
+impl ElasticConfig {
+    /// A mesh of `founding` places with room to grow to `capacity`.
+    pub fn new(founding: u16, capacity: u16) -> Self {
+        ElasticConfig {
+            founding,
+            capacity,
+            slots: 0,
+            policy: None,
+            initial_members: None,
+        }
+    }
+}
+
+/// The autoscaler: watches the per-member ready backlog and grows or
+/// shrinks the mesh between relocations.
+#[derive(Clone, Debug)]
+pub struct ElasticPolicy {
+    /// Grow when the average ready backlog per member exceeds this.
+    pub grow_backlog: usize,
+    /// Shrink when the average ready backlog per member falls below
+    /// this.
+    pub shrink_backlog: usize,
+    /// Never shrink below this many members.
+    pub min_places: u16,
+    /// Never grow above this many members.
+    pub max_places: u16,
+    /// Re-evaluate every this many finished vertices.
+    pub check_every: u64,
+}
+
+/// Metrics of one elastic run.
+#[derive(Clone, Debug, Default)]
+pub struct ElasticReport {
+    /// Vertices in the DAG.
+    pub total: u64,
+    /// `compute()` invocations (≥ `total`; the excess is recompute).
+    pub computed: u64,
+    /// Invocations for cells that had already finished once — the
+    /// price of kills. Zero on any run without a kill.
+    pub recomputed: u64,
+    /// Chunks shipped whole via the relocation protocol.
+    pub chunks_relocated: u64,
+    /// Finished cells carried inside relocated chunks — work relocation
+    /// saved from recomputation.
+    pub cells_moved: u64,
+    /// Total encoded `ChunkData` payload bytes.
+    pub chunk_bytes: u64,
+    /// Pulls re-issued after an epoch advance (the requester's replay
+    /// half of the fence).
+    pub replayed_pulls: u64,
+    /// Future-stamped messages parked at the fence and later replayed.
+    pub parked_replayed: u64,
+    /// Past-stamped pulls dropped at the fence.
+    pub stale_dropped: u64,
+    /// Past-stamped `Done`s forwarded to the re-registered owner.
+    pub forwarded: u64,
+    /// Places that joined mid-run.
+    pub joins: u64,
+    /// Drains initiated (graceful departures).
+    pub drains: u64,
+    /// Abrupt deaths processed.
+    pub kills: u64,
+    /// `(finished vertices at the time, member count)` after every
+    /// membership change — the mesh-size timeline.
+    pub mesh_sizes: Vec<(u64, u16)>,
+    /// Members still in the mesh at the end, ascending.
+    pub final_members: Vec<u16>,
+    /// The next fresh place id a joiner would receive.
+    pub next_place: u16,
+    /// The chunk-map epoch at the end (relocations that completed).
+    pub final_epoch: u64,
+}
+
+/// A finished elastic run: every vertex value plus the run's metrics.
+pub struct ElasticRun<V> {
+    values: BTreeMap<u64, V>,
+    report: ElasticReport,
+}
+
+impl<V: Clone> ElasticRun<V> {
+    /// The result of vertex `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` was not part of the DAG.
+    pub fn get(&self, i: u32, j: u32) -> V {
+        self.try_get(i, j)
+            .unwrap_or_else(|| panic!("vertex ({i}, {j}) was not computed"))
+    }
+
+    /// The result of `(i, j)`, or `None` for cells outside the DAG.
+    pub fn try_get(&self, i: u32, j: u32) -> Option<V> {
+        self.values.get(&VertexId::new(i, j).pack()).cloned()
+    }
+
+    /// Metrics of the run.
+    pub fn report(&self) -> &ElasticReport {
+        &self.report
+    }
+}
+
+impl<V: dpx10_apgas::Codec> ElasticRun<V> {
+    /// The same FNV-1a digest as `DagResult::fingerprint`: every cell's
+    /// packed id and encoded value in canonical order — so an elastic
+    /// run compares directly against any other engine's result.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let mut buf = Vec::new();
+        for (id, v) in &self.values {
+            buf.clear();
+            v.encode(&mut buf);
+            for b in id.to_le_bytes() {
+                eat(b);
+            }
+            for &b in &buf {
+                eat(b);
+            }
+        }
+        h
+    }
+}
+
+/// A serialized message in flight, stamped with the sender's fence
+/// epoch at send time.
+struct Packet {
+    src: u16,
+    epoch: u64,
+    bytes: Vec<u8>,
+}
+
+/// One distribution slot's live state at its current holder.
+struct Chunk<V> {
+    holder: u16,
+    finished: HashMap<u64, V>,
+    /// Remaining indegree of unfinished, not-yet-ready cells.
+    indegree: HashMap<u64, u32>,
+    /// Cells whose counted dependencies are met, in arrival order.
+    ready: VecDeque<u64>,
+    /// Pulls for cells not finished yet: packed id → requesters.
+    deferred: HashMap<u64, Vec<u16>>,
+}
+
+/// One place of the deterministic mesh.
+struct Member<V> {
+    map: ChunkMap,
+    inbox: VecDeque<Packet>,
+    parked: Vec<Packet>,
+    cache: HashMap<u64, V>,
+    /// Pulls issued and not yet answered — re-issued on every epoch
+    /// advance, which is what survives relocation races.
+    pending_pulls: BTreeSet<u64>,
+    draining: bool,
+    drain_started_ns: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RelocStage {
+    /// `ChunkOffer` sent, waiting for the target's accept.
+    Offered,
+    /// `ChunkData` sent; the holder's map already points at the target.
+    Shipped,
+    /// Installed; waiting for every member to process the commit
+    /// broadcast.
+    Committing,
+}
+
+/// The single relocation in flight (they serialize the fence).
+struct Relocation {
+    slot: u16,
+    from: u16,
+    to: u16,
+    stage: RelocStage,
+    /// Members that have not yet processed the commit broadcast.
+    acks_outstanding: BTreeSet<u16>,
+    /// The epoch the commit broadcast carries.
+    commit_epoch: u64,
+    /// Finished cells inside the shipped payload (for progress repair
+    /// if the payload is lost to a kill).
+    shipped_cells: u64,
+    started_ns: u64,
+}
+
+/// The elastic mesh engine. Construct with [`ElasticEngine::new`],
+/// optionally attach a churn plan / recorder / metrics registry, then
+/// [`run`](ElasticEngine::run).
+pub struct ElasticEngine<A, P> {
+    app: A,
+    pattern: P,
+    config: ElasticConfig,
+    plan: ElasticPlan,
+    recorder: Recorder,
+    mesh_gauge: Option<Gauge>,
+    reloc_counter: Option<Counter>,
+}
+
+impl<A: DpApp, P: DagPattern> ElasticEngine<A, P> {
+    /// A quiet engine (no churn plan) over `app` and `pattern`.
+    pub fn new(app: A, pattern: P, config: ElasticConfig) -> Self {
+        ElasticEngine {
+            app,
+            pattern,
+            config,
+            plan: ElasticPlan::quiet(0),
+            recorder: Recorder::disabled(),
+            mesh_gauge: None,
+            reloc_counter: None,
+        }
+    }
+
+    /// Attaches a membership-churn plan.
+    pub fn with_plan(mut self, plan: ElasticPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Attaches a flight recorder: joins, drains and relocations become
+    /// spans on the timeline.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a metrics registry: exports the `dpx10_mesh_size` gauge
+    /// and `dpx10_chunks_relocated` counter.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.mesh_gauge = Some(registry.gauge(
+            "dpx10_mesh_size",
+            "Current member count of the elastic mesh",
+            &[],
+        ));
+        self.reloc_counter = Some(registry.counter(
+            "dpx10_chunks_relocated",
+            "Chunks shipped whole via live relocation",
+            &[],
+        ));
+        self
+    }
+
+    /// Runs the DAG to completion under the configured churn plan.
+    pub fn run(&self) -> Result<ElasticRun<A::Value>, EngineError> {
+        let total = self.pattern.vertex_count();
+        if total <= VALIDATE_LIMIT {
+            validate_pattern(&self.pattern).map_err(EngineError::InvalidPattern)?;
+        }
+        let members = match &self.config.initial_members {
+            Some(m) => {
+                let mut m = m.clone();
+                m.sort_unstable();
+                m.dedup();
+                if !m.contains(&0) {
+                    return Err(EngineError::Job(
+                        "elastic mesh: place 0 must be a member".into(),
+                    ));
+                }
+                m
+            }
+            None => {
+                if self.config.founding == 0 {
+                    return Err(EngineError::Job(
+                        "elastic mesh: at least one founding member".into(),
+                    ));
+                }
+                (0..self.config.founding).collect()
+            }
+        };
+        let mut machine = Machine::new(self, total, members);
+        machine.run()
+    }
+}
+
+/// The deterministic mesh machine — all state of one run.
+struct Machine<'a, A: DpApp, P: DagPattern> {
+    app: &'a A,
+    pattern: &'a P,
+    recorder: &'a Recorder,
+    policy: Option<ElasticPolicy>,
+    mesh_gauge: Option<Gauge>,
+    reloc_counter: Option<Counter>,
+    total: u64,
+    slots: u16,
+    /// Slot → packed cell ids, in local-index order.
+    slot_cells: Vec<Vec<u64>>,
+    /// Packed id → (slot, local index).
+    slot_index: HashMap<u64, (u16, u32)>,
+    chunks: Vec<Option<Chunk<A::Value>>>,
+    members: BTreeMap<u16, Member<A::Value>>,
+    roster: RosterBoard,
+    next_place: u16,
+    in_flight: Option<Relocation>,
+    /// `(slot, preferred target)` — targets are re-validated (and
+    /// retargeted) when the relocation starts.
+    reloc_queue: VecDeque<(u16, u16)>,
+    events: Vec<dpx10_apgas::ElasticEvent>,
+    next_event: usize,
+    ever_finished: HashSet<u64>,
+    current_finished: u64,
+    last_policy_check: u64,
+    report: ElasticReport,
+}
+
+impl<'a, A: DpApp, P: DagPattern> Machine<'a, A, P> {
+    fn new(engine: &'a ElasticEngine<A, P>, total: u64, members: Vec<u16>) -> Self {
+        let capacity = engine
+            .config
+            .capacity
+            .max(members.iter().copied().max().unwrap_or(0) + 1)
+            .max(1);
+        let slots = if engine.config.slots == 0 {
+            (2 * capacity).max(1)
+        } else {
+            engine.config.slots
+        };
+        let (width, height) = (engine.pattern.width(), engine.pattern.height());
+        // Column → slot by even ranges; enumerate each slot's cells
+        // row-major so local indices are stable across holders.
+        let mut cols_of_slot: Vec<Vec<u32>> = vec![Vec::new(); slots as usize];
+        for j in 0..width {
+            let s = (j as u64 * slots as u64 / width.max(1) as u64) as u16;
+            cols_of_slot[s as usize].push(j);
+        }
+        let mut slot_cells: Vec<Vec<u64>> = vec![Vec::new(); slots as usize];
+        let mut slot_index = HashMap::new();
+        for s in 0..slots {
+            for i in 0..height {
+                for &j in &cols_of_slot[s as usize] {
+                    if engine.pattern.contains(i, j) {
+                        let packed = VertexId::new(i, j).pack();
+                        slot_index.insert(packed, (s, slot_cells[s as usize].len() as u32));
+                        slot_cells[s as usize].push(packed);
+                    }
+                }
+            }
+        }
+        let next_place = members.iter().copied().max().unwrap_or(0) + 1;
+        let roster = RosterBoard::new(next_place, capacity);
+        for p in 0..next_place {
+            if !members.contains(&p) {
+                // Resumed meshes may have holes (earlier drains); the
+                // roster records them as Left so ids are not reused.
+                let _ = roster.start_drain(PlaceId(p));
+                let _ = roster.leave(PlaceId(p));
+            }
+        }
+        let owners: Vec<PlaceId> = (0..slots)
+            .map(|s| PlaceId(members[s as usize % members.len()]))
+            .collect();
+        let map = ChunkMap::new(owners.clone());
+        let mut chunks: Vec<Option<Chunk<A::Value>>> = Vec::with_capacity(slots as usize);
+        for s in 0..slots {
+            let mut chunk = Chunk {
+                holder: owners[s as usize].0,
+                finished: HashMap::new(),
+                indegree: HashMap::new(),
+                ready: VecDeque::new(),
+                deferred: HashMap::new(),
+            };
+            for &packed in &slot_cells[s as usize] {
+                let v = VertexId::unpack(packed);
+                let deg = engine.pattern.indegree(v.i, v.j);
+                if deg == 0 {
+                    chunk.ready.push_back(packed);
+                } else {
+                    chunk.indegree.insert(packed, deg);
+                }
+            }
+            chunks.push(Some(chunk));
+        }
+        let member_map: BTreeMap<u16, Member<A::Value>> = members
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    Member {
+                        map: map.clone(),
+                        inbox: VecDeque::new(),
+                        parked: Vec::new(),
+                        cache: HashMap::new(),
+                        pending_pulls: BTreeSet::new(),
+                        draining: false,
+                        drain_started_ns: 0,
+                    },
+                )
+            })
+            .collect();
+        let mut events = engine.plan.events.clone();
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap_or(std::cmp::Ordering::Equal));
+        let report = ElasticReport {
+            total,
+            mesh_sizes: vec![(0, members.len() as u16)],
+            ..ElasticReport::default()
+        };
+        if let Some(g) = &engine.mesh_gauge {
+            g.set(members.len() as f64);
+        }
+        Machine {
+            app: &engine.app,
+            pattern: &engine.pattern,
+            recorder: &engine.recorder,
+            policy: engine.config.policy.clone(),
+            mesh_gauge: engine.mesh_gauge.clone(),
+            reloc_counter: engine.reloc_counter.clone(),
+            total,
+            slots,
+            slot_cells,
+            slot_index,
+            chunks,
+            members: member_map,
+            roster,
+            next_place,
+            in_flight: None,
+            reloc_queue: VecDeque::new(),
+            events,
+            next_event: 0,
+            ever_finished: HashSet::new(),
+            current_finished: 0,
+            last_policy_check: 0,
+            report,
+        }
+    }
+
+    // ---- main loop ------------------------------------------------
+
+    fn run(&mut self) -> Result<ElasticRun<A::Value>, EngineError> {
+        let step_limit = 200 * self.total.max(1) + 20_000;
+        let mut steps = 0u64;
+        let mut idle_rounds = 0u32;
+        while self.current_finished < self.total {
+            self.fire_due_events();
+            self.policy_tick();
+            self.start_next_relocation();
+            let mut any = false;
+            let order: Vec<u16> = self.members.keys().copied().collect();
+            for p in order {
+                if self.members.contains_key(&p) {
+                    any |= self.member_turn(p);
+                }
+            }
+            any |= self.complete_drains();
+            steps += 1;
+            if any {
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+            }
+            if idle_rounds > IDLE_LIMIT || steps > step_limit {
+                if std::env::var_os("DPX10_ELASTIC_DEBUG").is_some() {
+                    self.debug_dump();
+                }
+                return Err(EngineError::Stalled {
+                    finished: self.current_finished,
+                    total: self.total,
+                });
+            }
+        }
+        // Settle: finish in-flight relocations and complete pending
+        // drains so the final membership is clean for the next job.
+        let mut settle = 0u32;
+        while self.in_flight.is_some()
+            || !self.reloc_queue.is_empty()
+            || self.members.values().any(|m| m.draining)
+            || self.members.values().any(|m| !m.inbox.is_empty())
+        {
+            self.start_next_relocation();
+            let order: Vec<u16> = self.members.keys().copied().collect();
+            for p in order {
+                if self.members.contains_key(&p) {
+                    self.member_turn(p);
+                }
+            }
+            self.complete_drains();
+            settle += 1;
+            if settle > 100_000 {
+                break; // report the mesh as-is rather than spin
+            }
+        }
+        self.report.final_members = self.members.keys().copied().collect();
+        self.report.next_place = self.next_place;
+        self.report.final_epoch = self
+            .members
+            .values()
+            .map(|m| m.map.epoch())
+            .max()
+            .unwrap_or(0);
+        let mut values = BTreeMap::new();
+        for chunk in self.chunks.iter().flatten() {
+            for (&id, v) in &chunk.finished {
+                values.insert(id, v.clone());
+            }
+        }
+        Ok(ElasticRun {
+            values,
+            report: std::mem::take(&mut self.report),
+        })
+    }
+
+    fn member_turn(&mut self, p: u16) -> bool {
+        if let Some(pkt) = self.members.get_mut(&p).and_then(|m| m.inbox.pop_front()) {
+            self.process_packet(p, pkt);
+            return true;
+        }
+        if self.members.get(&p).map_or(true, |m| m.draining) {
+            return false;
+        }
+        self.try_execute(p)
+    }
+
+    // ---- events & policy ------------------------------------------
+
+    fn fire_due_events(&mut self) {
+        while self.next_event < self.events.len() {
+            let ev = self.events[self.next_event];
+            let due = (ev.at * self.total as f64).ceil() as u64;
+            if self.current_finished < due {
+                break;
+            }
+            self.next_event += 1;
+            match ev.verb {
+                ElasticVerb::Join => {
+                    self.do_join();
+                }
+                ElasticVerb::Drain { place } => {
+                    self.do_drain(place.0);
+                }
+                ElasticVerb::Relocate { slot } => {
+                    let slot = slot % self.slots;
+                    if let Some(to) = self.least_loaded_excluding(self.holder_of(slot)) {
+                        self.reloc_queue.push_back((slot, to));
+                    }
+                }
+                ElasticVerb::Kill { place } => {
+                    self.do_kill(place.0);
+                }
+            }
+        }
+    }
+
+    fn policy_tick(&mut self) {
+        let Some(policy) = self.policy.clone() else {
+            return;
+        };
+        if self.in_flight.is_some()
+            || !self.reloc_queue.is_empty()
+            || self.members.values().any(|m| m.draining)
+            || self.current_finished < self.last_policy_check + policy.check_every
+        {
+            return;
+        }
+        self.last_policy_check = self.current_finished;
+        let backlog: usize = self.chunks.iter().flatten().map(|c| c.ready.len()).sum();
+        let count = self.members.len();
+        let avg = backlog / count.max(1);
+        if avg > policy.grow_backlog && (count as u16) < policy.max_places {
+            self.do_join();
+        } else if avg < policy.shrink_backlog && (count as u16) > policy.min_places {
+            // Shed the highest-id member; place 0 never drains.
+            if let Some(&victim) = self.members.keys().max() {
+                if victim != 0 {
+                    self.do_drain(victim);
+                }
+            }
+        }
+    }
+
+    // ---- membership verbs -----------------------------------------
+
+    fn do_join(&mut self) -> bool {
+        let Some(p) = self
+            .roster
+            .admit(format!("elastic:v{}", self.roster.version()))
+        else {
+            return false; // at capacity
+        };
+        self.roster.activate(p).expect("admitted slot activates");
+        self.next_place = self.next_place.max(p.0 + 1);
+        // The joiner adopts the highest-epoch map in the mesh: it is
+        // never behind a commit broadcast it will not receive.
+        let map = self
+            .members
+            .values()
+            .max_by_key(|m| m.map.epoch())
+            .map(|m| m.map.clone())
+            .expect("a mesh has members");
+        let now = self.recorder.now_ns();
+        self.recorder.span(
+            p.0,
+            RUNTIME_WORKER,
+            EventKind::Join,
+            now,
+            now,
+            u64::from(p.0),
+        );
+        self.members.insert(
+            p.0,
+            Member {
+                map,
+                inbox: VecDeque::new(),
+                parked: Vec::new(),
+                cache: HashMap::new(),
+                pending_pulls: BTreeSet::new(),
+                draining: false,
+                drain_started_ns: 0,
+            },
+        );
+        self.report.joins += 1;
+        self.note_mesh_size();
+        // Rebalance: queue the joiner's fair share, peeled off the
+        // most-loaded members.
+        let share = (self.slots as usize / self.members.len()).max(1);
+        let mut queued_slots: BTreeSet<u16> = self.reloc_queue.iter().map(|&(s, _)| s).collect();
+        if let Some(rel) = &self.in_flight {
+            queued_slots.insert(rel.slot);
+        }
+        let mut taken_from: BTreeMap<u16, usize> = BTreeMap::new();
+        for _ in 0..share {
+            let mut donor: Option<(u16, usize)> = None;
+            for &q in self.members.keys() {
+                if q == p.0 || self.members[&q].draining {
+                    continue;
+                }
+                let load = self
+                    .held_slots(q)
+                    .into_iter()
+                    .filter(|s| !queued_slots.contains(s))
+                    .count()
+                    .saturating_sub(*taken_from.get(&q).unwrap_or(&0));
+                if load >= 2 && donor.map_or(true, |(_, best)| load > best) {
+                    donor = Some((q, load));
+                }
+            }
+            let Some((q, _)) = donor else { break };
+            let Some(slot) = self
+                .held_slots(q)
+                .into_iter()
+                .rfind(|s| !queued_slots.contains(s))
+            else {
+                break;
+            };
+            queued_slots.insert(slot);
+            *taken_from.entry(q).or_insert(0) += 1;
+            self.reloc_queue.push_back((slot, p.0));
+        }
+        true
+    }
+
+    fn do_drain(&mut self, place: u16) -> bool {
+        if place == 0 {
+            return false;
+        }
+        let non_draining = self.members.values().filter(|m| !m.draining).count();
+        let eligible = self
+            .members
+            .get(&place)
+            .is_some_and(|m| !m.draining && non_draining >= 2);
+        if !eligible || self.roster.start_drain(PlaceId(place)).is_err() {
+            return false;
+        }
+        let now = self.recorder.now_ns();
+        let m = self.members.get_mut(&place).expect("checked above");
+        m.draining = true;
+        m.drain_started_ns = now;
+        self.report.drains += 1;
+        // Queue everything it holds; round-robin over the least-loaded
+        // survivors. Targets are re-validated at relocation start.
+        let mut targets: Vec<u16> = self
+            .members
+            .iter()
+            .filter(|(&q, m)| q != place && !m.draining)
+            .map(|(&q, _)| q)
+            .collect();
+        targets.sort_by_key(|&q| (self.held_slots(q).len(), q));
+        for (k, slot) in self.held_slots(place).into_iter().enumerate() {
+            self.reloc_queue
+                .push_back((slot, targets[k % targets.len()]));
+        }
+        true
+    }
+
+    fn do_kill(&mut self, victim: u16) -> bool {
+        if victim == 0 || !self.members.contains_key(&victim) || self.members.len() <= 1 {
+            return false;
+        }
+        self.report.kills += 1;
+        let mut extra_lost: Vec<u16> = Vec::new();
+        self.resolve_in_flight_for_kill(victim, &mut extra_lost);
+        // Lost chunks: everything the victim held, plus a payload that
+        // died in its inbox mid-relocation.
+        let mut lost: Vec<u16> = self.held_slots(victim);
+        lost.extend(extra_lost);
+        lost.sort_unstable();
+        lost.dedup();
+        for &s in &lost {
+            if let Some(chunk) = self.chunks[s as usize].take() {
+                self.current_finished -= chunk.finished.len() as u64;
+            }
+        }
+        self.members.remove(&victim);
+        self.roster.mark_dead(PlaceId(victim));
+        self.note_mesh_size();
+        // Epoch repair: a kill mid-relocation can leave the shipper one
+        // epoch ahead. Everyone adopts the highest-epoch map before the
+        // uniform relocations below, so fences stay identical.
+        let truth = self
+            .members
+            .values()
+            .max_by_key(|m| m.map.epoch())
+            .map(|m| m.map.clone())
+            .expect("place 0 survives");
+        let laggards: Vec<u16> = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.map.epoch() < truth.epoch())
+            .map(|(&q, _)| q)
+            .collect();
+        for q in laggards {
+            self.members.get_mut(&q).expect("listed").map = truth.clone();
+        }
+        // Rebuild each lost slot at a survivor — the paper's recompute
+        // path. Dependencies whose values survive in other chunks are
+        // credited; everything else recomputes in DAG order.
+        for &slot in &lost {
+            let to = self.least_loaded_excluding(None).expect("place 0 survives");
+            for m in self.members.values_mut() {
+                m.map.relocate(slot, PlaceId(to));
+            }
+            let mut chunk = Chunk {
+                holder: to,
+                finished: HashMap::new(),
+                indegree: HashMap::new(),
+                ready: VecDeque::new(),
+                deferred: HashMap::new(),
+            };
+            let mut deps = Vec::new();
+            for &packed in &self.slot_cells[slot as usize] {
+                let v = VertexId::unpack(packed);
+                deps.clear();
+                self.pattern.dependencies(v.i, v.j, &mut deps);
+                let mut deg = 0u32;
+                for d in &deps {
+                    let dp = d.pack();
+                    let ds = self.slot_index[&dp].0;
+                    let satisfied = self.chunks[ds as usize]
+                        .as_ref()
+                        .is_some_and(|c| c.finished.contains_key(&dp));
+                    if !satisfied {
+                        deg += 1;
+                    }
+                }
+                if deg == 0 {
+                    chunk.ready.push_back(packed);
+                } else {
+                    chunk.indegree.insert(packed, deg);
+                }
+            }
+            self.chunks[slot as usize] = Some(chunk);
+        }
+        // The victim's inbox died with it, and it may have carried
+        // `Done` decrements for chunks that survive elsewhere (a chunk
+        // force-delivered mid-relocation, or traffic the victim would
+        // have forwarded). Recount every surviving chunk's counters
+        // from ground truth: overcounts are exactly the lost
+        // decrements; undercounts (a decrement still legitimately in
+        // flight to a survivor) only make a cell ready early, where the
+        // gather's pull fallback fetches the missing values.
+        self.recount_indegrees();
+        // Everyone's fence advanced: replay parked traffic and re-issue
+        // unanswered pulls (some were addressed to the dead place).
+        let all: Vec<u16> = self.members.keys().copied().collect();
+        for q in all {
+            self.replay_parked(q);
+            self.reissue_pulls(q);
+        }
+        true
+    }
+
+    /// Recomputes `indegree` for every unfinished cell in every
+    /// surviving chunk from the global finished state, promoting cells
+    /// whose outstanding count drops to zero. Iterates in slot/cell
+    /// order so the repair is deterministic.
+    fn recount_indegrees(&mut self) {
+        let mut deps = Vec::new();
+        for slot in 0..self.slots {
+            if self.chunks[slot as usize].is_none() {
+                continue;
+            }
+            let counted: Vec<u64> = self.slot_cells[slot as usize]
+                .iter()
+                .copied()
+                .filter(|p| {
+                    self.chunks[slot as usize]
+                        .as_ref()
+                        .is_some_and(|c| c.indegree.contains_key(p))
+                })
+                .collect();
+            for packed in counted {
+                let v = VertexId::unpack(packed);
+                deps.clear();
+                self.pattern.dependencies(v.i, v.j, &mut deps);
+                let mut deg = 0u32;
+                for d in &deps {
+                    let dp = d.pack();
+                    let ds = self.slot_index[&dp].0;
+                    let satisfied = self.chunks[ds as usize]
+                        .as_ref()
+                        .is_some_and(|c| c.finished.contains_key(&dp));
+                    if !satisfied {
+                        deg += 1;
+                    }
+                }
+                let chunk = self.chunks[slot as usize].as_mut().expect("checked above");
+                if deg == 0 {
+                    chunk.indegree.remove(&packed);
+                    chunk.ready.push_back(packed);
+                } else {
+                    chunk.indegree.insert(packed, deg);
+                }
+            }
+        }
+    }
+
+    fn resolve_in_flight_for_kill(&mut self, victim: u16, extra_lost: &mut Vec<u16>) {
+        let Some(rel) = self.in_flight.take() else {
+            return;
+        };
+        match rel.stage {
+            RelocStage::Offered => {
+                // Nothing shipped; the chunk is safe wherever it is. If
+                // the holder died it is in the lost scan; a dead target
+                // just aborts (drain leftovers re-queue themselves).
+                if rel.from != victim && rel.to != victim {
+                    self.in_flight = Some(rel);
+                }
+            }
+            RelocStage::Shipped => {
+                if rel.to == victim {
+                    // The payload died in the victim's inbox: the slot
+                    // is lost and recomputes. The progress its finished
+                    // cells contributed comes off the clock here (the
+                    // chunk itself is already gone from the shipper).
+                    self.current_finished -= rel.shipped_cells;
+                    extra_lost.push(rel.slot);
+                } else {
+                    // The payload survives in a live inbox — deliver it
+                    // now so the kill barrier sees a committed world.
+                    let (to, slot) = (rel.to, rel.slot);
+                    self.in_flight = Some(rel);
+                    self.force_deliver_chunk_data(to, slot);
+                    self.force_commit(victim);
+                }
+            }
+            RelocStage::Committing => {
+                self.in_flight = Some(rel);
+                self.force_commit(victim);
+            }
+        }
+    }
+
+    /// Applies the commit broadcast at every member that has not
+    /// processed it yet (the kill barrier cannot wait for inboxes).
+    /// The broadcast packets still queued become harmless no-ops.
+    fn force_commit(&mut self, victim: u16) {
+        let Some(rel) = self.in_flight.take() else {
+            return;
+        };
+        for q in rel.acks_outstanding {
+            if q == victim || !self.members.contains_key(&q) {
+                continue;
+            }
+            let m = self.members.get_mut(&q).expect("checked");
+            m.map
+                .observe_relocation(rel.slot, PlaceId(rel.to), rel.commit_epoch);
+            self.replay_parked(q);
+            self.reissue_pulls(q);
+        }
+    }
+
+    /// Pulls a specific in-flight `ChunkData` out of `target`'s inbox
+    /// and processes it immediately (preserving the order of the rest).
+    fn force_deliver_chunk_data(&mut self, target: u16, slot: u16) {
+        let Some(m) = self.members.get_mut(&target) else {
+            return;
+        };
+        let mut found = None;
+        for (k, pkt) in m.inbox.iter().enumerate() {
+            if let Some(Msg::ChunkData { slot: s, .. }) = decode_exact::<Msg<A::Value>>(&pkt.bytes)
+            {
+                if s == slot {
+                    found = Some(k);
+                    break;
+                }
+            }
+        }
+        if let Some(k) = found {
+            let pkt = m.inbox.remove(k).expect("index just found");
+            self.process_packet(target, pkt);
+        }
+    }
+
+    fn complete_drains(&mut self) -> bool {
+        let mut changed = false;
+        let draining: Vec<u16> = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.draining)
+            .map(|(&p, _)| p)
+            .collect();
+        for d in draining {
+            let held = self.held_slots(d);
+            // Re-queue leftovers (aborted relocations, late arrivals).
+            let queued: BTreeSet<u16> = self.reloc_queue.iter().map(|&(s, _)| s).collect();
+            for s in &held {
+                let in_flight = self.in_flight.as_ref().is_some_and(|r| r.slot == *s);
+                if !queued.contains(s) && !in_flight {
+                    if let Some(to) = self.least_loaded_excluding(Some(d)) {
+                        self.reloc_queue.push_back((*s, to));
+                    }
+                }
+            }
+            let involved = self
+                .in_flight
+                .as_ref()
+                .is_some_and(|r| r.from == d || r.to == d);
+            let m = &self.members[&d];
+            if held.is_empty() && !involved && m.inbox.is_empty() && m.parked.is_empty() {
+                let start = m.drain_started_ns;
+                let now = self.recorder.now_ns();
+                self.recorder.span(
+                    d,
+                    RUNTIME_WORKER,
+                    EventKind::Drain,
+                    start,
+                    now,
+                    u64::from(d),
+                );
+                let _ = self.roster.leave(PlaceId(d));
+                self.members.remove(&d);
+                self.note_mesh_size();
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    // ---- relocation -----------------------------------------------
+
+    fn start_next_relocation(&mut self) {
+        if self.in_flight.is_some() {
+            return;
+        }
+        while let Some((slot, want_to)) = self.reloc_queue.pop_front() {
+            let Some(from) = self.holder_of(slot) else {
+                continue; // slot lost to a kill while queued
+            };
+            if !self.members.contains_key(&from) {
+                continue;
+            }
+            let valid = |p: u16, mach: &Self| {
+                p != from && mach.members.get(&p).is_some_and(|m| !m.draining)
+            };
+            let to = if valid(want_to, self) {
+                Some(want_to)
+            } else {
+                self.least_loaded_excluding(Some(from))
+            };
+            let Some(to) = to else { continue };
+            let chunk = self.chunks[slot as usize]
+                .as_ref()
+                .expect("holder_of checked");
+            let epoch = self.members[&from].map.epoch();
+            let cells = chunk.finished.len() as u32;
+            let bytes = self.package(from, slot).wire_size() as u64;
+            let started_ns = self.recorder.now_ns();
+            self.post(
+                from,
+                to,
+                Msg::ChunkOffer {
+                    slot,
+                    epoch,
+                    cells,
+                    bytes,
+                },
+                epoch,
+            );
+            self.in_flight = Some(Relocation {
+                slot,
+                from,
+                to,
+                stage: RelocStage::Offered,
+                acks_outstanding: BTreeSet::new(),
+                commit_epoch: 0,
+                shipped_cells: 0,
+                started_ns,
+            });
+            return;
+        }
+    }
+
+    /// Serializes `slot`'s live state at `holder` into a [`ChunkState`]
+    /// — finished cells, ready-counters, the ready queue in order, and
+    /// the cache residents the unfinished cells still depend on.
+    fn package(&self, holder: u16, slot: u16) -> ChunkState<A::Value> {
+        let chunk = self.chunks[slot as usize]
+            .as_ref()
+            .expect("holder ships what it holds");
+        let local = |packed: u64| self.slot_index[&packed].1;
+        let mut finished: Vec<(u32, A::Value)> = chunk
+            .finished
+            .iter()
+            .map(|(&id, v)| (local(id), v.clone()))
+            .collect();
+        finished.sort_unstable_by_key(|&(l, _)| l);
+        let mut indegree: Vec<(u32, u32)> = chunk
+            .indegree
+            .iter()
+            .map(|(&id, &d)| (local(id), d))
+            .collect();
+        indegree.sort_unstable_by_key(|&(l, _)| l);
+        let ready: Vec<u32> = chunk.ready.iter().map(|&id| local(id)).collect();
+        // Cache residents that unfinished cells still need, in cell
+        // order (deterministic across the mesh).
+        let member = &self.members[&holder];
+        let mut cache: Vec<(u64, A::Value)> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut deps = Vec::new();
+        for &packed in &self.slot_cells[slot as usize] {
+            if chunk.finished.contains_key(&packed) {
+                continue;
+            }
+            let v = VertexId::unpack(packed);
+            deps.clear();
+            self.pattern.dependencies(v.i, v.j, &mut deps);
+            for d in &deps {
+                let dp = d.pack();
+                if let Some(val) = member.cache.get(&dp) {
+                    if seen.insert(dp) {
+                        cache.push((dp, val.clone()));
+                    }
+                }
+            }
+        }
+        ChunkState {
+            slot,
+            finished,
+            indegree,
+            ready,
+            cache,
+            spill: Vec::new(),
+        }
+    }
+
+    /// The holder received the target's accept: ship the chunk and
+    /// advance the local fence. From here until the commit broadcast
+    /// lands everywhere, the mesh runs split-epoch — exactly what the
+    /// fence exists for.
+    fn ship_chunk(&mut self, holder: u16, ack_epoch: u64) {
+        let (slot, to) = {
+            let rel = self.in_flight.as_ref().expect("accept implies in-flight");
+            (rel.slot, rel.to)
+        };
+        let my_epoch = self.members[&holder].map.epoch();
+        if ack_epoch != my_epoch || self.holder_of(slot) != Some(holder) {
+            // A kill moved the world since the offer: abort; drain
+            // leftovers re-queue themselves.
+            self.in_flight = None;
+            return;
+        }
+        let state = self.package(holder, slot);
+        let shipped_cells = state.finished.len() as u64;
+        let bytes = encode_to_vec(&state);
+        self.chunks[slot as usize] = None;
+        self.post(
+            holder,
+            to,
+            Msg::ChunkData {
+                slot,
+                epoch: my_epoch,
+                chunk: bytes,
+            },
+            my_epoch,
+        );
+        let m = self.members.get_mut(&holder).expect("holder is a member");
+        m.map.relocate(slot, PlaceId(to)).expect("owner changes");
+        let rel = self.in_flight.as_mut().expect("still in flight");
+        rel.stage = RelocStage::Shipped;
+        rel.shipped_cells = shipped_cells;
+        self.replay_parked(holder);
+        self.reissue_pulls(holder);
+    }
+
+    /// The target installs a shipped chunk, re-registers ownership and
+    /// broadcasts the commit `ChunkAck` that advances every fence.
+    fn install_chunk(&mut self, target: u16, slot: u16, epoch: u64, payload: &[u8]) {
+        let matches = self
+            .in_flight
+            .as_ref()
+            .is_some_and(|r| r.slot == slot && r.to == target && r.stage == RelocStage::Shipped);
+        if !matches {
+            return; // stale payload from an aborted relocation
+        }
+        let Some(state) = decode_exact::<ChunkState<A::Value>>(payload) else {
+            debug_assert!(false, "a shipped chunk always decodes");
+            self.in_flight = None;
+            return;
+        };
+        let cells = &self.slot_cells[slot as usize];
+        let mut chunk = Chunk {
+            holder: target,
+            finished: HashMap::new(),
+            indegree: HashMap::new(),
+            ready: VecDeque::new(),
+            deferred: HashMap::new(),
+        };
+        for (l, v) in state.finished {
+            chunk.finished.insert(cells[l as usize], v);
+        }
+        for (l, d) in state.indegree {
+            chunk.indegree.insert(cells[l as usize], d);
+        }
+        for l in state.ready {
+            chunk.ready.push_back(cells[l as usize]);
+        }
+        self.report.cells_moved += chunk.finished.len() as u64;
+        self.report.chunk_bytes += payload.len() as u64;
+        self.report.chunks_relocated += 1;
+        if let Some(c) = &self.reloc_counter {
+            c.inc();
+        }
+        self.chunks[slot as usize] = Some(chunk);
+        let m = self.members.get_mut(&target).expect("target is a member");
+        for (k, v) in state.cache {
+            m.cache.entry(k).or_insert(v);
+        }
+        let commit_epoch = m
+            .map
+            .relocate(slot, PlaceId(target))
+            .expect("adoption changes the owner");
+        debug_assert_eq!(commit_epoch, epoch + 1, "single relocation in flight");
+        let rel = self.in_flight.as_mut().expect("matched above");
+        rel.stage = RelocStage::Committing;
+        rel.commit_epoch = commit_epoch;
+        rel.acks_outstanding = self
+            .members
+            .keys()
+            .copied()
+            .filter(|&q| q != target)
+            .collect();
+        let acks: Vec<u16> = self
+            .in_flight
+            .as_ref()
+            .expect("just set")
+            .acks_outstanding
+            .iter()
+            .copied()
+            .collect();
+        for q in acks {
+            self.post(
+                target,
+                q,
+                Msg::ChunkAck {
+                    slot,
+                    epoch: commit_epoch,
+                },
+                commit_epoch,
+            );
+        }
+        self.replay_parked(target);
+        self.reissue_pulls(target);
+    }
+
+    // ---- message processing ---------------------------------------
+
+    fn process_packet(&mut self, p: u16, pkt: Packet) {
+        let Some(msg) = decode_exact::<Msg<A::Value>>(&pkt.bytes) else {
+            debug_assert!(false, "in-mesh packets always decode");
+            return;
+        };
+        match msg {
+            Msg::Done {
+                from,
+                value,
+                targets,
+            } => self.on_done(p, pkt, from, value, targets),
+            Msg::Pull { id } => self.on_pull(p, pkt, id),
+            Msg::PullVal { id, value } => {
+                let m = self.members.get_mut(&p).expect("processing own inbox");
+                m.cache.insert(id.pack(), value);
+                m.pending_pulls.remove(&id.pack());
+            }
+            Msg::ChunkOffer { slot, epoch, .. } => {
+                // Accept when this is the relocation in flight; a stale
+                // offer (aborted by a kill) is ignored.
+                let accept = self.in_flight.as_ref().is_some_and(|r| {
+                    r.slot == slot
+                        && r.from == pkt.src
+                        && r.to == p
+                        && r.stage == RelocStage::Offered
+                });
+                if accept {
+                    let my_epoch = self.members[&p].map.epoch();
+                    self.post(
+                        p,
+                        pkt.src,
+                        Msg::ChunkAck {
+                            slot,
+                            epoch: my_epoch,
+                        },
+                        epoch,
+                    );
+                }
+            }
+            Msg::ChunkData { slot, epoch, chunk } => self.install_chunk(p, slot, epoch, &chunk),
+            Msg::ChunkAck { slot, epoch } => self.on_chunk_ack(p, pkt.src, slot, epoch),
+            // Exec traffic belongs to the threaded engine's schedulers;
+            // the elastic mesh never emits it.
+            Msg::Exec { .. }
+            | Msg::ExecResult { .. }
+            | Msg::DoneBatch { .. }
+            | Msg::PullBatch { .. }
+            | Msg::PullValBatch { .. } => {}
+        }
+    }
+
+    fn on_done(
+        &mut self,
+        p: u16,
+        pkt: Packet,
+        from: VertexId,
+        value: A::Value,
+        targets: Vec<VertexId>,
+    ) {
+        let Some(&first) = targets.first() else {
+            return;
+        };
+        let slot = self.slot_index[&first.pack()].0;
+        // Holding the chunk makes the decrements valid whatever the
+        // stamp says — cell identity does not change across epochs.
+        if self.holder_of(slot) == Some(p) {
+            let m = self.members.get_mut(&p).expect("processing own inbox");
+            m.cache.insert(from.pack(), value);
+            self.decrement(slot, &targets);
+            return;
+        }
+        let m = self.members.get_mut(&p).expect("processing own inbox");
+        match m.map.admit(pkt.epoch) {
+            EpochVerdict::Park => m.parked.push(pkt),
+            EpochVerdict::Deliver | EpochVerdict::Stale => {
+                let owner = m.map.owner(slot);
+                if owner == Some(PlaceId(p)) {
+                    // Registered to us but the payload has not landed
+                    // yet: hold the decrements until it does.
+                    m.parked.push(pkt);
+                } else if let Some(o) = owner {
+                    let epoch = m.map.epoch();
+                    self.report.forwarded += 1;
+                    self.post(
+                        p,
+                        o.0,
+                        Msg::Done {
+                            from,
+                            value,
+                            targets,
+                        },
+                        epoch,
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_pull(&mut self, p: u16, pkt: Packet, id: VertexId) {
+        let packed = id.pack();
+        let slot = self.slot_index[&packed].0;
+        if self.holder_of(slot) == Some(p) {
+            let chunk = self.chunks[slot as usize]
+                .as_mut()
+                .expect("holder_of checked");
+            if let Some(v) = chunk.finished.get(&packed).cloned() {
+                let epoch = self.members[&p].map.epoch();
+                self.post(p, pkt.src, Msg::PullVal { id, value: v }, epoch);
+            } else {
+                chunk.deferred.entry(packed).or_default().push(pkt.src);
+            }
+            return;
+        }
+        let m = self.members.get_mut(&p).expect("processing own inbox");
+        match m.map.admit(pkt.epoch) {
+            EpochVerdict::Park => m.parked.push(pkt),
+            EpochVerdict::Deliver | EpochVerdict::Stale => {
+                if m.map.owner(slot) == Some(PlaceId(p)) {
+                    m.parked.push(pkt); // data en route
+                } else {
+                    // Drop; the requester re-issues when its fence
+                    // advances (the commit broadcast guarantees it).
+                    self.report.stale_dropped += 1;
+                }
+            }
+        }
+    }
+
+    fn on_chunk_ack(&mut self, p: u16, src: u16, slot: u16, epoch: u64) {
+        // The holder's accept?
+        let is_accept = self.in_flight.as_ref().is_some_and(|r| {
+            r.slot == slot && r.from == p && r.to == src && r.stage == RelocStage::Offered
+        });
+        if is_accept {
+            self.ship_chunk(p, epoch);
+            return;
+        }
+        // A commit broadcast: adopt the new registration (the sender is
+        // the new owner) and retire the ack.
+        let m = self.members.get_mut(&p).expect("processing own inbox");
+        if m.map.observe_relocation(slot, PlaceId(src), epoch) {
+            self.replay_parked(p);
+            self.reissue_pulls(p);
+        }
+        let done = self.in_flight.as_mut().is_some_and(|rel| {
+            if rel.slot == slot && rel.stage == RelocStage::Committing && rel.commit_epoch == epoch
+            {
+                rel.acks_outstanding.remove(&p);
+                rel.acks_outstanding.is_empty()
+            } else {
+                false
+            }
+        });
+        if done {
+            let rel = self.in_flight.take().expect("just matched");
+            let now = self.recorder.now_ns();
+            self.recorder.span(
+                rel.to,
+                RUNTIME_WORKER,
+                EventKind::Relocate,
+                rel.started_ns,
+                now,
+                u64::from(rel.slot),
+            );
+        }
+    }
+
+    // ---- execution ------------------------------------------------
+
+    fn try_execute(&mut self, p: u16) -> bool {
+        let mut issued = false;
+        for slot in self.held_slots(p) {
+            let Some(&packed) = self.chunks[slot as usize]
+                .as_ref()
+                .and_then(|c| c.ready.front())
+            else {
+                continue;
+            };
+            let v = VertexId::unpack(packed);
+            let mut dep_ids = Vec::new();
+            self.pattern.dependencies(v.i, v.j, &mut dep_ids);
+            let mut vals: Vec<A::Value> = Vec::with_capacity(dep_ids.len());
+            let mut missing: Vec<u64> = Vec::new();
+            for d in &dep_ids {
+                let dp = d.pack();
+                let ds = self.slot_index[&dp].0;
+                let local = self.chunks[ds as usize]
+                    .as_ref()
+                    .filter(|c| c.holder == p)
+                    .and_then(|c| c.finished.get(&dp));
+                if let Some(val) = local {
+                    vals.push(val.clone());
+                } else if let Some(val) = self.members[&p].cache.get(&dp) {
+                    vals.push(val.clone());
+                } else {
+                    missing.push(dp);
+                }
+            }
+            if missing.is_empty() {
+                let chunk = self.chunks[slot as usize].as_mut().expect("held");
+                chunk.ready.pop_front();
+                let view = DepView::new(&dep_ids, &vals);
+                let value = self.app.compute(v, &view);
+                self.publish(p, slot, packed, value);
+                return true;
+            }
+            // A counted-ready cell can still miss values (relocation,
+            // rebuild after a kill): pull the holes and rotate the cell
+            // so the rest of the chunk is not blocked behind it.
+            for dp in missing {
+                let ds = self.slot_index[&dp].0;
+                let m = self.members.get_mut(&p).expect("executing member");
+                if m.pending_pulls.insert(dp) {
+                    let owner = m.map.owner(ds);
+                    if owner != Some(PlaceId(p)) {
+                        if let Some(o) = owner {
+                            let epoch = m.map.epoch();
+                            self.post(
+                                p,
+                                o.0,
+                                Msg::Pull {
+                                    id: VertexId::unpack(dp),
+                                },
+                                epoch,
+                            );
+                            issued = true;
+                        }
+                    }
+                    // Registered to us but not held: the value arrives
+                    // with the chunk; the pending entry replays later.
+                }
+            }
+            let chunk = self.chunks[slot as usize].as_mut().expect("held");
+            let head = chunk.ready.pop_front().expect("front seen above");
+            chunk.ready.push_back(head);
+        }
+        issued
+    }
+
+    fn publish(&mut self, p: u16, slot: u16, packed: u64, value: A::Value) {
+        let first_time = self.ever_finished.insert(packed);
+        self.report.computed += 1;
+        if !first_time {
+            self.report.recomputed += 1;
+        }
+        self.current_finished += 1;
+        let id = VertexId::unpack(packed);
+        let chunk = self.chunks[slot as usize]
+            .as_mut()
+            .expect("publisher holds");
+        chunk.indegree.remove(&packed);
+        chunk.finished.insert(packed, value.clone());
+        let waiters = chunk.deferred.remove(&packed).unwrap_or_default();
+        let epoch = self.members[&p].map.epoch();
+        for r in waiters {
+            self.post(
+                p,
+                r,
+                Msg::PullVal {
+                    id,
+                    value: value.clone(),
+                },
+                epoch,
+            );
+        }
+        // Fan out to dependents: locally-held slots decrement in place;
+        // remote ones get a `Done` per (owner, slot) — targets share a
+        // slot so the receiver's fence has one slot to rule on.
+        let mut anti = Vec::new();
+        self.pattern.anti_dependencies(id.i, id.j, &mut anti);
+        let mut remote: BTreeMap<u16, Vec<VertexId>> = BTreeMap::new();
+        for t in anti {
+            let ts = self.slot_index[&t.pack()].0;
+            if self.holder_of(ts) == Some(p) {
+                self.decrement(ts, &[t]);
+            } else {
+                remote.entry(ts).or_default().push(t);
+            }
+        }
+        for (ts, targets) in remote {
+            let m = &self.members[&p];
+            let Some(owner) = m.map.owner(ts) else {
+                continue;
+            };
+            let epoch = m.map.epoch();
+            self.post(
+                p,
+                owner.0,
+                Msg::Done {
+                    from: id,
+                    value: value.clone(),
+                    targets,
+                },
+                epoch,
+            );
+        }
+    }
+
+    /// Decrements ready-counters in a held chunk. Absent entries are
+    /// skipped (already ready or finished), which makes a forwarded
+    /// duplicate after a rebuild harmless: a cell that turns ready
+    /// early just rotates in the queue pulling its missing values.
+    fn decrement(&mut self, slot: u16, targets: &[VertexId]) {
+        let chunk = self.chunks[slot as usize]
+            .as_mut()
+            .expect("decrement at holder");
+        for t in targets {
+            let tp = t.pack();
+            if let Some(d) = chunk.indegree.get_mut(&tp) {
+                *d = d.saturating_sub(1);
+                if *d == 0 {
+                    chunk.indegree.remove(&tp);
+                    chunk.ready.push_back(tp);
+                }
+            }
+        }
+    }
+
+    // ---- fence replay ---------------------------------------------
+
+    fn replay_parked(&mut self, p: u16) {
+        let Some(m) = self.members.get_mut(&p) else {
+            return;
+        };
+        if m.parked.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut m.parked);
+        self.report.parked_replayed += parked.len() as u64;
+        for pkt in parked {
+            m.inbox.push_back(pkt);
+        }
+    }
+
+    fn reissue_pulls(&mut self, p: u16) {
+        let Some(m) = self.members.get(&p) else {
+            return;
+        };
+        let pending: Vec<u64> = m.pending_pulls.iter().copied().collect();
+        for dp in pending {
+            let ds = self.slot_index[&dp].0;
+            if self.holder_of(ds) == Some(p) {
+                // The chunk came to us; take the value directly if it
+                // is finished, otherwise local execution produces it.
+                let have = self.chunks[ds as usize]
+                    .as_ref()
+                    .and_then(|c| c.finished.get(&dp).cloned());
+                if let Some(v) = have {
+                    let m = self.members.get_mut(&p).expect("still a member");
+                    m.cache.insert(dp, v);
+                    m.pending_pulls.remove(&dp);
+                }
+                continue;
+            }
+            let m = self.members.get_mut(&p).expect("still a member");
+            let Some(owner) = m.map.owner(ds) else {
+                continue;
+            };
+            if owner == PlaceId(p) {
+                continue; // payload en route
+            }
+            let epoch = m.map.epoch();
+            self.report.replayed_pulls += 1;
+            self.post(
+                p,
+                owner.0,
+                Msg::Pull {
+                    id: VertexId::unpack(dp),
+                },
+                epoch,
+            );
+        }
+    }
+
+    // ---- small helpers --------------------------------------------
+
+    fn debug_dump(&self) {
+        eprintln!("== elastic stall dump ==");
+        eprintln!(
+            "finished {}/{} in_flight {:?} queue {:?}",
+            self.current_finished,
+            self.total,
+            self.in_flight
+                .as_ref()
+                .map(|r| (r.slot, r.from, r.to, format!("{:?}", r.stage))),
+            self.reloc_queue
+        );
+        for (s, c) in self.chunks.iter().enumerate() {
+            match c {
+                Some(c) => {
+                    if c.finished.len() < self.slot_cells[s].len() {
+                        let ready: Vec<String> = c
+                            .ready
+                            .iter()
+                            .map(|&p| format!("{}", VertexId::unpack(p)))
+                            .collect();
+                        let mut indeg: Vec<String> = c
+                            .indegree
+                            .iter()
+                            .map(|(&p, &d)| format!("{}:{d}", VertexId::unpack(p)))
+                            .collect();
+                        indeg.sort();
+                        eprintln!(
+                            "slot {s} holder {} fin {}/{} ready {ready:?} indeg {indeg:?} deferred {}",
+                            c.holder,
+                            c.finished.len(),
+                            self.slot_cells[s].len(),
+                            c.deferred.len()
+                        );
+                    }
+                }
+                None => eprintln!("slot {s} MISSING"),
+            }
+        }
+        for (&p, m) in &self.members {
+            let pend: Vec<String> = m
+                .pending_pulls
+                .iter()
+                .map(|&d| format!("{}", VertexId::unpack(d)))
+                .collect();
+            eprintln!(
+                "member {p} epoch {} inbox {} parked {} pending {pend:?} draining {}",
+                m.map.epoch(),
+                m.inbox.len(),
+                m.parked.len(),
+                m.draining
+            );
+        }
+    }
+
+    fn post(&mut self, src: u16, to: u16, msg: Msg<A::Value>, epoch: u64) {
+        let Some(m) = self.members.get_mut(&to) else {
+            return; // a departed member: the mesh shrugs
+        };
+        m.inbox.push_back(Packet {
+            src,
+            epoch,
+            bytes: encode_to_vec(&msg),
+        });
+    }
+
+    fn holder_of(&self, slot: u16) -> Option<u16> {
+        self.chunks.get(slot as usize)?.as_ref().map(|c| c.holder)
+    }
+
+    fn held_slots(&self, p: u16) -> Vec<u16> {
+        (0..self.slots)
+            .filter(|&s| self.holder_of(s) == Some(p))
+            .collect()
+    }
+
+    /// The non-draining member holding the fewest chunks (lowest id on
+    /// ties), excluding `not`.
+    fn least_loaded_excluding(&self, not: Option<u16>) -> Option<u16> {
+        self.members
+            .iter()
+            .filter(|(&q, m)| Some(q) != not && !m.draining)
+            .map(|(&q, _)| (self.held_slots(q).len(), q))
+            .min()
+            .map(|(_, q)| q)
+    }
+
+    fn note_mesh_size(&mut self) {
+        self.report
+            .mesh_sizes
+            .push((self.current_finished, self.members.len() as u16));
+        if let Some(g) = &self.mesh_gauge {
+            g.set(self.members.len() as f64);
+        }
+    }
+}
+
+/// A mesh that outlives a single job: runs DAGs back to back on the
+/// same membership, carrying joins and drains across job boundaries —
+/// the autoscaling job server of the elastic mesh.
+pub struct ElasticServer {
+    capacity: u16,
+    slots: u16,
+    policy: Option<ElasticPolicy>,
+    recorder: Recorder,
+    members: Vec<u16>,
+    next_place: u16,
+    jobs_run: u64,
+}
+
+impl ElasticServer {
+    /// A server starting with `founding` members and room for
+    /// `capacity`.
+    pub fn new(founding: u16, capacity: u16) -> Self {
+        let founding = founding.max(1);
+        ElasticServer {
+            capacity: capacity.max(founding),
+            slots: 0,
+            policy: None,
+            recorder: Recorder::disabled(),
+            members: (0..founding).collect(),
+            next_place: founding,
+            jobs_run: 0,
+        }
+    }
+
+    /// Installs an autoscaling policy applied to every job.
+    pub fn with_policy(mut self, policy: ElasticPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Attaches a flight recorder shared by every job's engine.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Current members, ascending.
+    pub fn members(&self) -> &[u16] {
+        &self.members
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs_run
+    }
+
+    /// Runs one job on the current mesh under `plan`, then adopts the
+    /// membership the run ended with.
+    pub fn run_job<A: DpApp, P: DagPattern>(
+        &mut self,
+        app: A,
+        pattern: P,
+        plan: ElasticPlan,
+    ) -> Result<ElasticRun<A::Value>, EngineError> {
+        let config = ElasticConfig {
+            founding: self.members.len() as u16,
+            capacity: self.capacity.max(self.next_place),
+            slots: self.slots,
+            policy: self.policy.clone(),
+            initial_members: Some(self.members.clone()),
+        };
+        let run = ElasticEngine::new(app, pattern, config)
+            .with_plan(plan)
+            .with_recorder(self.recorder.clone())
+            .run()?;
+        self.members = run.report.final_members.clone();
+        self.next_place = run.report.next_place.max(self.next_place);
+        self.jobs_run += 1;
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpx10_apgas::ElasticEvent;
+    use dpx10_dag::builtin::Grid3;
+
+    /// A non-commutative mixing kernel: any dropped, duplicated or
+    /// reordered dependency value changes the fingerprint.
+    struct Mix;
+
+    impl DpApp for Mix {
+        type Value = u64;
+        fn compute(&self, id: VertexId, deps: &DepView<'_, u64>) -> u64 {
+            let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ id.pack();
+            for (d, v) in deps.iter() {
+                h = h.rotate_left(13).wrapping_mul(0x0000_0100_0000_01b3)
+                    ^ v.wrapping_add(d.pack());
+            }
+            h.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    fn run_plan(founding: u16, capacity: u16, plan: ElasticPlan) -> ElasticRun<u64> {
+        ElasticEngine::new(
+            Mix,
+            Grid3::new(12, 12),
+            ElasticConfig::new(founding, capacity),
+        )
+        .with_plan(plan)
+        .run()
+        .expect("elastic run completes")
+    }
+
+    fn solo_fingerprint() -> u64 {
+        run_plan(1, 1, ElasticPlan::quiet(0)).fingerprint()
+    }
+
+    fn ev(at: f64, verb: ElasticVerb) -> ElasticEvent {
+        ElasticEvent { at, verb }
+    }
+
+    #[test]
+    fn quiet_elastic_mesh_matches_solo() {
+        let solo = solo_fingerprint();
+        let run = run_plan(3, 6, ElasticPlan::quiet(1));
+        assert_eq!(
+            run.fingerprint(),
+            solo,
+            "distribution must not change values"
+        );
+        let r = run.report();
+        assert_eq!(r.computed, r.total);
+        assert_eq!(r.recomputed, 0);
+        assert_eq!(r.chunks_relocated, 0);
+        assert_eq!(r.final_members, vec![0, 1, 2]);
+        assert_eq!(run.get(11, 11), run.try_get(11, 11).unwrap());
+    }
+
+    #[test]
+    fn relocate_event_moves_a_chunk_without_recompute() {
+        let solo = solo_fingerprint();
+        let plan = ElasticPlan {
+            seed: 2,
+            events: vec![
+                ev(0.2, ElasticVerb::Relocate { slot: 1 }),
+                ev(0.5, ElasticVerb::Relocate { slot: 4 }),
+            ],
+        };
+        let run = run_plan(3, 6, plan);
+        assert_eq!(run.fingerprint(), solo);
+        let r = run.report();
+        assert!(r.chunks_relocated >= 1, "a chunk must actually move");
+        assert_eq!(r.recomputed, 0, "relocation is not recompute");
+        assert_eq!(r.computed, r.total);
+        assert!(r.final_epoch >= 1, "relocation bumps the fence");
+    }
+
+    #[test]
+    fn grow_to_five_then_drain_to_three_relocates_not_recomputes() {
+        let solo = solo_fingerprint();
+        let plan = ElasticPlan {
+            seed: 3,
+            events: vec![
+                ev(0.10, ElasticVerb::Join),
+                ev(0.15, ElasticVerb::Join),
+                ev(0.50, ElasticVerb::Drain { place: PlaceId(3) }),
+                ev(0.65, ElasticVerb::Drain { place: PlaceId(4) }),
+            ],
+        };
+        let run = run_plan(3, 6, plan);
+        assert_eq!(run.fingerprint(), solo, "churn must not change values");
+        let r = run.report();
+        assert_eq!(r.joins, 2);
+        assert_eq!(r.drains, 2);
+        assert!(
+            r.chunks_relocated >= 1 && r.cells_moved >= 1,
+            "grow/drain moves live state: {r:?}"
+        );
+        assert_eq!(r.recomputed, 0, "graceful churn never recomputes");
+        assert_eq!(r.computed, r.total);
+        assert_eq!(r.final_members, vec![0, 1, 2], "mesh returns to founders");
+        assert!(
+            r.mesh_sizes.iter().any(|&(_, n)| n == 5),
+            "the mesh must actually reach 5 members: {:?}",
+            r.mesh_sizes
+        );
+    }
+
+    #[test]
+    fn kill_recovers_by_recompute() {
+        let solo = solo_fingerprint();
+        let plan = ElasticPlan {
+            seed: 4,
+            events: vec![ev(0.5, ElasticVerb::Kill { place: PlaceId(2) })],
+        };
+        let run = run_plan(3, 6, plan);
+        assert_eq!(run.fingerprint(), solo, "recovery must restore all values");
+        let r = run.report();
+        assert_eq!(r.kills, 1);
+        assert!(r.recomputed > 0, "a mid-run kill loses finished cells");
+        assert_eq!(r.computed, r.total + r.recomputed);
+        assert_eq!(r.final_members, vec![0, 1]);
+    }
+
+    #[test]
+    fn kill_during_relocation_keeps_values_correct() {
+        let solo = solo_fingerprint();
+        // Relocations queue right before the kill fires, so the kill
+        // barrier has to resolve whatever stage is in flight.
+        let plan = ElasticPlan {
+            seed: 5,
+            events: vec![
+                ev(0.30, ElasticVerb::Relocate { slot: 2 }),
+                ev(0.31, ElasticVerb::Relocate { slot: 5 }),
+                ev(0.32, ElasticVerb::Kill { place: PlaceId(1) }),
+            ],
+        };
+        let run = run_plan(3, 6, plan);
+        assert_eq!(run.fingerprint(), solo);
+        assert_eq!(run.report().kills, 1);
+        assert_eq!(
+            run.report().computed - run.report().recomputed,
+            run.report().total
+        );
+    }
+
+    #[test]
+    fn autoscaling_policy_grows_and_sheds() {
+        let solo = solo_fingerprint();
+        let mut cfg = ElasticConfig::new(2, 6);
+        cfg.policy = Some(ElasticPolicy {
+            grow_backlog: 0,
+            shrink_backlog: 0, // never sheds: avg < 0 is impossible
+            min_places: 2,
+            max_places: 4,
+            check_every: 8,
+        });
+        let grown = ElasticEngine::new(Mix, Grid3::new(12, 12), cfg)
+            .with_plan(ElasticPlan::quiet(6))
+            .run()
+            .expect("policy run completes");
+        assert_eq!(grown.fingerprint(), solo);
+        assert!(grown.report().joins >= 1, "backlog must trigger a join");
+        assert!(grown.report().final_members.len() <= 4);
+
+        let mut cfg = ElasticConfig::new(4, 6);
+        cfg.policy = Some(ElasticPolicy {
+            grow_backlog: usize::MAX,
+            shrink_backlog: usize::MAX, // always sheds down to min
+            min_places: 2,
+            max_places: 6,
+            check_every: 8,
+        });
+        let shed = ElasticEngine::new(Mix, Grid3::new(12, 12), cfg)
+            .with_plan(ElasticPlan::quiet(7))
+            .run()
+            .expect("policy run completes");
+        assert_eq!(shed.fingerprint(), solo);
+        let r = shed.report();
+        assert!(r.drains >= 1, "idle mesh must shed members");
+        assert_eq!(r.recomputed, 0, "autoscaling never recomputes");
+        assert_eq!(r.final_members, vec![0, 1], "sheds to min_places");
+    }
+
+    #[test]
+    fn server_carries_membership_across_jobs() {
+        let solo = solo_fingerprint();
+        let mut server = ElasticServer::new(3, 6);
+        let grow = ElasticPlan {
+            seed: 8,
+            events: vec![ev(0.2, ElasticVerb::Join)],
+        };
+        let first = server.run_job(Mix, Grid3::new(12, 12), grow).unwrap();
+        assert_eq!(first.fingerprint(), solo);
+        assert_eq!(server.members(), &[0, 1, 2, 3]);
+        let drain = ElasticPlan {
+            seed: 9,
+            events: vec![ev(0.3, ElasticVerb::Drain { place: PlaceId(1) })],
+        };
+        let second = server.run_job(Mix, Grid3::new(12, 12), drain).unwrap();
+        assert_eq!(second.fingerprint(), solo);
+        assert_eq!(server.members(), &[0, 2, 3], "ids are not reused");
+        assert_eq!(server.jobs_run(), 2);
+        // The resumed mesh has a hole at place 1 and still runs clean.
+        let third = server
+            .run_job(Mix, Grid3::new(12, 12), ElasticPlan::quiet(10))
+            .unwrap();
+        assert_eq!(third.fingerprint(), solo);
+        assert_eq!(third.report().recomputed, 0);
+    }
+
+    #[test]
+    fn generated_plans_replay_against_the_serial_fingerprint() {
+        // A mini differential sweep (the harness runs the full one):
+        // generator-produced churn over several seeds, fingerprints
+        // pinned to the solo run.
+        let solo = solo_fingerprint();
+        for seed in 0..12u64 {
+            let plan = ElasticPlan::generate(seed, 3, 5);
+            let run = run_plan(3, 5, plan.clone());
+            assert_eq!(
+                run.fingerprint(),
+                solo,
+                "seed {seed:#x} plan {plan} diverged"
+            );
+            let r = run.report();
+            if r.kills == 0 {
+                assert_eq!(
+                    r.recomputed, 0,
+                    "seed {seed:#x}: churn without kills never recomputes"
+                );
+            }
+        }
+    }
+}

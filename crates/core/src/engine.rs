@@ -636,6 +636,9 @@ fn handle_msg<A: DpApp>(
                 handle_pull_val(shared, slot, wid, me, id, value);
             }
         }
+        // Relocation traffic belongs to the elastic engine; the static
+        // in-process engine never changes chunk ownership mid-run.
+        Msg::ChunkOffer { .. } | Msg::ChunkData { .. } | Msg::ChunkAck { .. } => {}
     }
 }
 

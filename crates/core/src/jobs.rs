@@ -294,8 +294,11 @@ impl<A: DpApp + 'static> JobServer<A> {
         let places = node.places();
         // Every place validates the same specs the same way; an invalid
         // serve fails identically everywhere, tearing the mesh down
-        // symmetrically.
-        let placements = match self.resolve_placements(places) {
+        // symmetrically. Validation runs against the live roster, not
+        // the founding count — slots drained out of an elastic mesh are
+        // not schedulable.
+        let members = node.roster().members();
+        let placements = match self.resolve_placements(&members) {
             Ok(p) => p,
             Err(e) => {
                 node.shutdown();
@@ -464,9 +467,12 @@ impl<A: DpApp + 'static> JobServer<A> {
 
         if me == PlaceId::ZERO {
             // Place 0 coordinates every job, so all jobs are over: the
-            // serve-level goodbye releases the worker places.
-            for p in 1..places {
-                let _ = node.send_bytes(PlaceId(p), encode_to_vec(&Wire::<A::Value>::Done));
+            // serve-level goodbye releases the worker places — the live
+            // roster, not `1..places`, which would address drained slots.
+            for p in node.roster().members() {
+                if p != me {
+                    let _ = node.send_bytes(p, encode_to_vec(&Wire::<A::Value>::Done));
+                }
             }
         } else {
             // Other places' connections must outlive the jobs they are
@@ -525,14 +531,13 @@ impl<A: DpApp + 'static> JobServer<A> {
     }
 
     /// Resolves, sorts and checks every job's placement against the
-    /// mesh.
-    fn resolve_placements(&self, places: u16) -> Result<Vec<Vec<PlaceId>>, EngineError> {
+    /// mesh's *live roster* — an elastic mesh may have drained or dead
+    /// slots below its capacity, and a pin to one of those must be
+    /// rejected, not discovered as a hang.
+    fn resolve_placements(&self, members: &[PlaceId]) -> Result<Vec<Vec<PlaceId>>, EngineError> {
         let mut placements = Vec::with_capacity(self.jobs.len());
         for (j, spec) in self.jobs.iter().enumerate() {
-            let mut placement = spec
-                .places
-                .clone()
-                .unwrap_or_else(|| (0..places).map(PlaceId).collect());
+            let mut placement = spec.places.clone().unwrap_or_else(|| members.to_vec());
             placement.sort_unstable();
             placement.dedup();
             if placement.first() != Some(&PlaceId::ZERO) {
@@ -541,9 +546,9 @@ impl<A: DpApp + 'static> JobServer<A> {
                     spec.name
                 )));
             }
-            if placement.iter().any(|p| p.index() >= places as usize) {
+            if let Some(p) = placement.iter().find(|p| !members.contains(p)) {
                 return Err(EngineError::Job(format!(
-                    "job {j} ({}) is pinned outside the {places}-place mesh",
+                    "job {j} ({}) is pinned to {p}, not a live member of the mesh",
                     spec.name
                 )));
             }
@@ -1430,7 +1435,9 @@ mod tests {
                 .pinned_to(vec![PlaceId(1)]),
             )
             .unwrap();
-        let err = server.resolve_placements(2).unwrap_err();
+        let err = server
+            .resolve_placements(&[PlaceId(0), PlaceId(1)])
+            .unwrap_err();
         assert!(err.to_string().contains("place 0"), "{err}");
     }
 
@@ -1445,7 +1452,34 @@ mod tests {
                 EngineConfig::flat(3),
             ))
             .unwrap();
-        let err = server.resolve_placements(2).unwrap_err();
+        let err = server
+            .resolve_placements(&[PlaceId(0), PlaceId(1)])
+            .unwrap_err();
         assert!(matches!(err, EngineError::Job(_)), "{err}");
+    }
+
+    #[test]
+    fn placement_must_name_live_members_only() {
+        let mut server: JobServer<Nop> = JobServer::new();
+        server
+            .submit(
+                JobSpec::new(
+                    "pinned-to-drained",
+                    Nop,
+                    dpx10_dag::builtin::RowWave::new(2, 2),
+                    EngineConfig::flat(2),
+                )
+                .pinned_to(vec![PlaceId(0), PlaceId(1)]),
+            )
+            .unwrap();
+        // A 4-capacity mesh where slot 1 drained out: members are 0, 2.
+        let err = server
+            .resolve_placements(&[PlaceId(0), PlaceId(2)])
+            .unwrap_err();
+        assert!(err.to_string().contains("not a live member"), "{err}");
+        // The same pin is fine while slot 1 is a member.
+        assert!(server
+            .resolve_placements(&[PlaceId(0), PlaceId(1), PlaceId(2)])
+            .is_ok());
     }
 }

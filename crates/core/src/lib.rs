@@ -51,6 +51,7 @@ pub mod app;
 pub mod cache;
 pub mod checkpoint;
 pub mod config;
+pub mod elastic;
 pub mod engine;
 pub mod error;
 pub mod jobs;
@@ -67,6 +68,9 @@ pub use app::{DagResult, DepView, DpApp, VertexValue};
 pub use cache::FifoCache;
 pub use checkpoint::{load_checkpoint, CheckpointConfig};
 pub use config::{EngineConfig, FaultPlan, InitOverride};
+pub use elastic::{
+    ElasticConfig, ElasticEngine, ElasticPolicy, ElasticReport, ElasticRun, ElasticServer,
+};
 pub use engine::ThreadedEngine;
 pub use error::EngineError;
 pub use jobs::{JobOutcome, JobServer, JobSpec, ServeKill, ServeReport};

@@ -68,6 +68,41 @@ pub enum Msg<V> {
         /// `(id, value)` of each folded reply, in send order.
         entries: Vec<(VertexId, V)>,
     },
+    /// Elastic mesh: the current owner of a chunk announces a pending
+    /// relocation to the receiver, who should prepare to adopt it.
+    /// Sent before the data so the receiver can fence the slot.
+    ChunkOffer {
+        /// The distribution slot being moved.
+        slot: u16,
+        /// The ownership epoch the offer was made under.
+        epoch: u64,
+        /// Finished cells the chunk carries (for progress accounting).
+        cells: u32,
+        /// Serialized size of the upcoming [`Msg::ChunkData`] payload.
+        bytes: u64,
+    },
+    /// Elastic mesh: the serialized chunk itself (an encoded
+    /// `ChunkState` — opaque bytes at this layer, so the protocol does
+    /// not fix the array's value type).
+    ChunkData {
+        /// The distribution slot being moved.
+        slot: u16,
+        /// The ownership epoch the state was packaged under; a receiver
+        /// whose fence has moved past it drops the payload (the chunk
+        /// falls back to recompute).
+        epoch: u64,
+        /// The encoded `ChunkState`.
+        chunk: Vec<u8>,
+    },
+    /// Elastic mesh: the new owner confirms adoption; broadcast so every
+    /// place re-registers the slot in its chunk map and advances its
+    /// epoch fence.
+    ChunkAck {
+        /// The relocated slot.
+        slot: u16,
+        /// The *new* ownership epoch — the stamp every fence adopts.
+        epoch: u64,
+    },
 }
 
 impl<V: Codec> Msg<V> {
@@ -92,6 +127,11 @@ impl<V: Codec> Msg<V> {
                 .sum(),
             Msg::PullBatch { ids } => 8 * ids.len(),
             Msg::PullValBatch { entries } => entries.iter().map(|(_, v)| 8 + v.wire_size()).sum(),
+            // Relocation control/data plane: priced as slot + epoch
+            // headers plus the chunk payload itself.
+            Msg::ChunkOffer { .. } => 2 + 8 + 4 + 8,
+            Msg::ChunkData { chunk, .. } => 2 + 8 + chunk.len(),
+            Msg::ChunkAck { .. } => 2 + 8,
         }
     }
 }
@@ -141,8 +181,9 @@ impl<V: Codec + Send> Coalescible for Msg<V> {
                 batch.pull_vals.push((id, value));
                 Ok(())
             }
-            // Exec verbs pair requests with replies and the batch
-            // variants themselves never re-fold: all travel alone.
+            // Exec verbs pair requests with replies, the batch variants
+            // themselves never re-fold, and the relocation messages
+            // order the epoch fence — all travel alone.
             other => {
                 batch.bytes -= other.wire_size();
                 Err(other)
@@ -271,6 +312,29 @@ impl<V: Codec> Codec for Msg<V> {
                     value.encode(buf);
                 }
             }
+            Msg::ChunkOffer {
+                slot,
+                epoch,
+                cells,
+                bytes,
+            } => {
+                buf.push(8);
+                slot.encode(buf);
+                epoch.encode(buf);
+                cells.encode(buf);
+                bytes.encode(buf);
+            }
+            Msg::ChunkData { slot, epoch, chunk } => {
+                buf.push(9);
+                slot.encode(buf);
+                epoch.encode(buf);
+                chunk.encode(buf);
+            }
+            Msg::ChunkAck { slot, epoch } => {
+                buf.push(10);
+                slot.encode(buf);
+                epoch.encode(buf);
+            }
         }
     }
 
@@ -328,6 +392,24 @@ impl<V: Codec> Codec for Msg<V> {
                 }
                 Some(Msg::PullValBatch { entries })
             }
+            8 => Some(Msg::ChunkOffer {
+                slot: u16::decode(src)?,
+                epoch: u64::decode(src)?,
+                cells: u32::decode(src)?,
+                bytes: u64::decode(src)?,
+            }),
+            9 => Some(Msg::ChunkData {
+                slot: u16::decode(src)?,
+                epoch: u64::decode(src)?,
+                // The generic `Vec<u8>` decode carries the hostile-length
+                // guard: a claimed length past the remaining input is
+                // refused before allocation.
+                chunk: Vec::<u8>::decode(src)?,
+            }),
+            10 => Some(Msg::ChunkAck {
+                slot: u16::decode(src)?,
+                epoch: u64::decode(src)?,
+            }),
             _ => None,
         }
     }
@@ -356,6 +438,10 @@ impl<V: Codec> Codec for Msg<V> {
                     .map(|(_, v)| 8 + Codec::wire_size(v))
                     .sum::<usize>()
             }
+            Msg::ChunkOffer { .. } => 2 + 8 + 4 + 8,
+            // `Vec<u8>` encodes with its u64 length prefix.
+            Msg::ChunkData { chunk, .. } => 2 + 8 + 8 + chunk.len(),
+            Msg::ChunkAck { .. } => 2 + 8,
         }
     }
 }
@@ -458,7 +544,7 @@ mod tests {
 
     #[test]
     fn codec_rejects_unknown_tag_and_truncation() {
-        assert!(decode_exact::<Msg<i64>>(&[9, 0, 0, 0, 0, 0, 0, 0, 0]).is_none());
+        assert!(decode_exact::<Msg<i64>>(&[11, 0, 0, 0, 0, 0, 0, 0, 0]).is_none());
         let buf = encode_to_vec(&Msg::PullVal {
             id: VertexId::new(1, 1),
             value: 5i64,
@@ -543,6 +629,119 @@ mod tests {
         assert_eq!(drained.len(), 3, "one message per non-empty family");
         assert_eq!(drained.iter().map(|(_, b)| b).sum::<usize>(), priced);
         assert_eq!(Msg::<i64>::batch_entries(&batch), 0);
+        assert_eq!(Msg::<i64>::batch_bytes(&batch), 0);
+    }
+
+    #[test]
+    fn chunk_codec_round_trips_with_exact_size() {
+        let msgs: Vec<Msg<i64>> = vec![
+            Msg::ChunkOffer {
+                slot: 4,
+                epoch: 17,
+                cells: 1000,
+                bytes: 65_536,
+            },
+            Msg::ChunkData {
+                slot: 4,
+                epoch: 17,
+                chunk: vec![1, 2, 3, 255, 0],
+            },
+            Msg::ChunkData {
+                slot: 0,
+                epoch: 0,
+                chunk: vec![],
+            },
+            Msg::ChunkAck { slot: 4, epoch: 18 },
+        ];
+        for msg in msgs {
+            let buf = encode_to_vec(&msg);
+            assert_eq!(buf.len(), Codec::wire_size(&msg), "{msg:?}");
+            let back: Msg<i64> = decode_exact(&buf).expect("decodes");
+            match (&msg, &back) {
+                (
+                    Msg::ChunkOffer {
+                        slot: sa,
+                        epoch: ea,
+                        cells: ca,
+                        bytes: ba,
+                    },
+                    Msg::ChunkOffer {
+                        slot: sb,
+                        epoch: eb,
+                        cells: cb,
+                        bytes: bb,
+                    },
+                ) => assert_eq!((sa, ea, ca, ba), (sb, eb, cb, bb)),
+                (
+                    Msg::ChunkData {
+                        slot: sa,
+                        epoch: ea,
+                        chunk: ca,
+                    },
+                    Msg::ChunkData {
+                        slot: sb,
+                        epoch: eb,
+                        chunk: cb,
+                    },
+                ) => assert_eq!((sa, ea, ca), (sb, eb, cb)),
+                (
+                    Msg::ChunkAck {
+                        slot: sa,
+                        epoch: ea,
+                    },
+                    Msg::ChunkAck {
+                        slot: sb,
+                        epoch: eb,
+                    },
+                ) => assert_eq!((sa, ea), (sb, eb)),
+                (a, b) => panic!("variant changed in flight: {a:?} -> {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_codec_rejects_hostile_length_and_truncation() {
+        // A ChunkData claiming 2^59 payload bytes with a 1-byte body.
+        let mut buf = vec![9u8];
+        4u16.encode(&mut buf);
+        17u64.encode(&mut buf);
+        (1u64 << 59).encode(&mut buf);
+        buf.push(0);
+        assert!(decode_exact::<Msg<i64>>(&buf).is_none());
+        // Truncation anywhere mid-message is a clean None.
+        let full = encode_to_vec(&Msg::<i64>::ChunkData {
+            slot: 4,
+            epoch: 17,
+            chunk: vec![9, 8, 7],
+        });
+        for cut in 0..full.len() {
+            assert!(
+                decode_exact::<Msg<i64>>(&full[..cut]).is_none(),
+                "truncated at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn relocation_messages_refuse_to_fold() {
+        let mut batch = MsgBatch::<i64>::default();
+        for msg in [
+            Msg::ChunkOffer {
+                slot: 1,
+                epoch: 2,
+                cells: 3,
+                bytes: 4,
+            },
+            Msg::ChunkData {
+                slot: 1,
+                epoch: 2,
+                chunk: vec![0],
+            },
+            Msg::ChunkAck { slot: 1, epoch: 3 },
+        ] {
+            let refused = msg.absorb(&mut batch);
+            assert!(refused.is_err(), "{refused:?} must travel alone");
+        }
         assert_eq!(Msg::<i64>::batch_bytes(&batch), 0);
     }
 

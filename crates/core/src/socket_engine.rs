@@ -579,8 +579,11 @@ impl<A: DpApp + 'static> SocketEngine<A> {
         // workers before the goodbye, or a coordinator error would
         // strand them waiting on a control message that never comes.
         if me == PlaceId::ZERO {
-            for p in 1..places {
-                let _ = node.send_bytes(PlaceId(p), encode_to_vec(&Wire::<A::Value>::Done));
+            // Release live members only; drained slots have no outbox.
+            for p in node.roster().members() {
+                if p != me {
+                    let _ = node.send_bytes(p, encode_to_vec(&Wire::<A::Value>::Done));
+                }
             }
         }
         stop.store(true, Ordering::Release);
@@ -616,7 +619,11 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             schedule_downgrade: self.engine.downgrade.clone(),
             ..RunReport::default()
         };
-        let mut alive: Vec<PlaceId> = (0..self.places).map(PlaceId).collect();
+        // Seed the epoch roster from the mesh's *live membership*, not
+        // `0..places`: on an elastic mesh the slot space has holes where
+        // places drained out, and pinning them back in would make the
+        // snapshot collector wait on peers that will never answer.
+        let mut alive: Vec<PlaceId> = self.node.roster().members();
         let mut prior: Option<DistArray<A::Value>> = None;
         let mut pending_cells: Option<Vec<(u64, A::Value)>> = None;
         let mut peer_stats: Vec<[u64; 9]> = vec![[0; 9]; self.places as usize];

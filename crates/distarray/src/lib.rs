@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod chunk;
 pub mod dist;
 pub mod recovery;
 pub mod region;
 pub mod resilient;
 
 pub use array::DistArray;
+pub use chunk::{ChunkMap, ChunkOwner, ChunkState, EpochVerdict};
 pub use dist::{Dist, DistKind};
 pub use recovery::{recover, RecoveryCostModel, RecoveryReport, RestoreManner};
 pub use region::Region2D;

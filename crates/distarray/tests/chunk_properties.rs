@@ -1,0 +1,82 @@
+//! Property tests of the chunk-relocation wire format: `ChunkState`
+//! round-trips (cells + ready-counters + cache residents + spill
+//! index), codec size contracts, and decoder totality on arbitrary
+//! bytes — matching the batch-codec proptest style of the coalescing
+//! PR.
+
+use dpx10_apgas::codec::{decode_exact, encode_to_vec, Codec};
+use dpx10_distarray::ChunkState;
+use proptest::prelude::*;
+
+fn round_trip(s: &ChunkState<u64>) -> Result<(), TestCaseError> {
+    let buf = encode_to_vec(s);
+    prop_assert_eq!(buf.len(), s.wire_size(), "codec size contract");
+    let back: ChunkState<u64> = decode_exact(&buf).expect("well-formed bytes decode");
+    prop_assert_eq!(&back, s);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn chunk_states_round_trip(
+        slot in any::<u16>(),
+        finished in proptest::collection::vec((any::<u32>(), any::<u64>()), 0..24),
+        indegree in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..24),
+        ready in proptest::collection::vec(any::<u32>(), 0..16),
+    ) {
+        round_trip(&ChunkState {
+            slot,
+            finished,
+            indegree,
+            ready,
+            cache: vec![],
+            spill: vec![],
+        })?;
+    }
+
+    #[test]
+    fn cache_and_spill_round_trip(
+        slot in any::<u16>(),
+        cache in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..24),
+        spill in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..24),
+    ) {
+        round_trip(&ChunkState {
+            slot,
+            finished: vec![],
+            indegree: vec![],
+            ready: vec![],
+            cache,
+            spill,
+        })?;
+    }
+
+    /// Arbitrary bytes never panic the decoder, and anything that does
+    /// decode re-encodes to exactly the consumed prefix.
+    #[test]
+    fn chunk_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut src = bytes.as_slice();
+        if let Some(s) = ChunkState::<u64>::decode(&mut src) {
+            let consumed = bytes.len() - src.len();
+            let again = encode_to_vec(&s);
+            prop_assert_eq!(again.as_slice(), &bytes[..consumed]);
+        }
+    }
+
+    /// A hostile length on any of the five vectors is refused before
+    /// allocation, wherever it is planted.
+    #[test]
+    fn hostile_lengths_never_allocate(
+        field in 0usize..5,
+        claimed in (1u64 << 32)..u64::MAX,
+    ) {
+        let mut buf = encode_to_vec(&7u16);
+        // Encode `field` legitimate empty vectors, then the hostile one.
+        for _ in 0..field {
+            buf.extend_from_slice(&0u64.to_le_bytes());
+        }
+        buf.extend_from_slice(&claimed.to_le_bytes());
+        buf.push(0);
+        let mut src = buf.as_slice();
+        prop_assert!(ChunkState::<u64>::decode(&mut src).is_none());
+    }
+}

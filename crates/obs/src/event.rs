@@ -77,11 +77,22 @@ pub enum EventKind {
     /// Multi-job scheduler: a job's driver completed on this place
     /// (instant; arg = job id).
     JobDone = 22,
+    /// Elastic mesh: a place joined the running mesh, measured from
+    /// the `JoinReq` dial to readiness (span; arg = the joiner's
+    /// place id).
+    Join = 23,
+    /// Elastic mesh: a place drained out gracefully, measured from the
+    /// drain decision to the `Leave` sign-off (span; arg = the
+    /// drained place id).
+    Drain = 24,
+    /// Elastic mesh: one chunk relocated to a new owner, offer to ack
+    /// (span; arg = the slot moved).
+    Relocate = 25,
 }
 
 impl EventKind {
     /// Every kind, for exporters and tests.
-    pub const ALL: [EventKind; 22] = [
+    pub const ALL: [EventKind; 25] = [
         EventKind::VertexCompute,
         EventKind::ReadyPop,
         EventKind::CacheHit,
@@ -104,13 +115,21 @@ impl EventKind {
         EventKind::BatchFlush,
         EventKind::JobAdmit,
         EventKind::JobDone,
+        EventKind::Join,
+        EventKind::Drain,
+        EventKind::Relocate,
     ];
 
     /// Whether events of this kind carry a meaningful duration.
     pub fn is_span(self) -> bool {
         matches!(
             self,
-            EventKind::VertexCompute | EventKind::Snapshot | EventKind::Recovery
+            EventKind::VertexCompute
+                | EventKind::Snapshot
+                | EventKind::Recovery
+                | EventKind::Join
+                | EventKind::Drain
+                | EventKind::Relocate
         )
     }
 
@@ -139,6 +158,9 @@ impl EventKind {
             EventKind::BatchFlush => "batch-flush",
             EventKind::JobAdmit => "job-admit",
             EventKind::JobDone => "job-done",
+            EventKind::Join => "join",
+            EventKind::Drain => "drain",
+            EventKind::Relocate => "relocate",
         }
     }
 

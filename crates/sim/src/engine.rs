@@ -780,6 +780,9 @@ impl<A: DpApp + 'static> SimEngine<A> {
                     self.handle_msg(ep, slot, src, Msg::PullVal { id, value }, t, threshold);
                 }
             }
+            // Relocation traffic belongs to the elastic mesh engine;
+            // the simulator's place set is fixed for a whole run.
+            Msg::ChunkOffer { .. } | Msg::ChunkData { .. } | Msg::ChunkAck { .. } => {}
         }
     }
 }
