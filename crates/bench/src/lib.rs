@@ -10,9 +10,17 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod plan;
+pub mod ratchet;
+pub mod registry;
+pub mod runner;
 pub mod runners;
 pub mod table;
+pub mod toml_lite;
 
 pub use chart::{Chart, Series};
+pub use plan::{AblationPlan, Backend, BenchApp, DistChoice, Experiment};
+pub use ratchet::{BaselineCell, RatchetReport, RatchetSpec, Tolerance};
+pub use registry::{RunRecord, CSV_HEADER};
 pub use runners::*;
 pub use table::Table;

@@ -1,0 +1,564 @@
+//! The perf ratchet: committed KPI baselines with per-metric
+//! tolerances, compared against a fresh run of the same plan.
+//!
+//! A [`RatchetSpec`] is a TOML baseline file (one per plan, committed
+//! under `plans/baselines/`). Every cell of the plan has a section with
+//! its expected fingerprint and KPI values; `[tolerances.<kpi>]`
+//! sections widen the allowed regression per metric. All KPIs are
+//! lower-is-better: a measured value above
+//! `baseline * (1 + rel) + abs` is a regression and fails the run.
+//! Improvements always pass but only tighten the committed baseline
+//! when the run is invoked with `--update-baseline` — the ratchet never
+//! loosens itself.
+//!
+//! Baseline/run mismatches are hard errors, not silent passes: a cell
+//! present on one side only, an unknown KPI name, or a plan-digest
+//! mismatch all abort the comparison (a renamed metric must not make a
+//! regression invisible).
+
+use std::fmt::Write as _;
+
+use crate::registry::RunRecord;
+use crate::toml_lite::{self, Value};
+
+/// How far above its baseline a KPI may drift before failing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerance {
+    /// Relative headroom (0.5 = fail beyond 1.5x the baseline).
+    pub rel: f64,
+    /// Absolute headroom in the KPI's own unit, added on top.
+    pub abs: u64,
+}
+
+impl Tolerance {
+    /// Zero tolerance: any increase is a regression.
+    pub const EXACT: Tolerance = Tolerance { rel: 0.0, abs: 0 };
+
+    /// The built-in default for a KPI, used when the baseline file does
+    /// not override it. Deterministic metrics get zero tolerance;
+    /// traffic counters get modest headroom (coalescing flush timing
+    /// on the threaded/socket backends is not cycle-exact); wall time
+    /// is noise-dominated on shared runners and gets a wide band.
+    pub fn default_for(kpi: &str) -> Option<Tolerance> {
+        match kpi {
+            "computed" | "recoveries" | "sim_us" => Some(Tolerance::EXACT),
+            "frames" => Some(Tolerance { rel: 0.25, abs: 64 }),
+            "bytes" => Some(Tolerance {
+                rel: 0.25,
+                abs: 65_536,
+            }),
+            "wall_us" => Some(Tolerance {
+                rel: 1.0,
+                abs: 250_000,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The highest measured value that still passes against `base`.
+    pub fn limit(&self, base: u64) -> f64 {
+        base as f64 * (1.0 + self.rel) + self.abs as f64
+    }
+}
+
+/// One cell's committed baseline: the expected fingerprint plus every
+/// ratcheted KPI.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineCell {
+    /// Cell id within the plan.
+    pub cell: String,
+    /// Expected result fingerprint (`0x…`), exact-matched.
+    pub fingerprint: String,
+    /// KPI name → committed best-known value.
+    pub kpis: Vec<(String, u64)>,
+}
+
+/// A plan's committed baseline file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RatchetSpec {
+    /// Plan name the baseline belongs to.
+    pub plan: String,
+    /// Digest of the plan the baseline was generated from; a fresh run
+    /// under a different digest is incomparable and errors out.
+    pub plan_digest: u64,
+    /// Per-KPI tolerance overrides (defaults apply otherwise).
+    pub tolerances: Vec<(String, Tolerance)>,
+    /// One entry per plan cell, in plan expansion order.
+    pub cells: Vec<BaselineCell>,
+}
+
+/// Outcome of comparing a run against a [`RatchetSpec`].
+#[derive(Clone, Debug, Default)]
+pub struct RatchetReport {
+    /// Human-readable `cell kpi measured vs limit` regression lines.
+    pub regressions: Vec<String>,
+    /// `(cell, kpi, baseline, measured)` improvements — candidates for
+    /// `--update-baseline`.
+    pub improvements: Vec<(String, String, u64, u64)>,
+    /// Cells compared.
+    pub cells: usize,
+}
+
+impl RatchetReport {
+    /// True when no KPI regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// The KPI names a baseline is allowed to ratchet.
+const KNOWN_KPIS: [&str; 6] = [
+    "computed",
+    "recoveries",
+    "frames",
+    "bytes",
+    "sim_us",
+    "wall_us",
+];
+
+impl RatchetSpec {
+    /// Parses a baseline file. Diagnostics carry line numbers and the
+    /// offending key so a malformed committed baseline is fixable from
+    /// the error alone.
+    pub fn parse(text: &str) -> Result<RatchetSpec, String> {
+        let doc = toml_lite::parse(text).map_err(|e| format!("baseline: {e}"))?;
+        let root = doc.root();
+        let plan = root
+            .get("plan")
+            .and_then(Value::as_str)
+            .ok_or("baseline: missing top-level `plan = \"…\"`")?
+            .to_string();
+        let plan_digest = root
+            .get("plan_digest")
+            .and_then(Value::as_str)
+            .ok_or("baseline: missing `plan_digest = \"<16 hex digits>\"`")
+            .and_then(|s| {
+                u64::from_str_radix(s, 16)
+                    .map_err(|_| "baseline: `plan_digest` is not a hex digest")
+            })?;
+        for (key, (_, line)) in &root.entries {
+            if key != "plan" && key != "plan_digest" {
+                return Err(format!(
+                    "baseline line {line}: unknown top-level key `{key}`"
+                ));
+            }
+        }
+        let mut tolerances = Vec::new();
+        for section in doc.sections_under("tolerances") {
+            let kpi = section.path[1].clone();
+            if !KNOWN_KPIS.contains(&kpi.as_str()) {
+                return Err(format!(
+                    "baseline line {}: [tolerances.{kpi}] names no known KPI (known: {})",
+                    section.line,
+                    KNOWN_KPIS.join(", ")
+                ));
+            }
+            let mut tol = Tolerance::default_for(&kpi).unwrap_or(Tolerance::EXACT);
+            for (key, (value, line)) in &section.entries {
+                match (key.as_str(), value.as_f64()) {
+                    ("rel", Some(f)) if f >= 0.0 => tol.rel = f,
+                    ("abs", _) => match value.as_int() {
+                        Some(n) if n >= 0 => tol.abs = n as u64,
+                        _ => {
+                            return Err(format!(
+                                "baseline line {line}: `abs` must be a non-negative integer"
+                            ))
+                        }
+                    },
+                    ("rel", _) => {
+                        return Err(format!(
+                            "baseline line {line}: `rel` must be a non-negative number"
+                        ))
+                    }
+                    (other, _) => {
+                        return Err(format!(
+                            "baseline line {line}: unknown tolerance field `{other}` (rel|abs)"
+                        ))
+                    }
+                }
+            }
+            tolerances.push((kpi, tol));
+        }
+        let mut cells = Vec::new();
+        for section in doc.sections_under("cells") {
+            let cell = section.path[1].clone();
+            let fingerprint = section
+                .get("fingerprint")
+                .and_then(Value::as_str)
+                .ok_or(format!(
+                    "baseline line {}: cell `{cell}` is missing `fingerprint = \"0x…\"`",
+                    section.line
+                ))?
+                .to_string();
+            let mut kpis = Vec::new();
+            for (key, (value, line)) in &section.entries {
+                if key == "fingerprint" {
+                    continue;
+                }
+                if !KNOWN_KPIS.contains(&key.as_str()) {
+                    return Err(format!(
+                        "baseline line {line}: cell `{cell}` ratchets unknown KPI `{key}` \
+                         (known: {}) — a renamed KPI must be renamed here too",
+                        KNOWN_KPIS.join(", ")
+                    ));
+                }
+                match value.as_int() {
+                    Some(n) if n >= 0 => kpis.push((key.clone(), n as u64)),
+                    _ => {
+                        return Err(format!(
+                            "baseline line {line}: cell `{cell}` KPI `{key}` must be a \
+                             non-negative integer, got {value:?}"
+                        ))
+                    }
+                }
+            }
+            if kpis.is_empty() {
+                return Err(format!(
+                    "baseline line {}: cell `{cell}` ratchets no KPIs",
+                    section.line
+                ));
+            }
+            cells.push(BaselineCell {
+                cell,
+                fingerprint,
+                kpis,
+            });
+        }
+        for section in &doc.sections {
+            match section.path.as_slice() {
+                [] => {}
+                [p, _] if p == "tolerances" || p == "cells" => {}
+                other => {
+                    return Err(format!(
+                        "baseline line {}: unknown section [{}]",
+                        section.line,
+                        other.join(".")
+                    ))
+                }
+            }
+        }
+        if cells.is_empty() {
+            return Err("baseline: no [cells.\"…\"] sections".into());
+        }
+        Ok(RatchetSpec {
+            plan,
+            plan_digest,
+            tolerances,
+            cells,
+        })
+    }
+
+    /// Renders the baseline back to its canonical TOML form.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# Perf-ratchet baseline for plan `{}` — regenerate with\n\
+             # `dpx10 bench --plan plans/{}.toml --ratchet --update-baseline`.\n\
+             plan = \"{}\"\nplan_digest = \"{:016x}\"\n",
+            self.plan, self.plan, self.plan, self.plan_digest
+        );
+        for (kpi, tol) in &self.tolerances {
+            let _ = write!(
+                out,
+                "\n[tolerances.{kpi}]\nrel = {}\nabs = {}\n",
+                crate::toml_lite::Value::Float(tol.rel).render(),
+                tol.abs
+            );
+        }
+        for cell in &self.cells {
+            let _ = write!(
+                out,
+                "\n[cells.\"{}\"]\nfingerprint = \"{}\"\n",
+                cell.cell, cell.fingerprint
+            );
+            for (kpi, value) in &cell.kpis {
+                let _ = writeln!(out, "{kpi} = {value}");
+            }
+        }
+        out
+    }
+
+    /// The effective tolerance for a KPI (file override, else default).
+    pub fn tolerance(&self, kpi: &str) -> Tolerance {
+        self.tolerances
+            .iter()
+            .find(|(k, _)| k == kpi)
+            .map(|&(_, t)| t)
+            .or_else(|| Tolerance::default_for(kpi))
+            .unwrap_or(Tolerance::EXACT)
+    }
+
+    /// Compares a fresh run against the baseline. Structural mismatches
+    /// (digest, cell set, fingerprint, KPI names) are `Err`; KPI
+    /// regressions land in the report.
+    pub fn compare(
+        &self,
+        plan_digest: u64,
+        records: &[RunRecord],
+    ) -> Result<RatchetReport, String> {
+        if plan_digest != self.plan_digest {
+            return Err(format!(
+                "baseline was generated from plan digest {:016x} but this plan has digest \
+                 {plan_digest:016x}; regenerate with --update-baseline after changing the plan",
+                self.plan_digest
+            ));
+        }
+        let mut report = RatchetReport::default();
+        for base in &self.cells {
+            let run = records.iter().find(|r| r.cell == base.cell).ok_or(format!(
+                "baseline cell `{}` was not produced by this run — \
+                     the plan and baseline have diverged",
+                base.cell
+            ))?;
+            if run.fingerprint != base.fingerprint {
+                return Err(format!(
+                    "cell `{}`: result fingerprint {} does not match baseline {} — \
+                     the computation itself changed, not just its speed",
+                    base.cell, run.fingerprint, base.fingerprint
+                ));
+            }
+            for (kpi, &base_value) in base.kpis.iter().map(|(k, v)| (k, v)) {
+                let measured = run.kpi(kpi).ok_or(format!(
+                    "cell `{}`: baseline ratchets KPI `{kpi}` but the runner no longer \
+                     reports it — rename it in the baseline or restore the metric",
+                    base.cell
+                ))?;
+                let tol = self.tolerance(kpi);
+                let limit = tol.limit(base_value);
+                if measured as f64 > limit {
+                    report.regressions.push(format!(
+                        "{} {kpi}: measured {measured} exceeds baseline {base_value} \
+                         + tolerance (limit {limit:.0})",
+                        base.cell
+                    ));
+                } else if measured < base_value {
+                    report.improvements.push((
+                        base.cell.clone(),
+                        kpi.clone(),
+                        base_value,
+                        measured,
+                    ));
+                }
+            }
+            report.cells += 1;
+        }
+        for run in records {
+            if !self.cells.iter().any(|c| c.cell == run.cell) {
+                return Err(format!(
+                    "run produced cell `{}` that the baseline does not ratchet — \
+                     regenerate the baseline with --update-baseline",
+                    run.cell
+                ));
+            }
+        }
+        Ok(report)
+    }
+
+    /// A fresh baseline from a run: every cell's measured KPIs become
+    /// the committed values. Used when no baseline exists yet.
+    pub fn from_run(plan: &str, plan_digest: u64, records: &[RunRecord]) -> RatchetSpec {
+        RatchetSpec {
+            plan: plan.to_string(),
+            plan_digest,
+            tolerances: Vec::new(),
+            cells: records
+                .iter()
+                .map(|r| {
+                    // Keyed alphabetically, matching the parse order, so
+                    // render → parse round-trips to the same spec.
+                    let mut kpis: Vec<(String, u64)> =
+                        r.kpis().iter().map(|&(k, v)| (k.to_string(), v)).collect();
+                    kpis.sort();
+                    BaselineCell {
+                        cell: r.cell.clone(),
+                        fingerprint: r.fingerprint.clone(),
+                        kpis,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The baseline after `--update-baseline`: per-KPI minimum of the
+    /// committed and measured values (the ratchet only tightens).
+    pub fn tightened(&self, records: &[RunRecord]) -> RatchetSpec {
+        let mut next = self.clone();
+        for cell in &mut next.cells {
+            if let Some(run) = records.iter().find(|r| r.cell == cell.cell) {
+                for (kpi, value) in &mut cell.kpis {
+                    if let Some(measured) = run.kpi(kpi) {
+                        *value = (*value).min(measured);
+                    }
+                }
+            }
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cell: &str, wall: u64) -> RunRecord {
+        RunRecord {
+            plan: "demo".into(),
+            cell: cell.into(),
+            prov: 0,
+            seed: 1,
+            git: "g".into(),
+            host: "h".into(),
+            source: "run".into(),
+            backend: "sim".into(),
+            pattern: "lcs".into(),
+            vertices: 1000,
+            places: 2,
+            coalesce: "off".into(),
+            tile: 1,
+            cache: 64,
+            fingerprint: "0xabcd".into(),
+            computed: 1000,
+            recoveries: 0,
+            frames: 100,
+            bytes: 1000,
+            sim_us: 500,
+            wall_us: wall,
+        }
+    }
+
+    fn spec() -> RatchetSpec {
+        let mut s = RatchetSpec::from_run("demo", 7, &[record("a", 1000)]);
+        s.tolerances
+            .push(("wall_us".into(), Tolerance { rel: 0.5, abs: 0 }));
+        s
+    }
+
+    #[test]
+    fn round_trip_through_toml() {
+        let s = spec();
+        let parsed = RatchetSpec::parse(&s.render()).unwrap();
+        assert_eq!(s, parsed);
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_breach_fails() {
+        let s = spec();
+        // wall 1400 < 1000 * 1.5 → pass.
+        let ok = s.compare(7, &[record("a", 1400)]).unwrap();
+        assert!(ok.passed());
+        // wall 2000 > 1500 → regression.
+        let bad = s.compare(7, &[record("a", 2000)]).unwrap();
+        assert!(!bad.passed());
+        assert!(
+            bad.regressions[0].contains("wall_us"),
+            "{:?}",
+            bad.regressions
+        );
+    }
+
+    #[test]
+    fn deterministic_kpis_have_zero_tolerance() {
+        let s = spec();
+        let mut r = record("a", 1000);
+        r.computed += 1;
+        let rep = s.compare(7, &[r]).unwrap();
+        assert!(!rep.passed());
+        assert!(rep.regressions[0].contains("computed"));
+    }
+
+    #[test]
+    fn improvement_passes_and_tightens_only_on_update() {
+        let s = spec();
+        let faster = record("a", 400);
+        let rep = s.compare(7, std::slice::from_ref(&faster)).unwrap();
+        assert!(rep.passed());
+        assert!(rep
+            .improvements
+            .iter()
+            .any(|(_, k, b, m)| k == "wall_us" && *b == 1000 && *m == 400));
+        // compare() left the spec untouched; tightened() takes the min.
+        assert_eq!(
+            s.cells[0]
+                .kpis
+                .iter()
+                .find(|(k, _)| k == "wall_us")
+                .unwrap()
+                .1,
+            1000
+        );
+        let tight = s.tightened(&[faster]);
+        assert_eq!(
+            tight.cells[0]
+                .kpis
+                .iter()
+                .find(|(k, _)| k == "wall_us")
+                .unwrap()
+                .1,
+            400
+        );
+        // Tightening never loosens: a slower rerun keeps the old floor.
+        let loose = tight.tightened(&[record("a", 5000)]);
+        assert_eq!(
+            loose.cells[0]
+                .kpis
+                .iter()
+                .find(|(k, _)| k == "wall_us")
+                .unwrap()
+                .1,
+            400
+        );
+    }
+
+    #[test]
+    fn structural_mismatches_are_hard_errors() {
+        let s = spec();
+        // Digest drift.
+        assert!(s
+            .compare(8, &[record("a", 1000)])
+            .unwrap_err()
+            .contains("digest"));
+        // Baseline cell missing from the run.
+        assert!(s.compare(7, &[]).unwrap_err().contains("not produced"));
+        // Run cell missing from the baseline.
+        let err = s
+            .compare(7, &[record("a", 1000), record("b", 1)])
+            .unwrap_err();
+        assert!(err.contains("does not ratchet"), "{err}");
+        // Fingerprint drift.
+        let mut r = record("a", 1000);
+        r.fingerprint = "0xffff".into();
+        assert!(s.compare(7, &[r]).unwrap_err().contains("fingerprint"));
+        // Renamed KPI.
+        let mut renamed = s.clone();
+        renamed.cells[0].kpis[0].0 = "walls_us".into();
+        let err = renamed.compare(7, &[record("a", 1000)]).unwrap_err();
+        assert!(err.contains("no longer"), "{err}");
+    }
+
+    #[test]
+    fn malformed_baselines_diagnose_precisely() {
+        for (text, needle) in [
+            ("plan_digest = \"7\"\n[cells.\"a\"]\nfingerprint = \"0x1\"\ncomputed = 1\n", "missing top-level `plan"),
+            ("plan = \"p\"\n[cells.\"a\"]\nfingerprint = \"0x1\"\ncomputed = 1\n", "plan_digest"),
+            (
+                "plan = \"p\"\nplan_digest = \"7\"\n[tolerances.walrus]\nrel = 0.5\n",
+                "no known KPI",
+            ),
+            (
+                "plan = \"p\"\nplan_digest = \"7\"\n[cells.\"a\"]\ncomputed = 1\n",
+                "fingerprint",
+            ),
+            (
+                "plan = \"p\"\nplan_digest = \"7\"\n[cells.\"a\"]\nfingerprint = \"0x1\"\nbananas = 9\n",
+                "unknown KPI `bananas`",
+            ),
+            (
+                "plan = \"p\"\nplan_digest = \"7\"\n[cells.\"a\"]\nfingerprint = \"0x1\"\ncomputed = -4\n",
+                "non-negative",
+            ),
+            ("plan = \"p\"\nplan_digest = \"7\"\n", "no [cells"),
+        ] {
+            let e = RatchetSpec::parse(text).unwrap_err();
+            assert!(e.contains(needle), "`{needle}` not in `{e}`");
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! A minimal TOML-subset reader for plan and baseline files.
+//!
+//! The workspace builds fully offline (no serde, no `toml` crate), so
+//! the registry's declarative files are parsed by hand. The accepted
+//! subset is deliberately small but is real TOML — any file this module
+//! accepts means the same thing to a full TOML parser:
+//!
+//! * `key = value` pairs, where a value is a `"string"`, an integer, a
+//!   float, a boolean, or a single-level array of those scalars
+//!   (arrays may span lines until the closing `]`),
+//! * `[section]` headers with dotted paths whose segments may be
+//!   `"quoted"` (so cell ids like `[cells."sim/swlag/v10000"]` work),
+//! * `#` comments and blank lines.
+//!
+//! Everything else — inline tables, multi-line strings, dates, nested
+//! arrays — is a parse error carrying the offending line number, which
+//! is exactly what the ratchet wants for actionable diagnostics.
+
+use std::collections::BTreeMap;
+
+/// A parsed scalar or array value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A `"quoted"` string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A single-level array of scalars.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers widen), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Renders the value back as TOML.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Str(s) => format!("{s:?}"),
+            Value::Int(n) => n.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    format!("{f}")
+                }
+            }
+            Value::Bool(b) => b.to_string(),
+            Value::Array(items) => {
+                let inner: Vec<String> = items.iter().map(Value::render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+        }
+    }
+}
+
+/// One `[section]` of a document: its dotted path and its keys (with the
+/// line each key was defined on, for diagnostics).
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// The dotted path, quoted segments unescaped (`cells."a/b"` →
+    /// `["cells", "a/b"]`). The root section has an empty path.
+    pub path: Vec<String>,
+    /// Line number of the header (1-based; 0 for the root section).
+    pub line: usize,
+    /// Key → (value, defining line).
+    pub entries: BTreeMap<String, (Value, usize)>,
+}
+
+impl Section {
+    /// Looks up a key's value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key).map(|(v, _)| v)
+    }
+}
+
+/// A parsed document: the root section followed by the named sections in
+/// file order.
+#[derive(Clone, Debug, Default)]
+pub struct Doc {
+    /// All sections; index 0 is the root (possibly empty).
+    pub sections: Vec<Section>,
+}
+
+impl Doc {
+    /// The root (header-less) section.
+    pub fn root(&self) -> &Section {
+        &self.sections[0]
+    }
+
+    /// The first section with exactly this path.
+    pub fn section(&self, path: &[&str]) -> Option<&Section> {
+        self.sections
+            .iter()
+            .find(|s| s.path.len() == path.len() && s.path.iter().zip(path).all(|(a, b)| a == b))
+    }
+
+    /// All sections whose path starts with `prefix` (and is longer).
+    pub fn sections_under<'d>(&'d self, prefix: &'d str) -> impl Iterator<Item = &'d Section> {
+        self.sections
+            .iter()
+            .filter(move |s| s.path.len() > 1 && s.path[0] == prefix)
+    }
+}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, String> {
+    Err(format!("line {line}: {}", msg.into()))
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+/// Parses a section-header path like `cells."sim/swlag"` into segments.
+fn parse_path(raw: &str, line: usize) -> Result<Vec<String>, String> {
+    let mut segments = Vec::new();
+    let mut rest = raw.trim();
+    loop {
+        if rest.starts_with('"') {
+            let end = rest[1..]
+                .find('"')
+                .ok_or(format!("line {line}: unterminated quoted key"))?;
+            segments.push(rest[1..1 + end].to_string());
+            rest = rest[2 + end..].trim_start();
+        } else {
+            let end = rest.find('.').unwrap_or(rest.len());
+            let seg = rest[..end].trim();
+            if seg.is_empty() {
+                return err(line, "empty path segment in section header");
+            }
+            segments.push(seg.to_string());
+            rest = &rest[end..];
+        }
+        if rest.is_empty() {
+            return Ok(segments);
+        }
+        rest = rest
+            .strip_prefix('.')
+            .ok_or(format!("line {line}: expected `.` between path segments"))?
+            .trim_start();
+    }
+}
+
+/// Parses one scalar token.
+fn parse_scalar(token: &str, line: usize) -> Result<Value, String> {
+    let token = token.trim();
+    if let Some(inner) = token.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or(format!("line {line}: unterminated string"))?;
+        if inner.contains('"') || inner.contains('\\') {
+            return err(line, "escapes inside strings are not supported");
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match token {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "" => return err(line, "empty value"),
+        _ => {}
+    }
+    if let Ok(n) = token.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    if let Ok(f) = token.parse::<f64>() {
+        if token.contains(['.', 'e', 'E']) {
+            return Ok(Value::Float(f));
+        }
+    }
+    err(
+        line,
+        format!("unrecognised value `{token}` (expected string, number, or bool)"),
+    )
+}
+
+/// Splits an array body on top-level commas (strings may contain commas).
+fn split_array(body: &str, line: usize) -> Result<Vec<Value>, String> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            '[' | ']' if !in_str => return err(line, "nested arrays are not supported"),
+            ',' if !in_str => {
+                if !current.trim().is_empty() {
+                    items.push(parse_scalar(&current, line)?);
+                }
+                current.clear();
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        items.push(parse_scalar(&current, line)?);
+    }
+    Ok(items)
+}
+
+/// Parses a document. Errors carry 1-based line numbers.
+pub fn parse(text: &str) -> Result<Doc, String> {
+    let mut doc = Doc {
+        sections: vec![Section {
+            path: Vec::new(),
+            line: 0,
+            entries: BTreeMap::new(),
+        }],
+    };
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or(format!("line {lineno}: unterminated section header"))?;
+            if header.starts_with('[') {
+                return err(lineno, "array-of-tables `[[…]]` is not supported");
+            }
+            let path = parse_path(header, lineno)?;
+            if doc
+                .sections
+                .iter()
+                .any(|s| !s.path.is_empty() && s.path == path)
+            {
+                return err(lineno, format!("duplicate section [{header}]"));
+            }
+            doc.sections.push(Section {
+                path,
+                line: lineno,
+                entries: BTreeMap::new(),
+            });
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or(format!("line {lineno}: expected `key = value`"))?;
+        let key = key.trim();
+        if key.is_empty() || key.contains(['"', '.', ' ']) {
+            return err(lineno, format!("bad key `{key}`"));
+        }
+        let mut value = value.trim().to_string();
+        // Arrays may span lines: accumulate until the bracket closes.
+        if value.starts_with('[') {
+            while !value.trim_end().ends_with(']') {
+                let Some((_, next)) = lines.next() else {
+                    return err(lineno, format!("unterminated array for key `{key}`"));
+                };
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+        }
+        let parsed = if let Some(body) = value.strip_prefix('[') {
+            let body = body
+                .strip_suffix(']')
+                .ok_or(format!("line {lineno}: unterminated array"))?;
+            Value::Array(split_array(body, lineno)?)
+        } else {
+            parse_scalar(&value, lineno)?
+        };
+        let section = doc.sections.last_mut().expect("root always present");
+        if section
+            .entries
+            .insert(key.to_string(), (parsed, lineno))
+            .is_some()
+        {
+            return err(lineno, format!("duplicate key `{key}`"));
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_sections_and_arrays_parse() {
+        let doc = parse(
+            "name = \"demo\"  # comment\n\
+             seed = 7\n\
+             frac = 0.5\n\
+             flag = true\n\
+             \n\
+             [grid]\n\
+             backend = [\"sim\", \"threads\"]\n\
+             vertices = [100,\n  200]\n\
+             [cells.\"sim/a/b\"]\n\
+             wall_us = 12\n",
+        )
+        .unwrap();
+        assert_eq!(doc.root().get("name"), Some(&Value::Str("demo".into())));
+        assert_eq!(doc.root().get("seed"), Some(&Value::Int(7)));
+        assert_eq!(doc.root().get("frac"), Some(&Value::Float(0.5)));
+        assert_eq!(doc.root().get("flag"), Some(&Value::Bool(true)));
+        let grid = doc.section(&["grid"]).unwrap();
+        assert_eq!(
+            grid.get("backend"),
+            Some(&Value::Array(vec![
+                Value::Str("sim".into()),
+                Value::Str("threads".into())
+            ]))
+        );
+        assert_eq!(
+            grid.get("vertices"),
+            Some(&Value::Array(vec![Value::Int(100), Value::Int(200)]))
+        );
+        let cell = doc.section(&["cells", "sim/a/b"]).unwrap();
+        assert_eq!(cell.get("wall_us"), Some(&Value::Int(12)));
+        assert_eq!(doc.sections_under("cells").count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, needle) in [
+            ("a = ", "line 1"),
+            ("x = \"unterminated", "unterminated"),
+            ("[grid\nb = 1", "unterminated section"),
+            ("a = 1\na = 2", "duplicate key"),
+            ("[s]\n[s]", "duplicate section"),
+            ("a = [[1]]", "nested arrays"),
+            ("just words", "key = value"),
+            ("a = 1unparseable", "unrecognised value"),
+        ] {
+            let e = parse(text).unwrap_err();
+            assert!(e.contains(needle), "`{text}` -> `{e}`");
+        }
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let doc = parse("a = \"not # a comment\"\n").unwrap();
+        assert_eq!(
+            doc.root().get("a"),
+            Some(&Value::Str("not # a comment".into()))
+        );
+    }
+
+    #[test]
+    fn render_round_trips() {
+        for v in [
+            Value::Str("x/y".into()),
+            Value::Int(-3),
+            Value::Float(2.5),
+            Value::Bool(false),
+            Value::Array(vec![Value::Int(1), Value::Str("off".into())]),
+        ] {
+            let text = format!("k = {}\n", v.render());
+            let doc = parse(&text).unwrap();
+            assert_eq!(doc.root().get("k"), Some(&v), "{text}");
+        }
+    }
+}

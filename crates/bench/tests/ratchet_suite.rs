@@ -1,0 +1,178 @@
+//! The ratchet unit suite over real baseline files: regression beyond
+//! tolerance fails, improvement tightens only through the explicit
+//! update path, missing/renamed KPIs are hard errors rather than silent
+//! passes, and malformed baseline files diagnose with line numbers.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dpx10_bench::registry::RunRecord;
+use dpx10_bench::{RatchetSpec, Tolerance};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dpx10-ratchet-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn record(cell: &str, frames: u64, wall: u64) -> RunRecord {
+    RunRecord {
+        plan: "suite".into(),
+        cell: cell.into(),
+        prov: 1,
+        seed: 1,
+        git: "g".into(),
+        host: "h".into(),
+        source: "run".into(),
+        backend: "threads".into(),
+        pattern: "swlag".into(),
+        vertices: 10_000,
+        places: 2,
+        coalesce: "off".into(),
+        tile: 1,
+        cache: 4096,
+        fingerprint: "0x0000000000000bad".into(),
+        computed: 10_000,
+        recoveries: 0,
+        frames,
+        bytes: 100,
+        sim_us: 0,
+        wall_us: wall,
+    }
+}
+
+/// Round-trips a spec through an actual baseline file, the way the CLI
+/// stores and reloads it.
+fn through_file(spec: &RatchetSpec, name: &str) -> RatchetSpec {
+    let path = tmp(name);
+    fs::write(&path, spec.render()).unwrap();
+    let loaded = RatchetSpec::parse(&fs::read_to_string(&path).unwrap()).unwrap();
+    fs::remove_file(&path).unwrap();
+    loaded
+}
+
+#[test]
+fn regression_beyond_tolerance_fails() {
+    let baseline = RatchetSpec::from_run("suite", 9, &[record("a", 100, 1000)]);
+    let spec = through_file(&baseline, "regress.toml");
+    // frames default tolerance is rel 0.25 + abs 64 → limit 189.
+    let ok = spec.compare(9, &[record("a", 189, 1000)]).unwrap();
+    assert!(ok.passed());
+    let bad = spec.compare(9, &[record("a", 190, 1000)]).unwrap();
+    assert!(!bad.passed());
+    assert!(
+        bad.regressions[0].contains("frames"),
+        "{:?}",
+        bad.regressions
+    );
+    assert!(
+        bad.regressions[0].contains("190") && bad.regressions[0].contains("100"),
+        "regression line names measured and baseline: {:?}",
+        bad.regressions
+    );
+}
+
+#[test]
+fn improvement_tightens_only_through_update() {
+    let baseline = RatchetSpec::from_run("suite", 9, &[record("a", 100, 1000)]);
+    let spec = through_file(&baseline, "tighten.toml");
+    let faster = record("a", 40, 1000);
+    // A plain ratchet pass records the improvement but the file the CLI
+    // would keep (the spec itself) is unchanged.
+    let rep = spec.compare(9, std::slice::from_ref(&faster)).unwrap();
+    assert!(rep.passed());
+    assert!(rep
+        .improvements
+        .iter()
+        .any(|(_, k, b, m)| k == "frames" && *b == 100 && *m == 40));
+    assert_eq!(spec, through_file(&spec, "unchanged.toml"));
+    // --update-baseline path: tightened() writes the min, and a later
+    // slower-but-tolerated run cannot loosen it back.
+    let tightened = through_file(&spec.tightened(&[faster]), "tightened.toml");
+    let frames_of = |s: &RatchetSpec| {
+        s.cells[0]
+            .kpis
+            .iter()
+            .find(|(k, _)| k == "frames")
+            .unwrap()
+            .1
+    };
+    assert_eq!(frames_of(&tightened), 40);
+    let after_slower = tightened.tightened(&[record("a", 49, 1000)]);
+    assert_eq!(frames_of(&after_slower), 40);
+}
+
+#[test]
+fn update_does_not_mask_regressions() {
+    // The CLI compares before tightening; a regression must fail even
+    // when the caller asked to update: tightening takes the min, so the
+    // regressed value never enters the file either.
+    let spec = RatchetSpec::from_run("suite", 9, &[record("a", 100, 1000)]);
+    let regressed = record("a", 500, 1000);
+    assert!(!spec
+        .compare(9, std::slice::from_ref(&regressed))
+        .unwrap()
+        .passed());
+    let tightened = spec.tightened(&[regressed]);
+    assert_eq!(tightened, spec);
+}
+
+#[test]
+fn missing_and_renamed_kpis_are_hard_errors() {
+    let mut spec = RatchetSpec::from_run("suite", 9, &[record("a", 100, 1000)]);
+    // Renamed in the runner (simulated by renaming in the baseline):
+    // parse rejects it outright…
+    let mut renamed = spec.render().replace("frames =", "frame_count =");
+    let err = RatchetSpec::parse(&renamed).unwrap_err();
+    assert!(err.contains("unknown KPI `frame_count`"), "{err}");
+    assert!(
+        err.contains("line"),
+        "diagnostic carries a line number: {err}"
+    );
+    // …and a spec that ratchets a KPI the runner stopped reporting is a
+    // comparison-time hard error, not a silent pass.
+    spec.cells[0].kpis = vec![("frames".into(), 100)];
+    renamed = spec.render();
+    let mut hacked = RatchetSpec::parse(&renamed).unwrap();
+    hacked.cells[0].kpis[0].0 = "framez".into();
+    let err = hacked.compare(9, &[record("a", 100, 1000)]).unwrap_err();
+    assert!(err.contains("no longer reports"), "{err}");
+}
+
+#[test]
+fn malformed_baselines_produce_actionable_diagnostics() {
+    // Broken TOML: the error names the line.
+    let err = RatchetSpec::parse("plan = \"p\"\nplan_digest = \"9\"\n[cells.\"a\"\n").unwrap_err();
+    assert!(err.contains("line 3"), "{err}");
+    // A non-integer KPI names the cell, the KPI, and the line.
+    let err = RatchetSpec::parse(
+        "plan = \"p\"\nplan_digest = \"9\"\n[cells.\"a\"]\nfingerprint = \"0x1\"\nframes = \"lots\"\n",
+    )
+    .unwrap_err();
+    assert!(
+        err.contains("`a`") && err.contains("frames") && err.contains("line 5"),
+        "{err}"
+    );
+    // A bad digest is caught before any comparison.
+    let err = RatchetSpec::parse(
+        "plan = \"p\"\nplan_digest = \"zz\"\n[cells.\"a\"]\nfingerprint = \"0x1\"\nframes = 1\n",
+    )
+    .unwrap_err();
+    assert!(err.contains("hex"), "{err}");
+}
+
+#[test]
+fn tolerance_overrides_round_trip_and_apply() {
+    let mut spec = RatchetSpec::from_run("suite", 9, &[record("a", 100, 1000)]);
+    spec.tolerances
+        .push(("wall_us".into(), Tolerance { rel: 0.5, abs: 10 }));
+    let spec = through_file(&spec, "tol.toml");
+    assert_eq!(spec.tolerance("wall_us"), Tolerance { rel: 0.5, abs: 10 });
+    // 1000 * 1.5 + 10 = 1510 is the last passing value.
+    assert!(spec.compare(9, &[record("a", 100, 1510)]).unwrap().passed());
+    assert!(!spec.compare(9, &[record("a", 100, 1511)]).unwrap().passed());
+    // Unlisted KPIs keep their defaults (computed is exact).
+    let mut r = record("a", 100, 1000);
+    r.computed += 1;
+    assert!(!spec.compare(9, &[r]).unwrap().passed());
+}

@@ -164,8 +164,11 @@ impl Default for ChaosArgs {
     }
 }
 
-/// A parsed `dpx10 bench` invocation: the comms-plane baseline, one run
-/// with coalescing off and one with it on, written as JSON.
+/// A parsed `dpx10 bench` invocation. Without `--plan`: the comms-plane
+/// baseline, one run with coalescing off and one with it on, written as
+/// JSON. With `--plan FILE`: the declarative ablation registry — expand
+/// the plan, run every cell, append to the registry CSV, and optionally
+/// ratchet against a committed baseline.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchArgs {
     /// Problem scale as a vertex count.
@@ -178,6 +181,21 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Output JSON path.
     pub out: String,
+    /// Ablation plan TOML to run instead of the comms baseline.
+    pub plan: Option<String>,
+    /// Compare the plan run against its committed baseline and exit
+    /// nonzero on regression.
+    pub ratchet: bool,
+    /// Tighten (or create) the committed baseline from this run.
+    pub update_baseline: bool,
+    /// Baseline file override (default `plans/baselines/<plan>.toml`).
+    pub baseline: Option<String>,
+    /// Registry CSV to append to.
+    pub registry: String,
+    /// Per-run JSON path override (default `results/runs/<plan>-<git>.json`).
+    pub run_json: Option<String>,
+    /// Aggregate the registry into a trend JSON artifact here.
+    pub trend: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -188,6 +206,13 @@ impl Default for BenchArgs {
             coalesce: 4096,
             seed: 1,
             out: "BENCH_comms.json".into(),
+            plan: None,
+            ratchet: false,
+            update_baseline: false,
+            baseline: None,
+            registry: "results/registry.csv".into(),
+            run_json: None,
+            trend: None,
         }
     }
 }
@@ -508,11 +533,29 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     }
                     "--seed" => bench.seed = parse_seed(&value("--seed")?)?,
                     "--out" => bench.out = value("--out")?,
+                    "--plan" => bench.plan = Some(value("--plan")?),
+                    "--ratchet" => bench.ratchet = true,
+                    "--update-baseline" => bench.update_baseline = true,
+                    "--baseline" => bench.baseline = Some(value("--baseline")?),
+                    "--registry" => bench.registry = value("--registry")?,
+                    "--run-json" => bench.run_json = Some(value("--run-json")?),
+                    "--trend" => bench.trend = Some(value("--trend")?),
                     other => return err(format!("unknown bench flag {other}")),
                 }
             }
-            if bench.places < 2 {
-                return err("bench needs at least 2 places (it measures inter-place frames)");
+            if bench.plan.is_none() {
+                if bench.places < 2 {
+                    return err("bench needs at least 2 places (it measures inter-place frames)");
+                }
+                if bench.ratchet || bench.update_baseline || bench.baseline.is_some() {
+                    return err("--ratchet/--update-baseline/--baseline need --plan FILE");
+                }
+                if bench.run_json.is_some() || bench.trend.is_some() {
+                    return err("--run-json/--trend need --plan FILE");
+                }
+            }
+            if bench.update_baseline && !bench.ratchet {
+                return err("--update-baseline needs --ratchet (it tightens the ratchet)");
             }
             Ok(Command::Bench(bench))
         }
@@ -705,6 +748,17 @@ pub fn usage() -> String {
          \x20 --coalesce BYTES        budget of the coalescing-on run (default 4096)\n\
          \x20 --seed N                workload seed (default 1)\n\
          \x20 --out FILE              JSON output path (default BENCH_comms.json)\n\
+         \x20 --plan FILE             run a declarative ablation plan instead: expand\n\
+         \x20                         the grid, run every cell, append provenance-\n\
+         \x20                         hashed rows to the registry CSV\n\
+         \x20 --ratchet               compare the plan run against its committed\n\
+         \x20                         baseline, exit nonzero on regression\n\
+         \x20 --update-baseline       tighten (or create) the baseline from this run;\n\
+         \x20                         regressions beyond tolerance still fail\n\
+         \x20 --baseline FILE         baseline path (default plans/baselines/<plan>.toml)\n\
+         \x20 --registry FILE         registry CSV (default results/registry.csv)\n\
+         \x20 --run-json FILE         per-run JSON report path override\n\
+         \x20 --trend FILE            also aggregate the registry into trend JSON\n\
          \n\
          Each chaos seed expands into a random pattern, cluster shape and\n\
          fault plan, runs it on the serial, simulated, threaded and socket\n\
@@ -909,6 +963,45 @@ mod tests {
         assert!(parse_err(&["bench", "--coalesce", "off"])
             .0
             .contains("non-zero"));
+    }
+
+    #[test]
+    fn bench_plan_flags_parse() {
+        let Command::Bench(bench) = parse_ok(&[
+            "bench",
+            "--plan",
+            "plans/pinned-small.toml",
+            "--ratchet",
+            "--update-baseline",
+            "--baseline",
+            "b.toml",
+            "--registry",
+            "r.csv",
+            "--run-json",
+            "run.json",
+            "--trend",
+            "trend.json",
+        ]) else {
+            panic!()
+        };
+        assert_eq!(bench.plan.as_deref(), Some("plans/pinned-small.toml"));
+        assert!(bench.ratchet);
+        assert!(bench.update_baseline);
+        assert_eq!(bench.baseline.as_deref(), Some("b.toml"));
+        assert_eq!(bench.registry, "r.csv");
+        assert_eq!(bench.run_json.as_deref(), Some("run.json"));
+        assert_eq!(bench.trend.as_deref(), Some("trend.json"));
+        // A plan run ignores --places floors (the plan carries its own
+        // axes), but ratchet flags without a plan are refused.
+        assert!(parse_err(&["bench", "--ratchet"]).0.contains("--plan"));
+        assert!(parse_err(&["bench", "--trend", "t.json"])
+            .0
+            .contains("--plan"));
+        assert!(
+            parse_err(&["bench", "--plan", "p.toml", "--update-baseline"])
+                .0
+                .contains("--ratchet")
+        );
     }
 
     #[test]

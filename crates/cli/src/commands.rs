@@ -11,10 +11,10 @@ use dpx10_apps::{
     workload, EditDistanceApp, KnapsackApp, LcsApp, LpsApp, MtpApp, NeedlemanWunschApp,
     NussinovApp, SwLinearApp, SwlagApp,
 };
+use dpx10_bench::{AblationPlan, RatchetSpec};
 use dpx10_core::{
-    DagResult, DepView, DistKind, DpApp, ElasticConfig, ElasticEngine, ElasticReport,
-    ElasticServer, EngineConfig, FaultPlan, RunReport, ServeReport, SocketEngine, ThreadedEngine,
-    VertexValue,
+    DagResult, DepView, DpApp, ElasticConfig, ElasticEngine, ElasticReport, ElasticServer,
+    EngineConfig, FaultPlan, RunReport, ServeReport, SocketEngine, ThreadedEngine, VertexValue,
 };
 use dpx10_dag::{critical_path_len, wavefront_profile, BuiltinKind, DagPattern, VertexId};
 use dpx10_obs::{chrome, summary as obs_summary, EventKind, Recorder, Registry, Trace};
@@ -617,20 +617,30 @@ fn run_elastic_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
     (out, failed.is_empty())
 }
 
-/// `dpx10 bench`: the comms-plane baseline. Runs SWLAG twice over an
-/// in-process socket mesh — coalescing off, then on at the requested
-/// byte budget — and writes the frame/byte/wall-time comparison to a
-/// JSON file. The cyclic-column distribution puts every column boundary
-/// across a place boundary, so the uncoalesced run pays one transport
-/// frame per remote `Done` and the comparison measures the comms plane
-/// rather than the distribution's boundary traffic.
+/// `dpx10 bench`: with `--plan FILE`, runs a declarative ablation plan
+/// through the experiment registry; otherwise the comms-plane baseline.
+/// The baseline runs SWLAG twice over an in-process socket mesh —
+/// coalescing off, then on at the requested byte budget — and writes
+/// the frame/byte/wall-time comparison to a JSON file. The
+/// cyclic-column distribution puts every column boundary across a place
+/// boundary, so the uncoalesced run pays one transport frame per remote
+/// `Done` and the comparison measures the comms plane rather than the
+/// distribution's boundary traffic.
 ///
-/// Errs if the two runs' result fingerprints differ: a coalesced run
-/// must be byte-for-byte the same computation.
+/// Errs (process exit 1) if the two runs' result fingerprints differ: a
+/// coalesced run must be byte-for-byte the same computation.
 pub fn run_bench(args: &crate::args::BenchArgs) -> Result<String, String> {
+    if let Some(plan_path) = &args.plan {
+        return run_bench_plan(args, plan_path);
+    }
+    let off = bench_swlag_sockets(args, None)?;
+    let mut on = bench_swlag_sockets(args, Some(args.coalesce))?;
+    // Test hook: force the mismatch path so the exit-nonzero contract
+    // stays pinned by a smoke test without a real equivalence bug.
+    if std::env::var("DPX10_BENCH_FORCE_FP_MISMATCH").as_deref() == Ok("1") {
+        on.0 ^= 1;
+    }
     let n = workload::side_for_vertices(args.vertices) as usize;
-    let off = bench_swlag_sockets(n, args.seed, args.places, None)?;
-    let on = bench_swlag_sockets(n, args.seed, args.places, Some(args.coalesce))?;
     if off.0 != on.0 {
         return Err(format!(
             "coalescing changed the result: fingerprint {:#018x} (off) vs {:#018x} (on)",
@@ -686,61 +696,159 @@ fn bench_mode_json(r: &RunReport) -> String {
     )
 }
 
-/// Runs SWLAG at side `n` over an in-process socket mesh (every place a
-/// thread of this process, same idiom as the chaos harness) and returns
-/// the result fingerprint plus the coordinator's report.
+/// Runs the comms-baseline SWLAG configuration through the shared
+/// registry runner: an in-process socket mesh (every place a thread of
+/// this process, same idiom as the chaos harness), cyclic-column
+/// distribution, default cache. Returns the result fingerprint plus the
+/// coordinator's report.
 fn bench_swlag_sockets(
-    n: usize,
-    seed: u64,
-    places: u16,
+    args: &crate::args::BenchArgs,
     coalesce: Option<usize>,
 ) -> Result<(u64, RunReport), String> {
-    let config = EngineConfig {
-        topology: Topology::flat(places),
-        ..EngineConfig::paper(1)
+    let cell = dpx10_bench::Experiment {
+        plan: "comms-baseline".into(),
+        plan_digest: 0,
+        index: 0,
+        cell: format!(
+            "sockets/swlag/v{}/p{}/c{}/t1/k4096",
+            args.vertices,
+            args.places,
+            coalesce.map_or("off".into(), |b| b.to_string())
+        ),
+        backend: dpx10_bench::Backend::Sockets,
+        app: dpx10_bench::BenchApp::Swlag,
+        vertices: args.vertices,
+        places: args.places,
+        coalesce,
+        tile: 1,
+        cache: 4096,
+        dist: dpx10_bench::DistChoice::CyclicCol,
+        schedule: dpx10_core::ScheduleStrategy::Local,
+        seed: args.seed,
+    };
+    dpx10_bench::runner::run_cell(&cell)
+}
+
+/// `dpx10 bench --plan`: expand the plan, run every cell, append
+/// provenance-hashed rows to the registry CSV, write the per-run JSON,
+/// and optionally compare against (or tighten) the committed ratchet
+/// baseline. Stdout carries only deterministic data — fingerprints and
+/// the deterministic KPIs — so two consecutive runs of the same plan
+/// print byte-identical text; wall times and file paths that embed
+/// timestamps go to stderr.
+fn run_bench_plan(args: &crate::args::BenchArgs, plan_path: &str) -> Result<String, String> {
+    use std::path::Path;
+
+    let text = std::fs::read_to_string(plan_path).map_err(|e| format!("read {plan_path}: {e}"))?;
+    let plan = AblationPlan::parse(&text).map_err(|e| format!("{plan_path}: {e}"))?;
+    plan.validate().map_err(|e| format!("{plan_path}: {e}"))?;
+    let digest = plan.digest();
+    let cells = plan.expand();
+    let git = dpx10_bench::registry::git_describe();
+    let host = dpx10_bench::registry::host_fingerprint();
+    let mut out = format!(
+        "plan {} — {} cells, digest {digest:016x}\n",
+        plan.name,
+        cells.len()
+    );
+    let mut records = Vec::new();
+    for exp in &cells {
+        let (fingerprint, report) = dpx10_bench::runner::run_cell(exp)?;
+        let record = dpx10_bench::runner::record(exp, fingerprint, &report, &git, &host);
+        eprintln!(
+            "dpx10 bench: {} in {:?} ({} frames, {} bytes)",
+            exp.cell, report.wall_time, record.frames, record.bytes
+        );
+        out.push_str(&format!(
+            "{}  fp {}  computed {}  recoveries {}\n",
+            exp.cell, record.fingerprint, record.computed, record.recoveries
+        ));
+        records.push(record);
     }
-    .with_dist(DistKind::CyclicCol)
-    .with_coalesce(coalesce);
-    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
-    let addr = listener
-        .local_addr()
-        .map_err(|e| format!("no local addr: {e}"))?
-        .to_string();
-    let mut workers = Vec::new();
-    for p in 1..places {
-        let addr = addr.clone();
-        let config = config.clone();
-        workers.push(std::thread::spawn(move || {
-            let app = SwlagApp::new(workload::dna(n, seed), workload::dna(n, seed + 1));
-            let pattern = app.pattern();
-            SocketEngine::new(app, pattern, config).run(SocketConfig::worker(
-                PlaceId(p),
-                places,
-                addr,
-            ))
-        }));
+    dpx10_bench::registry::append(Path::new(&args.registry), &records)?;
+    out.push_str(&format!(
+        "registry: appended {} rows to {}\n",
+        records.len(),
+        args.registry
+    ));
+    let run_json = args.run_json.clone().unwrap_or_else(|| {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        format!(
+            "results/runs/{}-{ts}-{}.json",
+            plan.name,
+            std::process::id()
+        )
+    });
+    dpx10_bench::registry::write_run_json(Path::new(&run_json), &plan.name, digest, &records)?;
+    eprintln!("dpx10 bench: per-run report written to {run_json}");
+    if let Some(trend_path) = &args.trend {
+        let rows = dpx10_bench::registry::load(Path::new(&args.registry))?;
+        std::fs::write(trend_path, dpx10_bench::registry::trend_json(&rows))
+            .map_err(|e| format!("write {trend_path}: {e}"))?;
+        out.push_str(&format!("trend: {trend_path}\n"));
     }
-    let app = SwlagApp::new(workload::dna(n, seed), workload::dna(n, seed + 1));
-    let pattern = app.pattern();
-    let outcome =
-        SocketEngine::new(app, pattern, config).run(SocketConfig::coordinator(listener, places));
-    for (idx, w) in workers.into_iter().enumerate() {
-        match w.join() {
-            Ok(Ok(None)) => {}
-            Ok(other) => {
-                return Err(format!(
-                    "worker place {} did not shut down cleanly: {:?}",
-                    idx + 1,
-                    other.map(|r| r.map(|_| "unexpected result"))
+    if args.ratchet {
+        let baseline_path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| format!("plans/baselines/{}.toml", plan.name));
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(baseline_text) => {
+                let spec = RatchetSpec::parse(&baseline_text)
+                    .map_err(|e| format!("{baseline_path}: {e}"))?;
+                let report = spec.compare(digest, &records)?;
+                if !report.passed() {
+                    let mut msg = format!("perf ratchet FAILED against {baseline_path}:\n");
+                    for regression in &report.regressions {
+                        msg.push_str(&format!("  {regression}\n"));
+                    }
+                    return Err(msg);
+                }
+                for (cell, kpi, base, measured) in &report.improvements {
+                    eprintln!("dpx10 bench: improvement {cell} {kpi}: {base} -> {measured}");
+                }
+                if args.update_baseline {
+                    std::fs::write(&baseline_path, spec.tightened(&records).render())
+                        .map_err(|e| format!("write {baseline_path}: {e}"))?;
+                    eprintln!(
+                        "dpx10 bench: baseline tightened ({} improvement(s))",
+                        report.improvements.len()
+                    );
+                }
+                out.push_str(&format!(
+                    "ratchet: PASS, {} cells within tolerance\n",
+                    report.cells
                 ));
             }
-            Err(_) => return Err(format!("worker place {} panicked", idx + 1)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if args.update_baseline {
+                    if let Some(parent) = Path::new(&baseline_path).parent() {
+                        if !parent.as_os_str().is_empty() {
+                            std::fs::create_dir_all(parent)
+                                .map_err(|e| format!("create {}: {e}", parent.display()))?;
+                        }
+                    }
+                    let spec = RatchetSpec::from_run(&plan.name, digest, &records);
+                    std::fs::write(&baseline_path, spec.render())
+                        .map_err(|e| format!("write {baseline_path}: {e}"))?;
+                    out.push_str(&format!(
+                        "ratchet: baseline created at {baseline_path} ({} cells)\n",
+                        records.len()
+                    ));
+                } else {
+                    return Err(format!(
+                        "no committed baseline at {baseline_path}; create one with \
+                         --ratchet --update-baseline and commit it"
+                    ));
+                }
+            }
+            Err(e) => return Err(format!("read {baseline_path}: {e}")),
         }
     }
-    let result = outcome
-        .map_err(|e| format!("coordinator failed: {e}"))?
-        .ok_or("coordinator returned no result")?;
-    Ok((result.fingerprint(), result.report().clone()))
+    Ok(out)
 }
 
 /// The applications `dpx10 serve` can multiplex: a [`JobServer`] runs
