@@ -1,10 +1,17 @@
-//! Collective operations over the places of a runtime.
+//! *Local* collective operations over the places of a runtime.
 //!
 //! X10 programs express global phases with `finish`+`at`; DPX10's
 //! recovery protocol, for instance, is "executed in parallel on all
 //! alive places" and then resumes globally (§VI-D). These helpers give
 //! that shape a first-class API on the [`Runtime`]: a barrier across the
 //! live places, a gather of per-place values, and an all-reduce.
+//!
+//! These are **in-process** helpers: the runtime's places share one
+//! address space, so the "collective" is closures plus shared memory —
+//! no wire frame exists or is priced. Where places really are separated
+//! by a transport, the tree-scheduled plane in [`crate::collectives`]
+//! carries the same verbs as wire frames; the socket engine routes its
+//! control phases through that plane.
 //!
 //! Dead places are skipped, so collectives keep working mid-recovery.
 

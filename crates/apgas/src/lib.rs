@@ -42,6 +42,7 @@ pub mod chaos;
 pub mod coalesce;
 pub mod codec;
 pub mod collective;
+pub mod collectives;
 pub mod fault;
 pub mod mailbox;
 pub mod membership;
@@ -59,6 +60,7 @@ pub use chaos::{
 };
 pub use coalesce::{CoalesceConfig, Coalescible, CoalescingTransport};
 pub use codec::Codec;
+pub use collectives::{fold_counts, CollFrame, CollectiveSchedule};
 pub use fault::{DeadPlaceError, LivenessBoard};
 pub use mailbox::{Mailbox, MailboxSender};
 pub use membership::{MemberState, MembershipError, RosterBoard};

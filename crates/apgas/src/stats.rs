@@ -31,6 +31,17 @@ pub struct PlaceStats {
     pub batches_sent: AtomicU64,
     /// Individual protocol messages carried inside those batches.
     pub batched_msgs: AtomicU64,
+    /// Pull requests issued by this place (cache misses that actually
+    /// went on the wire — the dedup hub folds repeat waiters).
+    pub pulls_sent: AtomicU64,
+    /// Pull requests the dedup hub folded into an already-outstanding
+    /// pull instead of re-issuing.
+    pub pulls_deduped: AtomicU64,
+    /// Eager value pushes sent by this place (push comms mode).
+    pub pushes_sent: AtomicU64,
+    /// Parked gathers satisfied by a pinned push instead of a pull
+    /// round-trip.
+    pub pull_roundtrips_avoided: AtomicU64,
 }
 
 impl PlaceStats {
@@ -68,6 +79,30 @@ impl PlaceStats {
         self.batched_msgs
             .fetch_add(entries as u64, Ordering::Relaxed);
     }
+
+    /// Records one pull request put on the wire.
+    #[inline]
+    pub fn on_pull_sent(&self) {
+        self.pulls_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a pull folded into an outstanding one by the dedup hub.
+    #[inline]
+    pub fn on_pull_deduped(&self) {
+        self.pulls_deduped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one eager value push put on the wire.
+    #[inline]
+    pub fn on_push_sent(&self) {
+        self.pushes_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a parked gather satisfied by a pinned push.
+    #[inline]
+    pub fn on_pull_roundtrip_avoided(&self) {
+        self.pull_roundtrips_avoided.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Shared board of per-place counters.
@@ -101,6 +136,10 @@ impl StatsBoard {
             s.cache_misses += p.cache_misses.load(Ordering::Relaxed);
             s.batches_sent += p.batches_sent.load(Ordering::Relaxed);
             s.batched_msgs += p.batched_msgs.load(Ordering::Relaxed);
+            s.pulls_sent += p.pulls_sent.load(Ordering::Relaxed);
+            s.pulls_deduped += p.pulls_deduped.load(Ordering::Relaxed);
+            s.pushes_sent += p.pushes_sent.load(Ordering::Relaxed);
+            s.pull_roundtrips_avoided += p.pull_roundtrips_avoided.load(Ordering::Relaxed);
         }
         s
     }
@@ -125,6 +164,15 @@ pub struct StatsSnapshot {
     pub batches_sent: u64,
     /// Individual protocol messages carried inside those batches.
     pub batched_msgs: u64,
+    /// Pull requests issued (the request leg of pull round-trips).
+    pub pulls_sent: u64,
+    /// Pulls folded into an outstanding request by the dedup hub.
+    pub pulls_deduped: u64,
+    /// Eager value pushes sent (push comms mode).
+    pub pushes_sent: u64,
+    /// Parked gathers satisfied by a pinned push instead of a pull
+    /// round-trip.
+    pub pull_roundtrips_avoided: u64,
 }
 
 impl StatsSnapshot {

@@ -1,0 +1,129 @@
+//! Property tests of the collective schedule (ISSUE 8 satellite): tree
+//! shapes over place counts 1..=64 with arbitrary dead-place subsets —
+//! every live place is reached exactly once, depth stays within
+//! `⌈log2 P⌉`, and the reduce fold is independent of arrival order.
+
+use std::collections::HashMap;
+
+use dpx10_apgas::collectives::{fold_counts, CollectiveSchedule};
+use proptest::prelude::*;
+
+/// Simulates a repaired broadcast: starting from the root, every reached
+/// rank relays to `relay_targets` (dead children replaced by their
+/// subtrees). Returns how many times each rank was delivered to, plus
+/// the hop depth at which it was first reached.
+fn simulate_broadcast(sched: &CollectiveSchedule, n: usize, dead: &[bool]) -> (Vec<u32>, Vec<u32>) {
+    let mut delivered = vec![0u32; n];
+    let mut depth = vec![0u32; n];
+    let mut frontier = vec![sched.root()];
+    delivered[sched.root()] += 1;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &r in &frontier {
+            for t in sched.relay_targets(r, |x| dead[x]) {
+                delivered[t] += 1;
+                depth[t] = depth[r] + 1;
+                next.push(t);
+            }
+        }
+        frontier = next;
+    }
+    (delivered, depth)
+}
+
+/// Derives a dead-set of `n` flags from arbitrary bytes; the root is
+/// always alive (place 0 must survive — the Resilient X10 limitation).
+fn dead_set(sched: &CollectiveSchedule, n: usize, bytes: &[u8]) -> Vec<bool> {
+    let mut dead: Vec<bool> = (0..n)
+        .map(|r| {
+            bytes
+                .get(r % bytes.len().max(1))
+                .is_some_and(|b| b & (r as u8 + 1) != 0)
+        })
+        .collect();
+    dead[sched.root()] = false;
+    dead
+}
+
+proptest! {
+    /// Every live rank is delivered to exactly once, dead ranks never,
+    /// regardless of which subset died.
+    #[test]
+    fn broadcast_reaches_live_ranks_exactly_once(
+        n in 1usize..=64,
+        root_seed in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let root = (root_seed % n as u64) as usize;
+        let sched = CollectiveSchedule::new(n, root);
+        let dead = dead_set(&sched, n, &bytes);
+        let (delivered, _) = simulate_broadcast(&sched, n, &dead);
+        for r in 0..n {
+            if dead[r] {
+                prop_assert_eq!(delivered[r], 0, "dead rank {} was delivered to", r);
+            } else {
+                prop_assert_eq!(delivered[r], 1, "rank {} delivered {} times", r, delivered[r]);
+            }
+        }
+    }
+
+    /// The fault-free tree never exceeds ⌈log2 P⌉ hops, and parent/child
+    /// edges agree with each other.
+    #[test]
+    fn depth_and_edges_are_consistent(n in 1usize..=64, root_seed in any::<u64>()) {
+        let root = (root_seed % n as u64) as usize;
+        let sched = CollectiveSchedule::new(n, root);
+        let (delivered, depth) = simulate_broadcast(&sched, n, &vec![false; n]);
+        prop_assert!(delivered.iter().all(|&d| d == 1));
+        let bound = sched.depth();
+        prop_assert_eq!(bound, (usize::BITS - (n - 1).leading_zeros()));
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..n {
+            prop_assert!(depth[r] <= bound, "rank {} at depth {} > {}", r, depth[r], bound);
+            for c in sched.children(r) {
+                prop_assert_eq!(sched.parent(c), Some(r));
+            }
+            if let Some(p) = sched.parent(r) {
+                prop_assert!(sched.children(p).contains(&r));
+            }
+            // A scatter hop to r carries exactly r's subtree: r itself
+            // plus the union of its children's subtrees, disjointly.
+            let mut sub = sched.subtree(r);
+            sub.sort_unstable();
+            let mut rebuilt: Vec<usize> = vec![r];
+            for c in sched.children(r) {
+                rebuilt.extend(sched.subtree(c));
+            }
+            rebuilt.sort_unstable();
+            prop_assert_eq!(sub, rebuilt);
+        }
+    }
+
+    /// Folding the same per-place counter entries in any arrival order —
+    /// including duplicated (re-sent) frames — yields the same result.
+    #[test]
+    fn reduce_fold_is_order_independent(
+        entries in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..32),
+        seed in any::<u64>(),
+    ) {
+        let entries: Vec<(u16, u64)> =
+            entries.into_iter().map(|(p, v)| (u16::from(p % 8), v)).collect();
+        let mut forward = HashMap::new();
+        fold_counts(&mut forward, &entries);
+
+        // An arbitrary permutation with one chunk re-delivered.
+        let mut shuffled = entries.clone();
+        let mut s = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let dup = shuffled[0];
+        shuffled.push(dup);
+        let mut backward = HashMap::new();
+        for e in shuffled {
+            fold_counts(&mut backward, &[e]);
+        }
+        prop_assert_eq!(forward, backward);
+    }
+}

@@ -15,17 +15,68 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use std::cell::RefCell;
+
+use dpx10_bench::registry::{self, RunRecord};
 use dpx10_bench::{
     run_recovery, run_sim, run_sim_with, sim_overhead_pair, threaded_overhead_pair, AppKind, Chart,
     Table,
 };
-use dpx10_core::{DistKind, PlaceId, RestoreManner, ScheduleStrategy};
+use dpx10_core::{DistKind, PlaceId, RestoreManner, RunReport, ScheduleStrategy};
 use dpx10_sim::SimFaultPlan;
+
+/// The pinned plan digest for figure-sourced registry rows: there is no
+/// plan TOML to hash, but rows still need a stable digest so the same
+/// figure cell re-run on the same commit+host collides to the same
+/// provenance hash, exactly like `dpx10 bench --plan` rows.
+const FIGURES_PLAN_DIGEST: u64 = 0x6669_6775_7265_7321; // "figures!"
 
 struct Opts {
     vertices: u64,
     csv: Option<PathBuf>,
     svg: Option<PathBuf>,
+    /// Append figure runs to this registry CSV (provenance-hashed rows,
+    /// `source = "figures"`, same schema as `dpx10 bench --plan`).
+    registry: Option<PathBuf>,
+    rows: RefCell<Vec<RunRecord>>,
+}
+
+impl Opts {
+    /// Records one figure run as a registry row. The simulator figures
+    /// report makespans, not result digests, so the fingerprint column
+    /// carries the `-` placeholder the seed-import rows pinned.
+    fn record(&self, figure: &str, app: AppKind, vertices: u64, nodes: u16, report: &RunReport) {
+        if self.registry.is_none() {
+            return;
+        }
+        let git = registry::git_describe();
+        let host = registry::host_fingerprint();
+        let cell = format!("{figure}/sim/{}/v{vertices}/n{nodes}", app.name());
+        self.rows.borrow_mut().push(RunRecord {
+            prov: RunRecord::provenance(FIGURES_PLAN_DIGEST, &cell, &git, &host),
+            plan: "figures".into(),
+            cell,
+            seed: 1,
+            git,
+            host,
+            source: "figures".into(),
+            backend: "sim".into(),
+            pattern: app.name().into(),
+            vertices,
+            places: nodes,
+            coalesce: "off".into(),
+            tile: 1,
+            cache: 4096,
+            fingerprint: "-".into(),
+            computed: report.vertices_computed,
+            recoveries: report.recoveries.len() as u64,
+            frames: report.comm.messages_sent,
+            bytes: report.comm.bytes_sent,
+            sim_us: report.sim_time.as_micros() as u64,
+            wall_us: report.wall_time.as_micros() as u64,
+            pull_roundtrips: report.comm.pulls_sent,
+        });
+    }
 }
 
 fn main() {
@@ -35,6 +86,8 @@ fn main() {
         vertices: 1_000_000,
         csv: None,
         svg: None,
+        registry: None,
+        rows: RefCell::new(Vec::new()),
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -49,6 +102,9 @@ fn main() {
             }
             "--svg" => {
                 opts.svg = Some(PathBuf::from(args.next().expect("--svg DIR")));
+            }
+            "--registry" => {
+                opts.registry = Some(PathBuf::from(args.next().expect("--registry FILE")));
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -71,10 +127,20 @@ fn main() {
             ablation(&opts);
         }
         other => {
-            eprintln!("usage: figures [all|fig10|fig11|fig12|fig13|ablation] [--vertices N] [--csv DIR] [--svg DIR]");
+            eprintln!("usage: figures [all|fig10|fig11|fig12|fig13|ablation] [--vertices N] [--csv DIR] [--svg DIR] [--registry FILE]");
             eprintln!("unknown command {other}");
             std::process::exit(2);
         }
+    }
+
+    if let Some(path) = &opts.registry {
+        let rows = opts.rows.borrow();
+        registry::append(path, &rows).expect("append figure rows to registry");
+        println!(
+            "registry: appended {} rows to {}",
+            rows.len(),
+            path.display()
+        );
     }
 }
 
@@ -113,7 +179,11 @@ fn fig10(opts: &Opts) {
     for &n in &nodes {
         let row: Vec<Duration> = AppKind::ALL
             .iter()
-            .map(|&app| run_sim(app, opts.vertices, n).sim_time)
+            .map(|&app| {
+                let report = run_sim(app, opts.vertices, n);
+                opts.record("fig10", app, opts.vertices, n, &report);
+                report.sim_time
+            })
             .collect();
         for (k, t) in row.iter().enumerate() {
             series[k].push((n as f64, t.as_secs_f64()));
@@ -167,7 +237,11 @@ fn fig11(opts: &Opts) {
         let v = max * k / 10;
         let row: Vec<Duration> = AppKind::ALL
             .iter()
-            .map(|&app| run_sim(app, v, 10).sim_time)
+            .map(|&app| {
+                let report = run_sim(app, v, 10);
+                opts.record("fig11", app, v, 10, &report);
+                report.sim_time
+            })
             .collect();
         for (s_idx, t) in row.iter().enumerate() {
             series[s_idx].push((v as f64, t.as_secs_f64()));

@@ -33,7 +33,7 @@
 
 use std::fmt;
 
-use dpx10_core::ScheduleStrategy;
+use dpx10_core::{CommsMode, ScheduleStrategy};
 use dpx10_distarray::DistKind;
 
 use crate::registry::fnv1a;
@@ -246,6 +246,10 @@ pub struct Experiment {
     pub dist: DistChoice,
     /// Scheduling strategy.
     pub schedule: ScheduleStrategy,
+    /// Anti-dependency delivery mode (plans always expand to the pull
+    /// plane; the `dpx10 bench --comms push` comparison constructs push
+    /// cells directly, keeping plan digests and cell ids stable).
+    pub comms: CommsMode,
     /// The cell's workload seed, derived from the plan seed and the
     /// cell id (stable under plan edits that leave this cell in place).
     pub seed: u64,
@@ -533,6 +537,7 @@ impl AblationPlan {
                                         cache,
                                         dist: self.dist,
                                         schedule: self.schedule,
+                                        comms: CommsMode::Pull,
                                         seed,
                                     });
                                 }

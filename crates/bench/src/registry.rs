@@ -110,12 +110,17 @@ pub struct RunRecord {
     /// KPI: measured wall time in microseconds (noisy; ratcheted with
     /// a wide tolerance only).
     pub wall_us: u64,
+    /// KPI: pull round-trips issued (`pulls_sent`) — the request half
+    /// of the cache-miss path that push mode exists to avoid. Rows
+    /// written before the column existed parse as 0.
+    pub pull_roundtrips: u64,
 }
 
 /// The registry CSV header, exactly as committed in
 /// `results/registry.csv`.
 pub const CSV_HEADER: &str = "plan,cell,prov,seed,git,host,source,backend,pattern,vertices,\
-places,coalesce,tile,cache,fingerprint,computed,recoveries,frames,bytes,sim_us,wall_us";
+places,coalesce,tile,cache,fingerprint,computed,recoveries,frames,bytes,sim_us,wall_us,\
+pull_roundtrips";
 
 impl RunRecord {
     /// The provenance hash for a cell produced under `git` on `host`:
@@ -129,7 +134,7 @@ impl RunRecord {
     /// Renders the row in registry CSV column order.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{:016x},{:#018x},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{:016x},{:#018x},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.plan,
             self.cell,
             self.prov,
@@ -150,7 +155,8 @@ impl RunRecord {
             self.frames,
             self.bytes,
             self.sim_us,
-            self.wall_us
+            self.wall_us,
+            self.pull_roundtrips
         )
     }
 
@@ -159,8 +165,13 @@ impl RunRecord {
     /// [`to_csv`]: RunRecord::to_csv
     pub fn from_csv(line: &str) -> Result<RunRecord, String> {
         let f: Vec<&str> = line.split(',').collect();
-        if f.len() != 21 {
-            return Err(format!("registry row has {} fields, expected 21", f.len()));
+        // 21 fields is the pre-`pull_roundtrips` schema; its missing
+        // KPI reads as 0 so historical rows stay loadable.
+        if f.len() != 21 && f.len() != 22 {
+            return Err(format!(
+                "registry row has {} fields, expected 21 or 22",
+                f.len()
+            ));
         }
         let uint = |i: usize, name: &str| -> Result<u64, String> {
             f[i].parse::<u64>()
@@ -192,6 +203,11 @@ impl RunRecord {
             bytes: uint(18, "bytes")?,
             sim_us: uint(19, "sim_us")?,
             wall_us: uint(20, "wall_us")?,
+            pull_roundtrips: if f.len() > 21 {
+                uint(21, "pull_roundtrips")?
+            } else {
+                0
+            },
         })
     }
 
@@ -205,7 +221,7 @@ impl RunRecord {
     }
 
     /// All ratchetable KPIs in a fixed render order.
-    pub fn kpis(&self) -> [(&'static str, u64); 6] {
+    pub fn kpis(&self) -> [(&'static str, u64); 7] {
         [
             ("computed", self.computed),
             ("recoveries", self.recoveries),
@@ -213,6 +229,7 @@ impl RunRecord {
             ("bytes", self.bytes),
             ("sim_us", self.sim_us),
             ("wall_us", self.wall_us),
+            ("pull_roundtrips", self.pull_roundtrips),
         ]
     }
 
@@ -409,6 +426,7 @@ mod tests {
             bytes: 4242,
             sim_us: 900,
             wall_us: wall,
+            pull_roundtrips: 3,
         }
     }
 
@@ -421,8 +439,17 @@ mod tests {
 
     #[test]
     fn header_field_count_matches_rows() {
-        assert_eq!(CSV_HEADER.split(',').count(), 21);
-        assert_eq!(record("c", 1).to_csv().split(',').count(), 21);
+        assert_eq!(CSV_HEADER.split(',').count(), 22);
+        assert_eq!(record("c", 1).to_csv().split(',').count(), 22);
+    }
+
+    #[test]
+    fn legacy_21_field_row_parses_with_zero_pull_roundtrips() {
+        let full = record("sim/lcs/v1000/p2/coff/t1/k64", 1234).to_csv();
+        let legacy = full.rsplit_once(',').unwrap().0;
+        let parsed = RunRecord::from_csv(legacy).unwrap();
+        assert_eq!(parsed.pull_roundtrips, 0);
+        assert_eq!(parsed.wall_us, 1234);
     }
 
     #[test]

@@ -110,7 +110,8 @@ fn engine_config(exp: &Experiment) -> EngineConfig {
     let mut config = EngineConfig::flat(exp.places)
         .with_schedule(exp.schedule)
         .with_cache(exp.cache)
-        .with_coalesce(exp.coalesce);
+        .with_coalesce(exp.coalesce)
+        .with_comms(exp.comms);
     if let Some(kind) = exp.dist.kind() {
         config = config.with_dist(kind);
     }
@@ -132,6 +133,7 @@ where
             let mut config = SimConfig::flat(exp.places)
                 .with_schedule(exp.schedule)
                 .with_cache(exp.cache)
+                .with_comms(exp.comms)
                 .with_cost(CostModel::with_compute(compute_ns(exp.app)));
             if let Some(kind) = exp.dist.kind() {
                 config = config.with_dist(kind);
@@ -257,6 +259,7 @@ pub fn record(
         bytes: report.comm.bytes_sent,
         sim_us: report.sim_time.as_micros() as u64,
         wall_us: (report.wall_time.as_micros() as u64).saturating_mul(wall_scale()),
+        pull_roundtrips: report.comm.pulls_sent,
     }
 }
 

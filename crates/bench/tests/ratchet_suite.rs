@@ -38,6 +38,7 @@ fn record(cell: &str, frames: u64, wall: u64) -> RunRecord {
         bytes: 100,
         sim_us: 0,
         wall_us: wall,
+        pull_roundtrips: 12,
     }
 }
 

@@ -5,7 +5,7 @@
 use std::fmt;
 
 use dpx10_apgas::PlaceId;
-use dpx10_core::{DistKind, RestoreManner, ScheduleStrategy};
+use dpx10_core::{CommsMode, DistKind, RestoreManner, ScheduleStrategy};
 
 /// Which application to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +105,8 @@ pub struct RunArgs {
     pub metrics_out: Option<String>,
     /// Message-coalescing byte budget (`None` = off, the default).
     pub coalesce: Option<usize>,
+    /// Anti-dependency delivery: pull on demand or push eagerly.
+    pub comms: CommsMode,
 }
 
 impl Default for RunArgs {
@@ -125,6 +127,7 @@ impl Default for RunArgs {
             trace_out: None,
             metrics_out: None,
             coalesce: None,
+            comms: CommsMode::Pull,
         }
     }
 }
@@ -148,6 +151,8 @@ pub struct ChaosArgs {
     /// Sweep elastic-mesh churn plans (join/drain/relocate/kill verbs)
     /// instead of the classic fault plans.
     pub elastic: bool,
+    /// Anti-dependency delivery mode for the whole suite.
+    pub comms: CommsMode,
 }
 
 impl Default for ChaosArgs {
@@ -160,6 +165,7 @@ impl Default for ChaosArgs {
             shrink: true,
             coalesce: None,
             elastic: false,
+            comms: CommsMode::Pull,
         }
     }
 }
@@ -196,6 +202,10 @@ pub struct BenchArgs {
     pub run_json: Option<String>,
     /// Aggregate the registry into a trend JSON artifact here.
     pub trend: Option<String>,
+    /// `push` switches the baseline to pull-vs-push anti-dependency
+    /// delivery (same mesh, coalescing pinned) instead of coalescing
+    /// off-vs-on.
+    pub comms: CommsMode,
 }
 
 impl Default for BenchArgs {
@@ -213,6 +223,7 @@ impl Default for BenchArgs {
             registry: "results/registry.csv".into(),
             run_json: None,
             trend: None,
+            comms: CommsMode::Pull,
         }
     }
 }
@@ -250,6 +261,8 @@ pub struct ServeArgs {
     /// Write the drain-vs-kill relocation benchmark JSON here
     /// (elastic mode only).
     pub bench_out: Option<String>,
+    /// Anti-dependency delivery mode for every job on the mesh.
+    pub comms: CommsMode,
 }
 
 impl Default for ServeArgs {
@@ -268,6 +281,7 @@ impl Default for ServeArgs {
             elastic: false,
             capacity: 6,
             bench_out: None,
+            comms: CommsMode::Pull,
         }
     }
 }
@@ -346,6 +360,16 @@ fn parse_coalesce(v: &str) -> Result<Option<usize>, ParseError> {
         ))
     })?;
     Ok((n > 0).then_some(n))
+}
+
+/// Parses a `--comms` value: `pull` (on-demand anti-dependency fetch,
+/// the classic plane) or `push` (owners forward values eagerly).
+fn parse_comms(v: &str) -> Result<CommsMode, ParseError> {
+    match v {
+        "pull" => Ok(CommsMode::Pull),
+        "push" => Ok(CommsMode::Push),
+        other => err(format!("bad --comms {other}, expected `pull` or `push`")),
+    }
 }
 
 /// Parses a full argument list (without the program name).
@@ -438,6 +462,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                             .map_err(|_| ParseError("bad --capacity".into()))?
                     }
                     "--bench-out" => serve.bench_out = Some(value("--bench-out")?),
+                    "--comms" => serve.comms = parse_comms(&value("--comms")?)?,
                     other => return err(format!("unknown serve flag {other}")),
                 }
             }
@@ -497,6 +522,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--no-sockets" => chaos.sockets = false,
                     "--no-shrink" => chaos.shrink = false,
                     "--coalesce" => chaos.coalesce = parse_coalesce(&value("--coalesce")?)?,
+                    "--comms" => chaos.comms = parse_comms(&value("--comms")?)?,
                     "--elastic" => chaos.elastic = true,
                     other => return err(format!("unknown chaos flag {other}")),
                 }
@@ -532,6 +558,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         }
                     }
                     "--seed" => bench.seed = parse_seed(&value("--seed")?)?,
+                    "--comms" => bench.comms = parse_comms(&value("--comms")?)?,
                     "--out" => bench.out = value("--out")?,
                     "--plan" => bench.plan = Some(value("--plan")?),
                     "--ratchet" => bench.ratchet = true,
@@ -556,6 +583,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             if bench.update_baseline && !bench.ratchet {
                 return err("--update-baseline needs --ratchet (it tightens the ratchet)");
+            }
+            if bench.plan.is_some() && bench.comms == CommsMode::Push {
+                return err("--comms push is the baseline comparison; plans pin their own cells");
             }
             Ok(Command::Bench(bench))
         }
@@ -659,6 +689,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--trace-out" => run.trace_out = Some(value("--trace-out")?),
                     "--metrics-out" => run.metrics_out = Some(value("--metrics-out")?),
                     "--coalesce" => run.coalesce = parse_coalesce(&value("--coalesce")?)?,
+                    "--comms" => run.comms = parse_comms(&value("--comms")?)?,
                     other => return err(format!("unknown run flag {other}")),
                 }
             }
@@ -707,6 +738,8 @@ pub fn usage() -> String {
          \x20 --coalesce BYTES|off    batch protocol messages per destination, flushing\n\
          \x20                         at BYTES (plus entry-count and idle-drain triggers;\n\
          \x20                         default off = one message per protocol event)\n\
+         \x20 --comms pull|push       anti-dependency delivery: pull on demand (default)\n\
+         \x20                         or push values eagerly to consumer places\n\
          \n\
          SERVE FLAGS:\n\
          \x20 --jobfile FILE          one job per line: <app> <vertices> <seed> [priority];\n\
@@ -727,6 +760,7 @@ pub fn usage() -> String {
          \x20                         it (default 6)\n\
          \x20 --bench-out FILE        write the drain-and-rebalance vs kill-and-\n\
          \x20                         recompute benchmark JSON (needs --elastic)\n\
+         \x20 --comms pull|push       anti-dependency delivery for every job\n\
          \n\
          JOIN FLAGS:\n\
          \x20 --coordinator H:P       dial the mesh coordinator at HOST:PORT and\n\
@@ -738,6 +772,7 @@ pub fn usage() -> String {
          \x20 --no-sockets            skip the in-process TCP mesh backend\n\
          \x20 --no-shrink             report failures without minimising the plan\n\
          \x20 --coalesce BYTES|off    run the whole suite with message coalescing\n\
+         \x20 --comms pull|push       run the whole suite in this delivery mode\n\
          \x20 --elastic               sweep elastic-mesh churn plans instead:\n\
          \x20                         joins, drains, live relocations and kills,\n\
          \x20                         every run fingerprint-checked against solo\n\
@@ -747,6 +782,8 @@ pub fn usage() -> String {
          \x20 --places N              socket-mesh places (default 3)\n\
          \x20 --coalesce BYTES        budget of the coalescing-on run (default 4096)\n\
          \x20 --seed N                workload seed (default 1)\n\
+         \x20 --comms pull|push       `push` compares pull-vs-push delivery on the\n\
+         \x20                         same mesh instead of coalescing off-vs-on\n\
          \x20 --out FILE              JSON output path (default BENCH_comms.json)\n\
          \x20 --plan FILE             run a declarative ablation plan instead: expand\n\
          \x20                         the grid, run every cell, append provenance-\n\
@@ -929,6 +966,36 @@ mod tests {
         assert!(parse_err(&["run", "swlag", "--coalesce", "many"])
             .0
             .contains("bad --coalesce"));
+    }
+
+    #[test]
+    fn comms_flag_parses_everywhere() {
+        let Command::Run(run) = parse_ok(&["run", "swlag", "--comms", "push"]) else {
+            panic!()
+        };
+        assert_eq!(run.comms, CommsMode::Push);
+        let Command::Run(run) = parse_ok(&["run", "swlag", "--comms", "pull"]) else {
+            panic!()
+        };
+        assert_eq!(run.comms, CommsMode::Pull);
+        let Command::Chaos(chaos) = parse_ok(&["chaos", "--comms", "push"]) else {
+            panic!()
+        };
+        assert_eq!(chaos.comms, CommsMode::Push);
+        let Command::Bench(bench) = parse_ok(&["bench", "--comms", "push"]) else {
+            panic!()
+        };
+        assert_eq!(bench.comms, CommsMode::Push);
+        let Command::Serve(serve) = parse_ok(&["serve", "--comms", "push"]) else {
+            panic!()
+        };
+        assert_eq!(serve.comms, CommsMode::Push);
+        assert!(parse_err(&["run", "swlag", "--comms", "smoke"])
+            .0
+            .contains("bad --comms"));
+        assert!(parse_err(&["bench", "--plan", "p.toml", "--comms", "push"])
+            .0
+            .contains("baseline comparison"));
     }
 
     #[test]

@@ -67,6 +67,15 @@ impl RunSummary {
                 r.comm.batched_msgs as f64 / r.comm.batches_sent as f64
             ));
         }
+        if r.comm.pulls_sent + r.comm.pushes_sent > 0 {
+            out.push_str(&format!(
+                "anti-dependencies: {} pulls ({} deduped), {} pushes ({} round-trips avoided)\n",
+                r.comm.pulls_sent,
+                r.comm.pulls_deduped,
+                r.comm.pushes_sent,
+                r.comm.pull_roundtrips_avoided
+            ));
+        }
         for (k, rec) in r.recoveries.iter().enumerate() {
             out.push_str(&format!(
                 "recovery #{k}: kept {}, dropped {}, lost {}, migrated {} ({:?})\n",
@@ -222,6 +231,7 @@ where
                 .with_schedule(args.schedule)
                 .with_cache(args.cache)
                 .with_restore(args.restore)
+                .with_comms(args.comms)
                 .with_cost(CostModel::with_compute(compute_ns));
             if let Some(kind) = &args.dist {
                 config = config.with_dist(kind.clone());
@@ -381,6 +391,30 @@ fn build_registry(report: &RunReport, trace: &Trace) -> Registry {
     )
     .add(report.comm.batched_msgs);
     reg.counter(
+        "dpx10_pulls_sent_total",
+        "anti-dependency pull round-trips issued",
+        &[],
+    )
+    .add(report.comm.pulls_sent);
+    reg.counter(
+        "dpx10_pulls_deduped_total",
+        "pulls folded into an already in-flight request for the same cell",
+        &[],
+    )
+    .add(report.comm.pulls_deduped);
+    reg.counter(
+        "dpx10_pushes_sent_total",
+        "anti-dependency values pushed eagerly to consumer places",
+        &[],
+    )
+    .add(report.comm.pushes_sent);
+    reg.counter(
+        "dpx10_pull_roundtrips_avoided_total",
+        "parked consumers satisfied by a pushed value instead of a pull",
+        &[],
+    )
+    .add(report.comm.pull_roundtrips_avoided);
+    reg.counter(
         "dpx10_trace_events_dropped_total",
         "flight-recorder events dropped at full rings",
         &[],
@@ -461,6 +495,7 @@ fn places_config(args: &RunArgs) -> EngineConfig {
         });
     }
     config.coalesce = args.coalesce;
+    config.comms = args.comms;
     config
 }
 
@@ -476,6 +511,7 @@ pub fn run_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
         sockets: args.sockets,
         shrink: args.shrink,
         coalesce: args.coalesce,
+        comms: args.comms,
         ..dpx10_harness::ChaosOptions::default()
     };
     let seeds: Vec<u64> = match args.seed {
@@ -633,8 +669,11 @@ pub fn run_bench(args: &crate::args::BenchArgs) -> Result<String, String> {
     if let Some(plan_path) = &args.plan {
         return run_bench_plan(args, plan_path);
     }
-    let off = bench_swlag_sockets(args, None)?;
-    let mut on = bench_swlag_sockets(args, Some(args.coalesce))?;
+    if args.comms == dpx10_core::CommsMode::Push {
+        return run_bench_push(args);
+    }
+    let off = bench_swlag_sockets(args, None, dpx10_core::CommsMode::Pull, 4096)?;
+    let mut on = bench_swlag_sockets(args, Some(args.coalesce), dpx10_core::CommsMode::Pull, 4096)?;
     // Test hook: force the mismatch path so the exit-nonzero contract
     // stays pinned by a smoke test without a real equivalence bug.
     if std::env::var("DPX10_BENCH_FORCE_FP_MISMATCH").as_deref() == Ok("1") {
@@ -684,6 +723,84 @@ pub fn run_bench(args: &crate::args::BenchArgs) -> Result<String, String> {
     Ok(out)
 }
 
+/// The remote-value cache pinned by the pull-vs-push baseline. Small
+/// enough that the SWLAG anti-diagonal working set spills it, so the
+/// pull plane actually pays cache-miss round-trips for push to remove;
+/// at the default 4096 the FIFO cache absorbs nearly every remote read
+/// and both modes would measure zero.
+const PUSH_BENCH_CACHE: usize = 256;
+
+/// `dpx10 bench --comms push`: the anti-dependency delivery baseline.
+/// Runs the same SWLAG socket-mesh cell twice — pull mode, then push
+/// mode — with the cache pinned small (see [`PUSH_BENCH_CACHE`]) and
+/// coalescing off, so the comparison isolates the delivery plane:
+/// every avoided `Pull`/`PullVal` round-trip shows up directly in the
+/// frame counts. Errs if the two fingerprints differ — push is a
+/// transport optimisation, never a different computation.
+fn run_bench_push(args: &crate::args::BenchArgs) -> Result<String, String> {
+    let pull = bench_swlag_sockets(args, None, dpx10_core::CommsMode::Pull, PUSH_BENCH_CACHE)?;
+    let mut push = bench_swlag_sockets(args, None, dpx10_core::CommsMode::Push, PUSH_BENCH_CACHE)?;
+    // Same exit-nonzero smoke hook as the coalescing baseline.
+    if std::env::var("DPX10_BENCH_FORCE_FP_MISMATCH").as_deref() == Ok("1") {
+        push.0 ^= 1;
+    }
+    if pull.0 != push.0 {
+        return Err(format!(
+            "push mode changed the result: fingerprint {:#018x} (pull) vs {:#018x} (push)",
+            pull.0, push.0
+        ));
+    }
+    let (fingerprint, pull) = (pull.0, pull.1);
+    let push = push.1;
+    let n = workload::side_for_vertices(args.vertices) as usize;
+    let reduction = 1.0 - push.comm.pulls_sent as f64 / pull.comm.pulls_sent.max(1) as f64;
+    let json = format!(
+        "{{\n  \"app\": \"swlag\",\n  \"vertices\": {},\n  \"side\": {n},\n  \"places\": {},\n  \"dist\": \"cyclic-col\",\n  \"seed\": {},\n  \"cache\": {PUSH_BENCH_CACHE},\n  \"fingerprint\": \"{fingerprint:#018x}\",\n  \"pull\": {},\n  \"push\": {},\n  \"pull_reduction\": {reduction:.2}\n}}\n",
+        args.vertices,
+        args.places,
+        args.seed,
+        bench_comms_json(&pull),
+        bench_comms_json(&push),
+    );
+    std::fs::write(&args.out, &json).map_err(|e| format!("write {}: {e}", args.out))?;
+    let mut out = format!(
+        "bench: swlag, {} vertices ({n}x{n}), {} places, cyclic-col, cache {PUSH_BENCH_CACHE}, seed {}\n",
+        args.vertices, args.places, args.seed
+    );
+    out.push_str(&format!(
+        "comms pull: {:>9} pulls, {:>9} frames, {:>11} bytes, {:?}\n",
+        pull.comm.pulls_sent, pull.comm.messages_sent, pull.comm.bytes_sent, pull.wall_time
+    ));
+    out.push_str(&format!(
+        "comms push: {:>9} pulls, {:>9} frames, {:>11} bytes, {:?} ({} pushes, {} round-trips avoided)\n",
+        push.comm.pulls_sent,
+        push.comm.messages_sent,
+        push.comm.bytes_sent,
+        push.wall_time,
+        push.comm.pushes_sent,
+        push.comm.pull_roundtrips_avoided
+    ));
+    out.push_str(&format!(
+        "pull round-trips reduced {:.1}%, fingerprints match ({fingerprint:#018x})\n",
+        reduction * 100.0
+    ));
+    out.push_str(&format!("wrote {}\n", args.out));
+    Ok(out)
+}
+
+/// One comms mode as a JSON object string (pull-vs-push baseline).
+fn bench_comms_json(r: &RunReport) -> String {
+    format!(
+        "{{ \"pulls_sent\": {}, \"pushes_sent\": {}, \"pull_roundtrips_avoided\": {}, \"frames\": {}, \"bytes\": {}, \"wall_ms\": {} }}",
+        r.comm.pulls_sent,
+        r.comm.pushes_sent,
+        r.comm.pull_roundtrips_avoided,
+        r.comm.messages_sent,
+        r.comm.bytes_sent,
+        r.wall_time.as_millis()
+    )
+}
+
 /// One bench mode as a JSON object string.
 fn bench_mode_json(r: &RunReport) -> String {
     format!(
@@ -704,16 +821,19 @@ fn bench_mode_json(r: &RunReport) -> String {
 fn bench_swlag_sockets(
     args: &crate::args::BenchArgs,
     coalesce: Option<usize>,
+    comms: dpx10_core::CommsMode,
+    cache: usize,
 ) -> Result<(u64, RunReport), String> {
     let cell = dpx10_bench::Experiment {
         plan: "comms-baseline".into(),
         plan_digest: 0,
         index: 0,
         cell: format!(
-            "sockets/swlag/v{}/p{}/c{}/t1/k4096",
+            "sockets/swlag/v{}/p{}/c{}/t1/k{cache}/m{}",
             args.vertices,
             args.places,
-            coalesce.map_or("off".into(), |b| b.to_string())
+            coalesce.map_or("off".into(), |b| b.to_string()),
+            comms.name()
         ),
         backend: dpx10_bench::Backend::Sockets,
         app: dpx10_bench::BenchApp::Swlag,
@@ -721,10 +841,11 @@ fn bench_swlag_sockets(
         places: args.places,
         coalesce,
         tile: 1,
-        cache: 4096,
+        cache,
         dist: dpx10_bench::DistChoice::CyclicCol,
         schedule: dpx10_core::ScheduleStrategy::Local,
         seed: args.seed,
+        comms,
     };
     dpx10_bench::runner::run_cell(&cell)
 }
@@ -756,8 +877,8 @@ fn run_bench_plan(args: &crate::args::BenchArgs, plan_path: &str) -> Result<Stri
         let (fingerprint, report) = dpx10_bench::runner::run_cell(exp)?;
         let record = dpx10_bench::runner::record(exp, fingerprint, &report, &git, &host);
         eprintln!(
-            "dpx10 bench: {} in {:?} ({} frames, {} bytes)",
-            exp.cell, report.wall_time, record.frames, record.bytes
+            "dpx10 bench: {} in {:?} ({} frames, {} bytes, {} pulls)",
+            exp.cell, report.wall_time, record.frames, record.bytes, record.pull_roundtrips
         );
         out.push_str(&format!(
             "{}  fp {}  computed {}  recoveries {}\n",
@@ -1059,6 +1180,7 @@ pub fn run_serve(args: &crate::args::ServeArgs) -> Result<String, String> {
     };
     let places = args.places;
     let max_in_flight = args.max_in_flight;
+    let comms = args.comms;
     let build = {
         let defs = defs.clone();
         let recorder = recorder.clone();
@@ -1068,10 +1190,11 @@ pub fn run_serve(args: &crate::args::ServeArgs) -> Result<String, String> {
                 .with_recorder(recorder.clone());
             for def in &defs {
                 let (app, pattern) = serve_app_for(def)?;
-                let config = EngineConfig {
+                let mut config = EngineConfig {
                     topology: Topology::flat(places),
                     ..EngineConfig::paper(1)
                 };
+                config.comms = comms;
                 server
                     .submit(
                         dpx10_core::JobSpec::new(def.name.clone(), app, pattern, config)

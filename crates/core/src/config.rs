@@ -29,6 +29,35 @@ impl FaultPlan {
     }
 }
 
+/// How remote dependency values travel between places (§VI-C and the
+/// collectives-plane push refinement).
+///
+/// Under [`CommsMode::Pull`] a consumer that misses its FIFO cache asks
+/// the owner with a `Pull`/`PullVal` round-trip. Under
+/// [`CommsMode::Push`] the producer eagerly ships the finished value to
+/// every consumer place alongside the indegree decrements (`PushVal`),
+/// pinning it for the parked consumer so the round-trip never happens;
+/// pulls stay armed as the fallback (races, post-recovery restored
+/// cells), so the two modes are answer- and fingerprint-equivalent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommsMode {
+    /// Cache-miss pull round-trips only (the paper's §VI-C protocol).
+    #[default]
+    Pull,
+    /// Eager producer-side value delivery with pull fallback.
+    Push,
+}
+
+impl CommsMode {
+    /// The CLI spelling (`--comms pull|push`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommsMode::Pull => "pull",
+            CommsMode::Push => "push",
+        }
+    }
+}
+
 /// Full engine configuration.
 ///
 /// Defaults reproduce the framework's documented defaults: block-by-column
@@ -76,6 +105,9 @@ pub struct EngineConfig {
     /// triggers); `None` ships one message per protocol event, the
     /// paper's §VI-C behaviour.
     pub coalesce: Option<usize>,
+    /// How remote dependency values travel (pull round-trips or eager
+    /// producer push).
+    pub comms: CommsMode,
 }
 
 impl EngineConfig {
@@ -95,6 +127,7 @@ impl EngineConfig {
             checkpoint: None,
             chaos: None,
             coalesce: None,
+            comms: CommsMode::Pull,
         }
     }
 
@@ -145,6 +178,12 @@ impl EngineConfig {
     /// Sets the coalescing byte budget (`None` disables coalescing).
     pub fn with_coalesce(mut self, bytes: Option<usize>) -> Self {
         self.coalesce = bytes;
+        self
+    }
+
+    /// Sets the remote-value delivery mode.
+    pub fn with_comms(mut self, comms: CommsMode) -> Self {
+        self.comms = comms;
         self
     }
 }

@@ -1301,13 +1301,22 @@ impl<'a, A: DpApp, P: DagPattern> Machine<'a, A, P> {
             }
             Msg::ChunkData { slot, epoch, chunk } => self.install_chunk(p, slot, epoch, &chunk),
             Msg::ChunkAck { slot, epoch } => self.on_chunk_ack(p, pkt.src, slot, epoch),
+            // A push is a `Done` with value pinning; the elastic mesh
+            // keeps its own unbounded member caches, so plain `on_done`
+            // already preserves the value until consumption.
+            Msg::PushVal {
+                from,
+                value,
+                targets,
+            } => self.on_done(p, pkt, from, value, targets),
             // Exec traffic belongs to the threaded engine's schedulers;
             // the elastic mesh never emits it.
             Msg::Exec { .. }
             | Msg::ExecResult { .. }
             | Msg::DoneBatch { .. }
             | Msg::PullBatch { .. }
-            | Msg::PullValBatch { .. } => {}
+            | Msg::PullValBatch { .. }
+            | Msg::PushValBatch { .. } => {}
         }
     }
 

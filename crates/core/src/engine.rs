@@ -25,11 +25,11 @@ use dpx10_obs::{EventKind, Recorder, RUNTIME_WORKER};
 
 use crate::app::{DagResult, DepView, DpApp};
 use crate::checkpoint::CheckpointWriters;
-use crate::config::{EngineConfig, InitOverride};
+use crate::config::{CommsMode, EngineConfig, InitOverride};
 use crate::error::EngineError;
 use crate::msg::Msg;
 use crate::schedule::{min_comm_choice, random_choice, ScheduleStrategy};
-use crate::state::{build_shards, collect_array, local_index, Shard};
+use crate::state::{build_shards, collect_array, local_index, Fill, Shard};
 use crate::stats::RunReport;
 
 /// The threaded engine: one instance runs one application to completion.
@@ -136,6 +136,7 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 pattern.as_ref(),
                 &dist,
                 prior.as_ref(),
+                None,
                 self.init.as_ref(),
                 self.config.cache_capacity,
             );
@@ -152,10 +153,18 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
             ));
             if let Some(plan) = &self.config.chaos {
                 if !plan.net.is_off() {
-                    // `Done` carries indegree decrements, which are not
-                    // idempotent — everything else on this plane is.
-                    let dup_safe: dpx10_apgas::chaos::DupSafe<Msg<A::Value>> =
-                        Arc::new(|m| !matches!(m, Msg::Done { .. } | Msg::DoneBatch { .. }));
+                    // `Done` and `PushVal` carry indegree decrements,
+                    // which are not idempotent — everything else on this
+                    // plane is.
+                    let dup_safe: dpx10_apgas::chaos::DupSafe<Msg<A::Value>> = Arc::new(|m| {
+                        !matches!(
+                            m,
+                            Msg::Done { .. }
+                                | Msg::DoneBatch { .. }
+                                | Msg::PushVal { .. }
+                                | Msg::PushValBatch { .. }
+                        )
+                    });
                     transport = Arc::new(ChaosTransport::new(
                         transport, plan.net, plan.seed, dup_safe,
                     ));
@@ -235,6 +244,7 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 worker_seq: AtomicU64::new(0),
                 checkpoint: checkpoint.clone(),
                 recorder: self.recorder.clone(),
+                comms: self.config.comms,
             });
 
             run_epoch(&rt, &shared);
@@ -332,6 +342,8 @@ pub(crate) struct Shared<A: DpApp> {
     pub(crate) worker_seq: AtomicU64,
     pub(crate) checkpoint: Option<Arc<CheckpointWriters<A::Value>>>,
     pub(crate) recorder: Recorder,
+    /// How remote values travel: pull round-trips or eager pushes.
+    pub(crate) comms: CommsMode,
 }
 
 /// One armed progress-triggered kill.
@@ -636,6 +648,16 @@ fn handle_msg<A: DpApp>(
                 handle_pull_val(shared, slot, wid, me, id, value);
             }
         }
+        Msg::PushVal {
+            from,
+            value,
+            targets,
+        } => handle_push(shared, slot, from, value, targets),
+        Msg::PushValBatch { entries } => {
+            for (from, value, targets) in entries {
+                handle_push(shared, slot, from, value, targets);
+            }
+        }
         // Relocation traffic belongs to the elastic engine; the static
         // in-process engine never changes chunk ownership mid-run.
         Msg::ChunkOffer { .. } | Msg::ChunkData { .. } | Msg::ChunkAck { .. } => {}
@@ -653,6 +675,61 @@ fn handle_done<A: DpApp>(
 ) {
     let shard = &shared.shards[slot];
     shard.cache.lock().insert(from.pack(), value);
+    for t in targets {
+        decrement(shared, slot, t);
+    }
+}
+
+/// [`Msg::PushVal`]: a `Done` whose value is additionally *pinned* for
+/// every unfinished target, so the target's later gather finds it even
+/// after cache eviction — the pull round-trip never happens. A target
+/// whose parked slot already has a pull in flight (the consumer raced
+/// ahead) is filled right here; the eventual `PullVal` reply then finds
+/// the slot occupied and is a no-op for it.
+fn handle_push<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    from: VertexId,
+    value: A::Value,
+    targets: Vec<VertexId>,
+) {
+    let shard = &shared.shards[slot];
+    shard.cache.lock().insert(from.pack(), value.clone());
+    {
+        let mut pending = shard.pending.lock();
+        for t in &targets {
+            let tli = local_index(&shared.dist, *t);
+            if shard.finished[tli as usize].load(Ordering::Acquire) {
+                continue;
+            }
+            let entry = pending
+                .parked
+                .entry(tli)
+                .or_insert_with(|| crate::state::Parked {
+                    fills: HashMap::new(),
+                    remaining: 0,
+                });
+            match entry.fills.get_mut(&from.pack()) {
+                // Already parked with a pull outstanding: fill the slot
+                // now; re-ready when it was the last missing dep (the
+                // decrement below is a no-op then — the vertex parked
+                // *after* its indegree hit zero).
+                Some(fill @ Fill::Missing) => {
+                    *fill = Fill::Pushed(value.clone());
+                    entry.remaining -= 1;
+                    if entry.remaining == 0 {
+                        shard.ready.push(tli);
+                    }
+                }
+                // A pull or an earlier push beat us; keep the first.
+                Some(_) => {}
+                // Not yet gathered: pin for the upcoming gather.
+                None => {
+                    entry.fills.insert(from.pack(), Fill::Pushed(value.clone()));
+                }
+            }
+        }
+    }
     for t in targets {
         decrement(shared, slot, t);
     }
@@ -694,13 +771,13 @@ fn handle_pull_val<A: DpApp>(
     if let Some(waiters) = pending.waiters.remove(&id.pack()) {
         for wli in waiters {
             if let Some(p) = pending.parked.get_mut(&wli) {
-                if let Some(slot_val) = p.fills.get_mut(&id.pack()) {
-                    if slot_val.is_none() {
-                        *slot_val = Some(value.clone());
-                        p.remaining -= 1;
-                        if p.remaining == 0 {
-                            shard.ready.push(wli);
-                        }
+                // A slot already filled (e.g. by a racing push) keeps
+                // its value; the reply only lands on Missing slots.
+                if let Some(fill @ Fill::Missing) = p.fills.get_mut(&id.pack()) {
+                    *fill = Fill::Pulled(value.clone());
+                    p.remaining -= 1;
+                    if p.remaining == 0 {
+                        shard.ready.push(wli);
                     }
                 }
             }
@@ -870,13 +947,23 @@ fn gather<A: DpApp>(
         return Some(vals.into_iter().map(Option::unwrap).collect());
     }
 
-    // Try previously pulled fills, then park for the rest.
+    // Try previously pulled (or eagerly pushed) fills, then park for the
+    // rest. Consuming a pushed fill is the round-trip the push saved; it
+    // demotes to Pulled so a later re-gather of a still-parked vertex
+    // doesn't count it twice.
     let mut pending = shard.pending.lock();
-    if let Some(p) = pending.parked.get(&li) {
+    if let Some(p) = pending.parked.get_mut(&li) {
         for (k, d) in deps.iter().enumerate() {
             if vals[k].is_none() {
-                if let Some(Some(v)) = p.fills.get(&d.pack()) {
-                    vals[k] = Some(v.clone());
+                if let Some(fill) = p.fills.get_mut(&d.pack()) {
+                    if let Fill::Pushed(v) = fill {
+                        let v = v.clone();
+                        shared.stats.place(me).on_pull_roundtrip_avoided();
+                        vals[k] = Some(v.clone());
+                        *fill = Fill::Pulled(v);
+                    } else if let Some(v) = fill.value() {
+                        vals[k] = Some(v.clone());
+                    }
                 }
             }
         }
@@ -897,7 +984,7 @@ fn gather<A: DpApp>(
             });
         for (k, d) in deps.iter().enumerate() {
             if vals[k].is_none() && !entry.fills.contains_key(&d.pack()) {
-                entry.fills.insert(d.pack(), None);
+                entry.fills.insert(d.pack(), Fill::Missing);
                 entry.remaining += 1;
                 newly_missing.push(*d);
             }
@@ -908,6 +995,10 @@ fn gather<A: DpApp>(
         let waiters = pending.waiters.entry(d.pack()).or_default();
         if waiters.is_empty() {
             to_pull.push(d);
+        } else {
+            // The dedup hub: an identical pull is already in flight, so
+            // this waiter rides it instead of re-asking the owner.
+            shared.stats.place(me).on_pull_deduped();
         }
         waiters.push(li);
     }
@@ -915,6 +1006,7 @@ fn gather<A: DpApp>(
 
     for d in &to_pull {
         shared.stats.place(me).on_cache_miss();
+        shared.stats.place(me).on_pull_sent();
         shared
             .recorder
             .instant_now(me.0, wid, EventKind::CacheMiss, d.pack());
@@ -965,10 +1057,23 @@ fn publish<A: DpApp>(
         }
     }
     for (q, targets) in bufs.groups.drain() {
-        let msg = Msg::Done {
-            from: id,
-            value: value.clone(),
-            targets,
+        let msg = match shared.comms {
+            CommsMode::Pull => Msg::Done {
+                from: id,
+                value: value.clone(),
+                targets,
+            },
+            // Push mode: same decrements, but the receiver pins the
+            // value for its parked dependents instead of hoping the
+            // cache keeps it.
+            CommsMode::Push => {
+                shared.stats.place(me).on_push_sent();
+                Msg::PushVal {
+                    from: id,
+                    value: value.clone(),
+                    targets,
+                }
+            }
         };
         shared.send(me, PlaceId(q), msg);
     }

@@ -884,6 +884,7 @@ impl<A: DpApp + 'static> JobRunner<A> {
                 &dist,
                 prior.as_ref(),
                 None,
+                None,
                 self.config.cache_capacity,
             );
             self.recorder.instant_now(
@@ -937,6 +938,7 @@ impl<A: DpApp + 'static> JobRunner<A> {
                 worker_seq: AtomicU64::new(0),
                 checkpoint: None,
                 recorder: self.recorder.clone(),
+                comms: self.config.comms,
             });
             self.pool.attach(self.job_id, shared.clone(), my_slot);
 
@@ -1164,6 +1166,10 @@ impl<A: DpApp + 'static> JobRunner<A> {
                         epoch: e,
                         alive,
                         cells,
+                        // The job server broadcasts full-set Resumes;
+                        // the metadata rider is only used by the
+                        // single-job socket engine's scatter.
+                        meta: _,
                     },
                 )) if e == epoch + 1 => {
                     self.recorder.instant_now(
@@ -1373,6 +1379,9 @@ impl<A: DpApp + 'static> JobRunner<A> {
                     epoch: epoch + 1,
                     alive: alive_u16.clone(),
                     cells: cells.clone(),
+                    // Full-set broadcast: every survivor gets every
+                    // cell, so no metadata rider is needed.
+                    meta: Vec::new(),
                 },
             );
         }

@@ -67,7 +67,7 @@ pub mod tiled;
 pub use app::{DagResult, DepView, DpApp, VertexValue};
 pub use cache::FifoCache;
 pub use checkpoint::{load_checkpoint, CheckpointConfig};
-pub use config::{EngineConfig, FaultPlan, InitOverride};
+pub use config::{CommsMode, EngineConfig, FaultPlan, InitOverride};
 pub use elastic::{
     ElasticConfig, ElasticEngine, ElasticPolicy, ElasticReport, ElasticRun, ElasticServer,
 };

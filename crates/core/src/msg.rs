@@ -68,6 +68,24 @@ pub enum Msg<V> {
         /// `(id, value)` of each folded reply, in send order.
         entries: Vec<(VertexId, V)>,
     },
+    /// Push mode: `from` finished with `value`; decrement the indegree
+    /// of `targets` *and* pin the value for every parked target so no
+    /// pull round-trip is needed. Like [`Msg::Done`] this carries
+    /// non-idempotent decrements; unlike `Done`, the receiver keeps the
+    /// value reachable past cache eviction until the targets consume it.
+    PushVal {
+        /// The finished vertex.
+        from: VertexId,
+        /// Its result, pinned for the receiver's parked dependents.
+        value: V,
+        /// Receiver-owned dependents to decrement.
+        targets: Vec<VertexId>,
+    },
+    /// Several [`Msg::PushVal`]s to the same place, coalesced.
+    PushValBatch {
+        /// `(from, value, targets)` of each folded push, in send order.
+        entries: Vec<(VertexId, V, Vec<VertexId>)>,
+    },
     /// Elastic mesh: the current owner of a chunk announces a pending
     /// relocation to the receiver, who should prepare to adopt it.
     /// Sent before the data so the receiver can fence the slot.
@@ -127,6 +145,13 @@ impl<V: Codec> Msg<V> {
                 .sum(),
             Msg::PullBatch { ids } => 8 * ids.len(),
             Msg::PullValBatch { entries } => entries.iter().map(|(_, v)| 8 + v.wire_size()).sum(),
+            // A push is priced exactly like the `Done` it replaces: the
+            // value rides the decrement frame either way.
+            Msg::PushVal { value, targets, .. } => 8 + value.wire_size() + 8 * targets.len(),
+            Msg::PushValBatch { entries } => entries
+                .iter()
+                .map(|(_, v, ts)| 8 + v.wire_size() + 8 * ts.len())
+                .sum(),
             // Relocation control/data plane: priced as slot + epoch
             // headers plus the chunk payload itself.
             Msg::ChunkOffer { .. } => 2 + 8 + 4 + 8,
@@ -143,6 +168,7 @@ pub struct MsgBatch<V> {
     done: Vec<(VertexId, V, Vec<VertexId>)>,
     pulls: Vec<VertexId>,
     pull_vals: Vec<(VertexId, V)>,
+    pushes: Vec<(VertexId, V, Vec<VertexId>)>,
     /// Priced bytes of everything absorbed (sum of the folded messages'
     /// inherent [`Msg::wire_size`]s).
     bytes: usize,
@@ -154,6 +180,7 @@ impl<V> Default for MsgBatch<V> {
             done: Vec::new(),
             pulls: Vec::new(),
             pull_vals: Vec::new(),
+            pushes: Vec::new(),
             bytes: 0,
         }
     }
@@ -181,6 +208,14 @@ impl<V: Codec + Send> Coalescible for Msg<V> {
                 batch.pull_vals.push((id, value));
                 Ok(())
             }
+            Msg::PushVal {
+                from,
+                value,
+                targets,
+            } => {
+                batch.pushes.push((from, value, targets));
+                Ok(())
+            }
             // Exec verbs pair requests with replies, the batch variants
             // themselves never re-fold, and the relocation messages
             // order the epoch fence — all travel alone.
@@ -192,7 +227,7 @@ impl<V: Codec + Send> Coalescible for Msg<V> {
     }
 
     fn batch_entries(batch: &MsgBatch<V>) -> usize {
-        batch.done.len() + batch.pulls.len() + batch.pull_vals.len()
+        batch.done.len() + batch.pulls.len() + batch.pull_vals.len() + batch.pushes.len()
     }
 
     fn batch_bytes(batch: &MsgBatch<V>) -> usize {
@@ -218,6 +253,13 @@ impl<V: Codec + Send> Coalescible for Msg<V> {
         if !batch.pull_vals.is_empty() {
             let msg = Msg::PullValBatch {
                 entries: std::mem::take(&mut batch.pull_vals),
+            };
+            let bytes = msg.wire_size();
+            out.push((msg, bytes));
+        }
+        if !batch.pushes.is_empty() {
+            let msg = Msg::PushValBatch {
+                entries: std::mem::take(&mut batch.pushes),
             };
             let bytes = msg.wire_size();
             out.push((msg, bytes));
@@ -310,6 +352,25 @@ impl<V: Codec> Codec for Msg<V> {
                 for (id, value) in entries {
                     id.pack().encode(buf);
                     value.encode(buf);
+                }
+            }
+            Msg::PushVal {
+                from,
+                value,
+                targets,
+            } => {
+                buf.push(11);
+                from.pack().encode(buf);
+                value.encode(buf);
+                encode_ids(targets, buf);
+            }
+            Msg::PushValBatch { entries } => {
+                buf.push(12);
+                (entries.len() as u64).encode(buf);
+                for (from, value, targets) in entries {
+                    from.pack().encode(buf);
+                    value.encode(buf);
+                    encode_ids(targets, buf);
                 }
             }
             Msg::ChunkOffer {
@@ -410,6 +471,27 @@ impl<V: Codec> Codec for Msg<V> {
                 slot: u16::decode(src)?,
                 epoch: u64::decode(src)?,
             }),
+            11 => Some(Msg::PushVal {
+                from: VertexId::unpack(u64::decode(src)?),
+                value: V::decode(src)?,
+                targets: decode_ids(src)?,
+            }),
+            12 => {
+                let n = u64::decode(src)?;
+                // Hostile-length guard, same shape as DoneBatch.
+                if n > (src.len() as u64) {
+                    return None;
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    entries.push((
+                        VertexId::unpack(u64::decode(src)?),
+                        V::decode(src)?,
+                        decode_ids(src)?,
+                    ));
+                }
+                Some(Msg::PushValBatch { entries })
+            }
             _ => None,
         }
     }
@@ -436,6 +518,15 @@ impl<V: Codec> Codec for Msg<V> {
                 8 + entries
                     .iter()
                     .map(|(_, v)| 8 + Codec::wire_size(v))
+                    .sum::<usize>()
+            }
+            Msg::PushVal { value, targets, .. } => {
+                8 + Codec::wire_size(value) + 8 + 8 * targets.len()
+            }
+            Msg::PushValBatch { entries } => {
+                8 + entries
+                    .iter()
+                    .map(|(_, v, ts)| 8 + Codec::wire_size(v) + 8 + 8 * ts.len())
                     .sum::<usize>()
             }
             Msg::ChunkOffer { .. } => 2 + 8 + 4 + 8,
@@ -544,7 +635,7 @@ mod tests {
 
     #[test]
     fn codec_rejects_unknown_tag_and_truncation() {
-        assert!(decode_exact::<Msg<i64>>(&[11, 0, 0, 0, 0, 0, 0, 0, 0]).is_none());
+        assert!(decode_exact::<Msg<i64>>(&[13, 0, 0, 0, 0, 0, 0, 0, 0]).is_none());
         let buf = encode_to_vec(&Msg::PullVal {
             id: VertexId::new(1, 1),
             value: 5i64,
@@ -630,6 +721,103 @@ mod tests {
         assert_eq!(drained.iter().map(|(_, b)| b).sum::<usize>(), priced);
         assert_eq!(Msg::<i64>::batch_entries(&batch), 0);
         assert_eq!(Msg::<i64>::batch_bytes(&batch), 0);
+    }
+
+    #[test]
+    fn push_codec_round_trips_with_exact_size() {
+        let msgs: Vec<Msg<i64>> = vec![
+            Msg::PushVal {
+                from: VertexId::new(3, 4),
+                value: -9,
+                targets: vec![VertexId::new(3, 5), VertexId::new(4, 4)],
+            },
+            Msg::PushVal {
+                from: VertexId::new(0, u32::MAX),
+                value: i64::MIN,
+                targets: vec![],
+            },
+            Msg::PushValBatch {
+                entries: vec![
+                    (VertexId::new(0, 1), -3, vec![VertexId::new(1, 1)]),
+                    (VertexId::new(2, 2), 9, vec![]),
+                ],
+            },
+            Msg::PushValBatch { entries: vec![] },
+        ];
+        for msg in msgs {
+            let buf = encode_to_vec(&msg);
+            assert_eq!(buf.len(), Codec::wire_size(&msg), "{msg:?}");
+            let back: Msg<i64> = decode_exact(&buf).expect("decodes");
+            match (&msg, &back) {
+                (
+                    Msg::PushVal {
+                        from: a,
+                        value: va,
+                        targets: ta,
+                    },
+                    Msg::PushVal {
+                        from: b,
+                        value: vb,
+                        targets: tb,
+                    },
+                ) => assert_eq!((a, va, ta), (b, vb, tb)),
+                (Msg::PushValBatch { entries: a }, Msg::PushValBatch { entries: b }) => {
+                    assert_eq!(a, b)
+                }
+                (a, b) => panic!("variant changed in flight: {a:?} -> {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn push_codec_rejects_hostile_length_and_truncation() {
+        // A PushValBatch claiming u64::MAX entries with no payload.
+        let mut buf = vec![12u8];
+        u64::MAX.encode(&mut buf);
+        assert!(decode_exact::<Msg<i64>>(&buf).is_none());
+        let full = encode_to_vec(&Msg::PushVal {
+            from: VertexId::new(1, 2),
+            value: 7i64,
+            targets: vec![VertexId::new(1, 3)],
+        });
+        for cut in 0..full.len() {
+            assert!(
+                decode_exact::<Msg<i64>>(&full[..cut]).is_none(),
+                "truncated at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn pushes_fold_into_their_own_batch_family() {
+        let singles: Vec<Msg<i64>> = vec![
+            Msg::PushVal {
+                from: VertexId::new(0, 0),
+                value: 1,
+                targets: vec![VertexId::new(0, 1)],
+            },
+            Msg::PushVal {
+                from: VertexId::new(1, 0),
+                value: 2,
+                targets: vec![VertexId::new(1, 1), VertexId::new(2, 0)],
+            },
+            Msg::Pull {
+                id: VertexId::new(4, 4),
+            },
+        ];
+        let priced: usize = singles.iter().map(Msg::wire_size).sum();
+        let mut batch = MsgBatch::default();
+        for m in singles {
+            m.absorb(&mut batch).expect("all batchable");
+        }
+        assert_eq!(Msg::<i64>::batch_entries(&batch), 3);
+        assert_eq!(Msg::<i64>::batch_bytes(&batch), priced);
+        let drained = Msg::<i64>::drain(&mut batch);
+        assert_eq!(drained.len(), 2, "one pushes batch, one pulls batch");
+        assert!(drained
+            .iter()
+            .any(|(m, _)| matches!(m, Msg::PushValBatch { entries } if entries.len() == 2)));
+        assert_eq!(drained.iter().map(|(_, b)| b).sum::<usize>(), priced);
     }
 
     #[test]

@@ -19,20 +19,37 @@
 //! *epoch* (recovery round) so stragglers from a failed epoch are
 //! discarded:
 //!
-//! * workers stream `Progress` (their slot's finished count) to place 0;
-//! * place 0 declares success when the counts sum to the DAG size, sends
-//!   `Stop`, gathers a `Snapshot` of every slot's values, and releases
-//!   everyone with `Done`;
+//! * workers fold their slot's finished count with everything their
+//!   subtree reported and stream it up the binomial tree as a `Reduce`
+//!   (the epoch barrier — per-place entries are max-merged, so arrival
+//!   order, re-sends and re-routed hops cannot corrupt the table);
+//! * place 0 declares success when the counts sum to the DAG size,
+//!   tree-broadcasts `Stop` (each receiver relays to its schedule
+//!   children), gathers a `Snapshot` of every slot's values, and
+//!   releases everyone with `Done`;
 //! * a detected failure (connection loss / missed heartbeats feeding the
-//!   shared liveness board, or a planned `Die`) makes place 0 broadcast
-//!   `Abort`, gather the survivors' snapshots, run the paper's recovery
-//!   (§VI-D), and restart everyone with `Resume` carrying the restored
-//!   cells and the surviving place list — a fresh epoch.
+//!   shared liveness board, or a planned `Die`) makes place 0 tree-
+//!   broadcast `Abort`, gather the survivors' snapshots, run the paper's
+//!   recovery (§VI-D), and restart everyone with a `Resume` *scatter* —
+//!   each tree hop carries the restored values of the receiver's
+//!   subtree plus the packed ids of every finished cell (the metadata
+//!   that unblocks cross-subtree dependencies without shipping every
+//!   value to every place) — a fresh epoch.
+//!
+//! The tree edges come from [`CollectiveSchedule`] over the epoch's
+//! live roster; a hop whose carrier died is repaired by adopting the
+//! dead child's subtree, and place 0 re-sends the bare frame directly
+//! to any peer it has not heard from (insurance against a relay dying
+//! *after* accepting a hop). `Snapshot` stays a direct gather on
+//! purpose: it is the payload-heavy, loss-sensitive leg, and folding
+//! values through intermediate places would multiply the recovery work
+//! whenever a mid-tree place dies after absorbing its children's cells.
 //!
 //! Communication statistics on this backend are the bytes *actually
 //! framed* onto the sockets (vertex and control traffic alike); the
 //! [`dpx10_apgas::NetworkModel`] prices nothing here.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,8 +57,8 @@ use std::time::{Duration, Instant};
 use dpx10_apgas::codec::{decode_exact, encode_to_vec};
 use dpx10_apgas::mailbox::Envelope;
 use dpx10_apgas::{
-    ChaosRng, CoalesceConfig, CoalescingTransport, Codec, DeadPlaceError, KillTrigger,
-    LivenessBoard, PlaceId, SocketConfig, SocketNode, Transport,
+    fold_counts, ChaosRng, CoalesceConfig, CoalescingTransport, Codec, CollectiveSchedule,
+    DeadPlaceError, KillTrigger, LivenessBoard, PlaceId, SocketConfig, SocketNode, Transport,
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
@@ -82,6 +99,17 @@ const SNAPSHOT_DEADLINE: Duration = Duration::from_secs(60);
 /// not moved (keeps the coordinator's view fresh without flooding).
 const PROGRESS_INTERVAL: Duration = Duration::from_millis(50);
 
+/// How often place 0 re-sends the bare concluding `Stop`/`Abort` frame
+/// directly to peers whose snapshot has not arrived — insurance for a
+/// broadcast relay dying after accepting its hop (receivers ignore the
+/// duplicates).
+const CONCLUDE_RESEND: Duration = Duration::from_millis(500);
+
+/// How often place 0 re-sends a `Resume` bundle to a survivor that has
+/// not reported any progress in the resumed epoch — insurance for a
+/// scatter relay dying with its subtree's hop in hand.
+const RESUME_RESEND: Duration = Duration::from_millis(250);
+
 /// Everything that crosses a socket during a run: vertex traffic
 /// ([`Wire::App`]) and the control protocol, all epoch-tagged.
 ///
@@ -119,18 +147,28 @@ pub(crate) enum Wire<V> {
         computed: u64,
         /// Cumulative place counters: `[tasks, msgs, bytes, net_ns,
         /// cache_hits, cache_misses, busy_ns, batches_sent,
-        /// batched_msgs]`. Decoders accept the older six- and
-        /// seven-counter forms and leave the missing tail at zero.
+        /// batched_msgs, pulls_sent, pulls_deduped, pushes_sent,
+        /// pull_roundtrips_avoided]`. Decoders accept any shorter
+        /// prefix (older peers) and leave the missing tail at zero.
         stats: Vec<u64>,
     },
-    /// Place 0 → survivors: recovery done, start the next epoch.
+    /// Place 0 → survivors (scattered down the tree): recovery done,
+    /// start the next epoch.
     Resume {
         /// The new epoch (old + 1).
         epoch: u32,
         /// Surviving places, in slot order.
         alive: Vec<u16>,
-        /// The restored array's finished cells.
+        /// The restored finished cells of the *receiver's subtree* —
+        /// each relay splits its bundle among its schedule children by
+        /// the new distribution's ownership.
         cells: Vec<(u64, V)>,
+        /// Packed ids of *every* restored finished cell — the global
+        /// metadata that unblocks dependencies on cells whose values
+        /// were scattered to another subtree (pulls still go to the
+        /// owner, which holds the value). Decode tolerates its absence
+        /// (legacy frames), meaning `cells` is the full set.
+        meta: Vec<u64>,
     },
     /// Place 0 → a worker: abort the process immediately (planned fault
     /// injection — dies without a goodbye so peers *detect* the death).
@@ -143,6 +181,22 @@ pub(crate) enum Wire<V> {
     /// emit tag 8 and ignore nothing, while a serve demux treats a bare
     /// (unwrapped) legacy frame as belonging to job 0.
     Job(u32, Box<Wire<V>>),
+    /// One hop of a tree broadcast ([`CollectiveSchedule`]): the
+    /// receiver handles the inner frame as if it had arrived directly,
+    /// then relays the same hop to its own schedule children (adopting
+    /// dead children's subtrees — tree repair).
+    Bcast(Box<Wire<V>>),
+    /// Worker → its tree parent: folded per-place finished counts of
+    /// the sender and its whole subtree. Entries are max-merged on
+    /// receipt ([`fold_counts`]), so duplicated or re-routed hops are
+    /// harmless; any entry for a place proves that place entered the
+    /// epoch (counts originate only at their own place).
+    Reduce {
+        /// Epoch the counts belong to.
+        epoch: u32,
+        /// `(place id, finished count)` per place of the subtree.
+        counts: Vec<(u16, u64)>,
+    },
 }
 
 impl<V: Codec> Codec for Wire<V> {
@@ -183,11 +237,13 @@ impl<V: Codec> Codec for Wire<V> {
                 epoch,
                 alive,
                 cells,
+                meta,
             } => {
                 buf.push(5);
                 epoch.encode(buf);
                 alive.encode(buf);
                 cells.encode(buf);
+                meta.encode(buf);
             }
             Wire::Die => buf.push(6),
             Wire::Done => buf.push(7),
@@ -195,6 +251,15 @@ impl<V: Codec> Codec for Wire<V> {
                 buf.push(8);
                 job.encode(buf);
                 inner.encode(buf);
+            }
+            Wire::Bcast(inner) => {
+                buf.push(9);
+                inner.encode(buf);
+            }
+            Wire::Reduce { epoch, counts } => {
+                buf.push(10);
+                epoch.encode(buf);
+                counts.encode(buf);
             }
         }
     }
@@ -223,10 +288,22 @@ impl<V: Codec> Codec for Wire<V> {
                 epoch: u32::decode(src)?,
                 alive: Vec::decode(src)?,
                 cells: Vec::decode(src)?,
+                // Tolerant tail: a legacy peer's frame ends here, which
+                // means "cells is the full restored set".
+                meta: if src.is_empty() {
+                    Vec::new()
+                } else {
+                    Vec::decode(src)?
+                },
             }),
             6 => Some(Wire::Die),
             7 => Some(Wire::Done),
             8 => Some(Wire::Job(u32::decode(src)?, Box::new(Wire::decode(src)?))),
+            9 => Some(Wire::Bcast(Box::new(Wire::decode(src)?))),
+            10 => Some(Wire::Reduce {
+                epoch: u32::decode(src)?,
+                counts: Vec::decode(src)?,
+            }),
             _ => None,
         }
     }
@@ -247,9 +324,12 @@ impl<V: Codec> Codec for Wire<V> {
                 epoch,
                 alive,
                 cells,
-            } => epoch.wire_size() + alive.wire_size() + cells.wire_size(),
+                meta,
+            } => epoch.wire_size() + alive.wire_size() + cells.wire_size() + meta.wire_size(),
             Wire::Die | Wire::Done => 0,
             Wire::Job(job, inner) => job.wire_size() + Codec::wire_size(inner.as_ref()),
+            Wire::Bcast(inner) => Codec::wire_size(inner.as_ref()),
+            Wire::Reduce { epoch, counts } => epoch.wire_size() + counts.wire_size(),
         }
     }
 }
@@ -431,12 +511,32 @@ enum Flow<V> {
     WorkerResume {
         /// Surviving places in slot order.
         alive: Vec<u16>,
-        /// The restored array's finished cells.
+        /// The restored finished cells scattered to this place's
+        /// subtree (already relayed onwards before this flow returned).
         cells: Vec<(u64, V)>,
+        /// Packed ids of every restored finished cell (empty on a
+        /// legacy full-broadcast frame).
+        meta: Vec<u64>,
     },
     /// Worker: a planned `Die` arrived in soft-die mode; the node has
     /// already crashed its sockets.
     Died,
+}
+
+/// Place 0's record of one `Resume` scatter: everything needed to
+/// rebuild a survivor's bundle if the tree hop carrying it died with a
+/// relay (the coordinator re-sends directly to peers it has not heard
+/// from in the resumed epoch).
+struct ResumeState<V> {
+    /// The epoch being resumed *into* (old + 1).
+    epoch: u32,
+    /// Surviving places of the scatter, in slot order.
+    alive: Vec<u16>,
+    /// Packed ids of every restored finished cell.
+    meta: Vec<u64>,
+    /// Every restored finished cell (re-bucketed per subtree on
+    /// demand — re-sends are rare).
+    cells: Vec<(u64, V)>,
 }
 
 /// The multi-process engine. Construct identically in every place
@@ -625,8 +725,15 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         // snapshot collector wait on peers that will never answer.
         let mut alive: Vec<PlaceId> = self.node.roster().members();
         let mut prior: Option<DistArray<A::Value>> = None;
-        let mut pending_cells: Option<Vec<(u64, A::Value)>> = None;
-        let mut peer_stats: Vec<[u64; 9]> = vec![[0; 9]; self.places as usize];
+        // A `Resume` scatter's restored cells + finished-set metadata,
+        // parked until the next epoch's restore step consumes them.
+        #[allow(clippy::type_complexity)]
+        let mut pending_cells: Option<(Vec<(u64, A::Value)>, Vec<u64>)> = None;
+        let mut peer_stats: Vec<[u64; 13]> = vec![[0; 13]; self.places as usize];
+        // Place 0's record of the last `Resume` scatter, kept so the
+        // next epoch's coordinator loop can re-send a survivor's bundle
+        // if a relay hop died with its carrier.
+        let mut resume: Option<ResumeState<A::Value>> = None;
         // This place's compute time, summed across epochs (the shards —
         // and their busy counters — are rebuilt every epoch).
         let mut busy_total: u64 = 0;
@@ -638,14 +745,22 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             report.epochs += 1;
             self.plane.epoch.store(epoch, Ordering::Release);
             let dist = Arc::new(Dist::new(region, cfg.dist_kind.clone(), alive.clone()));
-            if let Some(cells) = pending_cells.take() {
-                // Rebuild the restored array place 0 sent with `Resume`.
+            let mut scatter_meta: Option<HashSet<u64>> = None;
+            if let Some((cells, meta)) = pending_cells.take() {
+                // Rebuild our subtree's slice of the restored array the
+                // `Resume` scatter delivered; the metadata names every
+                // finished cell globally, so cells whose values went to
+                // another subtree still unblock their dependents here
+                // (their values are pulled from the owner on demand).
                 let mut arr = DistArray::new(dist.clone());
                 for (packed, v) in cells {
                     let id = VertexId::unpack(packed);
                     arr.set(id.i, id.j, v);
                 }
                 prior = Some(arr);
+                if !meta.is_empty() {
+                    scatter_meta = Some(meta.into_iter().collect());
+                }
             }
             let Some(my_slot) = alive.iter().position(|p| *p == self.me) else {
                 // The coordinator counted us among the dead (e.g. a
@@ -656,6 +771,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 pattern.as_ref(),
                 &dist,
                 prior.as_ref(),
+                scatter_meta.as_ref(),
                 self.engine.init.as_ref(),
                 cfg.cache_capacity,
             );
@@ -666,7 +782,13 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 u64::from(epoch),
             );
             if prefinished == total {
-                // Deterministic on every place: all exit without a word.
+                if self.me != PlaceId::ZERO {
+                    // A scattered prior covers this place's subtree
+                    // only, so its shards may hold finished flags
+                    // without values — only place 0, which keeps the
+                    // full restored array, can collect the result.
+                    return Ok(None);
+                }
                 break collect_array(&shards, &dist);
             }
 
@@ -695,6 +817,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 topo: cfg.topology,
                 net: cfg.network,
                 schedule: cfg.schedule,
+                comms: cfg.comms,
                 liveness: self.node.liveness().clone(),
                 stats: self.node.stats().clone(),
                 total,
@@ -738,9 +861,10 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     total,
                     started,
                     &mut kills_fired,
+                    resume.as_ref().filter(|st| st.epoch == epoch),
                 )
             } else {
-                self.follow(&shared, epoch, my_slot, busy_total)
+                self.follow(&shared, epoch, &alive, my_slot, busy_total)
             };
             shared.done.store(true, Ordering::Release); // belt and braces
             for h in handles {
@@ -751,14 +875,12 @@ impl<A: DpApp + 'static> Driver<'_, A> {
 
             match outcome? {
                 Flow::Finished => {
-                    let survivors: Vec<PlaceId> = self.survivors(&alive);
-                    for p in &survivors {
-                        let _ = self.send_ctl(*p, &Wire::Stop { epoch });
-                    }
+                    self.bcast_ctl(&alive, Wire::Stop { epoch });
                     let mut arr = collect_array(&shared.shards, &dist);
                     let lost = self.collect_snapshots(
                         epoch,
                         &alive,
+                        &Wire::Stop { epoch },
                         &mut arr,
                         &mut peer_stats,
                         &mut report,
@@ -769,7 +891,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     // A place died between the last vertex and its
                     // snapshot: its values are gone, recover and re-run.
                     let restored = self.recover_from(&arr, &lost, &mut report);
-                    self.resume_epoch(epoch, &mut alive, &restored)?;
+                    resume = Some(self.resume_epoch(epoch, &mut alive, &restored)?);
                     prior = Some(restored);
                     epoch += 1;
                 }
@@ -780,19 +902,21 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                         .filter(|p| !self.node.liveness().is_alive(*p))
                         .collect();
                     let dead_u16: Vec<u16> = dead.iter().map(|p| p.0).collect();
-                    for p in self.survivors(&alive) {
-                        let _ = self.send_ctl(
-                            p,
-                            &Wire::Abort {
-                                epoch,
-                                dead: dead_u16.clone(),
-                            },
-                        );
-                    }
+                    self.bcast_ctl(
+                        &alive,
+                        Wire::Abort {
+                            epoch,
+                            dead: dead_u16.clone(),
+                        },
+                    );
                     let mut arr = collect_array(&shared.shards, &dist);
                     let lost = self.collect_snapshots(
                         epoch,
                         &alive,
+                        &Wire::Abort {
+                            epoch,
+                            dead: dead_u16,
+                        },
                         &mut arr,
                         &mut peer_stats,
                         &mut report,
@@ -802,7 +926,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     all_dead.sort_unstable();
                     all_dead.dedup();
                     let restored = self.recover_from(&arr, &all_dead, &mut report);
-                    self.resume_epoch(epoch, &mut alive, &restored)?;
+                    resume = Some(self.resume_epoch(epoch, &mut alive, &restored)?);
                     prior = Some(restored);
                     epoch += 1;
                 }
@@ -814,9 +938,10 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 Flow::WorkerResume {
                     alive: new_alive,
                     cells,
+                    meta,
                 } => {
                     alive = new_alive.into_iter().map(PlaceId).collect();
-                    pending_cells = Some(cells);
+                    pending_cells = Some((cells, meta));
                     prior = None; // rebuilt from `pending_cells` above
                     epoch += 1;
                 }
@@ -839,6 +964,10 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             comm.cache_misses += stats[5];
             comm.batches_sent += stats[7];
             comm.batched_msgs += stats[8];
+            comm.pulls_sent += stats[9];
+            comm.pulls_deduped += stats[10];
+            comm.pushes_sent += stats[11];
+            comm.pull_roundtrips_avoided += stats[12];
         }
         report.comm = comm;
         // In the final epoch's slot order (matching the simulator): our
@@ -859,17 +988,110 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         Ok(Some(result))
     }
 
-    /// Alive peers other than this place, per the liveness board.
-    fn survivors(&self, alive: &[PlaceId]) -> Vec<PlaceId> {
-        alive
-            .iter()
-            .copied()
-            .filter(|p| *p != self.me && self.node.liveness().is_alive(*p))
-            .collect()
+    /// The epoch's tree schedule over `alive`, rooted at place 0's rank
+    /// (ranks index `alive`, whose order is exactly the slot order).
+    fn schedule(&self, alive: &[PlaceId]) -> CollectiveSchedule {
+        let root = alive.iter().position(|p| *p == PlaceId::ZERO).unwrap_or(0);
+        CollectiveSchedule::new(alive.len(), root)
     }
 
-    /// Place 0's mid-epoch loop: fold progress reports into the finished
-    /// table, fire any planned kills, and decide the epoch's fate.
+    /// Forwards a broadcast hop to `me_rank`'s schedule children; a
+    /// child that is dead or unreachable is replaced by its own
+    /// children, so the frame still reaches every live subtree.
+    fn relay_hops(&self, alive: &[PlaceId], me_rank: usize, hop: &Wire<A::Value>) {
+        let sched = self.schedule(alive);
+        let mut work = sched.children(me_rank);
+        while let Some(c) = work.pop() {
+            let p = alive[c];
+            if !self.node.liveness().is_alive(p) || self.send_ctl(p, hop).is_err() {
+                work.extend(sched.children(c));
+            }
+        }
+    }
+
+    /// Place 0: launches a tree broadcast of `frame` — one [`Wire::Bcast`]
+    /// hop per schedule child; the receivers relay onwards.
+    fn bcast_ctl(&self, alive: &[PlaceId], frame: Wire<A::Value>) {
+        let me_rank = self.schedule(alive).root();
+        self.relay_hops(alive, me_rank, &Wire::Bcast(Box::new(frame)));
+    }
+
+    /// Sends the `Resume` scatter hops from `me_rank` in the new
+    /// epoch's schedule: each child receives the restored cells of its
+    /// whole subtree plus the global finished-set metadata; a dead
+    /// child's subtree is adopted. Cells are bucketed by the *new*
+    /// distribution, whose slot order is `alive`'s order.
+    fn scatter_resume(
+        &self,
+        alive: &[PlaceId],
+        me_rank: usize,
+        new_epoch: u32,
+        alive_u16: &[u16],
+        meta: &[u64],
+        cells: &[(u64, A::Value)],
+    ) {
+        let sched = self.schedule(alive);
+        if sched.children(me_rank).is_empty() {
+            return;
+        }
+        let region = Region2D::new(self.engine.pattern.height(), self.engine.pattern.width());
+        let ndist = Dist::new(region, self.engine.config.dist_kind.clone(), alive.to_vec());
+        let mut by_rank: Vec<Vec<(u64, A::Value)>> = vec![Vec::new(); alive.len()];
+        for (packed, v) in cells {
+            let id = VertexId::unpack(*packed);
+            by_rank[ndist.slot_of(id.i, id.j)].push((*packed, v.clone()));
+        }
+        let mut work = sched.children(me_rank);
+        while let Some(c) = work.pop() {
+            let bundle: Vec<(u64, A::Value)> = sched
+                .subtree(c)
+                .into_iter()
+                .flat_map(|r| by_rank[r].iter().cloned())
+                .collect();
+            let frame = Wire::Resume {
+                epoch: new_epoch,
+                alive: alive_u16.to_vec(),
+                cells: bundle,
+                meta: meta.to_vec(),
+            };
+            let p = alive[c];
+            if !self.node.liveness().is_alive(p) || self.send_ctl(p, &frame).is_err() {
+                work.extend(sched.children(c));
+            }
+        }
+    }
+
+    /// Rebuilds the `Resume` frame rank `rank` should have received
+    /// from the scatter: its subtree's restored cells plus the global
+    /// metadata (used by the re-send insurance, so a survivor stranded
+    /// by a dead relay still enters the epoch).
+    fn resume_frame_for(&self, st: &ResumeState<A::Value>, rank: usize) -> Wire<A::Value> {
+        let places: Vec<PlaceId> = st.alive.iter().copied().map(PlaceId).collect();
+        let sched = self.schedule(&places);
+        let sub = sched.subtree(rank);
+        let region = Region2D::new(self.engine.pattern.height(), self.engine.pattern.width());
+        let ndist = Dist::new(region, self.engine.config.dist_kind.clone(), places);
+        let cells = st
+            .cells
+            .iter()
+            .filter(|(packed, _)| {
+                let id = VertexId::unpack(*packed);
+                sub.contains(&ndist.slot_of(id.i, id.j))
+            })
+            .cloned()
+            .collect();
+        Wire::Resume {
+            epoch: st.epoch,
+            alive: st.alive.clone(),
+            cells,
+            meta: st.meta.clone(),
+        }
+    }
+
+    /// Place 0's mid-epoch loop: fold the tree-reduced progress reports
+    /// into the finished table, fire any planned kills, re-send `Resume`
+    /// bundles to survivors a dead relay may have stranded, and decide
+    /// the epoch's fate.
     #[allow(clippy::too_many_arguments)]
     fn coordinate(
         &self,
@@ -880,6 +1102,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         total: u64,
         started: Instant,
         kills_fired: &mut Vec<PlaceId>,
+        resume: Option<&ResumeState<A::Value>>,
     ) -> Result<Flow<A::Value>, EngineError> {
         // Seeded from our own deterministic copy of every shard, so the
         // table starts at each slot's prefinished count.
@@ -905,15 +1128,45 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         }
         let mut last_sum = u64::MAX;
         let mut last_change = Instant::now();
+        // Which places have reported anything this epoch: a `Reduce`
+        // entry for a place can only originate at that place, so it
+        // doubles as proof the place entered the epoch (used by the
+        // resume re-send insurance below).
+        let mut heard = vec![false; alive.len()];
+        heard[my_slot] = true;
+        let mut next_nudge = Instant::now() + RESUME_RESEND;
 
         loop {
             match self.ctl_rx.recv_timeout(Duration::from_millis(2)) {
                 Ok((src, Wire::Progress { epoch: e, finished })) if e == epoch => {
+                    // Legacy direct form; current peers send `Reduce`.
                     if let Some(s) = alive.iter().position(|p| *p == src) {
                         table[s] = table[s].max(finished);
+                        heard[s] = true;
+                    }
+                }
+                Ok((src, Wire::Reduce { epoch: e, counts })) if e == epoch => {
+                    if let Some(s) = alive.iter().position(|p| *p == src) {
+                        heard[s] = true;
+                    }
+                    for (pid, n) in counts {
+                        if let Some(s) = alive.iter().position(|p| p.0 == pid) {
+                            table[s] = table[s].max(n);
+                            heard[s] = true;
+                        }
                     }
                 }
                 Ok(_) | Err(_) => {} // stale traffic / timeout tick
+            }
+            if let Some(st) = resume {
+                if Instant::now() >= next_nudge {
+                    next_nudge = Instant::now() + RESUME_RESEND;
+                    for (s, p) in alive.iter().enumerate() {
+                        if !heard[s] && *p != self.me && self.node.liveness().is_alive(*p) {
+                            let _ = self.send_ctl(*p, &self.resume_frame_for(st, s));
+                        }
+                    }
+                }
             }
             table[my_slot] = shared.shards[my_slot]
                 .finished_local
@@ -986,17 +1239,26 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         }
     }
 
-    /// A worker place's mid-epoch loop: stream progress to place 0 and
-    /// obey its control messages.
+    /// A worker place's mid-epoch loop: fold subtree progress up the
+    /// tree to place 0 and obey (and relay) its control messages.
     fn follow(
         &self,
         shared: &Arc<Shared<A>>,
         epoch: u32,
+        alive: &[PlaceId],
         my_slot: usize,
         busy_before: u64,
     ) -> Result<Flow<A::Value>, EngineError> {
+        let sched = self.schedule(alive);
         let mut last_reported = u64::MAX;
         let mut last_progress = Instant::now();
+        // Finished counts our subtree reported, folded into every
+        // Reduce hop we send up (max-merged: duplicates are harmless).
+        let mut child_counts: HashMap<u16, u64> = HashMap::new();
+        // Set once a concluding Stop/Abort has been handled; dedups the
+        // tree hop against the coordinator's direct re-send insurance
+        // (and stops us re-relaying duplicates).
+        let mut concluded = false;
         // Set once we have snapshotted and are owed a Resume/Done; if
         // the coordinator wrote *us* off it cannot even address us, so
         // an orphaned wait must time out rather than hang.
@@ -1016,8 +1278,27 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 }
             }
 
-            match self.ctl_rx.recv_timeout(Duration::from_millis(5)) {
-                Ok((_, Wire::Stop { epoch: e })) if e == epoch => {
+            let received = match self.ctl_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok((src, Wire::Bcast(inner))) => {
+                    // A tree hop: relay to our schedule children first
+                    // (adopting dead subtrees), then handle the inner
+                    // frame as if it had arrived directly. A duplicate
+                    // hop after we concluded is not re-relayed — the
+                    // first relay already covered the subtree.
+                    let hop = Wire::Bcast(inner);
+                    if !concluded {
+                        self.relay_hops(alive, my_slot, &hop);
+                    }
+                    let Wire::Bcast(inner) = hop else {
+                        unreachable!()
+                    };
+                    Ok((src, *inner))
+                }
+                other => other,
+            };
+            match received {
+                Ok((_, Wire::Stop { epoch: e })) if e == epoch && !concluded => {
+                    concluded = true;
                     self.recorder.instant_now(
                         self.me.0,
                         RUNTIME_WORKER,
@@ -1028,7 +1309,8 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     self.send_snapshot(shared, epoch, my_slot, busy_before)?;
                     awaiting_release = Some(Instant::now());
                 }
-                Ok((_, Wire::Abort { epoch: e, dead })) if e == epoch => {
+                Ok((_, Wire::Abort { epoch: e, dead })) if e == epoch && !concluded => {
+                    concluded = true;
                     self.recorder.instant_now(
                         self.me.0,
                         RUNTIME_WORKER,
@@ -1046,8 +1328,9 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     _,
                     Wire::Resume {
                         epoch: e,
-                        alive,
+                        alive: new_alive,
                         cells,
+                        meta,
                     },
                 )) if e == epoch + 1 => {
                     self.recorder.instant_now(
@@ -1056,7 +1339,26 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                         EventKind::CtlResume,
                         u64::from(epoch + 1),
                     );
-                    return Ok(Flow::WorkerResume { alive, cells });
+                    // Relay the scatter onwards: each of our schedule
+                    // children in the *new* epoch's tree receives its
+                    // subtree's share of the bundle. (Stragglers this
+                    // relay duplicates are dropped by the receivers'
+                    // own epoch guards; stranded places the relay never
+                    // reaches get direct insurance re-sends from the
+                    // coordinator.)
+                    let new_places: Vec<PlaceId> = new_alive.iter().copied().map(PlaceId).collect();
+                    if let Some(r) = new_places.iter().position(|p| *p == self.me) {
+                        self.scatter_resume(&new_places, r, e, &new_alive, &meta, &cells);
+                    }
+                    return Ok(Flow::WorkerResume {
+                        alive: new_alive,
+                        cells,
+                        meta,
+                    });
+                }
+                Ok((_, Wire::Reduce { epoch: e, counts })) if e == epoch => {
+                    // A child's subtree counts; folded into our next hop.
+                    fold_counts(&mut child_counts, &counts);
                 }
                 Ok((_, Wire::Die)) => {
                     self.recorder.instant_now(
@@ -1094,9 +1396,19 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             if finished != last_reported || last_progress.elapsed() > PROGRESS_INTERVAL {
                 last_reported = finished;
                 last_progress = Instant::now();
+                // One Reduce hop up the tree: our own count folded with
+                // everything our subtree reported, addressed to the
+                // nearest live ancestor (the root directly if the whole
+                // chain died). The interval re-send also forwards child
+                // updates that arrived while our own count sat still.
                 // Failure to report is not fatal by itself; the liveness
                 // check at the top of the loop is the judge of that.
-                let _ = self.send_ctl(PlaceId::ZERO, &Wire::Progress { epoch, finished });
+                let mut counts: Vec<(u16, u64)> = vec![(self.me.0, finished)];
+                counts.extend(child_counts.iter().map(|(&p, &n)| (p, n)));
+                let parent = sched
+                    .live_parent(my_slot, |r| !self.node.liveness().is_alive(alive[r]))
+                    .unwrap_or(sched.root());
+                let _ = self.send_ctl(alive[parent], &Wire::Reduce { epoch, counts });
             }
         }
     }
@@ -1134,6 +1446,10 @@ impl<A: DpApp + 'static> Driver<'_, A> {
             busy_before + shard.busy_ns.load(Ordering::Relaxed),
             mine.batches_sent.load(Ordering::Relaxed),
             mine.batched_msgs.load(Ordering::Relaxed),
+            mine.pulls_sent.load(Ordering::Relaxed),
+            mine.pulls_deduped.load(Ordering::Relaxed),
+            mine.pushes_sent.load(Ordering::Relaxed),
+            mine.pull_roundtrips_avoided.load(Ordering::Relaxed),
         ];
         let sent = cells.len() as u64;
         let result = self
@@ -1167,8 +1483,9 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         &self,
         epoch: u32,
         alive: &[PlaceId],
+        conclude: &Wire<A::Value>,
         arr: &mut DistArray<A::Value>,
-        peer_stats: &mut [[u64; 9]],
+        peer_stats: &mut [[u64; 13]],
         report: &mut RunReport,
     ) -> Vec<PlaceId> {
         let rec_start = self.recorder.enabled().then(|| self.recorder.now_ns());
@@ -1180,6 +1497,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         let mut pending: Vec<PlaceId> = alive.iter().copied().filter(|p| *p != self.me).collect();
         let mut lost = Vec::new();
         let deadline = Instant::now() + SNAPSHOT_DEADLINE;
+        let mut next_nudge = Instant::now() + CONCLUDE_RESEND;
         loop {
             pending.retain(|p| {
                 if self.node.liveness().is_alive(*p) {
@@ -1198,6 +1516,18 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                     lost.push(p);
                 }
                 break;
+            }
+            if Instant::now() >= next_nudge {
+                next_nudge = Instant::now() + CONCLUDE_RESEND;
+                // Broadcast insurance: a relay that died after taking
+                // its hop may have stranded its subtree; re-send the
+                // bare concluding frame (not a `Bcast`, so nobody
+                // re-relays it) directly to the peers still owed a
+                // snapshot. Receivers that got the tree hop already
+                // ignore the duplicate.
+                for p in &pending {
+                    let _ = self.send_ctl(*p, conclude);
+                }
             }
             let Ok((src, wire)) = self.ctl_rx.recv_timeout(Duration::from_millis(10)) else {
                 continue;
@@ -1273,14 +1603,18 @@ impl<A: DpApp + 'static> Driver<'_, A> {
         restored
     }
 
-    /// Place 0: prunes `alive` to the survivors and sends each of them
-    /// the restored state for the next epoch.
+    /// Place 0: prunes `alive` to the survivors and scatters the
+    /// restored state down the new epoch's tree — each schedule child
+    /// receives its subtree's finished values plus the packed ids of
+    /// *every* finished cell. Returns the scatter record so the next
+    /// epoch's coordinator loop can re-send a survivor's bundle if a
+    /// relay hop died with its carrier.
     fn resume_epoch(
         &self,
         epoch: u32,
         alive: &mut Vec<PlaceId>,
         restored: &DistArray<A::Value>,
-    ) -> Result<(), EngineError> {
+    ) -> Result<ResumeState<A::Value>, EngineError> {
         alive.retain(|p| self.node.liveness().is_alive(*p));
         self.recorder.instant_now(
             self.me.0,
@@ -1297,20 +1631,22 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 }
             }
         }
+        let meta: Vec<u64> = cells.iter().map(|(packed, _)| *packed).collect();
         let alive_u16: Vec<u16> = alive.iter().map(|p| p.0).collect();
-        for p in alive.iter().filter(|p| **p != self.me) {
-            // A send failure here means the peer died *after* recovery;
-            // the next epoch's liveness check will catch it.
-            let _ = self.send_ctl(
-                *p,
-                &Wire::Resume {
-                    epoch: epoch + 1,
-                    alive: alive_u16.clone(),
-                    cells: cells.clone(),
-                },
-            );
-        }
-        Ok(())
+        let me_rank = alive
+            .iter()
+            .position(|p| *p == self.me)
+            .unwrap_or_else(|| self.schedule(alive).root());
+        // A hop failure here means the peer died *after* recovery; the
+        // adoption inside the scatter plus the next epoch's liveness
+        // check and re-send insurance catch it.
+        self.scatter_resume(alive, me_rank, epoch + 1, &alive_u16, &meta, &cells);
+        Ok(ResumeState {
+            epoch: epoch + 1,
+            alive: alive_u16,
+            meta,
+            cells,
+        })
     }
 }
 
@@ -1347,6 +1683,7 @@ mod tests {
                 epoch: 2,
                 alive: vec![0, 2],
                 cells: vec![(VertexId::new(1, 1).pack(), -1)],
+                meta: vec![VertexId::new(1, 1).pack(), VertexId::new(0, 3).pack()],
             },
             Wire::Die,
             Wire::Done,
@@ -1360,6 +1697,15 @@ mod tests {
                 )),
             ),
             Wire::Job(0, Box::new(Wire::Stop { epoch: 3 })),
+            Wire::Bcast(Box::new(Wire::Stop { epoch: 4 })),
+            Wire::Bcast(Box::new(Wire::Abort {
+                epoch: 4,
+                dead: vec![2],
+            })),
+            Wire::Reduce {
+                epoch: 5,
+                counts: vec![(1, 40), (3, 7)],
+            },
         ];
         for wire in wires {
             let buf = encode_to_vec(&wire);
@@ -1374,5 +1720,45 @@ mod tests {
     #[test]
     fn wire_rejects_unknown_tag() {
         assert!(decode_exact::<Wire<i64>>(&[99]).is_none());
+    }
+
+    #[test]
+    fn resume_decode_tolerates_missing_meta() {
+        // A legacy peer's Resume ends after `cells`; the decoder must
+        // treat the absent metadata as "cells is the full set" — both
+        // bare and wrapped in the serve protocol's Job envelope.
+        let mut legacy = vec![5u8];
+        3u32.encode(&mut legacy);
+        vec![0u16, 1].encode(&mut legacy);
+        vec![(VertexId::new(2, 2).pack(), 11i64)].encode(&mut legacy);
+        let Some(Wire::Resume {
+            epoch,
+            alive,
+            cells,
+            meta,
+        }) = decode_exact::<Wire<i64>>(&legacy)
+        else {
+            panic!("legacy Resume did not decode");
+        };
+        assert_eq!((epoch, alive.len(), cells.len()), (3, 2, 1));
+        assert!(meta.is_empty());
+
+        let mut wrapped = vec![8u8];
+        9u32.encode(&mut wrapped);
+        wrapped.extend_from_slice(&legacy);
+        let Some(Wire::Job(9, inner)) = decode_exact::<Wire<i64>>(&wrapped) else {
+            panic!("wrapped legacy Resume did not decode");
+        };
+        assert!(matches!(*inner, Wire::Resume { ref meta, .. } if meta.is_empty()));
+    }
+
+    #[test]
+    fn reduce_decode_guards_hostile_count_length() {
+        // A Reduce frame whose vec length claims more entries than the
+        // buffer holds must fail cleanly, not allocate.
+        let mut buf = vec![10u8];
+        1u32.encode(&mut buf);
+        u64::MAX.encode(&mut buf); // vec length prefix
+        assert!(decode_exact::<Wire<i64>>(&buf).is_none());
     }
 }

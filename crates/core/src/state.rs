@@ -1,6 +1,6 @@
 //! Per-place runtime state of the threaded engine.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -14,13 +14,38 @@ use crate::app::VertexValue;
 use crate::cache::FifoCache;
 use crate::config::InitOverride;
 
+/// One dependency slot of a [`Parked`] vertex.
+#[derive(Debug)]
+pub enum Fill<V> {
+    /// No value yet; a pull round-trip is (or is about to be) in flight.
+    Missing,
+    /// Filled by a `PullVal` reply (or read straight from the cache on a
+    /// re-gather).
+    Pulled(V),
+    /// Filled by a producer-side `PushVal` before the consumer ever
+    /// asked — consuming it on re-gather counts as an avoided pull
+    /// round-trip.
+    Pushed(V),
+}
+
+impl<V> Fill<V> {
+    /// The slot's value, if any mode delivered one.
+    pub fn value(&self) -> Option<&V> {
+        match self {
+            Fill::Missing => None,
+            Fill::Pulled(v) | Fill::Pushed(v) => Some(v),
+        }
+    }
+}
+
 /// A vertex parked because some remote dependency values were missing
-/// from the cache; pull replies fill the slots and re-ready the vertex.
+/// from the cache; pull replies (or eager pushes) fill the slots and
+/// re-ready the vertex.
 #[derive(Debug)]
 pub struct Parked<V> {
-    /// Missing dependency (packed id) -> value once pulled.
-    pub fills: HashMap<u64, Option<V>>,
-    /// Number of still-missing entries.
+    /// Missing dependency (packed id) -> its fill slot.
+    pub fills: HashMap<u64, Fill<V>>,
+    /// Number of still-[`Fill::Missing`] entries.
     pub remaining: usize,
 }
 
@@ -91,10 +116,21 @@ impl<V: VertexValue> Shard<V> {
 /// it (§VI-E). Indegrees count only unfinished dependencies, and
 /// zero-indegree unfinished vertices seed the ready lists — stage 1 of
 /// the execution overview (§VI-A).
+///
+/// `prior_meta` supports the socket engine's Resume *scatter*: a place
+/// that received only its own subtree's restored values still needs the
+/// global finished-set to compute indegrees deterministically, so the
+/// scatter frame carries every finished cell's packed id as metadata.
+/// Cells in `prior_meta` that `prior`/`init` have no value for are
+/// marked finished *without* a value — legal only for cells this place
+/// never serves (pulls go to the owner, which always holds its own
+/// chunk's values). In-process engines pass `None`: they always hold the
+/// full prior array.
 pub fn build_shards<V: VertexValue>(
     pattern: &dyn DagPattern,
     dist: &Arc<Dist>,
     prior: Option<&DistArray<V>>,
+    prior_meta: Option<&HashSet<u64>>,
     init: Option<&InitOverride<V>>,
     cache_capacity: usize,
 ) -> (Vec<Shard<V>>, u64) {
@@ -111,6 +147,9 @@ pub fn build_shards<V: VertexValue>(
             return f(i, j);
         }
         None
+    };
+    let meta_finished = |i: u32, j: u32| -> bool {
+        prior_meta.is_some_and(|m| m.contains(&VertexId::new(i, j).pack()))
     };
 
     let mut prefinished_total = 0u64;
@@ -145,11 +184,18 @@ pub fn build_shards<V: VertexValue>(
                     prefinished_total += 1;
                     continue;
                 }
+                if meta_finished(i, j) {
+                    // Finished elsewhere; the value lives with the owner.
+                    shard.finished[li].store(true, Ordering::Relaxed);
+                    shard.finished_local.fetch_add(1, Ordering::Relaxed);
+                    prefinished_total += 1;
+                    continue;
+                }
                 deps_buf.clear();
                 pattern.dependencies(i, j, &mut deps_buf);
                 let open = deps_buf
                     .iter()
-                    .filter(|d| is_prefinished(d.i, d.j).is_none())
+                    .filter(|d| is_prefinished(d.i, d.j).is_none() && !meta_finished(d.i, d.j))
                     .count() as u32;
                 shard.indegree[li].store(open, Ordering::Relaxed);
                 if open == 0 {
@@ -206,7 +252,7 @@ mod tests {
     fn fresh_shards_seed_sources() {
         let pattern = Grid2::new(3, 4);
         let d = dist(3, 4, 2);
-        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, None, 16);
+        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, None, None, 16);
         assert_eq!(pre, 0);
         // Grid2 has a single source (0,0), owned by slot 0.
         assert_eq!(shards[0].ready.len(), 1);
@@ -220,7 +266,7 @@ mod tests {
         let d = dist(2, 2, 1);
         // Pre-finish the whole first row.
         let init: InitOverride<i64> = Arc::new(|i, _j| (i == 0).then_some(0));
-        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, Some(&init), 16);
+        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, None, Some(&init), 16);
         assert_eq!(pre, 2);
         // (1,0) now has zero open deps; (1,1) depends on unfinished (1,0).
         let ready: Vec<u32> = std::iter::from_fn(|| shards[0].ready.pop()).collect();
@@ -237,12 +283,39 @@ mod tests {
         let d = dist(2, 2, 1);
         let mut prior: DistArray<i64> = DistArray::new(d.clone());
         prior.set(0, 0, 5);
-        let (shards, pre) = build_shards::<i64>(&pattern, &d, Some(&prior), None, 16);
+        let (shards, pre) = build_shards::<i64>(&pattern, &d, Some(&prior), None, None, 16);
         assert_eq!(pre, 1);
         let li = d.local_index(0, 0) as u32;
         assert_eq!(shards[0].value(li), &5);
         // (0,1) and (1,0) are unblocked.
         assert_eq!(shards[0].ready.len(), 2);
+    }
+
+    #[test]
+    fn meta_finished_cells_unblock_without_values() {
+        // A worker after a Resume scatter: it holds values only for its
+        // own chunk, but the finished-set metadata covers everything.
+        let pattern = Grid2::new(2, 2);
+        let d = dist(2, 2, 2); // BlockCol: slot 0 owns column 0
+        let mut prior: DistArray<i64> = DistArray::new(d.clone());
+        prior.set(0, 0, 5); // own chunk value
+        let meta: HashSet<u64> = [VertexId::new(0, 0).pack(), VertexId::new(0, 1).pack()]
+            .into_iter()
+            .collect();
+        let (shards, pre) = build_shards(&pattern, &d, Some(&prior), Some(&meta), None, 16);
+        assert_eq!(pre, 2, "value-backed and meta-only cells both count");
+        let li01 = d.local_index(0, 1) as u32;
+        assert!(shards[1].finished[li01 as usize].load(Ordering::Relaxed));
+        assert!(
+            shards[1].values[li01 as usize].get().is_none(),
+            "meta-only cells carry no value; pulls go to the owner"
+        );
+        // (1,0) depends only on the finished (0,0): ready. (1,1) depends
+        // on the meta-finished (0,1) plus the unfinished (1,0): parked.
+        assert_eq!(shards[0].ready.len(), 1);
+        assert_eq!(shards[1].ready.len(), 0);
+        let li11 = d.local_index(1, 1) as u32;
+        assert_eq!(shards[1].indegree[li11 as usize].load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -252,7 +325,7 @@ mod tests {
         let mut prior: DistArray<i64> = DistArray::new(d.clone());
         prior.set(0, 0, 1);
         prior.set(1, 2, 9);
-        let (shards, _) = build_shards::<i64>(&pattern, &d, Some(&prior), None, 16);
+        let (shards, _) = build_shards::<i64>(&pattern, &d, Some(&prior), None, None, 16);
         let collected = collect_array(&shards, &d);
         assert_eq!(collected.get_finished(0, 0), Some(&1));
         assert_eq!(collected.get_finished(1, 2), Some(&9));

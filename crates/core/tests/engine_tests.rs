@@ -429,4 +429,18 @@ fn concurrent_pulls_of_one_vertex_fold_into_a_single_request() {
         misses < u64::from(w) / 2,
         "{misses} pulls for {w} dependents of one cell — dedup is not folding"
     );
+    // The round-trip accounting must agree with the hub: every one of
+    // the 40 first gathers either issued the in-flight pull or joined
+    // it as a deduped waiter — never both, never neither.
+    let pulls = result.report().comm.pulls_sent;
+    let deduped = result.report().comm.pulls_deduped;
+    assert_eq!(
+        pulls + deduped,
+        u64::from(w),
+        "{pulls} pulls + {deduped} deduped waiters for {w} dependents"
+    );
+    assert!(
+        deduped >= u64::from(w) / 2,
+        "only {deduped} of {w} waiters were folded into the hub"
+    );
 }

@@ -4,7 +4,9 @@ use std::net::TcpListener;
 use std::time::Duration;
 
 use dpx10_apgas::{ChaosPlan, KillTrigger, PlaceId, SocketChaos, SocketConfig};
-use dpx10_core::{DagResult, EngineConfig, FaultPlan, RunReport, SocketEngine, ThreadedEngine};
+use dpx10_core::{
+    CommsMode, DagResult, EngineConfig, FaultPlan, RunReport, SocketEngine, ThreadedEngine,
+};
 use dpx10_dag::topological_order;
 use dpx10_obs::{oracle as trace_oracle, Recorder, Trace};
 use dpx10_sim::{SimConfig, SimEngine, SimFaultPlan};
@@ -29,6 +31,10 @@ pub struct ChaosOptions {
     /// serial oracle and the simulator never coalesce, so a coalesced
     /// sweep still compares against uncoalesced references cell by cell.
     pub coalesce: Option<usize>,
+    /// Anti-dependency delivery mode for the simulator, threaded and
+    /// socket backends. The serial oracle has no comms plane, so a push
+    /// sweep still checks every cell against a pull-free reference.
+    pub comms: CommsMode,
 }
 
 impl Default for ChaosOptions {
@@ -38,6 +44,7 @@ impl Default for ChaosOptions {
             shrink: true,
             trace_capacity: 4096,
             coalesce: None,
+            comms: CommsMode::Pull,
         }
     }
 }
@@ -199,11 +206,13 @@ fn check_sim(
     plan: &ChaosPlan,
     expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
     trace_capacity: usize,
+    comms: CommsMode,
 ) -> Result<(), Failure> {
     let mut config = SimConfig::flat(sc.places)
         .with_dist(sc.dist.clone())
         .with_schedule(sc.schedule)
-        .with_cache(sc.cache);
+        .with_cache(sc.cache)
+        .with_comms(comms);
     if let Some((place, frac)) = first_progress_kill(plan) {
         config = config.with_fault(SimFaultPlan {
             place,
@@ -239,13 +248,14 @@ fn check_sim(
     Ok(())
 }
 
-fn engine_config(sc: &Scenario, plan: &ChaosPlan, coalesce: Option<usize>) -> EngineConfig {
+fn engine_config(sc: &Scenario, plan: &ChaosPlan, opts: &ChaosOptions) -> EngineConfig {
     let mut config = EngineConfig::flat(sc.places)
         .with_dist(sc.dist.clone())
         .with_schedule(sc.schedule)
         .with_cache(sc.cache)
         .with_chaos(plan.clone())
-        .with_coalesce(coalesce);
+        .with_coalesce(opts.coalesce)
+        .with_comms(opts.comms);
     config.stall_limit = Duration::from_secs(20);
     config
 }
@@ -254,9 +264,9 @@ fn check_threads(
     sc: &Scenario,
     plan: &ChaosPlan,
     expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
-    coalesce: Option<usize>,
+    opts: &ChaosOptions,
 ) -> Result<(), Failure> {
-    let config = engine_config(sc, plan, coalesce);
+    let config = engine_config(sc, plan, opts);
     let recorder = Recorder::new(sc.places as usize);
     let result = ThreadedEngine::new(MixApp, sc.pattern.clone(), config)
         .with_recorder(recorder.clone())
@@ -272,7 +282,7 @@ fn check_sockets(
     sc: &Scenario,
     plan: &ChaosPlan,
     expect: &std::collections::HashMap<dpx10_dag::VertexId, u64>,
-    coalesce: Option<usize>,
+    opts: &ChaosOptions,
 ) -> Result<(), Failure> {
     // The socket mesh gets the plan's kills (delivered as `Wire::Die`,
     // absorbed as soft crashes so every place stays a thread of this
@@ -293,7 +303,7 @@ fn check_sockets(
     let mut engine_plan = plan.clone();
     engine_plan.net = dpx10_apgas::NetChaos::off();
     engine_plan.flap = None;
-    let config = engine_config(sc, &engine_plan, coalesce);
+    let config = engine_config(sc, &engine_plan, opts);
 
     let listener = TcpListener::bind("127.0.0.1:0")
         .map_err(|e| fail("sockets", format!("bind failed: {e}")))?;
@@ -360,10 +370,10 @@ fn check_sockets(
 /// and returns the first broken invariant, if any.
 pub fn check_plan(sc: &Scenario, plan: &ChaosPlan, opts: &ChaosOptions) -> Result<(), Failure> {
     let expect = oracle(sc.pattern.as_ref());
-    check_sim(sc, plan, &expect, opts.trace_capacity)?;
-    check_threads(sc, plan, &expect, opts.coalesce)?;
+    check_sim(sc, plan, &expect, opts.trace_capacity, opts.comms)?;
+    check_threads(sc, plan, &expect, opts)?;
     if opts.sockets {
-        check_sockets(sc, plan, &expect, opts.coalesce)?;
+        check_sockets(sc, plan, &expect, opts)?;
     }
     Ok(())
 }

@@ -19,6 +19,7 @@ fn coalesced(bytes: usize) -> ChaosOptions {
         shrink: false,
         trace_capacity: 2048,
         coalesce: Some(bytes),
+        ..ChaosOptions::default()
     }
 }
 
@@ -66,6 +67,7 @@ fn pinned_seeds_pass_coalesced_on_the_socket_mesh() {
         shrink: false,
         trace_capacity: 2048,
         coalesce: Some(4096),
+        ..ChaosOptions::default()
     };
     let failures: Vec<String> = (0..4u64)
         .map(|seed| run_seed(seed, &opts))

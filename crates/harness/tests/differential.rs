@@ -12,6 +12,7 @@ fn fast() -> ChaosOptions {
         shrink: false,
         trace_capacity: 2048,
         coalesce: None,
+        ..ChaosOptions::default()
     }
 }
 
@@ -32,6 +33,7 @@ fn pinned_seeds_pass_on_the_socket_mesh() {
         shrink: false,
         trace_capacity: 2048,
         coalesce: None,
+        ..ChaosOptions::default()
     };
     let failures: Vec<String> = (0..6u64)
         .map(|seed| run_seed(seed, &opts))

@@ -88,6 +88,8 @@ pub struct SimConfig {
     pub cost: CostModel,
     /// Ready-list ordering per place (extension; see `sim::ready`).
     pub ready_policy: ReadyPolicy,
+    /// How remote values travel (mirrors `EngineConfig::comms`).
+    pub comms: dpx10_core::CommsMode,
 }
 
 impl SimConfig {
@@ -104,6 +106,7 @@ impl SimConfig {
             fault: None,
             cost: CostModel::default(),
             ready_policy: ReadyPolicy::Fifo,
+            comms: dpx10_core::CommsMode::Pull,
         }
     }
 
@@ -154,6 +157,12 @@ impl SimConfig {
     /// Sets the ready-list policy.
     pub fn with_ready_policy(mut self, policy: ReadyPolicy) -> Self {
         self.ready_policy = policy;
+        self
+    }
+
+    /// Sets the remote-value delivery mode.
+    pub fn with_comms(mut self, comms: dpx10_core::CommsMode) -> Self {
+        self.comms = comms;
         self
     }
 }

@@ -13,10 +13,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dpx10_apgas::{Codec, PlaceId};
-use dpx10_core::state::{build_shards, collect_array, local_index, Parked, Shard};
+use dpx10_core::state::{build_shards, collect_array, local_index, Fill, Parked, Shard};
 use dpx10_core::{
-    msg::Msg, schedule::min_comm_choice, schedule::random_choice, DagResult, DepView, DpApp,
-    EngineError, InitOverride, RunReport, ScheduleStrategy,
+    msg::Msg, schedule::min_comm_choice, schedule::random_choice, CommsMode, DagResult, DepView,
+    DpApp, EngineError, InitOverride, RunReport, ScheduleStrategy,
 };
 use dpx10_dag::{validate_pattern, DagPattern, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, Region2D};
@@ -85,6 +85,10 @@ struct Epoch<V> {
     net_time: Duration,
     cache_hits: u64,
     cache_misses: u64,
+    pulls_sent: u64,
+    pulls_deduped: u64,
+    pushes_sent: u64,
+    pull_roundtrips_avoided: u64,
     /// Latest publish time seen.
     last_publish: SimTime,
     /// Accumulated busy nanoseconds per slot.
@@ -185,6 +189,7 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 pattern,
                 &dist,
                 prior.as_ref(),
+                None,
                 self.init.as_ref(),
                 self.config.cache_capacity,
             );
@@ -216,6 +221,10 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 net_time: Duration::ZERO,
                 cache_hits: 0,
                 cache_misses: 0,
+                pulls_sent: 0,
+                pulls_deduped: 0,
+                pushes_sent: 0,
+                pull_roundtrips_avoided: 0,
                 last_publish: base,
                 busy_ns: vec![0; nslots],
                 trace: full_trace.take(),
@@ -310,6 +319,10 @@ impl<A: DpApp + 'static> SimEngine<A> {
             report.comm.net_time += ep.net_time;
             report.comm.cache_hits += ep.cache_hits;
             report.comm.cache_misses += ep.cache_misses;
+            report.comm.pulls_sent += ep.pulls_sent;
+            report.comm.pulls_deduped += ep.pulls_deduped;
+            report.comm.pushes_sent += ep.pushes_sent;
+            report.comm.pull_roundtrips_avoided += ep.pull_roundtrips_avoided;
             report.comm.tasks_run += ep.computed;
 
             match outcome {
@@ -583,31 +596,44 @@ impl<A: DpApp + 'static> SimEngine<A> {
         }
 
         let mut to_pull: Vec<VertexId> = Vec::new();
+        let mut avoided = 0u64;
+        let mut deduped = 0u64;
+        let mut complete = false;
         {
             let shard = &ep.shards[slot];
             let mut pending = shard.pending.lock();
-            if let Some(p) = pending.parked.get(&li) {
+            // Previously pulled (or eagerly pushed) fills; consuming a
+            // pushed fill demotes it to Pulled so a re-gather of a
+            // still-parked vertex doesn't count the saving twice.
+            if let Some(p) = pending.parked.get_mut(&li) {
                 for (k, d) in deps.iter().enumerate() {
                     if vals[k].is_none() {
-                        if let Some(Some(v)) = p.fills.get(&d.pack()) {
-                            vals[k] = Some(v.clone());
+                        if let Some(fill) = p.fills.get_mut(&d.pack()) {
+                            if let Fill::Pushed(v) = fill {
+                                let v = v.clone();
+                                avoided += 1;
+                                vals[k] = Some(v.clone());
+                                *fill = Fill::Pulled(v);
+                            } else if let Some(v) = fill.value() {
+                                vals[k] = Some(v.clone());
+                            }
                         }
                     }
                 }
             }
             if vals.iter().all(Option::is_some) {
                 pending.parked.remove(&li);
-                return Some(vals.into_iter().map(Option::unwrap).collect());
+                complete = true;
             }
             let mut newly_missing = Vec::new();
-            {
+            if !complete {
                 let entry = pending.parked.entry(li).or_insert_with(|| Parked {
                     fills: HashMap::new(),
                     remaining: 0,
                 });
                 for (k, d) in deps.iter().enumerate() {
                     if vals[k].is_none() && !entry.fills.contains_key(&d.pack()) {
-                        entry.fills.insert(d.pack(), None);
+                        entry.fills.insert(d.pack(), Fill::Missing);
                         entry.remaining += 1;
                         newly_missing.push(*d);
                     }
@@ -617,12 +643,21 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 let waiters = pending.waiters.entry(d.pack()).or_default();
                 if waiters.is_empty() {
                     to_pull.push(d);
+                } else {
+                    // Dedup hub: ride the outstanding pull.
+                    deduped += 1;
                 }
                 waiters.push(li);
             }
         }
+        ep.pull_roundtrips_avoided += avoided;
+        ep.pulls_deduped += deduped;
+        if complete {
+            return Some(vals.into_iter().map(Option::unwrap).collect());
+        }
         for d in &to_pull {
             ep.cache_misses += 1;
+            ep.pulls_sent += 1;
             ep.rec
                 .instant(me.0, RUNTIME_WORKER, EventKind::CacheMiss, t, d.pack());
             ep.rec
@@ -675,10 +710,20 @@ impl<A: DpApp + 'static> SimEngine<A> {
             }
         }
         for (q, targets) in groups {
-            let msg = Msg::Done {
-                from: id,
-                value: value.clone(),
-                targets,
+            let msg = match self.config.comms {
+                CommsMode::Pull => Msg::Done {
+                    from: id,
+                    value: value.clone(),
+                    targets,
+                },
+                CommsMode::Push => {
+                    ep.pushes_sent += 1;
+                    Msg::PushVal {
+                        from: id,
+                        value: value.clone(),
+                        targets,
+                    }
+                }
             };
             self.send(ep, t, me, PlaceId(q), msg);
         }
@@ -728,13 +773,11 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 if let Some(waiters) = pending.waiters.remove(&id.pack()) {
                     for wli in waiters {
                         if let Some(p) = pending.parked.get_mut(&wli) {
-                            if let Some(slot_val) = p.fills.get_mut(&id.pack()) {
-                                if slot_val.is_none() {
-                                    *slot_val = Some(value.clone());
-                                    p.remaining -= 1;
-                                    if p.remaining == 0 {
-                                        refill.push(wli);
-                                    }
+                            if let Some(fill @ Fill::Missing) = p.fills.get_mut(&id.pack()) {
+                                *fill = Fill::Pulled(value.clone());
+                                p.remaining -= 1;
+                                if p.remaining == 0 {
+                                    refill.push(wli);
                                 }
                             }
                         }
@@ -778,6 +821,62 @@ impl<A: DpApp + 'static> SimEngine<A> {
             Msg::PullValBatch { entries } => {
                 for (id, value) in entries {
                     self.handle_msg(ep, slot, src, Msg::PullVal { id, value }, t, threshold);
+                }
+            }
+            // Push mode: same decrements as `Done`, but the value is
+            // additionally pinned for every unfinished target so the
+            // gather finds it past cache eviction (mirrors the threaded
+            // engine's `handle_push`).
+            Msg::PushVal {
+                from,
+                value,
+                targets,
+            } => {
+                let shard = &ep.shards[slot];
+                shard.cache.lock().insert(from.pack(), value.clone());
+                let mut refill: Vec<u32> = Vec::new();
+                {
+                    let mut pending = shard.pending.lock();
+                    for tgt in &targets {
+                        let tli = local_index(&ep.dist, *tgt);
+                        if shard.finished[tli as usize].load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let entry = pending.parked.entry(tli).or_insert_with(|| Parked {
+                            fills: HashMap::new(),
+                            remaining: 0,
+                        });
+                        match entry.fills.get_mut(&from.pack()) {
+                            Some(fill @ Fill::Missing) => {
+                                *fill = Fill::Pushed(value.clone());
+                                entry.remaining -= 1;
+                                if entry.remaining == 0 {
+                                    refill.push(tli);
+                                }
+                            }
+                            Some(_) => {}
+                            None => {
+                                entry.fills.insert(from.pack(), Fill::Pushed(value.clone()));
+                            }
+                        }
+                    }
+                }
+                for wli in refill {
+                    let (i, j) = ep.shards[slot].points[wli as usize];
+                    ep.ready[slot].push(wli, i as u64 + j as u64);
+                }
+                for tgt in targets {
+                    decrement(&ep.shards[slot], &mut ep.ready[slot], &ep.dist, tgt);
+                }
+            }
+            Msg::PushValBatch { entries } => {
+                for (from, value, targets) in entries {
+                    let unbatched = Msg::PushVal {
+                        from,
+                        value,
+                        targets,
+                    };
+                    self.handle_msg(ep, slot, src, unbatched, t, threshold);
                 }
             }
             // Relocation traffic belongs to the elastic mesh engine;
