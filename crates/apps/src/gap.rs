@@ -1,0 +1,202 @@
+//! The GAP problem — 2-D edit distance with general (decomposable) gap
+//! penalties, the paper-family's canonical doubly-nested dataflow:
+//!
+//! ```text
+//! G[0][0] = 0
+//! G[i][j] = min( G[i-1][j-1] + s(i, j),               (diagonal point)
+//!                g1(j) + min_{q<j}( G[i][q] + f1(q) ), (row interval)
+//!                g2(i) + min_{p<i}( G[p][j] + f2(p) )  (column interval) )
+//! ```
+//!
+//! A cell reads one point dependency plus two full prefixes — O(i + j)
+//! values when enumerated. With per-row and per-column `Min` lanes the
+//! ranged path answers both interval terms in O(1), leaving only the
+//! diagonal point to gather.
+
+use dpx10_core::{AggView, DepView, DpApp};
+use dpx10_dag::{AggSpec, Axis, GapDag, RangedDag, Reduction, VertexId};
+
+fn mix(seed: u64, tag: u64, x: u64) -> u64 {
+    let mut z =
+        seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Substitution cost `s(i, j)` for the diagonal step into `(i, j)`.
+pub fn sub_cost(seed: u64, i: u32, j: u32) -> u32 {
+    (mix(seed, 3, (u64::from(i) << 32) | u64::from(j)) % 1000) as u32
+}
+
+/// Row-gap departure component `f1(q)`.
+pub fn row_open(seed: u64, q: u32) -> u32 {
+    (mix(seed, 4, u64::from(q)) % 1000) as u32
+}
+
+/// Row-gap arrival component `g1(j)`.
+pub fn row_close(seed: u64, j: u32) -> u32 {
+    (mix(seed, 5, u64::from(j)) % 1000) as u32
+}
+
+/// Column-gap departure component `f2(p)`.
+pub fn col_open(seed: u64, p: u32) -> u32 {
+    (mix(seed, 6, u64::from(p)) % 1000) as u32
+}
+
+/// Column-gap arrival component `g2(i)`.
+pub fn col_close(seed: u64, i: u32) -> u32 {
+    (mix(seed, 7, u64::from(i)) % 1000) as u32
+}
+
+/// The GAP application over a seeded decomposable penalty table.
+#[derive(Clone, Copy, Debug)]
+pub struct GapApp {
+    /// Table height.
+    pub h: u32,
+    /// Table width.
+    pub w: u32,
+    /// Penalty-table seed.
+    pub seed: u64,
+}
+
+impl GapApp {
+    /// Creates the app for an `h × w` table.
+    pub fn new(h: u32, w: u32, seed: u64) -> Self {
+        assert!(h > 0 && w > 0);
+        GapApp { h, w, seed }
+    }
+
+    /// The `h × w` interval pattern wrapped for any engine.
+    pub fn pattern(&self) -> RangedDag {
+        RangedDag::new(GapDag::new(self.h, self.w))
+    }
+
+    /// The recurrence's answer `G[h-1][w-1]` from a finished result.
+    pub fn answer(&self, result: &dpx10_core::DagResult<u32>) -> u32 {
+        result.get(self.h - 1, self.w - 1)
+    }
+}
+
+impl DpApp for GapApp {
+    type Value = u32;
+
+    fn compute(&self, id: VertexId, deps: &DepView<'_, u32>) -> u32 {
+        let (i, j) = (id.i, id.j);
+        if i == 0 && j == 0 {
+            return 0;
+        }
+        // Enumerated path: classify each predecessor by which term of
+        // the recurrence it feeds. The diagonal is the only dep with
+        // both coordinates different.
+        let mut row_best = u64::MAX;
+        let mut col_best = u64::MAX;
+        let mut diag = None;
+        for (d, &v) in deps.iter() {
+            if d.i == i {
+                row_best = row_best.min(u64::from(v) + u64::from(row_open(self.seed, d.j)));
+            } else if d.j == j {
+                col_best = col_best.min(u64::from(v) + u64::from(col_open(self.seed, d.i)));
+            } else {
+                diag = Some(u64::from(v) + u64::from(sub_cost(self.seed, i, j)));
+            }
+        }
+        let mut best = diag.unwrap_or(u64::MAX);
+        if row_best != u64::MAX {
+            best = best.min(u64::from(row_close(self.seed, j)) + row_best);
+        }
+        if col_best != u64::MAX {
+            best = best.min(u64::from(col_close(self.seed, i)) + col_best);
+        }
+        best as u32
+    }
+
+    fn agg_spec(&self) -> Option<AggSpec> {
+        Some(AggSpec::both(Reduction::Min))
+    }
+
+    fn agg_key(&self, axis: Axis, id: VertexId, value: &u32) -> i64 {
+        match axis {
+            Axis::Row => i64::from(*value) + i64::from(row_open(self.seed, id.j)),
+            Axis::Col => i64::from(*value) + i64::from(col_open(self.seed, id.i)),
+        }
+    }
+
+    fn compute_ranged(&self, id: VertexId, points: &DepView<'_, u32>, aggs: &AggView<'_>) -> u32 {
+        let (i, j) = (id.i, id.j);
+        if i == 0 && j == 0 {
+            return 0;
+        }
+        let mut best = if i > 0 && j > 0 {
+            u64::from(*points.get(i - 1, j - 1).expect("diagonal point dep"))
+                + u64::from(sub_cost(self.seed, i, j))
+        } else {
+            u64::MAX
+        };
+        // Both interval terms are O(1) lane lookups.
+        if j > 0 {
+            let row = u64::from(row_close(self.seed, j)) + aggs.row_prefix(i, j) as u64;
+            best = best.min(row);
+        }
+        if i > 0 {
+            let col = u64::from(col_close(self.seed, i)) + aggs.col_prefix(j, i) as u64;
+            best = best.min(col);
+        }
+        best as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+    use dpx10_core::{EngineConfig, ThreadedEngine};
+
+    fn run(h: u32, w: u32, seed: u64, cfg: EngineConfig) -> dpx10_core::DagResult<u32> {
+        let app = GapApp::new(h, w, seed);
+        ThreadedEngine::new(app, app.pattern(), cfg).run().unwrap()
+    }
+
+    fn check(result: &dpx10_core::DagResult<u32>, want: &[Vec<u32>]) {
+        for (i, row) in want.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(result.get(i as u32, j as u32), v, "cell ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_matches_serial() {
+        for seed in [2, 99, 31415] {
+            let want = serial::gap(13, 17, seed);
+            let result = run(13, 17, seed, EngineConfig::flat(3));
+            check(&result, &want);
+        }
+    }
+
+    #[test]
+    fn enumerated_matches_serial() {
+        let want = serial::gap(11, 9, 8);
+        let result = run(11, 9, 8, EngineConfig::flat(2).with_aggregation(false));
+        check(&result, &want);
+    }
+
+    #[test]
+    fn starved_cache_still_correct() {
+        let want = serial::gap(16, 16, 4);
+        let result = run(16, 16, 4, EngineConfig::flat(4).with_cache(2));
+        check(&result, &want);
+    }
+
+    #[test]
+    fn degenerate_single_row_and_column() {
+        check(
+            &run(1, 12, 6, EngineConfig::flat(2)),
+            &serial::gap(1, 12, 6),
+        );
+        check(
+            &run(12, 1, 6, EngineConfig::flat(2)),
+            &serial::gap(12, 1, 6),
+        );
+    }
+}

@@ -12,9 +12,11 @@
 #![warn(missing_docs)]
 
 pub mod extra;
+pub mod gap;
 pub mod knapsack;
 pub mod lcs;
 pub mod lps;
+pub mod lws;
 pub mod mtp;
 pub mod rng;
 pub mod serial;
@@ -24,8 +26,10 @@ pub mod workload;
 pub use extra::{
     BandedEditDistanceApp, EditDistanceApp, MatrixChainApp, NeedlemanWunschApp, NussinovApp,
 };
+pub use gap::GapApp;
 pub use knapsack::KnapsackApp;
 pub use lcs::LcsApp;
 pub use lps::LpsApp;
+pub use lws::LwsApp;
 pub use mtp::MtpApp;
 pub use swlag::{SwCell, SwLinearApp, SwlagApp};

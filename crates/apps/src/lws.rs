@@ -1,0 +1,149 @@
+//! Least-Weight Subsequence — the 1-D/1-D nested-dataflow recurrence
+//! (`D[j] = min_{i<j}(D[i] + w(i, j))`, `D[0] = 0`) over a decomposable
+//! weight `w(i, j) = f(i) + g(j)`.
+//!
+//! This is the smallest member of the DP class the ROADMAP calls
+//! "nested-dataflow workloads": every cell reads *all* of its
+//! predecessors, so an enumerated engine gathers O(n) values per cell,
+//! while the prefix-aggregated path keeps one running `min` of
+//! `D[i] + f(i)` per place and answers each cell in O(1). Both paths
+//! must produce identical tables — the differential harness holds them
+//! to that.
+
+use dpx10_core::{AggView, DepView, DpApp};
+use dpx10_dag::{AggSpec, Axis, LwsDag, RangedDag, Reduction, VertexId};
+
+/// Stateless splitmix-style hash: the weight tables are pure functions
+/// of `(seed, tag, x)`, so apps, oracles and remote places all agree
+/// without shipping any table.
+fn mix(seed: u64, tag: u64, x: u64) -> u64 {
+    let mut z =
+        seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The departure-side weight component `f(i)`, in `0..1000`.
+pub fn f_weight(seed: u64, i: u32) -> u32 {
+    (mix(seed, 1, u64::from(i)) % 1000) as u32
+}
+
+/// The arrival-side weight component `g(j)`, in `0..1000`.
+pub fn g_weight(seed: u64, j: u32) -> u32 {
+    (mix(seed, 2, u64::from(j)) % 1000) as u32
+}
+
+/// The LWS application over a seeded decomposable weight table.
+#[derive(Clone, Copy, Debug)]
+pub struct LwsApp {
+    /// Number of positions (cells of the single-row DAG).
+    pub n: u32,
+    /// Weight-table seed.
+    pub seed: u64,
+}
+
+impl LwsApp {
+    /// Creates the app for `n` positions.
+    pub fn new(n: u32, seed: u64) -> Self {
+        assert!(n > 0);
+        LwsApp { n, seed }
+    }
+
+    /// The `1 × n` interval pattern wrapped for any engine.
+    pub fn pattern(&self) -> RangedDag {
+        RangedDag::new(LwsDag::new(self.n))
+    }
+
+    /// The recurrence's answer `D[n-1]` from a finished result.
+    pub fn answer(&self, result: &dpx10_core::DagResult<u32>) -> u32 {
+        result.get(0, self.n - 1)
+    }
+}
+
+impl DpApp for LwsApp {
+    type Value = u32;
+
+    fn compute(&self, id: VertexId, deps: &DepView<'_, u32>) -> u32 {
+        let j = id.j;
+        if j == 0 {
+            return 0;
+        }
+        // Enumerated path: brute fold over all j predecessors.
+        let best = deps
+            .iter()
+            .map(|(d, &v)| u64::from(v) + u64::from(f_weight(self.seed, d.j)))
+            .min()
+            .expect("cell j>0 has j deps");
+        (u64::from(g_weight(self.seed, j)) + best) as u32
+    }
+
+    fn agg_spec(&self) -> Option<AggSpec> {
+        Some(AggSpec::rows(Reduction::Min))
+    }
+
+    fn agg_key(&self, _axis: Axis, id: VertexId, value: &u32) -> i64 {
+        i64::from(*value) + i64::from(f_weight(self.seed, id.j))
+    }
+
+    fn compute_ranged(&self, id: VertexId, _points: &DepView<'_, u32>, aggs: &AggView<'_>) -> u32 {
+        let j = id.j;
+        if j == 0 {
+            return 0;
+        }
+        // O(1): the lane already holds min_{i<j}(D[i] + f(i)).
+        (i64::from(g_weight(self.seed, j)) + aggs.row_prefix(0, j)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+    use dpx10_core::{EngineConfig, ThreadedEngine};
+
+    fn run(n: u32, seed: u64, cfg: EngineConfig) -> dpx10_core::DagResult<u32> {
+        let app = LwsApp::new(n, seed);
+        ThreadedEngine::new(app, app.pattern(), cfg).run().unwrap()
+    }
+
+    #[test]
+    fn aggregated_matches_serial() {
+        for seed in [1, 42, 7777] {
+            let n = 61;
+            let want = serial::lws(n, seed);
+            let result = run(n, seed, EngineConfig::flat(3));
+            for j in 0..n {
+                assert_eq!(result.get(0, j), want[j as usize], "j={j} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_matches_serial() {
+        let n = 48;
+        let want = serial::lws(n, 5);
+        let result = run(n, 5, EngineConfig::flat(2).with_aggregation(false));
+        for j in 0..n {
+            assert_eq!(result.get(0, j), want[j as usize]);
+        }
+    }
+
+    #[test]
+    fn aggregates_survive_cache_starvation() {
+        // A 2-entry cache evicts nearly every raw remote value, but the
+        // lanes are residents: the aggregated run stays correct *and*
+        // never issues a pull round-trip (LWS has no point deps).
+        let n = 80;
+        let want = serial::lws(n, 9);
+        let result = run(n, 9, EngineConfig::flat(4).with_cache(2));
+        for j in 0..n {
+            assert_eq!(result.get(0, j), want[j as usize]);
+        }
+        assert_eq!(
+            result.report().comm.pulls_sent,
+            0,
+            "interval reads must come from lanes, not pulls"
+        );
+    }
+}

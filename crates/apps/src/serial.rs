@@ -181,6 +181,56 @@ pub fn nussinov(seq: &[u8]) -> u32 {
     d[0][n - 1]
 }
 
+/// Least-Weight Subsequence table over the hashed decomposable weights
+/// of [`crate::LwsApp`] — the brute O(n²) fold, no prefix aggregation.
+pub fn lws(n: u32, seed: u64) -> Vec<u32> {
+    use crate::lws::{f_weight, g_weight};
+    let mut d = vec![0u32; n as usize];
+    for j in 1..n {
+        let best = (0..j)
+            .map(|i| u64::from(d[i as usize]) + u64::from(f_weight(seed, i)))
+            .min()
+            .unwrap();
+        d[j as usize] = (u64::from(g_weight(seed, j)) + best) as u32;
+    }
+    d
+}
+
+/// GAP table over the hashed decomposable penalties of
+/// [`crate::GapApp`] — the brute O(hw·(h+w)) triple fold.
+pub fn gap(h: u32, w: u32, seed: u64) -> Vec<Vec<u32>> {
+    use crate::gap::{col_close, col_open, row_close, row_open, sub_cost};
+    let mut g = vec![vec![0u32; w as usize]; h as usize];
+    for i in 0..h {
+        for j in 0..w {
+            if i == 0 && j == 0 {
+                continue;
+            }
+            let mut best = u64::MAX;
+            if i > 0 && j > 0 {
+                best = u64::from(g[(i - 1) as usize][(j - 1) as usize])
+                    + u64::from(sub_cost(seed, i, j));
+            }
+            if j > 0 {
+                let row = (0..j)
+                    .map(|q| u64::from(g[i as usize][q as usize]) + u64::from(row_open(seed, q)))
+                    .min()
+                    .unwrap();
+                best = best.min(u64::from(row_close(seed, j)) + row);
+            }
+            if i > 0 {
+                let col = (0..i)
+                    .map(|p| u64::from(g[p as usize][j as usize]) + u64::from(col_open(seed, p)))
+                    .min()
+                    .unwrap();
+                best = best.min(u64::from(col_close(seed, i)) + col);
+            }
+            g[i as usize][j as usize] = best as u32;
+        }
+    }
+    g
+}
+
 /// Matrix-chain multiplication optimum over `dims`.
 pub fn matrix_chain(dims: &[u64]) -> u64 {
     let n = dims.len() - 1;

@@ -119,15 +119,17 @@ fn main() {
         "fig12" => fig12(&opts),
         "fig13" => fig13(&opts),
         "ablation" => ablation(&opts),
+        "nested" => nested(&opts),
         "all" => {
             fig10(&opts);
             fig11(&opts);
             fig12(&opts);
             fig13(&opts);
             ablation(&opts);
+            nested(&opts);
         }
         other => {
-            eprintln!("usage: figures [all|fig10|fig11|fig12|fig13|ablation] [--vertices N] [--csv DIR] [--svg DIR] [--registry FILE]");
+            eprintln!("usage: figures [all|fig10|fig11|fig12|fig13|ablation|nested] [--vertices N] [--csv DIR] [--svg DIR] [--registry FILE]");
             eprintln!("unknown command {other}");
             std::process::exit(2);
         }
@@ -579,6 +581,63 @@ fn ablation(opts: &Opts) {
         }
     }
     emit(heavy, opts);
+}
+
+/// Fig. 10-style scaling curve for the nested-dataflow extension: GAP
+/// runtime vs places on the threaded engine, prefix aggregation on vs
+/// off. Each GAP cell depends on its whole row and column prefix; the
+/// aggregated path reads that interval as one O(1) prefix-min lane
+/// lookup, so its curve tracks the O(1)-degree apps of Fig. 10, while
+/// the enumerated path pays the O(n) interval walk per cell.
+fn nested(opts: &Opts) {
+    use dpx10_apps::{workload, GapApp};
+    use dpx10_core::{EngineConfig, ThreadedEngine};
+
+    let side = workload::side_for_vertices(opts.vertices / 4);
+    let places = [2u16, 4, 6, 8, 10, 12];
+    let mut table = Table::new(
+        format!(
+            "Fig 10-style: GAP runtime vs places ({} vertices, nested dataflow)",
+            u64::from(side) * u64::from(side)
+        ),
+        &["places", "agg_on_s", "agg_off_s", "agg_off_over_on"],
+    );
+    let (mut on_pts, mut off_pts) = (Vec::new(), Vec::new());
+    for &p in &places {
+        let run = |agg: bool| {
+            let app = GapApp::new(side, side, 1);
+            ThreadedEngine::new(
+                app,
+                app.pattern(),
+                EngineConfig::flat(p).with_aggregation(agg),
+            )
+            .run()
+            .expect("gap run")
+            .report()
+            .clone()
+        };
+        let on = run(true).wall_time;
+        let off = run(false).wall_time;
+        on_pts.push((f64::from(p), on.as_secs_f64()));
+        off_pts.push((f64::from(p), off.as_secs_f64()));
+        table.row(&[
+            p.to_string(),
+            secs(on),
+            secs(off),
+            format!("{:.2}", off.as_secs_f64() / on.as_secs_f64()),
+        ]);
+    }
+    emit(table, opts);
+    emit_chart(
+        Chart::new(
+            "Fig 10-style: GAP scaling, prefix aggregation vs enumeration",
+            "places",
+            "wall seconds",
+        )
+        .series("agg on (O(1) reads)", on_pts)
+        .series("agg off (O(n) reads)", off_pts),
+        opts,
+    );
 }
 
 /// R² of a least-squares line through `(x, y)`.

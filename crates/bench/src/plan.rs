@@ -91,11 +91,15 @@ pub enum BenchApp {
     EditDistance,
     /// Needleman-Wunsch global alignment.
     NeedlemanWunsch,
+    /// Least-Weight Subsequence (interval deps + prefix-min lanes).
+    Lws,
+    /// Gap-penalty alignment (row+col interval deps).
+    Gap,
 }
 
 impl BenchApp {
     /// All runnable apps with their plan-file names.
-    pub const ALL: [(&'static str, BenchApp); 7] = [
+    pub const ALL: [(&'static str, BenchApp); 9] = [
         ("swlag", BenchApp::Swlag),
         ("mtp", BenchApp::Mtp),
         ("lps", BenchApp::Lps),
@@ -103,6 +107,8 @@ impl BenchApp {
         ("lcs", BenchApp::Lcs),
         ("edit-distance", BenchApp::EditDistance),
         ("needleman-wunsch", BenchApp::NeedlemanWunsch),
+        ("lws", BenchApp::Lws),
+        ("gap", BenchApp::Gap),
     ];
 
     /// The plan-file name.

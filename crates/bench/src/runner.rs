@@ -12,7 +12,8 @@ use std::net::TcpListener;
 
 use dpx10_apgas::{PlaceId, SocketConfig};
 use dpx10_apps::{
-    workload, EditDistanceApp, KnapsackApp, LcsApp, LpsApp, MtpApp, NeedlemanWunschApp, SwlagApp,
+    workload, EditDistanceApp, GapApp, KnapsackApp, LcsApp, LpsApp, LwsApp, MtpApp,
+    NeedlemanWunschApp, SwlagApp,
 };
 use dpx10_core::{
     run_tiled_threaded, DpApp, EngineConfig, RunReport, SocketEngine, ThreadedEngine, VertexValue,
@@ -89,6 +90,25 @@ pub fn run_cell(exp: &Experiment) -> Result<(u64, RunReport), String> {
             run_backend(exp, move || {
                 let app =
                     NeedlemanWunschApp::new(workload::dna(n, seed), workload::dna(n, seed + 1));
+                let pattern = app.pattern();
+                (app, pattern)
+            })
+        }
+        BenchApp::Lws => {
+            // One cell per vertex: a 1×n row with prefix-min lanes. Runs
+            // aggregated (the engine default), so the baseline's
+            // pull_roundtrips column ratchets the O(1)-reads invariant.
+            let n = (vertices as u32).max(2);
+            run_backend(exp, move || {
+                let app = LwsApp::new(n, seed);
+                let pattern = app.pattern();
+                (app, pattern)
+            })
+        }
+        BenchApp::Gap => {
+            let n = workload::side_for_vertices(vertices);
+            run_backend(exp, move || {
+                let app = GapApp::new(n, n, seed);
                 let pattern = app.pattern();
                 (app, pattern)
             })

@@ -28,11 +28,15 @@ pub enum AppChoice {
     NeedlemanWunsch,
     /// Nussinov RNA folding (2D/1D).
     Nussinov,
+    /// Least-Weight Subsequence (interval deps, prefix-aggregated).
+    Lws,
+    /// GAP: edit distance with general gap penalties (interval deps).
+    Gap,
 }
 
 impl AppChoice {
     /// All runnable apps with their CLI names.
-    pub const ALL: [(&'static str, AppChoice); 9] = [
+    pub const ALL: [(&'static str, AppChoice); 11] = [
         ("swlag", AppChoice::Swlag),
         ("sw-linear", AppChoice::SwLinear),
         ("mtp", AppChoice::Mtp),
@@ -42,6 +46,8 @@ impl AppChoice {
         ("edit-distance", AppChoice::EditDistance),
         ("needleman-wunsch", AppChoice::NeedlemanWunsch),
         ("nussinov", AppChoice::Nussinov),
+        ("lws", AppChoice::Lws),
+        ("gap", AppChoice::Gap),
     ];
 
     fn parse(s: &str) -> Option<AppChoice> {
@@ -107,6 +113,8 @@ pub struct RunArgs {
     pub coalesce: Option<usize>,
     /// Anti-dependency delivery: pull on demand or push eagerly.
     pub comms: CommsMode,
+    /// Prefix aggregation for interval-dependency (ranged) patterns.
+    pub agg: bool,
 }
 
 impl Default for RunArgs {
@@ -128,6 +136,7 @@ impl Default for RunArgs {
             metrics_out: None,
             coalesce: None,
             comms: CommsMode::Pull,
+            agg: true,
         }
     }
 }
@@ -153,6 +162,8 @@ pub struct ChaosArgs {
     pub elastic: bool,
     /// Anti-dependency delivery mode for the whole suite.
     pub comms: CommsMode,
+    /// Prefix aggregation for interval-dependency (ranged) patterns.
+    pub agg: bool,
 }
 
 impl Default for ChaosArgs {
@@ -166,6 +177,7 @@ impl Default for ChaosArgs {
             coalesce: None,
             elastic: false,
             comms: CommsMode::Pull,
+            agg: true,
         }
     }
 }
@@ -372,6 +384,16 @@ fn parse_comms(v: &str) -> Result<CommsMode, ParseError> {
     }
 }
 
+/// Parses an `--agg` value: `on` (prefix-aggregated interval reads, the
+/// default for ranged patterns) or `off` (enumerate every interval edge).
+fn parse_agg(v: &str) -> Result<bool, ParseError> {
+    match v {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => err(format!("bad --agg {other}, expected `on` or `off`")),
+    }
+}
+
 /// Parses a full argument list (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut it = args.iter().map(String::as_str);
@@ -523,6 +545,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--no-shrink" => chaos.shrink = false,
                     "--coalesce" => chaos.coalesce = parse_coalesce(&value("--coalesce")?)?,
                     "--comms" => chaos.comms = parse_comms(&value("--comms")?)?,
+                    "--agg" => chaos.agg = parse_agg(&value("--agg")?)?,
                     "--elastic" => chaos.elastic = true,
                     other => return err(format!("unknown chaos flag {other}")),
                 }
@@ -690,6 +713,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--metrics-out" => run.metrics_out = Some(value("--metrics-out")?),
                     "--coalesce" => run.coalesce = parse_coalesce(&value("--coalesce")?)?,
                     "--comms" => run.comms = parse_comms(&value("--comms")?)?,
+                    "--agg" => run.agg = parse_agg(&value("--agg")?)?,
                     other => return err(format!("unknown run flag {other}")),
                 }
             }
@@ -740,13 +764,17 @@ pub fn usage() -> String {
          \x20                         default off = one message per protocol event)\n\
          \x20 --comms pull|push       anti-dependency delivery: pull on demand (default)\n\
          \x20                         or push values eagerly to consumer places\n\
+         \x20 --agg on|off            prefix aggregation for interval-dependency\n\
+         \x20                         patterns (lws, gap): O(1) running-min reads\n\
+         \x20                         when on (default), enumerated edges when off\n\
          \n\
          SERVE FLAGS:\n\
          \x20 --jobfile FILE          one job per line: <app> <vertices> <seed> [priority];\n\
          \x20                         `#` comments and blank lines are skipped\n\
          \x20 --jobs N --app A        without a jobfile: N copies of app A at seeds\n\
          \x20                         seed..seed+N (default 4 x lcs)\n\
-         \x20                         serve apps: lcs, edit-distance, lps, nussinov\n\
+         \x20                         serve apps: lcs, edit-distance, lps, nussinov,\n\
+         \x20                         lws, gap\n\
          \x20 --vertices N            sweep problem scale per job (default 2500)\n\
          \x20 --places N              mesh places, every job shares them (default 3)\n\
          \x20 --max-in-flight M       concurrent-job admission cap (default 4)\n\
@@ -773,6 +801,8 @@ pub fn usage() -> String {
          \x20 --no-shrink             report failures without minimising the plan\n\
          \x20 --coalesce BYTES|off    run the whole suite with message coalescing\n\
          \x20 --comms pull|push       run the whole suite in this delivery mode\n\
+         \x20 --agg on|off            prefix aggregation for ranged patterns in the\n\
+         \x20                         sweep (default on)\n\
          \x20 --elastic               sweep elastic-mesh churn plans instead:\n\
          \x20                         joins, drains, live relocations and kills,\n\
          \x20                         every run fingerprint-checked against solo\n\
@@ -966,6 +996,27 @@ mod tests {
         assert!(parse_err(&["run", "swlag", "--coalesce", "many"])
             .0
             .contains("bad --coalesce"));
+    }
+
+    #[test]
+    fn agg_flag_parses() {
+        let Command::Run(run) = parse_ok(&["run", "lws", "--agg", "off"]) else {
+            panic!()
+        };
+        assert_eq!(run.app, AppChoice::Lws);
+        assert!(!run.agg);
+        let Command::Run(run) = parse_ok(&["run", "gap", "--agg", "on"]) else {
+            panic!()
+        };
+        assert_eq!(run.app, AppChoice::Gap);
+        assert!(run.agg);
+        let Command::Chaos(chaos) = parse_ok(&["chaos", "--agg", "off"]) else {
+            panic!()
+        };
+        assert!(!chaos.agg);
+        assert!(parse_err(&["run", "lws", "--agg", "maybe"])
+            .0
+            .contains("bad --agg"));
     }
 
     #[test]

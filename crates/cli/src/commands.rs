@@ -8,8 +8,8 @@ use dpx10_apgas::{
     SocketNode, Topology,
 };
 use dpx10_apps::{
-    workload, EditDistanceApp, KnapsackApp, LcsApp, LpsApp, MtpApp, NeedlemanWunschApp,
-    NussinovApp, SwLinearApp, SwlagApp,
+    workload, EditDistanceApp, GapApp, KnapsackApp, LcsApp, LpsApp, LwsApp, MtpApp,
+    NeedlemanWunschApp, NussinovApp, SwLinearApp, SwlagApp,
 };
 use dpx10_bench::{AblationPlan, RatchetSpec};
 use dpx10_core::{
@@ -195,6 +195,27 @@ pub fn run(args: &RunArgs, raw: &[String]) -> Result<RunSummary, String> {
             let last = n as u32 - 1;
             execute(args, raw, app, pattern, 60, move |r| {
                 format!("max base pairs = {}", r.get(0, last))
+            })
+        }
+        AppChoice::Lws => {
+            // 1-D: every vertex is a position of the single-row DAG.
+            let n = (args.vertices as u32).max(2);
+            let app = LwsApp::new(n, args.seed);
+            let pattern = app.pattern();
+            execute(args, raw, app, pattern, 60, move |r| {
+                format!("least weight D({}) = {}", n - 1, r.get(0, n - 1))
+            })
+        }
+        AppChoice::Gap => {
+            let n = workload::side_for_vertices(args.vertices);
+            let app = GapApp::new(n, n, args.seed);
+            let pattern = app.pattern();
+            execute(args, raw, app, pattern, 60, move |r| {
+                format!(
+                    "gap alignment cost G({0}, {0}) = {1}",
+                    n - 1,
+                    r.get(n - 1, n - 1)
+                )
             })
         }
     }
@@ -496,6 +517,7 @@ fn places_config(args: &RunArgs) -> EngineConfig {
     }
     config.coalesce = args.coalesce;
     config.comms = args.comms;
+    config.aggregation = args.agg;
     config
 }
 
@@ -512,6 +534,7 @@ pub fn run_chaos(args: &crate::args::ChaosArgs) -> (String, bool) {
         shrink: args.shrink,
         coalesce: args.coalesce,
         comms: args.comms,
+        agg: args.agg,
         ..dpx10_harness::ChaosOptions::default()
     };
     let seeds: Vec<u64> = match args.seed {
@@ -980,6 +1003,8 @@ enum ServeJobApp {
     EditDistance(EditDistanceApp),
     Lps(LpsApp),
     Nussinov(NussinovApp),
+    Lws(LwsApp),
+    Gap(GapApp),
 }
 
 impl DpApp for ServeJobApp {
@@ -990,6 +1015,34 @@ impl DpApp for ServeJobApp {
             ServeJobApp::EditDistance(app) => app.compute(id, deps),
             ServeJobApp::Lps(app) => app.compute(id, deps),
             ServeJobApp::Nussinov(app) => app.compute(id, deps),
+            ServeJobApp::Lws(app) => app.compute(id, deps),
+            ServeJobApp::Gap(app) => app.compute(id, deps),
+        }
+    }
+    fn agg_spec(&self) -> Option<dpx10_core::AggSpec> {
+        match self {
+            ServeJobApp::Lws(app) => app.agg_spec(),
+            ServeJobApp::Gap(app) => app.agg_spec(),
+            _ => None,
+        }
+    }
+    fn agg_key(&self, axis: dpx10_core::Axis, id: VertexId, value: &u32) -> i64 {
+        match self {
+            ServeJobApp::Lws(app) => app.agg_key(axis, id, value),
+            ServeJobApp::Gap(app) => app.agg_key(axis, id, value),
+            _ => unimplemented!("no aggregation for this serve app"),
+        }
+    }
+    fn compute_ranged(
+        &self,
+        id: VertexId,
+        points: &DepView<'_, u32>,
+        aggs: &dpx10_core::AggView<'_>,
+    ) -> u32 {
+        match self {
+            ServeJobApp::Lws(app) => app.compute_ranged(id, points, aggs),
+            ServeJobApp::Gap(app) => app.compute_ranged(id, points, aggs),
+            _ => unimplemented!("no ranged compute for this serve app"),
         }
     }
 }
@@ -1042,8 +1095,20 @@ fn serve_app_for(def: &ServeJobDef) -> Result<(ServeJobApp, Box<dyn DagPattern>)
             let pattern = app.pattern();
             Ok((ServeJobApp::Nussinov(app), Box::new(pattern)))
         }
+        AppChoice::Lws => {
+            let n = (def.vertices as u32).max(2);
+            let app = LwsApp::new(n, def.seed);
+            let pattern = app.pattern();
+            Ok((ServeJobApp::Lws(app), Box::new(pattern)))
+        }
+        AppChoice::Gap => {
+            let n = workload::side_for_vertices(def.vertices);
+            let app = GapApp::new(n, n, def.seed);
+            let pattern = app.pattern();
+            Ok((ServeJobApp::Gap(app), Box::new(pattern)))
+        }
         other => Err(format!(
-            "app {} cannot be served (serve apps share one value type: lcs, edit-distance, lps, nussinov)",
+            "app {} cannot be served (serve apps share one value type: lcs, edit-distance, lps, nussinov, lws, gap)",
             AppChoice::name(other)
         )),
     }
@@ -1584,6 +1649,8 @@ pub fn list_apps() -> String {
         AppChoice::EditDistance => "Levenshtein distance (extension)",
         AppChoice::NeedlemanWunsch => "global alignment (extension)",
         AppChoice::Nussinov => "RNA folding, 2D/1D interval-splits (extension)",
+        AppChoice::Lws => "Least-Weight Subsequence, interval deps + prefix-min (extension)",
+        AppChoice::Gap => "general gap penalties, row+col interval deps (extension)",
     };
     for (_, app) in AppChoice::ALL {
         out.push_str(&format!("  {:<18} {}\n", app.name(), note(app)));

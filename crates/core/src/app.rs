@@ -2,8 +2,8 @@
 //! `DPX10App[T]` interface and `Vertex[T]` class (Fig. 2).
 
 use dpx10_apgas::Codec;
-use dpx10_dag::VertexId;
-use dpx10_distarray::DistArray;
+use dpx10_dag::{AggSpec, Axis, VertexId};
+use dpx10_distarray::{AggTable, DistArray};
 
 use crate::stats::RunReport;
 
@@ -90,6 +90,96 @@ pub trait DpApp: Send + Sync {
     /// to the whole distributed array (paper: `appFinished(dag)`).
     fn app_finished(&self, result: &DagResult<Self::Value>) {
         let _ = result;
+    }
+
+    /// The prefix reductions this app wants the runtime to maintain, or
+    /// `None` (the default) for classic enumerated execution.
+    ///
+    /// Returning `Some` opts the app into the nested-dataflow path: when
+    /// the pattern also exposes an interval view
+    /// ([`dpx10_dag::DagPattern::as_range`]) and the engine's
+    /// `aggregation` knob is on, vertices execute via
+    /// [`compute_ranged`](DpApp::compute_ranged) with interval reads
+    /// served from O(1) prefix lookups instead of O(n) gathered values.
+    fn agg_spec(&self) -> Option<AggSpec> {
+        None
+    }
+
+    /// The aggregation key of a finished cell along `axis` — the
+    /// quantity the runtime folds into the row/column prefix lanes (e.g.
+    /// LWS folds `D[i] + f(i)` so `min` over a row prefix answers the
+    /// recurrence directly). Must be a pure function of `(axis, id,
+    /// value)`.
+    ///
+    /// Only called when [`agg_spec`](DpApp::agg_spec) returns `Some`.
+    fn agg_key(&self, axis: Axis, id: VertexId, value: &Self::Value) -> i64 {
+        let _ = (axis, id, value);
+        unimplemented!("agg_key must be implemented when agg_spec is Some")
+    }
+
+    /// Computes vertex `id` from its point dependencies plus the prefix
+    /// aggregates — the nested-dataflow counterpart of
+    /// [`compute`](DpApp::compute). Both methods must produce identical
+    /// values: the differential harness compares the two paths
+    /// fingerprint-for-fingerprint.
+    ///
+    /// Only called when [`agg_spec`](DpApp::agg_spec) returns `Some`.
+    fn compute_ranged(
+        &self,
+        id: VertexId,
+        points: &DepView<'_, Self::Value>,
+        aggs: &AggView<'_>,
+    ) -> Self::Value {
+        let _ = (id, points, aggs);
+        unimplemented!("compute_ranged must be implemented when agg_spec is Some")
+    }
+}
+
+/// Read access to the per-place prefix-aggregation lanes, handed to
+/// [`DpApp::compute_ranged`]. By the time a vertex executes, the engine
+/// has ensured every interval the pattern declared for it is answerable.
+pub struct AggView<'a> {
+    table: &'a AggTable,
+}
+
+impl<'a> AggView<'a> {
+    /// Wraps a place's aggregation table.
+    pub fn new(table: &'a AggTable) -> Self {
+        AggView { table }
+    }
+
+    /// The fold of row `i`'s keys over columns `0..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix is not yet complete — for intervals the
+    /// pattern declared, the engine guarantees completeness, so a panic
+    /// here means the app queried an interval outside its pattern.
+    pub fn row_prefix(&self, i: u32, hi: u32) -> i64 {
+        self.table
+            .row_prefix(i, hi)
+            .unwrap_or_else(|| panic!("row aggregate ({i}, 0..{hi}) incomplete at compute time"))
+    }
+
+    /// The fold of column `j`'s keys over rows `0..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`row_prefix`](AggView::row_prefix).
+    pub fn col_prefix(&self, j: u32, hi: u32) -> i64 {
+        self.table
+            .col_prefix(j, hi)
+            .unwrap_or_else(|| panic!("col aggregate (0..{hi}, {j}) incomplete at compute time"))
+    }
+
+    /// Non-panicking row lookup (e.g. for mid-wavefront diagnostics).
+    pub fn try_row_prefix(&self, i: u32, hi: u32) -> Option<i64> {
+        self.table.row_prefix(i, hi)
+    }
+
+    /// Non-panicking column lookup.
+    pub fn try_col_prefix(&self, j: u32, hi: u32) -> Option<i64> {
+        self.table.col_prefix(j, hi)
     }
 }
 

@@ -108,6 +108,13 @@ pub struct EngineConfig {
     /// How remote dependency values travel (pull round-trips or eager
     /// producer push).
     pub comms: CommsMode,
+    /// Whether interval dependencies execute through the prefix-
+    /// aggregation lanes (`true`, the default) or fall back to classic
+    /// enumerated gathering. Only consulted when the app declares an
+    /// [`dpx10_dag::AggSpec`] *and* the pattern exposes an interval view;
+    /// turning it off is the differential harness's way of comparing the
+    /// O(1)-lookup path against the O(n)-gather path.
+    pub aggregation: bool,
 }
 
 impl EngineConfig {
@@ -128,6 +135,7 @@ impl EngineConfig {
             chaos: None,
             coalesce: None,
             comms: CommsMode::Pull,
+            aggregation: true,
         }
     }
 
@@ -184,6 +192,12 @@ impl EngineConfig {
     /// Sets the remote-value delivery mode.
     pub fn with_comms(mut self, comms: CommsMode) -> Self {
         self.comms = comms;
+        self
+    }
+
+    /// Enables or disables the prefix-aggregation execution path.
+    pub fn with_aggregation(mut self, on: bool) -> Self {
+        self.aggregation = on;
         self
     }
 }

@@ -19,11 +19,11 @@ use dpx10_apgas::{
     FinishScope, KillTrigger, LocalTransport, NetworkModel, PlaceId, Runtime, RuntimeConfig,
     Topology, Transport,
 };
-use dpx10_dag::{validate_pattern, DagPattern, VertexId};
+use dpx10_dag::{validate_pattern, AggSpec, DagPattern, DepInterval, VertexId};
 use dpx10_distarray::{recover, Dist, DistArray, RecoveryCostModel, Region2D};
 use dpx10_obs::{EventKind, Recorder, RUNTIME_WORKER};
 
-use crate::app::{DagResult, DepView, DpApp};
+use crate::app::{AggView, DagResult, DepView, DpApp};
 use crate::checkpoint::CheckpointWriters;
 use crate::config::{CommsMode, EngineConfig, InitOverride};
 use crate::error::EngineError;
@@ -132,6 +132,7 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 self.config.dist_kind.clone(),
                 alive.clone(),
             ));
+            let agg = agg_mode(&self.config, self.app.as_ref(), pattern.as_ref());
             let (shards, prefinished) = build_shards(
                 pattern.as_ref(),
                 &dist,
@@ -139,7 +140,15 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 None,
                 self.init.as_ref(),
                 self.config.cache_capacity,
+                agg,
             );
+            if agg.is_some() {
+                // Recovery/init epochs: prefinished cells never publish
+                // again, so their keys must be reseeded into every
+                // place's lanes (the in-process engine holds the full
+                // prior array, so no place is left with gaps).
+                seed_aggs(self.app.as_ref(), &shards);
+            }
 
             if prefinished == total {
                 break collect_array(&shards, &dist);
@@ -245,6 +254,7 @@ impl<A: DpApp + 'static> ThreadedEngine<A> {
                 checkpoint: checkpoint.clone(),
                 recorder: self.recorder.clone(),
                 comms: self.config.comms,
+                agg,
             });
 
             run_epoch(&rt, &shared);
@@ -344,6 +354,67 @@ pub(crate) struct Shared<A: DpApp> {
     pub(crate) recorder: Recorder,
     /// How remote values travel: pull round-trips or eager pushes.
     pub(crate) comms: CommsMode,
+    /// `Some(spec)` iff this run executes interval dependencies through
+    /// the prefix-aggregation lanes (app declares a spec, pattern has an
+    /// interval view, and the config knob is on).
+    pub(crate) agg: Option<AggSpec>,
+}
+
+/// Whether a run executes through the prefix-aggregation lanes: the
+/// config knob is on, the app declares a spec, and the pattern exposes
+/// an interval view. All three must hold — any classic app or pattern
+/// silently takes the enumerated path.
+pub(crate) fn agg_mode<A: DpApp>(
+    config: &EngineConfig,
+    app: &A,
+    pattern: &dyn DagPattern,
+) -> Option<AggSpec> {
+    if !config.aggregation || pattern.as_range().is_none() {
+        return None;
+    }
+    app.agg_spec()
+}
+
+/// Reseeds every shard's aggregation lanes from the values already
+/// published in (any) shard — the prefinished cells of a recovery or
+/// init epoch, which will never flow through a delivery path again.
+/// Cells finished without a value (the socket engine's meta-only
+/// restores) stay out; the consumer-side pull fallback covers them.
+pub(crate) fn seed_aggs<A: DpApp>(app: &A, shards: &[Shard<A::Value>]) {
+    for src in shards {
+        for (li, &(i, j)) in src.points.iter().enumerate() {
+            if !src.in_pattern[li] {
+                continue;
+            }
+            let Some(v) = src.values[li].get() else {
+                continue;
+            };
+            let id = VertexId::new(i, j);
+            for dst in shards {
+                if let Some(table) = &dst.aggs {
+                    table.record(id, |axis| app.agg_key(axis, id, v));
+                }
+            }
+        }
+    }
+}
+
+/// Folds a finished cell's aggregation keys into the receiving place's
+/// lanes. Called from every value-delivery path (local publish, `Done`,
+/// `PushVal`, `PullVal`); the lanes are idempotent per cell, so
+/// overlapping deliveries are harmless.
+#[inline]
+pub(crate) fn agg_record<A: DpApp>(
+    shared: &Shared<A>,
+    slot: usize,
+    id: VertexId,
+    value: &A::Value,
+) {
+    if shared.agg.is_some() {
+        if let Some(table) = &shared.shards[slot].aggs {
+            table.record(id, |axis| shared.app.agg_key(axis, id, value));
+        }
+    }
 }
 
 /// One armed progress-triggered kill.
@@ -674,6 +745,9 @@ fn handle_done<A: DpApp>(
     targets: Vec<VertexId>,
 ) {
     let shard = &shared.shards[slot];
+    // Fold before decrementing: when a target's indegree hits zero its
+    // interval lanes must already cover this cell.
+    agg_record(shared, slot, from, &value);
     shard.cache.lock().insert(from.pack(), value);
     for t in targets {
         decrement(shared, slot, t);
@@ -694,6 +768,7 @@ fn handle_push<A: DpApp>(
     targets: Vec<VertexId>,
 ) {
     let shard = &shared.shards[slot];
+    agg_record(shared, slot, from, &value);
     shard.cache.lock().insert(from.pack(), value.clone());
     {
         let mut pending = shard.pending.lock();
@@ -766,6 +841,7 @@ fn handle_pull_val<A: DpApp>(
     shared
         .recorder
         .instant_now(me.0, wid, EventKind::PullFill, id.pack());
+    agg_record(shared, slot, id, &value);
     shard.cache.lock().insert(id.pack(), value.clone());
     let mut pending = shard.pending.lock();
     if let Some(waiters) = pending.waiters.remove(&id.pack()) {
@@ -862,6 +938,11 @@ fn execute<A: DpApp>(
         return;
     }
 
+    if shared.agg.is_some() {
+        execute_ranged(shared, slot, wid, li, id, bufs);
+        return;
+    }
+
     bufs.deps.clear();
     shared.pattern.dependencies(i, j, &mut bufs.deps);
 
@@ -905,6 +986,81 @@ fn execute<A: DpApp>(
 
     let view = DepView::new(&bufs.deps, &values);
     let value = compute_timed(shared, slot, wid, id, &view);
+    publish(shared, slot, li, id, value, bufs);
+}
+
+/// The nested-dataflow execute path: point dependencies gather like any
+/// classic edge, while interval dependencies are answered by the place's
+/// prefix lanes in O(1).
+///
+/// By the indegree-zero guarantee, every interval cell's value has
+/// already been delivered to this place (local publish, `Done` or
+/// `PushVal`) and folded into the lanes — *except* cells prefinished in
+/// an earlier epoch whose values live on another place (the socket
+/// engine's meta-only restores). Those show up in `interval_missing`,
+/// ride the classic park-and-pull machinery alongside the point deps,
+/// and are folded when the `PullVal` replies land, after which the
+/// re-readied vertex finds its lanes complete.
+///
+/// Always computes locally: the lanes are place-resident state, so the
+/// remote-execution schedules (`Random`/`MinComm`) and their `Msg::Exec`
+/// shipping don't apply here.
+fn execute_ranged<A: DpApp>(
+    shared: &Arc<Shared<A>>,
+    slot: usize,
+    wid: u16,
+    li: u32,
+    id: VertexId,
+    bufs: &mut WorkerBufs,
+) {
+    let shard = &shared.shards[slot];
+    let range = shared
+        .pattern
+        .as_range()
+        .expect("agg mode implies an interval view");
+    let table = shard.aggs.as_ref().expect("agg mode implies lanes");
+
+    bufs.deps.clear();
+    range.point_deps(id.i, id.j, &mut bufs.deps);
+    let n_points = bufs.deps.len();
+    let mut ivs: Vec<DepInterval> = Vec::with_capacity(2);
+    range.dep_intervals(id.i, id.j, &mut ivs);
+    for &iv in &ivs {
+        table.interval_missing(iv, &mut bufs.deps);
+    }
+
+    let Some(values) = gather(shared, slot, wid, li, &bufs.deps) else {
+        return; // parked awaiting pulls (points and/or lane gaps)
+    };
+    // Fold everything gathered: the lane-gap cells need it, the point
+    // cells are harmless thanks to per-cell idempotence.
+    for (k, d) in bufs.deps.iter().enumerate() {
+        agg_record(shared, slot, *d, &values[k]);
+    }
+
+    let view = DepView::new(&bufs.deps[..n_points], &values[..n_points]);
+    debug_assert!(
+        ivs.iter().all(|iv| table.interval_prefix(*iv).is_some()),
+        "lanes incomplete at zero indegree for {id}"
+    );
+    let started = Instant::now();
+    let rec_start = self_rec_start(shared.as_ref());
+    let value = {
+        let aggs = AggView::new(table);
+        shared.app.compute_ranged(id, &view, &aggs)
+    };
+    let elapsed = started.elapsed().as_nanos() as u64;
+    shard.busy_ns.fetch_add(elapsed, Ordering::Relaxed);
+    if let Some(start_ns) = rec_start {
+        shared.recorder.span(
+            shared.dist.places()[slot].0,
+            wid,
+            EventKind::VertexCompute,
+            start_ns,
+            shared.recorder.now_ns(),
+            id.pack(),
+        );
+    }
     publish(shared, slot, li, id, value, bufs);
 }
 
@@ -1035,6 +1191,8 @@ fn publish<A: DpApp>(
     if shard.finished[li as usize].swap(true, Ordering::AcqRel) {
         return; // double publication guard
     }
+    // Fold the local cell before any dependent can become ready.
+    agg_record(shared, slot, id, &value);
     shard.finished_local.fetch_add(1, Ordering::Relaxed);
     shared.computed.fetch_add(1, Ordering::Relaxed);
     if let Some(ckpt) = &shared.checkpoint {

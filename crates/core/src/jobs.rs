@@ -879,6 +879,8 @@ impl<A: DpApp + 'static> JobRunner<A> {
                 // The coordinator counted us among this job's dead.
                 return Ok(None);
             };
+            let agg =
+                crate::engine::agg_mode(&self.config, self.app.as_ref(), self.pattern.as_ref());
             let (shards, prefinished) = build_shards(
                 self.pattern.as_ref(),
                 &dist,
@@ -886,7 +888,11 @@ impl<A: DpApp + 'static> JobRunner<A> {
                 None,
                 None,
                 self.config.cache_capacity,
+                agg,
             );
+            if agg.is_some() {
+                crate::engine::seed_aggs(self.app.as_ref(), &shards);
+            }
             self.recorder.instant_now(
                 self.me.0,
                 RUNTIME_WORKER,
@@ -939,6 +945,7 @@ impl<A: DpApp + 'static> JobRunner<A> {
                 checkpoint: None,
                 recorder: self.recorder.clone(),
                 comms: self.config.comms,
+                agg,
             });
             self.pool.attach(self.job_id, shared.clone(), my_slot);
 

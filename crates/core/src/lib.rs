@@ -64,7 +64,7 @@ pub mod state;
 pub mod stats;
 pub mod tiled;
 
-pub use app::{DagResult, DepView, DpApp, VertexValue};
+pub use app::{AggView, DagResult, DepView, DpApp, VertexValue};
 pub use cache::FifoCache;
 pub use checkpoint::{load_checkpoint, CheckpointConfig};
 pub use config::{CommsMode, EngineConfig, FaultPlan, InitOverride};
@@ -82,4 +82,5 @@ pub use tiled::{run_tiled_threaded, TileValue, TiledApp, TiledRun};
 // Re-export the pieces applications touch, so `dpx10_core` is
 // self-sufficient for most users.
 pub use dpx10_apgas::{NetworkModel, PlaceId, Topology};
+pub use dpx10_dag::{AggSpec, Axis, Reduction};
 pub use dpx10_distarray::{DistKind, RestoreManner};

@@ -767,6 +767,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 // false-positive timeout); nothing left to contribute.
                 return Ok(None);
             };
+            let agg = crate::engine::agg_mode(cfg, self.engine.app.as_ref(), pattern.as_ref());
             let (shards, prefinished) = build_shards(
                 pattern.as_ref(),
                 &dist,
@@ -774,7 +775,15 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 scatter_meta.as_ref(),
                 self.engine.init.as_ref(),
                 cfg.cache_capacity,
+                agg,
             );
+            if agg.is_some() {
+                // Reseed lanes from whatever restored values this place
+                // holds (its own subtree after a Resume scatter).
+                // Meta-only finished cells stay gaps; the ranged execute
+                // path pulls them from their owner on demand.
+                crate::engine::seed_aggs(self.engine.app.as_ref(), &shards);
+            }
             self.recorder.instant_now(
                 self.me.0,
                 RUNTIME_WORKER,
@@ -840,6 +849,7 @@ impl<A: DpApp + 'static> Driver<'_, A> {
                 worker_seq: AtomicU64::new(0),
                 checkpoint: None,
                 recorder: self.recorder.clone(),
+                agg,
             });
 
             let mut handles = Vec::new();

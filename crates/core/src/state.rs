@@ -7,8 +7,8 @@ use std::sync::{Arc, OnceLock};
 use dpx10_sync::Mutex;
 use dpx10_sync::SegQueue;
 
-use dpx10_dag::{DagPattern, VertexId};
-use dpx10_distarray::{Dist, DistArray};
+use dpx10_dag::{AggSpec, DagPattern, VertexId};
+use dpx10_distarray::{AggTable, Dist, DistArray};
 
 use crate::app::VertexValue;
 use crate::cache::FifoCache;
@@ -97,6 +97,10 @@ pub struct Shard<V> {
     /// across threads); feeds `RunReport::place_busy` on the real
     /// backends.
     pub busy_ns: AtomicU64,
+    /// Prefix-aggregation lanes for interval dependencies (`Some` only
+    /// on nested-dataflow runs). Lanes are residents, not cache entries:
+    /// the FIFO cache may evict the raw values whose keys they folded.
+    pub aggs: Option<AggTable>,
 }
 
 impl<V: VertexValue> Shard<V> {
@@ -133,6 +137,7 @@ pub fn build_shards<V: VertexValue>(
     prior_meta: Option<&HashSet<u64>>,
     init: Option<&InitOverride<V>>,
     cache_capacity: usize,
+    agg: Option<AggSpec>,
 ) -> (Vec<Shard<V>>, u64) {
     // A dependency is pre-finished iff the same predicate that marks local
     // cells finished holds for it; this keeps cross-shard indegree
@@ -152,6 +157,11 @@ pub fn build_shards<V: VertexValue>(
         prior_meta.is_some_and(|m| m.contains(&VertexId::new(i, j).pack()))
     };
 
+    // A fresh build (nothing prefinished anywhere) can take the
+    // pattern's closed-form indegree instead of enumerating edges —
+    // O(1) per cell where an interval pattern's edge list is O(n).
+    let fresh = prior.is_none() && prior_meta.is_none() && init.is_none();
+
     let mut prefinished_total = 0u64;
     let mut deps_buf = Vec::new();
     let shards = (0..dist.num_slots())
@@ -169,6 +179,7 @@ pub fn build_shards<V: VertexValue>(
                 finished_local: AtomicU64::new(0),
                 total_local: 0,
                 busy_ns: AtomicU64::new(0),
+                aggs: agg.map(|spec| AggTable::new(pattern.height(), pattern.width(), spec)),
             };
             for (li, (i, j)) in dist.iter_slot(slot).enumerate() {
                 shard.points.push((i, j));
@@ -191,12 +202,16 @@ pub fn build_shards<V: VertexValue>(
                     prefinished_total += 1;
                     continue;
                 }
-                deps_buf.clear();
-                pattern.dependencies(i, j, &mut deps_buf);
-                let open = deps_buf
-                    .iter()
-                    .filter(|d| is_prefinished(d.i, d.j).is_none() && !meta_finished(d.i, d.j))
-                    .count() as u32;
+                let open = if fresh {
+                    pattern.indegree(i, j)
+                } else {
+                    deps_buf.clear();
+                    pattern.dependencies(i, j, &mut deps_buf);
+                    deps_buf
+                        .iter()
+                        .filter(|d| is_prefinished(d.i, d.j).is_none() && !meta_finished(d.i, d.j))
+                        .count() as u32
+                };
                 shard.indegree[li].store(open, Ordering::Relaxed);
                 if open == 0 {
                     shard.ready.push(li as u32);
@@ -252,7 +267,7 @@ mod tests {
     fn fresh_shards_seed_sources() {
         let pattern = Grid2::new(3, 4);
         let d = dist(3, 4, 2);
-        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, None, None, 16);
+        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, None, None, 16, None);
         assert_eq!(pre, 0);
         // Grid2 has a single source (0,0), owned by slot 0.
         assert_eq!(shards[0].ready.len(), 1);
@@ -266,7 +281,7 @@ mod tests {
         let d = dist(2, 2, 1);
         // Pre-finish the whole first row.
         let init: InitOverride<i64> = Arc::new(|i, _j| (i == 0).then_some(0));
-        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, None, Some(&init), 16);
+        let (shards, pre) = build_shards::<i64>(&pattern, &d, None, None, Some(&init), 16, None);
         assert_eq!(pre, 2);
         // (1,0) now has zero open deps; (1,1) depends on unfinished (1,0).
         let ready: Vec<u32> = std::iter::from_fn(|| shards[0].ready.pop()).collect();
@@ -283,7 +298,7 @@ mod tests {
         let d = dist(2, 2, 1);
         let mut prior: DistArray<i64> = DistArray::new(d.clone());
         prior.set(0, 0, 5);
-        let (shards, pre) = build_shards::<i64>(&pattern, &d, Some(&prior), None, None, 16);
+        let (shards, pre) = build_shards::<i64>(&pattern, &d, Some(&prior), None, None, 16, None);
         assert_eq!(pre, 1);
         let li = d.local_index(0, 0) as u32;
         assert_eq!(shards[0].value(li), &5);
@@ -302,7 +317,7 @@ mod tests {
         let meta: HashSet<u64> = [VertexId::new(0, 0).pack(), VertexId::new(0, 1).pack()]
             .into_iter()
             .collect();
-        let (shards, pre) = build_shards(&pattern, &d, Some(&prior), Some(&meta), None, 16);
+        let (shards, pre) = build_shards(&pattern, &d, Some(&prior), Some(&meta), None, 16, None);
         assert_eq!(pre, 2, "value-backed and meta-only cells both count");
         let li01 = d.local_index(0, 1) as u32;
         assert!(shards[1].finished[li01 as usize].load(Ordering::Relaxed));
@@ -325,7 +340,7 @@ mod tests {
         let mut prior: DistArray<i64> = DistArray::new(d.clone());
         prior.set(0, 0, 1);
         prior.set(1, 2, 9);
-        let (shards, _) = build_shards::<i64>(&pattern, &d, Some(&prior), None, None, 16);
+        let (shards, _) = build_shards::<i64>(&pattern, &d, Some(&prior), None, None, 16, None);
         let collected = collect_array(&shards, &d);
         assert_eq!(collected.get_finished(0, 0), Some(&1));
         assert_eq!(collected.get_finished(1, 2), Some(&9));

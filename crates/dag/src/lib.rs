@@ -46,6 +46,7 @@ pub mod custom;
 pub mod extra;
 pub mod knapsack;
 pub mod pattern;
+pub mod range;
 pub mod tiled;
 pub mod topo;
 pub mod validate;
@@ -55,6 +56,7 @@ pub use custom::CustomDag;
 pub use extra::{BandedGrid3, IntervalSplits};
 pub use knapsack::KnapsackDag;
 pub use pattern::{BuiltinKind, DagPattern};
+pub use range::{AggSpec, Axis, DepInterval, GapDag, LwsDag, RangeDep, RangedDag, Reduction};
 pub use tiled::TiledDag;
 pub use topo::{critical_path_len, topological_order, wavefront_profile};
 pub use validate::{validate_pattern, ValidationError};

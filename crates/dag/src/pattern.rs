@@ -73,6 +73,16 @@ pub trait DagPattern: Send + Sync {
     fn name(&self) -> &str {
         "custom"
     }
+
+    /// The interval-dependency view of this pattern, if it has one.
+    ///
+    /// Classic patterns return `None`; [`crate::range::RangedDag`]
+    /// returns its wrapped [`crate::range::RangeDep`] so interval-aware
+    /// engines can skip edge enumeration and pair interval reads with
+    /// prefix aggregation.
+    fn as_range(&self) -> Option<&dyn crate::range::RangeDep> {
+        None
+    }
 }
 
 // Blanket impls so engines can take `&P`, `Box<dyn ..>` or `Arc<dyn ..>`
@@ -103,6 +113,9 @@ macro_rules! forward_pattern {
             }
             fn name(&self) -> &str {
                 (**self).name()
+            }
+            fn as_range(&self) -> Option<&dyn crate::range::RangeDep> {
+                (**self).as_range()
             }
         }
     };

@@ -1,0 +1,132 @@
+//! Property tests of the interval-dependency (`RangeDep`) contract: the
+//! `RangedDag` adapter's enumerated edges and the interval arithmetic
+//! must agree exactly, at arbitrary grid shapes including boundary
+//! rows/columns and empty intervals.
+
+use std::collections::BTreeSet;
+
+use dpx10_dag::{
+    validate_pattern, DagPattern, DepInterval, GapDag, LwsDag, RangeDep, RangedDag, TiledDag,
+    VertexId,
+};
+use proptest::prelude::*;
+
+/// Folds a ranged pattern's dependency view of `(i, j)` into the flat
+/// cell set — points plus every interval member.
+fn ranged_dep_set(r: &dyn RangeDep, i: u32, j: u32) -> BTreeSet<VertexId> {
+    let mut pts = Vec::new();
+    r.point_deps(i, j, &mut pts);
+    let mut ivs = Vec::new();
+    r.dep_intervals(i, j, &mut ivs);
+    let mut set: BTreeSet<VertexId> = pts.into_iter().collect();
+    for iv in ivs {
+        set.extend(iv.iter());
+    }
+    set
+}
+
+fn enumerated_dep_set(p: &dyn DagPattern, i: u32, j: u32) -> BTreeSet<VertexId> {
+    let mut buf = Vec::new();
+    p.dependencies(i, j, &mut buf);
+    buf.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The adapter's closed-form `indegree` equals the enumerated edge
+    /// count for every cell of both ranged patterns, at arbitrary shapes
+    /// (including the 1-cell boundary cases where every interval is
+    /// empty).
+    #[test]
+    fn interval_indegree_matches_enumeration(h in 1u32..20, w in 1u32..20) {
+        let gap = RangedDag::new(GapDag::new(h, w));
+        for i in 0..h {
+            for j in 0..w {
+                let enumerated = enumerated_dep_set(&gap, i, j);
+                prop_assert_eq!(
+                    gap.indegree(i, j) as usize,
+                    enumerated.len(),
+                    "gap ({}, {}) of {}x{}", i, j, h, w
+                );
+            }
+        }
+        let lws = RangedDag::new(LwsDag::new(w));
+        for j in 0..w {
+            prop_assert_eq!(lws.indegree(0, j) as usize, enumerated_dep_set(&lws, 0, j).len());
+        }
+    }
+
+    /// The interval view and the enumerated view describe the same edge
+    /// set cell-by-cell: no interval member is missed, duplicated or
+    /// invented by the adapter.
+    #[test]
+    fn interval_and_enumerated_edge_sets_agree(h in 1u32..16, w in 1u32..16) {
+        let inner = GapDag::new(h, w);
+        let gap = RangedDag::new(inner);
+        for i in 0..h {
+            for j in 0..w {
+                let ranged = ranged_dep_set(&inner, i, j);
+                let enumerated = enumerated_dep_set(&gap, i, j);
+                prop_assert_eq!(&ranged, &enumerated, "({}, {})", i, j);
+                // Dependencies never include the cell itself and stay
+                // strictly earlier on their axis.
+                prop_assert!(!ranged.contains(&VertexId::new(i, j)));
+            }
+        }
+    }
+
+    /// Both ranged patterns satisfy the full classic contract through
+    /// the adapter — containment, deps/anti-deps mutual inversion and
+    /// acyclicity — so every enumeration-based engine can run them.
+    #[test]
+    fn ranged_patterns_validate(h in 1u32..14, w in 1u32..14) {
+        prop_assert!(validate_pattern(&RangedDag::new(GapDag::new(h, w))).is_ok());
+        prop_assert!(validate_pattern(&RangedDag::new(LwsDag::new(w))).is_ok());
+    }
+
+    /// Empty and inverted intervals enumerate to nothing and count zero,
+    /// for arbitrary bounds on both axes.
+    #[test]
+    fn empty_intervals_are_inert(fixed in 0u32..50, lo in 0u32..50, shrink in 0u32..50) {
+        let hi = lo.saturating_sub(shrink); // hi <= lo: empty by contract
+        for iv in [
+            DepInterval::Row { i: fixed, lo, hi },
+            DepInterval::Col { j: fixed, lo, hi },
+        ] {
+            prop_assert_eq!(iv.len(), 0);
+            prop_assert!(iv.is_empty());
+            let mut out = Vec::new();
+            iv.enumerate(&mut out);
+            prop_assert!(out.is_empty());
+            prop_assert_eq!(iv.iter().count(), 0);
+        }
+    }
+
+    /// Non-empty intervals enumerate exactly `hi - lo` cells in axis
+    /// order, and `iter` matches `enumerate`.
+    #[test]
+    fn interval_enumeration_is_exact(fixed in 0u32..40, lo in 0u32..40, extra in 1u32..40) {
+        let hi = lo + extra;
+        let row = DepInterval::Row { i: fixed, lo, hi };
+        let mut out = Vec::new();
+        row.enumerate(&mut out);
+        prop_assert_eq!(out.len() as u32, extra);
+        prop_assert!(out.windows(2).all(|p| p[0].i == p[1].i && p[0].j + 1 == p[1].j));
+        let via_iter: Vec<VertexId> = row.iter().collect();
+        prop_assert_eq!(out, via_iter);
+        let col = DepInterval::Col { j: fixed, lo, hi };
+        let cells: Vec<VertexId> = col.iter().collect();
+        prop_assert_eq!(cells.len() as u32, extra);
+        prop_assert!(cells.iter().all(|c| c.j == fixed));
+    }
+
+    /// Tiling composes with the adapter: a `TiledDag` over a ranged
+    /// pattern still validates, so the tiled runner can consume interval
+    /// patterns through the same seam as everything else.
+    #[test]
+    fn tiled_over_ranged_validates(h in 2u32..12, w in 2u32..12, tile in 1u32..5) {
+        let tiled = TiledDag::new(RangedDag::new(GapDag::new(h, w)), tile);
+        prop_assert!(validate_pattern(&tiled).is_ok());
+    }
+}

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod array;
 pub mod chunk;
 pub mod dist;
@@ -25,6 +26,7 @@ pub mod recovery;
 pub mod region;
 pub mod resilient;
 
+pub use aggregate::{AggTable, PrefixLane};
 pub use array::DistArray;
 pub use chunk::{ChunkMap, ChunkOwner, ChunkState, EpochVerdict};
 pub use dist::{Dist, DistKind};

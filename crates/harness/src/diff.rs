@@ -35,6 +35,11 @@ pub struct ChaosOptions {
     /// socket backends. The serial oracle has no comms plane, so a push
     /// sweep still checks every cell against a pull-free reference.
     pub comms: CommsMode,
+    /// Prefix aggregation for interval-dependency (ranged) patterns on
+    /// the threaded and socket backends. The sweep's mixing kernel has
+    /// no aggregation spec, so this only matters for apps that do; it
+    /// is threaded through so targeted suites can flip it.
+    pub agg: bool,
 }
 
 impl Default for ChaosOptions {
@@ -45,6 +50,7 @@ impl Default for ChaosOptions {
             trace_capacity: 4096,
             coalesce: None,
             comms: CommsMode::Pull,
+            agg: true,
         }
     }
 }
@@ -255,7 +261,8 @@ fn engine_config(sc: &Scenario, plan: &ChaosPlan, opts: &ChaosOptions) -> Engine
         .with_cache(sc.cache)
         .with_chaos(plan.clone())
         .with_coalesce(opts.coalesce)
-        .with_comms(opts.comms);
+        .with_comms(opts.comms)
+        .with_aggregation(opts.agg);
     config.stall_limit = Duration::from_secs(20);
     config
 }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use dpx10_apgas::{ChaosPlan, ChaosRng};
 use dpx10_core::{DistKind, ScheduleStrategy};
-use dpx10_dag::{BuiltinKind, DagPattern, KnapsackDag, VertexId};
+use dpx10_dag::{BuiltinKind, DagPattern, GapDag, KnapsackDag, LwsDag, RangedDag, VertexId};
 
 /// A seeded random DAG pattern: each vertex draws edges from a fixed
 /// window of row-major-preceding neighbours, each edge included by an
@@ -122,7 +122,7 @@ impl Scenario {
         let places = 2 + rng.below(3) as u16;
         let h = 6 + rng.below(9) as u32;
         let w = 6 + rng.below(9) as u32;
-        let pattern: Arc<dyn DagPattern> = match rng.below(8) {
+        let pattern: Arc<dyn DagPattern> = match rng.below(10) {
             0 => BuiltinKind::Grid2.instantiate(h, w).into(),
             1 => BuiltinKind::Grid3.instantiate(h, w).into(),
             2 => BuiltinKind::Diagonal.instantiate(h, w).into(),
@@ -134,6 +134,12 @@ impl Scenario {
                 let weights = (0..items).map(|_| 1 + rng.below(6) as u32).collect();
                 Arc::new(KnapsackDag::new(weights, 8 + rng.below(16) as u32))
             }
+            // Interval-dependency (ranged) patterns: the chaos app has
+            // no aggregation spec, so the sweep drives the enumeration
+            // adapter — every interval edge delivered, decremented and
+            // recovered like a point edge.
+            7 => Arc::new(RangedDag::new(LwsDag::new(h * w))),
+            8 => Arc::new(RangedDag::new(GapDag::new(h, w))),
             _ => {
                 let density = 0.25 + rng.unit() * 0.5;
                 Arc::new(RandomWindowDag::new(h, w, rng.next_u64(), density))

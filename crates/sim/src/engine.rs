@@ -185,6 +185,10 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 self.config.dist_kind.clone(),
                 alive.clone(),
             ));
+            // The simulator always executes through the enumerated
+            // adapter view (no aggregation lanes): it is the differential
+            // oracle the prefix-aggregated real backends are compared
+            // against.
             let (shards, prefinished) = build_shards(
                 pattern,
                 &dist,
@@ -192,6 +196,7 @@ impl<A: DpApp + 'static> SimEngine<A> {
                 None,
                 self.init.as_ref(),
                 self.config.cache_capacity,
+                None,
             );
             let nslots = dist.num_slots();
             // Move the seeded FIFO ready lists into policy queues.
